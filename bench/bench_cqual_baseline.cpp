@@ -1,0 +1,126 @@
+//===- bench_cqual_baseline.cpp - Experiment B7 (vs CQUAL) ----------------===//
+//
+// The section 7 comparison: CQUAL-style qualifier inference vs this
+// paper's explicit type rules on the Table 2 workloads. Both find the
+// bftpd bug; inference needs no annotation loop (intermediates are
+// inferred); but the lattice is trusted - a meaningless lattice is
+// accepted silently, while this paper's soundness checker rejects rule
+// sets that do not establish their invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cminus/Lowering.h"
+#include "cminus/Parser.h"
+#include "cminus/Sema.h"
+#include "cqual/Cqual.h"
+#include "qual/Builtins.h"
+#include "workloads/AnnotationDriver.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace stq;
+using namespace stq::workloads;
+
+namespace {
+
+/// The taint workloads with the CQUAL-style prelude annotations: sinks
+/// (format parameters) are untainted, and sources (file names from the OS,
+/// as in Shankar et al.'s readdir model) are tainted. Inference then
+/// propagates through every intermediate without a fixpoint loop.
+std::string annotatedSource(const GeneratedWorkload &W) {
+  std::string Source = W.Source;
+  auto Annotate = [&](const std::string &From, const std::string &To) {
+    size_t Pos = Source.find(From);
+    if (Pos != std::string::npos)
+      Source.replace(Pos, From.size(), To);
+  };
+  Annotate("int sendstrf(int s, char* format, ...)",
+           "int sendstrf(int s, char* untainted format, ...)");
+  Annotate("int bftpd_log(int level, char* fmt, ...)",
+           "int bftpd_log(int level, char* untainted fmt, ...)");
+  Annotate("int log_msg(char* fmt, ...)",
+           "int log_msg(char* untainted fmt, ...)");
+  Annotate("struct dirent { char* d_name;",
+           "struct dirent { char* tainted d_name;");
+  return Source;
+}
+
+struct BaselineRun {
+  cqual::InferenceResult Inference;
+  bool Ok = false;
+};
+
+BaselineRun runBaseline(const GeneratedWorkload &W) {
+  BaselineRun Out;
+  DiagnosticEngine Diags;
+  std::vector<std::string> Quals = {"tainted", "untainted"};
+  auto Prog = cminus::parseProgram(annotatedSource(W), Quals, Diags);
+  if (Diags.hasErrors())
+    return Out;
+  if (!cminus::runSema(*Prog, {}, Diags))
+    return Out;
+  if (!cminus::lowerProgram(*Prog, Diags))
+    return Out;
+  Out.Inference = cqual::runInference(*Prog);
+  Out.Ok = true;
+  return Out;
+}
+
+void printTable() {
+  std::printf("=== Section 7: CQUAL-style inference vs explicit rules ===\n");
+  std::printf("%-10s | %18s | %22s\n", "program",
+              "this paper (errors)", "CQUAL baseline (errors)");
+  GeneratedWorkload Workloads[] = {makeBftpd(), makeMingetty(),
+                                   makeIdentd()};
+  for (const GeneratedWorkload &W : Workloads) {
+    Table2Row Ours = runUntaintedExperiment(W);
+    BaselineRun Theirs = runBaseline(W);
+    std::printf("%-10s | %12u ann %2u | %15zu (vars %u)\n", W.Name.c_str(),
+                Ours.Annotations, Ours.Errors,
+                Theirs.Inference.Errors.size(), Theirs.Inference.NumVars);
+  }
+  std::printf("(both systems find the bftpd format-string bug - the "
+              "baseline reports the tainted flow at each sink it reaches; "
+              "CQUAL trusts its lattice, this paper's soundness checker "
+              "verifies the rules)\n\n");
+}
+
+} // namespace
+
+static void BM_CqualInferenceBftpd(benchmark::State &State) {
+  GeneratedWorkload W = makeBftpd();
+  for (auto _ : State) {
+    BaselineRun R = runBaseline(W);
+    benchmark::DoNotOptimize(R.Inference.Errors.size());
+  }
+}
+BENCHMARK(BM_CqualInferenceBftpd)->Unit(benchmark::kMillisecond);
+
+static void BM_OurCheckerBftpd(benchmark::State &State) {
+  GeneratedWorkload W = makeBftpd();
+  for (auto _ : State) {
+    Table2Row Row = runUntaintedExperiment(W);
+    benchmark::DoNotOptimize(Row.Errors);
+  }
+}
+BENCHMARK(BM_OurCheckerBftpd)->Unit(benchmark::kMillisecond);
+
+static void BM_CqualInferenceGrepScale(benchmark::State &State) {
+  GeneratedWorkload W = makeGrepDfa(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    BaselineRun R = runBaseline(W);
+    benchmark::DoNotOptimize(R.Inference.NumConstraints);
+  }
+}
+BENCHMARK(BM_CqualInferenceGrepScale)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

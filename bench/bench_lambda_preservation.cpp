@@ -1,0 +1,93 @@
+//===- bench_lambda_preservation.cpp - Experiment L5 (Theorem 5.1) --------===//
+//
+// Regenerates the section 5 result as a statistical experiment: random
+// well-typed programs in the formal calculus preserve semantic
+// conformance under the locally sound rule system; the locally unsound
+// variant is refuted by concrete counterexamples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Lambda.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace stq::lambda;
+
+namespace {
+
+struct SweepStats {
+  unsigned WellTyped = 0;
+  unsigned Violations = 0;
+};
+
+SweepStats sweep(const QualSystem &Sys, unsigned N, uint64_t SeedBase) {
+  SweepStats Out;
+  for (unsigned I = 0; I < N; ++I) {
+    GenOptions Options;
+    Options.Seed = SeedBase + I;
+    Options.MaxDepth = 4;
+    TermPtr T = generateTerm(Options);
+    LTypePtr Ty = typecheck(T, Sys);
+    if (!Ty)
+      continue;
+    Store S;
+    EvalResult E = evaluate(T, S);
+    if (!E.Ok)
+      continue;
+    ++Out.WellTyped;
+    if (!preservationHolds(E.Value, Ty, S, Sys))
+      ++Out.Violations;
+  }
+  return Out;
+}
+
+void printTable() {
+  SweepStats Sound = sweep(QualSystem::posNegNonzero(), 5000, 1);
+  SweepStats Bogus = sweep(QualSystem::withBogusSubtractionRule(), 5000, 1);
+  std::printf("=== Theorem 5.1 (type preservation) ===\n");
+  std::printf("%-34s %12s %12s\n", "rule system", "well-typed",
+              "violations");
+  std::printf("%-34s %12u %12u   (theorem: must be 0)\n",
+              "pos/neg/nonzero (locally sound)", Sound.WellTyped,
+              Sound.Violations);
+  std::printf("%-34s %12u %12u   (locally unsound: must be >0)\n",
+              "with bogus pos(e1-e2) rule", Bogus.WellTyped,
+              Bogus.Violations);
+  std::printf("\n");
+}
+
+} // namespace
+
+static void BM_PreservationSweep(benchmark::State &State) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  uint64_t Seed = 0;
+  for (auto _ : State) {
+    SweepStats S = sweep(Sys, 200, Seed += 200);
+    if (S.Violations != 0)
+      State.SkipWithError("preservation violated under sound rules");
+    benchmark::DoNotOptimize(S.WellTyped);
+  }
+}
+BENCHMARK(BM_PreservationSweep)->Unit(benchmark::kMillisecond);
+
+static void BM_TypecheckDeepTerm(benchmark::State &State) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  // A deep product tree: 2^10 leaves.
+  TermPtr T = tConst(3);
+  for (unsigned I = 0; I < 10; ++I)
+    T = tBin(LBinOp::Mul, T, T);
+  for (auto _ : State) {
+    LTypePtr Ty = typecheck(T, Sys);
+    benchmark::DoNotOptimize(Ty->Quals.size());
+  }
+}
+BENCHMARK(BM_TypecheckDeepTerm)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

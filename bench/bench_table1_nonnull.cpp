@@ -1,0 +1,74 @@
+//===- bench_table1_nonnull.cpp - Experiment T1 (Table 1) -----------------===//
+//
+// Regenerates Table 1: the nonnull experiment on the grep-dfa analogue.
+// Prints paper-vs-measured rows, then benchmarks the full iterative
+// annotation pipeline and the final checking pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AnnotationDriver.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace stq::workloads;
+
+static void printTable() {
+  GeneratedWorkload W = makeGrepDfa();
+  Table1Row Row = runNonnullExperiment(W);
+  std::printf("=== Table 1: nonnull on grep (dfa.c, dfa.h) ===\n");
+  std::printf("%-16s %10s %12s\n", "", "paper", "this repo");
+  std::printf("%-16s %10s %12s\n", "program:", "grep", W.Name.c_str());
+  std::printf("%-16s %10u %12u\n", "lines:", 2287u, Row.Lines);
+  std::printf("%-16s %10u %12u\n", "dereferences:", 1072u, Row.Dereferences);
+  std::printf("%-16s %10u %12u\n", "annotations:", 114u, Row.Annotations);
+  std::printf("%-16s %10u %12u\n", "casts:", 59u, Row.Casts);
+  std::printf("%-16s %10u %12u\n", "errors:", 0u, Row.Errors);
+  std::printf("(initial errors %u, %u iterations, %.3fs; shape: every "
+              "dereference checked, annotations ~10%% of dereferences, "
+              "casts < annotations, zero residual errors)\n\n",
+              Row.InitialErrors, Row.Iterations, Row.Seconds);
+}
+
+static void printFlowSensitivityAblation() {
+  GeneratedWorkload W = makeGrepDfa();
+  Table1Row Insensitive = runNonnullExperiment(W, /*FlowSensitive=*/false);
+  Table1Row Sensitive = runNonnullExperiment(W, /*FlowSensitive=*/true);
+  std::printf("=== Ablation: section 8 flow-sensitive narrowing ===\n");
+  std::printf("%-16s %16s %16s\n", "", "flow-insensitive",
+              "flow-sensitive");
+  std::printf("%-16s %16u %16u\n", "annotations:", Insensitive.Annotations,
+              Sensitive.Annotations);
+  std::printf("%-16s %16u %16u\n", "casts:", Insensitive.Casts,
+              Sensitive.Casts);
+  std::printf("%-16s %16u %16u\n", "errors:", Insensitive.Errors,
+              Sensitive.Errors);
+  std::printf("(the paper attributes its 59 casts to flow-insensitivity; "
+              "honoring NULL-check guards removes the guarded-table casts "
+              "and their local annotations)\n\n");
+}
+
+static void BM_NonnullAnnotationPipeline(benchmark::State &State) {
+  GeneratedWorkload W = makeGrepDfa();
+  for (auto _ : State) {
+    Table1Row Row = runNonnullExperiment(W);
+    benchmark::DoNotOptimize(Row.Dereferences);
+  }
+  Table1Row Row = runNonnullExperiment(W);
+  State.counters["derefs"] = Row.Dereferences;
+  State.counters["annotations"] = Row.Annotations;
+  State.counters["casts"] = Row.Casts;
+  State.counters["errors"] = Row.Errors;
+}
+BENCHMARK(BM_NonnullAnnotationPipeline)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+int main(int argc, char **argv) {
+  printTable();
+  printFlowSensitivityAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- bench_table2_untainted.cpp - Experiment T2 (Table 2) ---------------===//
+//
+// Regenerates Table 2: the untainted format-string experiment on the
+// bftpd / mingetty / identd analogues.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AnnotationDriver.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace stq::workloads;
+
+static void printTable() {
+  Table2Row B = runUntaintedExperiment(makeBftpd());
+  Table2Row M = runUntaintedExperiment(makeMingetty());
+  Table2Row I = runUntaintedExperiment(makeIdentd());
+  std::printf("=== Table 2: untainted format strings ===\n");
+  std::printf("%-14s | %7s %7s | %8s %8s | %7s %7s\n", "", "paper", "repo",
+              "paper", "repo", "paper", "repo");
+  std::printf("%-14s | %7s %7s | %8s %8s | %7s %7s\n", "program:", "bftpd",
+              "bftpd", "mingetty", "mingetty", "identd", "identd");
+  std::printf("%-14s | %7u %7u | %8u %8u | %7u %7u\n", "lines:", 750u,
+              B.Lines, 293u, M.Lines, 228u, I.Lines);
+  std::printf("%-14s | %7u %7u | %8u %8u | %7u %7u\n", "printf calls:",
+              134u, B.PrintfCalls, 23u, M.PrintfCalls, 21u, I.PrintfCalls);
+  std::printf("%-14s | %7u %7u | %8u %8u | %7u %7u\n", "annotations:", 2u,
+              B.Annotations, 1u, M.Annotations, 0u, I.Annotations);
+  std::printf("%-14s | %7u %7u | %8u %8u | %7u %7u\n", "casts:", 0u,
+              B.Casts, 0u, M.Casts, 0u, I.Casts);
+  std::printf("%-14s | %7u %7u | %8u %8u | %7u %7u\n", "errors:", 1u,
+              B.Errors, 0u, M.Errors, 0u, I.Errors);
+  std::printf("(the single bftpd error is the previously reported "
+              "exploitable format-string bug)\n\n");
+}
+
+static void BM_UntaintedBftpd(benchmark::State &State) {
+  GeneratedWorkload W = makeBftpd();
+  for (auto _ : State) {
+    Table2Row Row = runUntaintedExperiment(W);
+    benchmark::DoNotOptimize(Row.Errors);
+  }
+}
+BENCHMARK(BM_UntaintedBftpd)->Unit(benchmark::kMillisecond);
+
+static void BM_UntaintedMingetty(benchmark::State &State) {
+  GeneratedWorkload W = makeMingetty();
+  for (auto _ : State) {
+    Table2Row Row = runUntaintedExperiment(W);
+    benchmark::DoNotOptimize(Row.Errors);
+  }
+}
+BENCHMARK(BM_UntaintedMingetty)->Unit(benchmark::kMillisecond);
+
+static void BM_UntaintedIdentd(benchmark::State &State) {
+  GeneratedWorkload W = makeIdentd();
+  for (auto _ : State) {
+    Table2Row Row = runUntaintedExperiment(W);
+    benchmark::DoNotOptimize(Row.Errors);
+  }
+}
+BENCHMARK(BM_UntaintedIdentd)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,40 @@
+//===- nonnull_grep.cpp - The Table 1 experiment, end to end --------------===//
+//
+// Reproduces section 6.1: statically ensuring the absence of NULL
+// dereferences in a grep-dfa-shaped program. Shows the iterative
+// annotation process the authors performed by hand: start unannotated
+// (one error per dereference), add nonnull annotations where the rules
+// justify them, insert casts where flow-insensitivity defeats the rules,
+// and converge to zero errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AnnotationDriver.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace stq::workloads;
+
+int main() {
+  GeneratedWorkload W = makeGrepDfa();
+  std::printf("workload: %s (%u non-blank lines)\n\n", W.Name.c_str(),
+              W.Lines);
+
+  Table1Row Row = runNonnullExperiment(W);
+
+  std::printf("iterative annotation process (section 6.1):\n");
+  std::printf("  initial errors (unannotated): %u\n", Row.InitialErrors);
+  std::printf("  iterations to fixpoint:       %u\n", Row.Iterations);
+  std::printf("  wall time:                    %.3fs\n\n", Row.Seconds);
+
+  std::printf("%-16s %10s %10s\n", "Table 1", "paper", "this repo");
+  std::printf("%-16s %10s %10s\n", "program:", "grep", "grep-dfa");
+  std::printf("%-16s %10u %10u\n", "lines:", 2287u, Row.Lines);
+  std::printf("%-16s %10u %10u\n", "dereferences:", 1072u,
+              Row.Dereferences);
+  std::printf("%-16s %10u %10u\n", "annotations:", 114u, Row.Annotations);
+  std::printf("%-16s %10u %10u\n", "casts:", 59u, Row.Casts);
+  std::printf("%-16s %10u %10u\n", "errors:", 0u, Row.Errors);
+  return Row.Errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+//===- taint_format_string.cpp - Figure 4 and the bftpd bug ---------------===//
+//
+// The taintedness analysis of sections 2.1.4 and 6.3: untainted format
+// strings for printf. Demonstrates:
+//
+//   * the paper's code snippet (a cast marks "%s" trustworthy; passing an
+//     arbitrary buffer as the format is rejected);
+//   * the full bftpd experiment: two wrapper parameters get annotated, the
+//     real exploitable call is flagged;
+//   * the exploit actually firing dynamically in the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "interp/Interp.h"
+#include "qual/Builtins.h"
+#include "workloads/AnnotationDriver.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace stq;
+using namespace stq::workloads;
+
+int main() {
+  qual::QualifierSet Quals;
+  DiagnosticEngine Diags;
+  if (!qual::loadBuiltinQualifiers({"tainted", "untainted"}, Quals, Diags))
+    return 1;
+
+  std::printf("== Figure 4: flow checking for format strings ==\n");
+  const char *Snippet = "int printf(char* untainted fmt, ...);\n"
+                        "void f(char* buf) {\n"
+                        "  char* untainted fmt = (char* untainted) \"%s\";\n"
+                        "  printf(fmt, buf);\n" // OK
+                        "  printf(buf);\n"      // rejected
+                        "}\n";
+  DiagnosticEngine SnippetDiags;
+  std::unique_ptr<cminus::Program> Prog;
+  checker::CheckResult R =
+      checker::checkSource(Snippet, Quals, SnippetDiags, Prog);
+  std::printf("printf(fmt, buf) accepted; printf(buf) rejected: "
+              "%u qualifier error(s)\n",
+              R.QualErrors);
+  for (const Diagnostic &D : SnippetDiags.diagnostics())
+    if (D.Phase == "qualcheck")
+      std::printf("  %s\n", D.str().c_str());
+
+  std::printf("\n== Table 2: the three programs ==\n");
+  Table2Row B = runUntaintedExperiment(makeBftpd());
+  Table2Row M = runUntaintedExperiment(makeMingetty());
+  Table2Row I = runUntaintedExperiment(makeIdentd());
+  std::printf("%-14s %18s %18s %18s\n", "Table 2", "bftpd", "mingetty",
+              "identd");
+  std::printf("%-14s %8u/%-9u %8u/%-9u %8u/%-9u   (paper/this repo)\n",
+              "lines:", 750u, B.Lines, 293u, M.Lines, 228u, I.Lines);
+  std::printf("%-14s %8u/%-9u %8u/%-9u %8u/%-9u\n", "printf calls:", 134u,
+              B.PrintfCalls, 23u, M.PrintfCalls, 21u, I.PrintfCalls);
+  std::printf("%-14s %8u/%-9u %8u/%-9u %8u/%-9u\n", "annotations:", 2u,
+              B.Annotations, 1u, M.Annotations, 0u, I.Annotations);
+  std::printf("%-14s %8u/%-9u %8u/%-9u %8u/%-9u\n", "casts:", 0u, B.Casts,
+              0u, M.Casts, 0u, I.Casts);
+  std::printf("%-14s %8u/%-9u %8u/%-9u %8u/%-9u\n", "errors:", 1u, B.Errors,
+              0u, M.Errors, 0u, I.Errors);
+
+  std::printf("\n== The bftpd bug is a real exploit ==\n");
+  std::string Poc = makeBftpd().Source +
+                    "\nint poc() {\n"
+                    "  struct session* s = (struct session*) "
+                    "malloc(sizeof(struct session));\n"
+                    "  s->sock = 4;\n"
+                    "  struct dirent* e = (struct dirent*) "
+                    "malloc(sizeof(struct dirent));\n"
+                    "  e->d_name = \"%x%x%x%x\";\n"
+                    "  command_list_entry(s, e);\n"
+                    "  return 0;\n"
+                    "}\n";
+  DiagnosticEngine PocDiags;
+  interp::InterpOptions Options;
+  Options.EntryPoint = "poc";
+  interp::RunResult Run = interp::runSource(Poc, Quals, PocDiags, Options);
+  for (const auto &V : Run.FormatViolations)
+    std::printf("  format-string violation at %s: \"%s\" consumed %u "
+                "arguments, %u supplied\n",
+                V.Loc.str().c_str(), V.Format.c_str(), V.Consumed,
+                V.Supplied);
+  std::printf("  output leaked: %s\n", Run.Output.c_str());
+  return (B.Errors == 1 && M.Errors == 0 && I.Errors == 0 &&
+          !Run.FormatViolations.empty())
+             ? 0
+             : 1;
+}

@@ -1,0 +1,46 @@
+//===- Lowering.h - CIL-style normalization ---------------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed and Sema-checked program into the CIL-style discipline
+/// the paper's qualifier checker assumes: expressions are side-effect-free
+/// and calls appear only as instructions. Nested calls are hoisted into
+/// fresh temporaries declared immediately before the enclosing statement.
+///
+/// Deliberate restrictions (reported as errors, matching what CIL would
+/// instead restructure): calls are not permitted inside loop conditions,
+/// for-steps, or short-circuit operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_CMINUS_LOWERING_H
+#define STQ_CMINUS_LOWERING_H
+
+#include "cminus/AST.h"
+#include "support/Diagnostics.h"
+
+namespace stq::cminus {
+
+/// Flattens nested calls. Requires Sema to have run (types are needed for
+/// the introduced temporaries). Returns true on success (phase "lower").
+bool lowerProgram(Program &Prog, DiagnosticEngine &Diags);
+
+/// Verifies the lowered discipline: every call occurs in a direct
+/// instruction position (call statement, or the immediate RHS of an
+/// assignment/initializer, possibly under a single cast), and every
+/// expression has a type. Returns true if the program conforms (phase
+/// "verify").
+bool verifyLoweredProgram(const Program &Prog, DiagnosticEngine &Diags);
+
+/// If \p E is a call, or a call under a single cast (ignored for pattern
+/// matching, as in the paper), returns the call; otherwise null.
+CallExpr *getDirectCall(Expr *E);
+const CallExpr *getDirectCall(const Expr *E);
+
+} // namespace stq::cminus
+
+#endif // STQ_CMINUS_LOWERING_H

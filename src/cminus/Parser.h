@@ -1,0 +1,126 @@
+//===- Parser.h - C-minus parser --------------------------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for C-minus. Qualifier names are supplied by the
+/// caller (they come from loaded qualifier definitions, mirroring the
+/// paper's gcc-attribute macros) and are accepted in postfix position after
+/// any type. The parser resolves variable names against lexical scopes as it
+/// goes; C-minus is declare-before-use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_CMINUS_PARSER_H
+#define STQ_CMINUS_PARSER_H
+
+#include "cminus/AST.h"
+#include "support/Diagnostics.h"
+#include "support/Lexer.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stq::cminus {
+
+/// Parses one C-minus translation unit.
+///
+/// \param Source the program text.
+/// \param QualifierNames identifiers to recognize as type qualifiers.
+/// \param Diags receives parse errors (phase "parse").
+/// \returns the parsed program; inspect Diags.hasErrors() for validity.
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      const std::vector<std::string>
+                                          &QualifierNames,
+                                      DiagnosticEngine &Diags);
+
+namespace detail {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::set<std::string> QualifierNames,
+         DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), QualifierNames(std::move(QualifierNames)),
+        Diags(Diags), Prog(std::make_unique<Program>()) {}
+
+  std::unique_ptr<Program> run();
+
+private:
+  // Token plumbing.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind K) const { return peek().is(K); }
+  bool checkIdent(const char *S) const { return peek().isIdent(S); }
+  bool match(TokenKind K);
+  bool matchIdent(const char *S);
+  bool expect(TokenKind K, const char *Context);
+  void error(const std::string &Message);
+  /// Skips tokens until a likely statement/declaration boundary.
+  void synchronize();
+
+  // Scopes.
+  void pushScope();
+  void popScope();
+  VarDecl *lookupVar(const std::string &Name) const;
+  void declareVar(VarDecl *Var);
+
+  // Types.
+  bool atTypeStart() const;
+  /// Parses `basetype quals* ('*' quals*)*`; returns null on error.
+  TypePtr parseType();
+  std::vector<std::string> parseQuals();
+
+  // Top level.
+  void parseTopLevel();
+  void parseStructDef();
+  void parseFunctionRest(TypePtr RetTy, const std::string &Name,
+                         SourceLoc Loc);
+  void parseGlobalRest(TypePtr Ty, const std::string &Name, SourceLoc Loc);
+
+  // Statements.
+  Stmt *parseStmt();
+  BlockStmt *parseBlock();
+  Stmt *parseDeclStmt();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseFor();
+  Stmt *parseReturn();
+  Stmt *parseExprOrAssign();
+
+  // Expressions (precedence climbing).
+  Expr *parseExpr();
+  Expr *parseLOr();
+  Expr *parseLAnd();
+  Expr *parseEquality();
+  Expr *parseRelational();
+  Expr *parseAdditive();
+  Expr *parseMultiplicative();
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  /// Requires \p E to be an l-value read and returns the l-value; reports an
+  /// error and returns null otherwise.
+  LValue *requireLValue(Expr *E, const char *Context);
+  /// Makes a placeholder int expression after an error.
+  Expr *makeErrorExpr(SourceLoc Loc);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::set<std::string> QualifierNames;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<Program> Prog;
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+};
+
+} // namespace detail
+
+} // namespace stq::cminus
+
+#endif // STQ_CMINUS_PARSER_H

@@ -1,0 +1,34 @@
+//===- Printer.h - C-minus pretty printer -----------------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a (possibly lowered) program back to C-minus source. Used for
+/// golden tests, human inspection, and emitting instrumented programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_CMINUS_PRINTER_H
+#define STQ_CMINUS_PRINTER_H
+
+#include "cminus/AST.h"
+
+#include <string>
+
+namespace stq::cminus {
+
+/// Renders \p E as C-minus source.
+std::string printExpr(const Expr *E);
+/// Renders \p LV as C-minus source.
+std::string printLValue(const LValue *LV);
+/// Renders \p S with the given starting indentation (2 spaces per level).
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+/// Renders the whole program.
+std::string printProgram(const Program &Prog);
+
+} // namespace stq::cminus
+
+#endif // STQ_CMINUS_PRINTER_H

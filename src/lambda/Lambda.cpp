@@ -1,0 +1,777 @@
+//===- Lambda.cpp ---------------------------------------------------------===//
+
+#include "lambda/Lambda.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <sstream>
+
+using namespace stq;
+using namespace stq::lambda;
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+namespace {
+LTypePtr makeType(LType T) { return std::make_shared<LType>(std::move(T)); }
+} // namespace
+
+LTypePtr LType::unit() {
+  LType T;
+  T.K = Kind::Unit;
+  return makeType(std::move(T));
+}
+
+LTypePtr LType::intTy() {
+  LType T;
+  T.K = Kind::Int;
+  return makeType(std::move(T));
+}
+
+LTypePtr LType::fun(LTypePtr Param, LTypePtr Result) {
+  LType T;
+  T.K = Kind::Fun;
+  T.A = std::move(Param);
+  T.B = std::move(Result);
+  return makeType(std::move(T));
+}
+
+LTypePtr LType::ref(LTypePtr Pointee) {
+  LType T;
+  T.K = Kind::Ref;
+  T.A = std::move(Pointee);
+  return makeType(std::move(T));
+}
+
+LTypePtr LType::withQuals(const LTypePtr &T, std::set<std::string> Quals) {
+  LType N = *T;
+  N.Quals = std::move(Quals);
+  return makeType(std::move(N));
+}
+
+LTypePtr LType::stripped(const LTypePtr &T) {
+  if (T->Quals.empty())
+    return T;
+  return withQuals(T, {});
+}
+
+bool LType::equals(const LTypePtr &X, const LTypePtr &Y) {
+  if (X.get() == Y.get())
+    return true;
+  if (X->K != Y->K || X->Quals != Y->Quals)
+    return false;
+  switch (X->K) {
+  case Kind::Unit:
+  case Kind::Int:
+    return true;
+  case Kind::Ref:
+    return equals(X->A, Y->A);
+  case Kind::Fun:
+    return equals(X->A, Y->A) && equals(X->B, Y->B);
+  }
+  return false;
+}
+
+bool LType::isSubtype(const LTypePtr &Sub, const LTypePtr &Super) {
+  if (Sub->K != Super->K)
+    return false;
+  // SubValQual (+ transitivity): the subtype's qualifier set must include
+  // the supertype's. SubQualReorder is free with sets.
+  if (!std::includes(Sub->Quals.begin(), Sub->Quals.end(),
+                     Super->Quals.begin(), Super->Quals.end()))
+    return false;
+  switch (Sub->K) {
+  case Kind::Unit:
+  case Kind::Int:
+    return true;
+  case Kind::Ref:
+    // No subtyping underneath ref types: pointees must be equal.
+    return equals(Sub->A, Super->A);
+  case Kind::Fun:
+    // SubFun: contravariant parameter, covariant result.
+    return isSubtype(Super->A, Sub->A) && isSubtype(Sub->B, Super->B);
+  }
+  return false;
+}
+
+std::string LType::str() const {
+  std::string Out;
+  switch (K) {
+  case Kind::Unit:
+    Out = "unit";
+    break;
+  case Kind::Int:
+    Out = "int";
+    break;
+  case Kind::Ref:
+    Out = "ref " + A->str();
+    break;
+  case Kind::Fun:
+    Out = "(" + A->str() + " -> " + B->str() + ")";
+    break;
+  }
+  for (const std::string &Q : Quals)
+    Out += " " + Q;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+namespace {
+TermPtr makeTerm(Term T) { return std::make_shared<Term>(std::move(T)); }
+} // namespace
+
+TermPtr stq::lambda::tConst(int64_t V) {
+  Term T;
+  T.K = Term::Kind::Const;
+  T.Int = V;
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tUnit() {
+  Term T;
+  T.K = Term::Kind::Unit;
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tVar(std::string Name) {
+  Term T;
+  T.K = Term::Kind::Var;
+  T.Name = std::move(Name);
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tLambda(std::string Name, LTypePtr ParamTy,
+                             TermPtr Body) {
+  Term T;
+  T.K = Term::Kind::Lambda;
+  T.Name = std::move(Name);
+  T.ParamTy = std::move(ParamTy);
+  T.S1 = std::move(Body);
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tDeref(TermPtr E) {
+  Term T;
+  T.K = Term::Kind::Deref;
+  T.S1 = std::move(E);
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tBin(LBinOp Op, TermPtr L, TermPtr R) {
+  Term T;
+  T.K = Term::Kind::BinOp;
+  T.Bin = Op;
+  T.S1 = std::move(L);
+  T.S2 = std::move(R);
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tUn(LUnOp Op, TermPtr E) {
+  Term T;
+  T.K = Term::Kind::UnOp;
+  T.Un = Op;
+  T.S1 = std::move(E);
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tApp(TermPtr F, TermPtr Arg) {
+  Term T;
+  T.K = Term::Kind::App;
+  T.S1 = std::move(F);
+  T.S2 = std::move(Arg);
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tLet(std::string Name, TermPtr Bound, TermPtr Body) {
+  Term T;
+  T.K = Term::Kind::Let;
+  T.Name = std::move(Name);
+  T.S1 = std::move(Bound);
+  T.S2 = std::move(Body);
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tRef(TermPtr E) {
+  Term T;
+  T.K = Term::Kind::Ref;
+  T.S1 = std::move(E);
+  return makeTerm(std::move(T));
+}
+
+TermPtr stq::lambda::tAssign(TermPtr Target, TermPtr Value) {
+  Term T;
+  T.K = Term::Kind::Assign;
+  T.S1 = std::move(Target);
+  T.S2 = std::move(Value);
+  return makeTerm(std::move(T));
+}
+
+std::string Term::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::Const:
+    OS << Int;
+    break;
+  case Kind::Unit:
+    OS << "()";
+    break;
+  case Kind::Var:
+    OS << Name;
+    break;
+  case Kind::Lambda:
+    OS << "(\\" << Name << ":" << (ParamTy ? ParamTy->str() : "?") << ". "
+       << S1->str() << ")";
+    break;
+  case Kind::Deref:
+    OS << "!" << S1->str();
+    break;
+  case Kind::BinOp: {
+    const char *Op = Bin == LBinOp::Add ? "+" : Bin == LBinOp::Sub ? "-"
+                                                                   : "*";
+    OS << "(" << S1->str() << " " << Op << " " << S2->str() << ")";
+    break;
+  }
+  case Kind::UnOp:
+    OS << "(-" << S1->str() << ")";
+    break;
+  case Kind::App:
+    OS << "(" << S1->str() << " " << S2->str() << ")";
+    break;
+  case Kind::Let:
+    OS << "(let " << Name << " = " << S1->str() << " in " << S2->str()
+       << ")";
+    break;
+  case Kind::Ref:
+    OS << "(ref " << S1->str() << ")";
+    break;
+  case Kind::Assign:
+    OS << "(" << S1->str() << " := " << S2->str() << ")";
+    break;
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Rule systems
+//===----------------------------------------------------------------------===//
+
+QualSystem QualSystem::posNegNonzero() {
+  QualSystem Sys;
+  // pos: positive constants; products of pos; negation of neg.
+  Sys.Rules.push_back({"pos", CaseRule::Shape::IntConst,
+                       [](int64_t C) { return C > 0; }, LBinOp::Add,
+                       LUnOp::Neg, {}, {}});
+  Sys.Rules.push_back({"pos", CaseRule::Shape::Binary, nullptr, LBinOp::Mul,
+                       LUnOp::Neg, {"pos"}, {"pos"}});
+  Sys.Rules.push_back({"pos", CaseRule::Shape::Unary, nullptr, LBinOp::Add,
+                       LUnOp::Neg, {"neg"}, {}});
+  // pos: sums of pos (the extension verified in the soundness tests).
+  Sys.Rules.push_back({"pos", CaseRule::Shape::Binary, nullptr, LBinOp::Add,
+                       LUnOp::Neg, {"pos"}, {"pos"}});
+  // neg: negative constants; negation of pos; mixed products.
+  Sys.Rules.push_back({"neg", CaseRule::Shape::IntConst,
+                       [](int64_t C) { return C < 0; }, LBinOp::Add,
+                       LUnOp::Neg, {}, {}});
+  Sys.Rules.push_back({"neg", CaseRule::Shape::Unary, nullptr, LBinOp::Add,
+                       LUnOp::Neg, {"pos"}, {}});
+  Sys.Rules.push_back({"neg", CaseRule::Shape::Binary, nullptr, LBinOp::Mul,
+                       LUnOp::Neg, {"pos"}, {"neg"}});
+  Sys.Rules.push_back({"neg", CaseRule::Shape::Binary, nullptr, LBinOp::Mul,
+                       LUnOp::Neg, {"neg"}, {"pos"}});
+  // nonzero: nonzero constants; pos is nonzero (subtype encoding);
+  // products of nonzero.
+  Sys.Rules.push_back({"nonzero", CaseRule::Shape::IntConst,
+                       [](int64_t C) { return C != 0; }, LBinOp::Add,
+                       LUnOp::Neg, {}, {}});
+  Sys.Rules.push_back({"nonzero", CaseRule::Shape::Same, nullptr,
+                       LBinOp::Add, LUnOp::Neg, {"pos"}, {}});
+  Sys.Rules.push_back({"nonzero", CaseRule::Shape::Same, nullptr,
+                       LBinOp::Add, LUnOp::Neg, {"neg"}, {}});
+  Sys.Rules.push_back({"nonzero", CaseRule::Shape::Binary, nullptr,
+                       LBinOp::Mul, LUnOp::Neg, {"nonzero"}, {"nonzero"}});
+
+  Sys.IntInvariants["pos"] = [](int64_t V) { return V > 0; };
+  Sys.IntInvariants["neg"] = [](int64_t V) { return V < 0; };
+  Sys.IntInvariants["nonzero"] = [](int64_t V) { return V != 0; };
+  return Sys;
+}
+
+QualSystem QualSystem::withBogusSubtractionRule() {
+  QualSystem Sys = posNegNonzero();
+  // The paper's running example of an erroneous rule: pos (e1 - e2) from
+  // pos e1, pos e2. Locally unsound.
+  Sys.Rules.push_back({"pos", CaseRule::Shape::Binary, nullptr, LBinOp::Sub,
+                       LUnOp::Neg, {"pos"}, {"pos"}});
+  return Sys;
+}
+
+//===----------------------------------------------------------------------===//
+// Typechecking
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool hasAll(const std::set<std::string> &Quals,
+            const std::vector<std::string> &Needed) {
+  for (const std::string &Q : Needed)
+    if (!Quals.count(Q))
+      return false;
+  return true;
+}
+
+/// Applies the T-QUALCASE rule instances to compute the derivable
+/// qualifier set of an int-typed node.
+std::set<std::string> deriveQuals(const Term &T, const QualSystem &Sys,
+                                  const std::set<std::string> &LhsQ,
+                                  const std::set<std::string> &RhsQ) {
+  std::set<std::string> Out;
+  for (const CaseRule &R : Sys.Rules) {
+    switch (R.K) {
+    case CaseRule::Shape::IntConst:
+      if (T.K == Term::Kind::Const && R.ConstPred && R.ConstPred(T.Int))
+        Out.insert(R.Qual);
+      break;
+    case CaseRule::Shape::Binary:
+      if (T.K == Term::Kind::BinOp && T.Bin == R.Bin && hasAll(LhsQ, R.Lhs) &&
+          hasAll(RhsQ, R.Rhs))
+        Out.insert(R.Qual);
+      break;
+    case CaseRule::Shape::Unary:
+      if (T.K == Term::Kind::UnOp && T.Un == R.Un && hasAll(LhsQ, R.Lhs))
+        Out.insert(R.Qual);
+      break;
+    case CaseRule::Shape::Same:
+      break; // Applied in the closure pass below.
+    }
+  }
+  return Out;
+}
+
+/// Closes a qualifier set under Same-shaped rules (subtype encodings).
+void closeQuals(std::set<std::string> &Quals, const QualSystem &Sys) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const CaseRule &R : Sys.Rules) {
+      if (R.K != CaseRule::Shape::Same || Quals.count(R.Qual))
+        continue;
+      if (hasAll(Quals, R.Lhs)) {
+        Quals.insert(R.Qual);
+        Changed = true;
+      }
+    }
+  }
+}
+
+LTypePtr typecheckImpl(const TermPtr &T, const QualSystem &Sys,
+                       const TypeEnv &Env) {
+  LTypePtr Result;
+  switch (T->K) {
+  case Term::Kind::Const: {
+    std::set<std::string> Quals = deriveQuals(*T, Sys, {}, {});
+    closeQuals(Quals, Sys);
+    Result = LType::withQuals(LType::intTy(), std::move(Quals));
+    break;
+  }
+  case Term::Kind::Unit:
+    Result = LType::unit();
+    break;
+  case Term::Kind::Var: {
+    auto Found = Env.find(T->Name);
+    if (Found == Env.end())
+      return nullptr;
+    Result = Found->second;
+    break;
+  }
+  case Term::Kind::Lambda: {
+    if (!T->ParamTy)
+      return nullptr;
+    TypeEnv Inner = Env;
+    Inner[T->Name] = T->ParamTy;
+    LTypePtr BodyTy = typecheckImpl(T->S1, Sys, Inner);
+    if (!BodyTy)
+      return nullptr;
+    Result = LType::fun(T->ParamTy, BodyTy);
+    break;
+  }
+  case Term::Kind::Deref: {
+    LTypePtr SubTy = typecheckImpl(T->S1, Sys, Env);
+    if (!SubTy || SubTy->K != LType::Kind::Ref)
+      return nullptr;
+    Result = SubTy->A;
+    break;
+  }
+  case Term::Kind::BinOp:
+  case Term::Kind::UnOp: {
+    LTypePtr L = typecheckImpl(T->S1, Sys, Env);
+    if (!L || L->K != LType::Kind::Int)
+      return nullptr;
+    std::set<std::string> RQ;
+    if (T->K == Term::Kind::BinOp) {
+      LTypePtr R = typecheckImpl(T->S2, Sys, Env);
+      if (!R || R->K != LType::Kind::Int)
+        return nullptr;
+      RQ = R->Quals;
+    }
+    std::set<std::string> Quals = deriveQuals(*T, Sys, L->Quals, RQ);
+    closeQuals(Quals, Sys);
+    Result = LType::withQuals(LType::intTy(), std::move(Quals));
+    break;
+  }
+  case Term::Kind::App: {
+    LTypePtr FunTy = typecheckImpl(T->S1, Sys, Env);
+    if (!FunTy || FunTy->K != LType::Kind::Fun)
+      return nullptr;
+    LTypePtr ArgTy = typecheckImpl(T->S2, Sys, Env);
+    if (!ArgTy || !LType::isSubtype(ArgTy, FunTy->A))
+      return nullptr;
+    Result = FunTy->B;
+    break;
+  }
+  case Term::Kind::Let: {
+    LTypePtr BoundTy = typecheckImpl(T->S1, Sys, Env);
+    if (!BoundTy)
+      return nullptr;
+    TypeEnv Inner = Env;
+    Inner[T->Name] = BoundTy;
+    Result = typecheckImpl(T->S2, Sys, Inner);
+    if (!Result)
+      return nullptr;
+    break;
+  }
+  case Term::Kind::Ref: {
+    LTypePtr SubTy = typecheckImpl(T->S1, Sys, Env);
+    if (!SubTy)
+      return nullptr;
+    Result = LType::ref(SubTy);
+    break;
+  }
+  case Term::Kind::Assign: {
+    LTypePtr Target = typecheckImpl(T->S1, Sys, Env);
+    if (!Target || Target->K != LType::Kind::Ref)
+      return nullptr;
+    LTypePtr ValueTy = typecheckImpl(T->S2, Sys, Env);
+    if (!ValueTy || !LType::isSubtype(ValueTy, Target->A))
+      return nullptr;
+    Result = LType::unit();
+    break;
+  }
+  }
+  T->Ty = Result;
+  return Result;
+}
+
+} // namespace
+
+LTypePtr stq::lambda::typecheck(const TermPtr &T, const QualSystem &Sys,
+                                const TypeEnv &Env) {
+  return typecheckImpl(T, Sys, Env);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+std::string LValue::str() const {
+  switch (K) {
+  case Kind::Int:
+    return std::to_string(Int);
+  case Kind::Unit:
+    return "()";
+  case Kind::Closure:
+    return "<closure \\" + Param + ">";
+  case Kind::Loc:
+    return "loc#" + std::to_string(Loc);
+  }
+  return "?";
+}
+
+namespace {
+
+LValuePtr makeLValue(LValue V) {
+  return std::make_shared<LValue>(std::move(V));
+}
+
+struct Evaluator {
+  Store &S;
+  uint64_t Fuel;
+  bool Failed = false;
+  std::string Error;
+
+  void fail(const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      Error = Message;
+    }
+  }
+
+  LValuePtr eval(const TermPtr &T, const ValueEnv &Env) {
+    if (Failed)
+      return nullptr;
+    if (Fuel-- == 0) {
+      fail("fuel exhausted");
+      return nullptr;
+    }
+    switch (T->K) {
+    case Term::Kind::Const: {
+      LValue V;
+      V.K = LValue::Kind::Int;
+      V.Int = T->Int;
+      return makeLValue(std::move(V));
+    }
+    case Term::Kind::Unit:
+      return makeLValue(LValue{});
+    case Term::Kind::Var: {
+      auto Found = Env.find(T->Name);
+      if (Found == Env.end()) {
+        fail("unbound variable " + T->Name);
+        return nullptr;
+      }
+      return Found->second;
+    }
+    case Term::Kind::Lambda: {
+      LValue V;
+      V.K = LValue::Kind::Closure;
+      V.Param = T->Name;
+      V.Body = T->S1;
+      V.Captured = Env;
+      V.ClosureTy = T->Ty;
+      return makeLValue(std::move(V));
+    }
+    case Term::Kind::Deref: {
+      LValuePtr Sub = eval(T->S1, Env);
+      if (Failed)
+        return nullptr;
+      if (Sub->K != LValue::Kind::Loc || Sub->Loc >= S.Cells.size()) {
+        fail("dereference of a non-location");
+        return nullptr;
+      }
+      return S.Cells[Sub->Loc];
+    }
+    case Term::Kind::BinOp: {
+      LValuePtr L = eval(T->S1, Env);
+      if (Failed)
+        return nullptr;
+      LValuePtr R = eval(T->S2, Env);
+      if (Failed)
+        return nullptr;
+      if (L->K != LValue::Kind::Int || R->K != LValue::Kind::Int) {
+        fail("arithmetic on non-integers");
+        return nullptr;
+      }
+      int64_t Out = T->Bin == LBinOp::Add   ? L->Int + R->Int
+                    : T->Bin == LBinOp::Sub ? L->Int - R->Int
+                                            : L->Int * R->Int;
+      LValue V;
+      V.K = LValue::Kind::Int;
+      V.Int = Out;
+      return makeLValue(std::move(V));
+    }
+    case Term::Kind::UnOp: {
+      LValuePtr Sub = eval(T->S1, Env);
+      if (Failed)
+        return nullptr;
+      if (Sub->K != LValue::Kind::Int) {
+        fail("negation of a non-integer");
+        return nullptr;
+      }
+      LValue V;
+      V.K = LValue::Kind::Int;
+      V.Int = -Sub->Int;
+      return makeLValue(std::move(V));
+    }
+    case Term::Kind::App: {
+      LValuePtr Fn = eval(T->S1, Env);
+      if (Failed)
+        return nullptr;
+      LValuePtr Arg = eval(T->S2, Env);
+      if (Failed)
+        return nullptr;
+      if (Fn->K != LValue::Kind::Closure) {
+        fail("application of a non-function");
+        return nullptr;
+      }
+      ValueEnv Inner = Fn->Captured;
+      Inner[Fn->Param] = Arg;
+      return eval(Fn->Body, Inner);
+    }
+    case Term::Kind::Let: {
+      LValuePtr Bound = eval(T->S1, Env);
+      if (Failed)
+        return nullptr;
+      ValueEnv Inner = Env;
+      Inner[T->Name] = Bound;
+      return eval(T->S2, Inner);
+    }
+    case Term::Kind::Ref: {
+      LValuePtr Sub = eval(T->S1, Env);
+      if (Failed)
+        return nullptr;
+      LValue V;
+      V.K = LValue::Kind::Loc;
+      V.Loc = S.Cells.size();
+      S.Cells.push_back(Sub);
+      // Record the cell's static type (Theorem 5.1's Gamma').
+      S.CellTypes.push_back(T->S1->Ty);
+      return makeLValue(std::move(V));
+    }
+    case Term::Kind::Assign: {
+      LValuePtr Target = eval(T->S1, Env);
+      if (Failed)
+        return nullptr;
+      LValuePtr V = eval(T->S2, Env);
+      if (Failed)
+        return nullptr;
+      if (Target->K != LValue::Kind::Loc || Target->Loc >= S.Cells.size()) {
+        fail("assignment to a non-location");
+        return nullptr;
+      }
+      S.Cells[Target->Loc] = V;
+      return makeLValue(LValue{});
+    }
+    }
+    fail("unknown term");
+    return nullptr;
+  }
+};
+
+} // namespace
+
+EvalResult stq::lambda::evaluate(const TermPtr &T, Store &S, uint64_t Fuel) {
+  Evaluator E{S, Fuel, false, {}};
+  EvalResult R;
+  R.Value = E.eval(T, {});
+  R.Ok = !E.Failed;
+  R.Error = E.Error;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic conformance (figure 11)
+//===----------------------------------------------------------------------===//
+
+bool stq::lambda::conforms(const LValuePtr &V, const LTypePtr &Ty,
+                           const Store &S, const QualSystem &Sys) {
+  if (!V || !Ty)
+    return false;
+  // Rule Q-QUAL: every qualifier's invariant must hold for the value.
+  for (const std::string &Q : Ty->Quals) {
+    auto Inv = Sys.IntInvariants.find(Q);
+    if (Inv == Sys.IntInvariants.end())
+      return false; // Unknown qualifier: fail closed.
+    if (V->K != LValue::Kind::Int || !Inv->second(V->Int))
+      return false;
+  }
+  switch (Ty->K) {
+  case LType::Kind::Int:
+    return V->K == LValue::Kind::Int;
+  case LType::Kind::Unit:
+    return V->K == LValue::Kind::Unit;
+  case LType::Kind::Fun:
+    // Q-FUN, algorithmically: the closure's recorded static type must be a
+    // subtype of the required function type.
+    return V->K == LValue::Kind::Closure && V->ClosureTy &&
+           LType::isSubtype(V->ClosureTy, LType::stripped(Ty));
+  case LType::Kind::Ref: {
+    // Q-REF: the location is live and its contents conform to the pointee
+    // type in the current store.
+    if (V->K != LValue::Kind::Loc || V->Loc >= S.Cells.size())
+      return false;
+    return conforms(S.Cells[V->Loc], Ty->A, S, Sys);
+  }
+  }
+  return false;
+}
+
+bool stq::lambda::preservationHolds(const LValuePtr &Result,
+                                    const LTypePtr &Ty, const Store &S,
+                                    const QualSystem &Sys) {
+  if (!conforms(Result, Ty, S, Sys))
+    return false;
+  // Definition 5.2: every store cell conforms to its recorded type.
+  for (size_t I = 0; I < S.Cells.size(); ++I)
+    if (!conforms(S.Cells[I], S.CellTypes[I], S, Sys))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Random generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Generator {
+public:
+  explicit Generator(GenOptions Options)
+      : Options(Options), Rng(Options.Seed) {}
+
+  TermPtr gen() { return genTerm(Options.MaxDepth, {}); }
+
+private:
+  unsigned pick(unsigned N) { return std::uniform_int_distribution<unsigned>(
+      0, N - 1)(Rng); }
+  int64_t pickInt() {
+    return std::uniform_int_distribution<int64_t>(-9, 9)(Rng);
+  }
+
+  TermPtr genTerm(unsigned Depth, std::vector<std::string> Scope) {
+    if (Depth == 0 || pick(6) == 0) {
+      // Leaves: constants, unit, or an in-scope variable.
+      if (!Scope.empty() && pick(3) == 0)
+        return tVar(Scope[pick(static_cast<unsigned>(Scope.size()))]);
+      if (pick(5) == 0)
+        return tUnit();
+      return tConst(pickInt());
+    }
+    switch (pick(8)) {
+    case 0:
+      return tBin(LBinOp::Add, genTerm(Depth - 1, Scope),
+                  genTerm(Depth - 1, Scope));
+    case 1:
+      return tBin(LBinOp::Sub, genTerm(Depth - 1, Scope),
+                  genTerm(Depth - 1, Scope));
+    case 2:
+      return tBin(LBinOp::Mul, genTerm(Depth - 1, Scope),
+                  genTerm(Depth - 1, Scope));
+    case 3:
+      return tUn(LUnOp::Neg, genTerm(Depth - 1, Scope));
+    case 4: {
+      std::string Name = "x" + std::to_string(NextVar++);
+      TermPtr Bound = genTerm(Depth - 1, Scope);
+      Scope.push_back(Name);
+      return tLet(Name, Bound, genTerm(Depth - 1, Scope));
+    }
+    case 5:
+      return tRef(genTerm(Depth - 1, Scope));
+    case 6: {
+      // let r = ref e in (r := e'; !r) expressed with lets.
+      std::string Name = "r" + std::to_string(NextVar++);
+      TermPtr Cell = tRef(genTerm(Depth - 1, Scope));
+      Scope.push_back(Name);
+      TermPtr Write = tAssign(tVar(Name), genTerm(Depth - 1, Scope));
+      std::string Ignore = "u" + std::to_string(NextVar++);
+      return tLet(Name, Cell,
+                  tLet(Ignore, Write, tDeref(tVar(Name))));
+    }
+    default:
+      return tDeref(tRef(genTerm(Depth - 1, Scope)));
+    }
+  }
+
+  GenOptions Options;
+  std::mt19937_64 Rng;
+  unsigned NextVar = 0;
+};
+
+} // namespace
+
+TermPtr stq::lambda::generateTerm(GenOptions Options) {
+  Generator G(Options);
+  return G.gen();
+}

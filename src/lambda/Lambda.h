@@ -1,0 +1,246 @@
+//===- Lambda.h - The paper's formal calculus (section 5) -------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simply-typed lambda calculus with ML-style references and
+/// user-defined value qualifiers from section 5 (figures 8-11):
+///
+///  * statements s ::= e | s1 s2 | let x = s1 in s2 | ref s | s1 := s2
+///  * expressions e ::= c | () | x | \x.s | !e   (plus integer operators,
+///    so the qualifier rule templates of figure 10 have operations to
+///    range over)
+///  * types tau ::= unit | int | tau -> tau | ref tau | tau q
+///
+/// The module provides the subtype relation (figure 9), a synthesis-style
+/// typechecker whose derived qualifier sets realize the T-QUALCASE rule
+/// template, a big-step evaluator, the semantic conformance relation
+/// (figure 11), and a random well-typed-program generator used to
+/// property-test Theorem 5.1 (type preservation): for locally sound rule
+/// sets every evaluation preserves conformance, and for locally unsound
+/// rule sets the tests find counterexample programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_LAMBDA_LAMBDA_H
+#define STQ_LAMBDA_LAMBDA_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stq::lambda {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+class LType;
+using LTypePtr = std::shared_ptr<const LType>;
+
+/// A type of the calculus; every node carries a (possibly empty) set of
+/// qualifier names, as in figure 8's `tau q` production.
+class LType {
+public:
+  enum class Kind { Unit, Int, Fun, Ref };
+
+  Kind K = Kind::Int;
+  LTypePtr A; ///< Parameter type (Fun) or pointee (Ref).
+  LTypePtr B; ///< Result type (Fun).
+  std::set<std::string> Quals;
+
+  static LTypePtr unit();
+  static LTypePtr intTy();
+  static LTypePtr fun(LTypePtr Param, LTypePtr Result);
+  static LTypePtr ref(LTypePtr Pointee);
+  static LTypePtr withQuals(const LTypePtr &T, std::set<std::string> Quals);
+  static LTypePtr stripped(const LTypePtr &T);
+
+  /// Structural equality including qualifier sets at every level.
+  static bool equals(const LTypePtr &X, const LTypePtr &Y);
+  /// Figure 9's subtype relation: SubValQual + SubQualReorder + SubFun;
+  /// ref types are invariant.
+  static bool isSubtype(const LTypePtr &Sub, const LTypePtr &Super);
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+enum class LBinOp { Add, Sub, Mul };
+enum class LUnOp { Neg };
+
+class Term;
+using TermPtr = std::shared_ptr<Term>;
+
+/// A statement or expression (expressions are the side-effect-free
+/// subset).
+class Term {
+public:
+  enum class Kind {
+    Const,  ///< integer constant
+    Unit,   ///< ()
+    Var,    ///< x
+    Lambda, ///< \x:tau. s
+    Deref,  ///< !e
+    BinOp,  ///< e1 op e2
+    UnOp,   ///< op e
+    App,    ///< s1 s2
+    Let,    ///< let x = s1 in s2
+    Ref,    ///< ref s
+    Assign, ///< s1 := s2
+  };
+
+  Kind K = Kind::Unit;
+  int64_t Int = 0;
+  std::string Name;  ///< Var/Lambda/Let binder.
+  LTypePtr ParamTy;  ///< Lambda parameter annotation.
+  TermPtr S1, S2;    ///< Children.
+  LBinOp Bin = LBinOp::Add;
+  LUnOp Un = LUnOp::Neg;
+  /// Synthesized type, set by the typechecker (used by conformance and the
+  /// evaluator's location typing).
+  LTypePtr Ty;
+
+  std::string str() const;
+};
+
+TermPtr tConst(int64_t V);
+TermPtr tUnit();
+TermPtr tVar(std::string Name);
+TermPtr tLambda(std::string Name, LTypePtr ParamTy, TermPtr Body);
+TermPtr tDeref(TermPtr E);
+TermPtr tBin(LBinOp Op, TermPtr L, TermPtr R);
+TermPtr tUn(LUnOp Op, TermPtr E);
+TermPtr tApp(TermPtr F, TermPtr Arg);
+TermPtr tLet(std::string Name, TermPtr Bound, TermPtr Body);
+TermPtr tRef(TermPtr E);
+TermPtr tAssign(TermPtr Target, TermPtr Value);
+
+//===----------------------------------------------------------------------===//
+// Qualifier rule systems (the T-QUALCASE template, figure 10)
+//===----------------------------------------------------------------------===//
+
+/// One instance of the rule template: an expression form whose operands
+/// must carry given qualifiers lets the whole expression carry Qual.
+struct CaseRule {
+  enum class Shape {
+    IntConst, ///< constant c with ConstPred(c)
+    Binary,   ///< e1 op e2 with operand qualifier requirements
+    Unary,    ///< op e with operand qualifier requirement
+    Same,     ///< e itself carrying other qualifiers (subtype encoding)
+  };
+
+  std::string Qual;
+  Shape K = Shape::IntConst;
+  std::function<bool(int64_t)> ConstPred;
+  LBinOp Bin = LBinOp::Add;
+  LUnOp Un = LUnOp::Neg;
+  std::vector<std::string> Lhs; ///< required qualifiers on operand 1
+  std::vector<std::string> Rhs; ///< required qualifiers on operand 2
+};
+
+/// A rule system plus the qualifiers' value-level invariants ([[q]]).
+struct QualSystem {
+  std::vector<CaseRule> Rules;
+  std::map<std::string, std::function<bool(int64_t)>> IntInvariants;
+
+  /// The paper's pos/neg/nonzero system (locally sound).
+  static QualSystem posNegNonzero();
+  /// The same system with the bogus `pos (e1 - e2)` rule of section 2.1.3
+  /// (locally unsound; used to show preservation failing).
+  static QualSystem withBogusSubtractionRule();
+};
+
+//===----------------------------------------------------------------------===//
+// Typechecking
+//===----------------------------------------------------------------------===//
+
+using TypeEnv = std::map<std::string, LTypePtr>;
+
+/// Synthesizes the type of \p T under \p Env, attaching every derivable
+/// qualifier (base rules + subsumption-closed case rules). Returns null on
+/// a type error; annotates each node's Ty field.
+LTypePtr typecheck(const TermPtr &T, const QualSystem &Sys,
+                   const TypeEnv &Env = {});
+
+//===----------------------------------------------------------------------===//
+// Evaluation and conformance
+//===----------------------------------------------------------------------===//
+
+struct LValue;
+using LValuePtr = std::shared_ptr<LValue>;
+using ValueEnv = std::map<std::string, LValuePtr>;
+
+/// A run-time value: integer, unit, closure, or store location.
+struct LValue {
+  enum class Kind { Int, Unit, Closure, Loc };
+
+  Kind K = Kind::Unit;
+  int64_t Int = 0;
+  // Closure.
+  std::string Param;
+  TermPtr Body;
+  ValueEnv Captured;
+  LTypePtr ClosureTy; ///< The lambda's synthesized type.
+  // Location.
+  size_t Loc = 0;
+
+  std::string str() const;
+};
+
+struct Store {
+  std::vector<LValuePtr> Cells;
+  /// Static type of each cell, recorded at allocation (the Gamma' of
+  /// Theorem 5.1).
+  std::vector<LTypePtr> CellTypes;
+};
+
+struct EvalResult {
+  bool Ok = false;
+  std::string Error;
+  LValuePtr Value;
+};
+
+/// Big-step evaluation with a step budget. Requires \p T to have been
+/// typechecked (Ty annotations present) so ref cells record their types.
+EvalResult evaluate(const TermPtr &T, Store &S, uint64_t Fuel = 100000);
+
+/// Figure 11's semantic conformance: does \p V conform to type \p Ty in
+/// store \p S under rule system \p Sys? Checks every qualifier's invariant
+/// and recursively follows ref cells.
+bool conforms(const LValuePtr &V, const LTypePtr &Ty, const Store &S,
+              const QualSystem &Sys);
+
+/// Checks Theorem 5.1's conclusion for an evaluated program: the result
+/// conforms to the program's type and every store cell conforms to its
+/// recorded type.
+bool preservationHolds(const LValuePtr &Result, const LTypePtr &Ty,
+                       const Store &S, const QualSystem &Sys);
+
+//===----------------------------------------------------------------------===//
+// Random program generation (for property tests)
+//===----------------------------------------------------------------------===//
+
+struct GenOptions {
+  unsigned MaxDepth = 5;
+  uint64_t Seed = 1;
+};
+
+/// Generates a random closed term (not necessarily well-typed; callers
+/// filter with typecheck). Deterministic in the seed.
+TermPtr generateTerm(GenOptions Options);
+
+} // namespace stq::lambda
+
+#endif // STQ_LAMBDA_LAMBDA_H

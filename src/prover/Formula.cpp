@@ -1,0 +1,153 @@
+//===- Formula.cpp --------------------------------------------------------===//
+
+#include "prover/Formula.h"
+
+using namespace stq::prover;
+
+std::string Lit::str(const TermArena &A) const {
+  const char *OpStr = O == Op::Eq ? (Neg ? " != " : " = ")
+                      : O == Op::Le ? (Neg ? " > " : " <= ")
+                                    : (Neg ? " >= " : " < ");
+  // For negated order literals the polarity is folded into the operator
+  // with swapped meaning: !(a <= b) is a > b.
+  return A.str(L) + OpStr + A.str(R);
+}
+
+std::string Formula::str(const TermArena &A) const {
+  switch (K) {
+  case Kind::True:
+    return "true";
+  case Kind::False:
+    return "false";
+  case Kind::Lit:
+    return L.str(A);
+  case Kind::Not:
+    return "!(" + Kids[0]->str(A) + ")";
+  case Kind::Implies:
+    return "(" + Kids[0]->str(A) + " ==> " + Kids[1]->str(A) + ")";
+  case Kind::And:
+  case Kind::Or: {
+    std::string Sep = K == Kind::And ? " /\\ " : " \\/ ";
+    std::string Out = "(";
+    for (size_t I = 0; I < Kids.size(); ++I) {
+      if (I)
+        Out += Sep;
+      Out += Kids[I]->str(A);
+    }
+    return Out + ")";
+  }
+  case Kind::Forall: {
+    std::string Out = "(FORALL ";
+    for (size_t I = 0; I < Vars.size(); ++I) {
+      if (I)
+        Out += " ";
+      Out += Vars[I];
+    }
+    return Out + ". " + Body->str(A) + ")";
+  }
+  }
+  return "?";
+}
+
+namespace {
+
+FormulaPtr make(Formula F) { return std::make_shared<Formula>(std::move(F)); }
+
+} // namespace
+
+FormulaPtr stq::prover::fTrue() {
+  Formula F;
+  F.K = Formula::Kind::True;
+  return make(std::move(F));
+}
+
+FormulaPtr stq::prover::fFalse() {
+  Formula F;
+  F.K = Formula::Kind::False;
+  return make(std::move(F));
+}
+
+FormulaPtr stq::prover::fLit(Lit L) {
+  Formula F;
+  F.K = Formula::Kind::Lit;
+  F.L = L;
+  return make(std::move(F));
+}
+
+FormulaPtr stq::prover::fEq(TermId A, TermId B) {
+  return fLit(Lit{false, Lit::Op::Eq, A, B});
+}
+
+FormulaPtr stq::prover::fNe(TermId A, TermId B) {
+  return fLit(Lit{true, Lit::Op::Eq, A, B});
+}
+
+FormulaPtr stq::prover::fLt(TermId A, TermId B) {
+  return fLit(Lit{false, Lit::Op::Lt, A, B});
+}
+
+FormulaPtr stq::prover::fLe(TermId A, TermId B) {
+  return fLit(Lit{false, Lit::Op::Le, A, B});
+}
+
+FormulaPtr stq::prover::fGt(TermId A, TermId B) { return fLt(B, A); }
+
+FormulaPtr stq::prover::fGe(TermId A, TermId B) { return fLe(B, A); }
+
+FormulaPtr stq::prover::fPred(TermArena &A, const std::string &Sym,
+                              std::vector<TermId> Args) {
+  return fEq(A.app(Sym, std::move(Args)), A.trueTerm());
+}
+
+FormulaPtr stq::prover::fNotPred(TermArena &A, const std::string &Sym,
+                                 std::vector<TermId> Args) {
+  return fNe(A.app(Sym, std::move(Args)), A.trueTerm());
+}
+
+FormulaPtr stq::prover::fNot(FormulaPtr F) {
+  Formula Out;
+  Out.K = Formula::Kind::Not;
+  Out.Kids.push_back(std::move(F));
+  return make(std::move(Out));
+}
+
+FormulaPtr stq::prover::fAnd(std::vector<FormulaPtr> Kids) {
+  if (Kids.empty())
+    return fTrue();
+  if (Kids.size() == 1)
+    return Kids[0];
+  Formula Out;
+  Out.K = Formula::Kind::And;
+  Out.Kids = std::move(Kids);
+  return make(std::move(Out));
+}
+
+FormulaPtr stq::prover::fOr(std::vector<FormulaPtr> Kids) {
+  if (Kids.empty())
+    return fFalse();
+  if (Kids.size() == 1)
+    return Kids[0];
+  Formula Out;
+  Out.K = Formula::Kind::Or;
+  Out.Kids = std::move(Kids);
+  return make(std::move(Out));
+}
+
+FormulaPtr stq::prover::fImplies(FormulaPtr A, FormulaPtr B) {
+  Formula Out;
+  Out.K = Formula::Kind::Implies;
+  Out.Kids.push_back(std::move(A));
+  Out.Kids.push_back(std::move(B));
+  return make(std::move(Out));
+}
+
+FormulaPtr stq::prover::fForall(std::vector<std::string> Vars,
+                                FormulaPtr Body,
+                                std::vector<MultiPattern> Triggers) {
+  Formula Out;
+  Out.K = Formula::Kind::Forall;
+  Out.Vars = std::move(Vars);
+  Out.Body = std::move(Body);
+  Out.Triggers = std::move(Triggers);
+  return make(std::move(Out));
+}

@@ -1,0 +1,102 @@
+//===- Formula.h - First-order formulas -------------------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formulas over the prover's term language: literals (equality and integer
+/// order), boolean connectives, and universal quantification with optional
+/// explicit trigger patterns (Simplify-style). Uninterpreted predicates are
+/// encoded as boolean-valued terms compared against the distinguished
+/// `true` constant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_PROVER_FORMULA_H
+#define STQ_PROVER_FORMULA_H
+
+#include "prover/Term.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stq::prover {
+
+/// An atomic constraint, possibly negated. Gt/Ge are normalized into Lt/Le
+/// by swapping operands at construction time.
+struct Lit {
+  enum class Op { Eq, Le, Lt };
+
+  bool Neg = false;
+  Op O = Op::Eq;
+  TermId L = InvalidTerm;
+  TermId R = InvalidTerm;
+
+  Lit negated() const { return Lit{!Neg, O, L, R}; }
+
+  /// Canonical tuple for set membership (orients symmetric equalities).
+  std::tuple<bool, Op, TermId, TermId> key() const {
+    if (O == Op::Eq && R < L)
+      return {Neg, O, R, L};
+    return {Neg, O, L, R};
+  }
+  bool operator<(const Lit &Other) const { return key() < Other.key(); }
+  bool operator==(const Lit &Other) const { return key() == Other.key(); }
+
+  std::string str(const TermArena &A) const;
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// One multipattern: a set of term patterns that must all match (sharing
+/// variable bindings) to produce an instantiation.
+using MultiPattern = std::vector<TermId>;
+
+/// An immutable formula tree.
+class Formula {
+public:
+  enum class Kind { Lit, And, Or, Not, Implies, Forall, True, False };
+
+  Kind K = Kind::True;
+  prover::Lit L;                  // Kind::Lit
+  std::vector<FormulaPtr> Kids;   // And/Or (n-ary), Not/Implies (1/2 kids)
+  std::vector<std::string> Vars;  // Forall
+  std::vector<MultiPattern> Triggers; // Forall (may be empty: inferred)
+  FormulaPtr Body;                // Forall
+
+  std::string str(const TermArena &A) const;
+};
+
+// Builders.
+FormulaPtr fTrue();
+FormulaPtr fFalse();
+FormulaPtr fLit(Lit L);
+FormulaPtr fEq(TermId A, TermId B);
+FormulaPtr fNe(TermId A, TermId B);
+FormulaPtr fLt(TermId A, TermId B);
+FormulaPtr fLe(TermId A, TermId B);
+FormulaPtr fGt(TermId A, TermId B);
+FormulaPtr fGe(TermId A, TermId B);
+/// Uninterpreted predicate application: Sym(Args) = true.
+FormulaPtr fPred(TermArena &A, const std::string &Sym,
+                 std::vector<TermId> Args);
+/// Negated predicate application: Sym(Args) = false. (Stronger than
+/// "not equal to true": predicates are two-valued in our encoding.)
+FormulaPtr fNotPred(TermArena &A, const std::string &Sym,
+                    std::vector<TermId> Args);
+FormulaPtr fNot(FormulaPtr F);
+FormulaPtr fAnd(std::vector<FormulaPtr> Kids);
+FormulaPtr fOr(std::vector<FormulaPtr> Kids);
+FormulaPtr fImplies(FormulaPtr A, FormulaPtr B);
+/// Universal quantification. \p Triggers may be empty, in which case the
+/// preprocessor infers patterns from the body.
+FormulaPtr fForall(std::vector<std::string> Vars, FormulaPtr Body,
+                   std::vector<MultiPattern> Triggers = {});
+
+} // namespace stq::prover
+
+#endif // STQ_PROVER_FORMULA_H

@@ -1,0 +1,581 @@
+//===- Prover.cpp ---------------------------------------------------------===//
+
+#include "prover/Prover.h"
+
+#include "prover/Theory.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace stq::prover;
+
+Prover::Prover(ProverOptions Options) : Options(Options) {
+  Deadline = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(Options.TimeoutSeconds));
+}
+
+bool Prover::timedOut() const {
+  return std::chrono::steady_clock::now() > Deadline;
+}
+
+TermId Prover::freshConst(const std::string &Hint) {
+  return A.app("$" + Hint + "_" + std::to_string(SkolemCount++));
+}
+
+//===----------------------------------------------------------------------===//
+// Clausification
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Cross product of two clause sets: CNF of (X \/ Y).
+std::vector<std::vector<Lit>> crossClauses(
+    const std::vector<std::vector<Lit>> &Xs,
+    const std::vector<std::vector<Lit>> &Ys) {
+  std::vector<std::vector<Lit>> Out;
+  Out.reserve(Xs.size() * Ys.size());
+  for (const auto &X : Xs)
+    for (const auto &Y : Ys) {
+      std::vector<Lit> C = X;
+      C.insert(C.end(), Y.begin(), Y.end());
+      Out.push_back(std::move(C));
+    }
+  return Out;
+}
+
+} // namespace
+
+std::vector<Prover::Clause> Prover::toClauses(const FormulaPtr &F,
+                                              bool Positive) {
+  switch (F->K) {
+  case Formula::Kind::True:
+    if (Positive)
+      return {};
+    return {Clause{}}; // The empty clause: unsatisfiable.
+  case Formula::Kind::False:
+    if (Positive)
+      return {Clause{}};
+    return {};
+  case Formula::Kind::Lit:
+    return {Clause{Positive ? F->L : F->L.negated()}};
+  case Formula::Kind::Not:
+    return toClauses(F->Kids[0], !Positive);
+  case Formula::Kind::Implies: {
+    if (Positive) {
+      // A => B is !A \/ B.
+      return crossClauses(toClauses(F->Kids[0], false),
+                          toClauses(F->Kids[1], true));
+    }
+    // !(A => B) is A /\ !B.
+    auto Out = toClauses(F->Kids[0], true);
+    auto More = toClauses(F->Kids[1], false);
+    Out.insert(Out.end(), More.begin(), More.end());
+    return Out;
+  }
+  case Formula::Kind::And:
+  case Formula::Kind::Or: {
+    bool Conjunctive = (F->K == Formula::Kind::And) == Positive;
+    if (Conjunctive) {
+      std::vector<Clause> Out;
+      for (const FormulaPtr &Kid : F->Kids) {
+        auto More = toClauses(Kid, Positive);
+        Out.insert(Out.end(), More.begin(), More.end());
+      }
+      return Out;
+    }
+    std::vector<Clause> Out = {Clause{}};
+    for (const FormulaPtr &Kid : F->Kids)
+      Out = crossClauses(Out, toClauses(Kid, Positive));
+    return Out;
+  }
+  case Formula::Kind::Forall: {
+    if (Positive) {
+      // A nested positive forall: guard the axiom with a fresh proxy
+      // literal so the quantifier can live inside a clause.
+      TermId Proxy = A.app("$proxy_" + std::to_string(ProxyCount++));
+      Lit ProxyLit{false, Lit::Op::Eq, Proxy, A.trueTerm()};
+      FormulaPtr Guarded =
+          fOr({fLit(ProxyLit.negated()), F->Body});
+      addAxiomInternal("proxy", F->Vars, F->Triggers, Guarded);
+      return {Clause{ProxyLit}};
+    }
+    // Negative forall: exists a counterexample; Skolemize.
+    Subst S;
+    for (const std::string &V : F->Vars)
+      S[V] = freshConst("sk_" + V);
+    return toClauses(substFormula(F->Body, S), false);
+  }
+  }
+  return {};
+}
+
+FormulaPtr Prover::substFormula(const FormulaPtr &F, const Subst &S) {
+  switch (F->K) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    return F;
+  case Formula::Kind::Lit: {
+    Lit L = F->L;
+    L.L = A.substitute(L.L, S);
+    L.R = A.substitute(L.R, S);
+    return fLit(L);
+  }
+  case Formula::Kind::Not:
+    return fNot(substFormula(F->Kids[0], S));
+  case Formula::Kind::Implies:
+    return fImplies(substFormula(F->Kids[0], S),
+                    substFormula(F->Kids[1], S));
+  case Formula::Kind::And:
+  case Formula::Kind::Or: {
+    std::vector<FormulaPtr> Kids;
+    Kids.reserve(F->Kids.size());
+    for (const FormulaPtr &Kid : F->Kids)
+      Kids.push_back(substFormula(Kid, S));
+    return F->K == Formula::Kind::And ? fAnd(std::move(Kids))
+                                      : fOr(std::move(Kids));
+  }
+  case Formula::Kind::Forall: {
+    // Substitute only the free variables (bound names shadow).
+    Subst Inner = S;
+    for (const std::string &V : F->Vars)
+      Inner.erase(V);
+    if (Inner.empty())
+      return F;
+    return fForall(F->Vars, substFormula(F->Body, Inner), F->Triggers);
+  }
+  }
+  return F;
+}
+
+void Prover::addClauses(std::vector<Clause> Cs) {
+  for (Clause &C : Cs) {
+    // Canonical form for dedup.
+    std::vector<std::tuple<bool, Lit::Op, TermId, TermId>> Key;
+    Key.reserve(C.size());
+    for (const Lit &L : C)
+      Key.push_back(L.key());
+    std::sort(Key.begin(), Key.end());
+    Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+    if (!ClauseDedup.insert(Key).second)
+      continue;
+    GroundClauses.push_back(std::move(C));
+  }
+  Stats.Clauses = static_cast<unsigned>(GroundClauses.size());
+}
+
+void Prover::addAxiomInternal(const std::string &Name,
+                              std::vector<std::string> Vars,
+                              std::vector<MultiPattern> Triggers,
+                              FormulaPtr Body) {
+  Axiom Ax;
+  Ax.Name = Name;
+  Ax.Vars = std::move(Vars);
+  Ax.Body = std::move(Body);
+  Ax.Triggers = std::move(Triggers);
+  if (Ax.Triggers.empty())
+    Ax.Triggers = inferTriggers(Ax.Vars, Ax.Body);
+  Axioms.push_back(std::move(Ax));
+}
+
+void Prover::addAxiom(const std::string &Name, FormulaPtr F) {
+  if (F->K == Formula::Kind::Forall) {
+    addAxiomInternal(Name, F->Vars, F->Triggers, F->Body);
+    return;
+  }
+  addHypothesis(std::move(F));
+}
+
+void Prover::addHypothesis(FormulaPtr F) {
+  addClauses(toClauses(F, /*Positive=*/true));
+}
+
+//===----------------------------------------------------------------------===//
+// Trigger inference
+//===----------------------------------------------------------------------===//
+
+void Prover::collectAppTerms(const FormulaPtr &F, std::vector<TermId> &Out) {
+  switch (F->K) {
+  case Formula::Kind::Lit: {
+    // Walk both sides, collecting application subterms that mention at
+    // least one variable.
+    std::vector<TermId> Stack = {F->L.L, F->L.R};
+    while (!Stack.empty()) {
+      TermId T = Stack.back();
+      Stack.pop_back();
+      const TermData &D = A.get(T);
+      if (D.K == TermData::Kind::App && !D.Args.empty()) {
+        std::vector<std::string> Vars;
+        A.collectVars(T, Vars);
+        if (!Vars.empty())
+          Out.push_back(T);
+      }
+      for (TermId Arg : D.Args)
+        Stack.push_back(Arg);
+    }
+    return;
+  }
+  case Formula::Kind::Not:
+  case Formula::Kind::Implies:
+  case Formula::Kind::And:
+  case Formula::Kind::Or:
+    for (const FormulaPtr &Kid : F->Kids)
+      collectAppTerms(Kid, Out);
+    return;
+  case Formula::Kind::Forall:
+    collectAppTerms(F->Body, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+namespace {
+
+unsigned termSize(const TermArena &A, TermId T) {
+  const TermData &D = A.get(T);
+  unsigned N = 1;
+  for (TermId Arg : D.Args)
+    N += termSize(A, Arg);
+  return N;
+}
+
+} // namespace
+
+std::vector<MultiPattern> Prover::inferTriggers(
+    const std::vector<std::string> &Vars, const FormulaPtr &Body) {
+  std::vector<TermId> Candidates;
+  collectAppTerms(Body, Candidates);
+  std::sort(Candidates.begin(), Candidates.end());
+  Candidates.erase(std::unique(Candidates.begin(), Candidates.end()),
+                   Candidates.end());
+  if (Vars.empty() || Candidates.empty())
+    return {};
+
+  auto varsOf = [&](TermId T) {
+    std::vector<std::string> Out;
+    A.collectVars(T, Out);
+    return Out;
+  };
+
+  // Prefer a single smallest term covering all variables.
+  TermId Best = InvalidTerm;
+  unsigned BestSize = ~0u;
+  for (TermId T : Candidates) {
+    std::vector<std::string> TV = varsOf(T);
+    bool CoversAll = true;
+    for (const std::string &V : Vars)
+      if (std::find(TV.begin(), TV.end(), V) == TV.end()) {
+        CoversAll = false;
+        break;
+      }
+    if (CoversAll && termSize(A, T) < BestSize) {
+      Best = T;
+      BestSize = termSize(A, T);
+    }
+  }
+  if (Best != InvalidTerm)
+    return {MultiPattern{Best}};
+
+  // Greedy multipattern: repeatedly add the candidate covering the most
+  // uncovered variables.
+  std::set<std::string> Uncovered(Vars.begin(), Vars.end());
+  MultiPattern MP;
+  while (!Uncovered.empty()) {
+    TermId Pick = InvalidTerm;
+    unsigned PickCount = 0;
+    for (TermId T : Candidates) {
+      unsigned Count = 0;
+      for (const std::string &V : varsOf(T))
+        if (Uncovered.count(V))
+          ++Count;
+      if (Count > PickCount) {
+        Pick = T;
+        PickCount = Count;
+      }
+    }
+    if (Pick == InvalidTerm)
+      return {}; // Some variable occurs in no application term.
+    MP.push_back(Pick);
+    for (const std::string &V : varsOf(Pick))
+      Uncovered.erase(V);
+  }
+  return {MP};
+}
+
+//===----------------------------------------------------------------------===//
+// Instantiation
+//===----------------------------------------------------------------------===//
+
+void Prover::matchMultiPattern(
+    const Axiom &Ax, const MultiPattern &MP, size_t PatternIdx, Subst &S,
+    const std::map<std::string, std::vector<TermId>> &BySym,
+    std::vector<Subst> &Out) {
+  if (PatternIdx == MP.size()) {
+    Out.push_back(S);
+    return;
+  }
+  TermId Pattern = MP[PatternIdx];
+  const TermData &P = A.get(Pattern);
+  auto Found = BySym.find(P.Sym);
+  if (Found == BySym.end())
+    return;
+  for (TermId Ground : Found->second) {
+    Subst Extended = S;
+    if (A.match(Pattern, Ground, Extended))
+      matchMultiPattern(Ax, MP, PatternIdx + 1, Extended, BySym, Out);
+  }
+}
+
+unsigned Prover::instantiateRound() {
+  // Snapshot the ground application terms, indexed by head symbol.
+  std::map<std::string, std::vector<TermId>> BySym;
+  uint32_t N = A.size();
+  for (TermId T = 0; T < N; ++T) {
+    const TermData &D = A.get(T);
+    if (D.K != TermData::Kind::App || D.Args.empty())
+      continue;
+    if (!A.isGround(T))
+      continue;
+    BySym[D.Sym].push_back(T);
+  }
+
+  unsigned NewClauses = 0;
+  for (unsigned AxIdx = 0; AxIdx < Axioms.size(); ++AxIdx) {
+    const Axiom &Ax = Axioms[AxIdx];
+    for (const MultiPattern &MP : Ax.Triggers) {
+      std::vector<Subst> Matches;
+      Subst Empty;
+      matchMultiPattern(Ax, MP, 0, Empty, BySym, Matches);
+      for (const Subst &S : Matches) {
+        if (Stats.Instantiations >= Options.MaxInstantiations) {
+          ResourcesExceeded = true;
+          return NewClauses;
+        }
+        // Require every axiom variable to be bound by the trigger.
+        bool Complete = true;
+        std::vector<TermId> Binding;
+        for (const std::string &V : Ax.Vars) {
+          auto Found = S.find(V);
+          if (Found == S.end()) {
+            Complete = false;
+            break;
+          }
+          Binding.push_back(Found->second);
+        }
+        if (!Complete)
+          continue;
+        if (!InstDedup.emplace(AxIdx, Binding).second)
+          continue;
+        ++Stats.Instantiations;
+        Subst Restricted;
+        for (size_t I = 0; I < Ax.Vars.size(); ++I)
+          Restricted[Ax.Vars[I]] = Binding[I];
+        FormulaPtr Instance = substFormula(Ax.Body, Restricted);
+        size_t Before = GroundClauses.size();
+        addClauses(toClauses(Instance, /*Positive=*/true));
+        NewClauses += static_cast<unsigned>(GroundClauses.size() - Before);
+      }
+    }
+  }
+  return NewClauses;
+}
+
+//===----------------------------------------------------------------------===//
+// DPLL search
+//===----------------------------------------------------------------------===//
+
+bool Prover::refute(std::vector<Lit> Units, std::vector<Clause> Clauses,
+                    unsigned Depth) {
+  if (Depth > Options.MaxSplitDepth || timedOut()) {
+    ResourcesExceeded = true;
+    return false;
+  }
+
+  std::set<std::tuple<bool, Lit::Op, TermId, TermId>> UnitSet;
+  for (const Lit &L : Units)
+    UnitSet.insert(L.key());
+
+  // Unit propagation to fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<Clause> Remaining;
+    Remaining.reserve(Clauses.size());
+    for (Clause &C : Clauses) {
+      Clause Simplified;
+      bool Satisfied = false;
+      for (const Lit &L : C) {
+        if (UnitSet.count(L.key())) {
+          Satisfied = true;
+          break;
+        }
+        if (UnitSet.count(L.negated().key()))
+          continue; // Literal is false; drop it.
+        Simplified.push_back(L);
+      }
+      if (Satisfied)
+        continue;
+      if (Simplified.empty())
+        return true; // Empty clause: contradiction.
+      if (Simplified.size() == 1) {
+        if (!UnitSet.count(Simplified[0].key())) {
+          Units.push_back(Simplified[0]);
+          UnitSet.insert(Simplified[0].key());
+          Changed = true;
+        }
+        continue;
+      }
+      Remaining.push_back(std::move(Simplified));
+    }
+    Clauses = std::move(Remaining);
+  }
+
+  ++Stats.TheoryChecks;
+  if (theoryConflict(A, Units))
+    return true;
+
+  if (Clauses.empty()) {
+    // Consistent: record a counterexample sketch.
+    std::string Model;
+    for (const Lit &L : Units) {
+      if (!Model.empty())
+        Model += " /\\ ";
+      Model += L.str(A);
+    }
+    Stats.Model = Model;
+    return false;
+  }
+
+  // Split on the smallest clause.
+  size_t BestIdx = 0;
+  for (size_t I = 1; I < Clauses.size(); ++I)
+    if (Clauses[I].size() < Clauses[BestIdx].size())
+      BestIdx = I;
+  Clause Chosen = Clauses[BestIdx];
+  Clauses.erase(Clauses.begin() + BestIdx);
+
+  for (size_t I = 0; I < Chosen.size(); ++I) {
+    ++Stats.Splits;
+    std::vector<Lit> BranchUnits = Units;
+    BranchUnits.push_back(Chosen[I]);
+    // Later branches may assume earlier literals were false.
+    for (size_t J = 0; J < I; ++J)
+      BranchUnits.push_back(Chosen[J].negated());
+    if (!refute(BranchUnits, Clauses, Depth + 1))
+      return false;
+    if (timedOut()) {
+      ResourcesExceeded = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+void Prover::addArithmeticSignAxioms() {
+  TermId Va = A.var("a"), Vb = A.var("b");
+  TermId Zero = A.intConst(0);
+  TermId Times = A.app("times", {Va, Vb});
+  TermId Plus = A.app("plus", {Va, Vb});
+  std::vector<MultiPattern> TimesTrig = {MultiPattern{Times}};
+  std::vector<MultiPattern> PlusTrig = {MultiPattern{Plus}};
+
+  auto Pos = [&](TermId T) { return fGt(T, Zero); };
+  auto Neg = [&](TermId T) { return fLt(T, Zero); };
+  auto NonNeg = [&](TermId T) { return fGe(T, Zero); };
+  auto NonPos = [&](TermId T) { return fLe(T, Zero); };
+
+  addAxiom("times-pos-pos",
+           fForall({"a", "b"},
+                   fImplies(fAnd({Pos(Va), Pos(Vb)}), Pos(Times)),
+                   TimesTrig));
+  addAxiom("times-neg-neg",
+           fForall({"a", "b"},
+                   fImplies(fAnd({Neg(Va), Neg(Vb)}), Pos(Times)),
+                   TimesTrig));
+  addAxiom("times-pos-neg",
+           fForall({"a", "b"},
+                   fImplies(fAnd({Pos(Va), Neg(Vb)}), Neg(Times)),
+                   TimesTrig));
+  addAxiom("times-neg-pos",
+           fForall({"a", "b"},
+                   fImplies(fAnd({Neg(Va), Pos(Vb)}), Neg(Times)),
+                   TimesTrig));
+  addAxiom("times-nonzero",
+           fForall({"a", "b"},
+                   fImplies(fAnd({fNe(Va, Zero), fNe(Vb, Zero)}),
+                            fNe(Times, Zero)),
+                   TimesTrig));
+  addAxiom("times-nonneg-nonneg",
+           fForall({"a", "b"},
+                   fImplies(fAnd({NonNeg(Va), NonNeg(Vb)}), NonNeg(Times)),
+                   TimesTrig));
+  addAxiom("times-nonpos-nonpos",
+           fForall({"a", "b"},
+                   fImplies(fAnd({NonPos(Va), NonPos(Vb)}), NonNeg(Times)),
+                   TimesTrig));
+  addAxiom("plus-pos-pos",
+           fForall({"a", "b"},
+                   fImplies(fAnd({Pos(Va), Pos(Vb)}), Pos(Plus)), PlusTrig));
+  addAxiom("plus-neg-neg",
+           fForall({"a", "b"},
+                   fImplies(fAnd({Neg(Va), Neg(Vb)}), Neg(Plus)), PlusTrig));
+  addAxiom("plus-nonneg-nonneg",
+           fForall({"a", "b"},
+                   fImplies(fAnd({NonNeg(Va), NonNeg(Vb)}), NonNeg(Plus)),
+                   PlusTrig));
+  addAxiom("plus-nonpos-nonpos",
+           fForall({"a", "b"},
+                   fImplies(fAnd({NonPos(Va), NonPos(Vb)}), NonPos(Plus)),
+                   PlusTrig));
+  // Negation: neg(a) = 0 - a, axiomatized by sign flips.
+  TermId NegT = A.app("negate", {Va});
+  std::vector<MultiPattern> NegTrig = {MultiPattern{NegT}};
+  addAxiom("negate-pos",
+           fForall({"a"}, fImplies(Pos(Va), Neg(NegT)), NegTrig));
+  addAxiom("negate-neg",
+           fForall({"a"}, fImplies(Neg(Va), Pos(NegT)), NegTrig));
+  addAxiom("negate-nonzero",
+           fForall({"a"}, fImplies(fNe(Va, Zero), fNe(NegT, Zero)), NegTrig));
+}
+
+ProofResult Prover::prove(FormulaPtr Goal) {
+  auto Start = std::chrono::steady_clock::now();
+  addClauses(toClauses(Goal, /*Positive=*/false));
+
+  ProofResult Result = ProofResult::Unknown;
+  for (unsigned Round = 0; Round <= Options.MaxRounds; ++Round) {
+    Stats.Rounds = Round + 1;
+    if (timedOut() || ResourcesExceeded) {
+      Result = ProofResult::ResourceOut;
+      break;
+    }
+    ResourcesExceeded = false;
+    if (refute({}, GroundClauses, 0)) {
+      Result = ProofResult::Proved;
+      break;
+    }
+    if (ResourcesExceeded) {
+      Result = ProofResult::ResourceOut;
+      break;
+    }
+    unsigned NewClauses = instantiateRound();
+    if (ResourcesExceeded) {
+      Result = ProofResult::ResourceOut;
+      break;
+    }
+    if (NewClauses == 0) {
+      Result = ProofResult::Unknown; // Saturated.
+      break;
+    }
+  }
+
+  Stats.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}

@@ -1,0 +1,149 @@
+//===- Prover.h - Refutation-based automatic theorem prover -----*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch stand-in for the Simplify prover (Detlefs, Nelson, Saxe)
+/// used by the paper's soundness checker. Architecture, like Simplify's:
+///
+///  * refutation-based: assert axioms and hypotheses, assert the negated
+///    goal, search for a contradiction;
+///  * ground reasoning by congruence closure + integer difference bounds
+///    (Theory.h), combined Nelson-Oppen style;
+///  * universally quantified axioms handled by trigger-based pattern
+///    matching and instantiation, in rounds;
+///  * propositional structure handled by a small DPLL search with theory
+///    checks at every node.
+///
+/// The prover is deliberately incomplete (as Simplify is); the soundness
+/// checker treats "Unknown" as a failed proof obligation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_PROVER_PROVER_H
+#define STQ_PROVER_PROVER_H
+
+#include "prover/Formula.h"
+#include "prover/Term.h"
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stq::prover {
+
+struct ProverOptions {
+  /// Maximum instantiation rounds before giving up.
+  unsigned MaxRounds = 8;
+  /// Total instantiation budget.
+  unsigned MaxInstantiations = 200000;
+  /// DPLL depth bound.
+  unsigned MaxSplitDepth = 64;
+  /// Wall-clock budget; exceeded => ResourceOut.
+  double TimeoutSeconds = 25.0;
+};
+
+enum class ProofResult {
+  Proved,      ///< The goal is valid (refutation found).
+  Unknown,     ///< Saturated without refutation: obligation fails.
+  ResourceOut, ///< Budget exhausted.
+};
+
+struct ProverStats {
+  unsigned Rounds = 0;
+  unsigned Instantiations = 0;
+  unsigned Splits = 0;
+  unsigned TheoryChecks = 0;
+  unsigned Clauses = 0;
+  double Seconds = 0.0;
+  /// A satisfying literal set from the last failed round (a counterexample
+  /// sketch), for diagnostics.
+  std::string Model;
+};
+
+/// One prover session: add axioms and hypotheses, then prove one goal.
+class Prover {
+public:
+  explicit Prover(ProverOptions Options = {});
+
+  TermArena &arena() { return A; }
+
+  /// Adds a universally quantified axiom (Formula::Kind::Forall) or a
+  /// ground fact. Triggers may be given on the Forall node; otherwise they
+  /// are inferred from the body.
+  void addAxiom(const std::string &Name, FormulaPtr F);
+  /// Adds a hypothesis (asserted positively; quantifiers become axioms).
+  void addHypothesis(FormulaPtr F);
+  /// Adds sign-propagation axioms for the uninterpreted `times` and `plus`
+  /// symbols (Simplify-style partial nonlinear arithmetic).
+  void addArithmeticSignAxioms();
+
+  /// Attempts to prove \p Goal from the axioms and hypotheses. One-shot.
+  ProofResult prove(FormulaPtr Goal);
+
+  const ProverStats &stats() const { return Stats; }
+
+  /// Fresh Skolem constant (also used by obligation generators for their
+  /// own "arbitrary value" constants).
+  TermId freshConst(const std::string &Hint);
+
+private:
+  struct Axiom {
+    std::string Name;
+    std::vector<std::string> Vars;
+    std::vector<MultiPattern> Triggers;
+    FormulaPtr Body; ///< Quantifier-free over Vars.
+  };
+
+  using Clause = std::vector<Lit>;
+
+  /// Converts \p F (positively if \p Positive) into clauses, extracting
+  /// quantifiers: positive foralls become axioms (via proxy literals when
+  /// nested), negative foralls are Skolemized.
+  std::vector<Clause> toClauses(const FormulaPtr &F, bool Positive);
+  void addClauses(std::vector<Clause> Cs);
+  void addAxiomInternal(const std::string &Name,
+                        std::vector<std::string> Vars,
+                        std::vector<MultiPattern> Triggers, FormulaPtr Body);
+  /// Applies \p S to every term in \p F (no quantifiers inside).
+  FormulaPtr substFormula(const FormulaPtr &F, const Subst &S);
+  std::vector<MultiPattern> inferTriggers(const std::vector<std::string> &Vars,
+                                          const FormulaPtr &Body);
+  void collectAppTerms(const FormulaPtr &F, std::vector<TermId> &Out);
+
+  /// Runs one instantiation round; returns the number of new clauses.
+  unsigned instantiateRound();
+  void matchMultiPattern(const Axiom &Ax, const MultiPattern &MP,
+                         size_t PatternIdx, Subst &S,
+                         const std::map<std::string, std::vector<TermId>>
+                             &BySym,
+                         std::vector<Subst> &Out);
+
+  /// DPLL: returns true if the clause set with \p Units is unsatisfiable.
+  bool refute(std::vector<Lit> Units, std::vector<Clause> Clauses,
+              unsigned Depth);
+
+  bool timedOut() const;
+
+  ProverOptions Options;
+  TermArena A;
+  std::vector<Axiom> Axioms;
+  std::vector<Clause> GroundClauses;
+  std::set<std::vector<std::tuple<bool, Lit::Op, TermId, TermId>>>
+      ClauseDedup;
+  std::set<std::pair<unsigned, std::vector<TermId>>> InstDedup;
+  ProverStats Stats;
+  unsigned SkolemCount = 0;
+  unsigned ProxyCount = 0;
+  bool Exhausted = false;
+  bool ResourcesExceeded = false;
+  std::chrono::steady_clock::time_point Deadline;
+};
+
+} // namespace stq::prover
+
+#endif // STQ_PROVER_PROVER_H

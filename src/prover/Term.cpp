@@ -1,0 +1,139 @@
+//===- Term.cpp -----------------------------------------------------------===//
+
+#include "prover/Term.h"
+
+#include <cassert>
+
+using namespace stq::prover;
+
+TermArena::TermArena() {
+  True = app("true");
+  False = app("false");
+  Null = app("NULL");
+}
+
+TermId TermArena::intern(TermData Data) {
+  Key K{Data.K, Data.Sym, Data.Args, Data.Int};
+  auto Found = Interned.find(K);
+  if (Found != Interned.end())
+    return Found->second;
+  TermId Id = static_cast<TermId>(Terms.size());
+  Terms.push_back(std::move(Data));
+  Interned.emplace(std::move(K), Id);
+  return Id;
+}
+
+TermId TermArena::app(const std::string &Sym, std::vector<TermId> Args) {
+  TermData D;
+  D.K = TermData::Kind::App;
+  D.Sym = Sym;
+  D.Args = std::move(Args);
+  return intern(std::move(D));
+}
+
+TermId TermArena::intConst(int64_t Value) {
+  TermData D;
+  D.K = TermData::Kind::Int;
+  D.Int = Value;
+  return intern(std::move(D));
+}
+
+TermId TermArena::var(const std::string &Name) {
+  TermData D;
+  D.K = TermData::Kind::Var;
+  D.Sym = Name;
+  return intern(std::move(D));
+}
+
+bool TermArena::isGround(TermId Id) const {
+  const TermData &D = Terms[Id];
+  if (D.K == TermData::Kind::Var)
+    return false;
+  for (TermId Arg : D.Args)
+    if (!isGround(Arg))
+      return false;
+  return true;
+}
+
+void TermArena::collectVars(TermId Id, std::vector<std::string> &Out) const {
+  const TermData &D = Terms[Id];
+  if (D.K == TermData::Kind::Var) {
+    for (const std::string &Existing : Out)
+      if (Existing == D.Sym)
+        return;
+    Out.push_back(D.Sym);
+    return;
+  }
+  for (TermId Arg : D.Args)
+    collectVars(Arg, Out);
+}
+
+TermId TermArena::substitute(TermId Id, const Subst &S) {
+  const TermData D = Terms[Id]; // Copy: interning may reallocate Terms.
+  switch (D.K) {
+  case TermData::Kind::Int:
+    return Id;
+  case TermData::Kind::Var: {
+    auto Found = S.find(D.Sym);
+    assert(Found != S.end() && "unbound variable during substitution");
+    return Found->second;
+  }
+  case TermData::Kind::App: {
+    if (D.Args.empty())
+      return Id;
+    std::vector<TermId> Args;
+    Args.reserve(D.Args.size());
+    bool Changed = false;
+    for (TermId Arg : D.Args) {
+      TermId NewArg = substitute(Arg, S);
+      Changed = Changed || NewArg != Arg;
+      Args.push_back(NewArg);
+    }
+    if (!Changed)
+      return Id;
+    return app(D.Sym, std::move(Args));
+  }
+  }
+  return Id;
+}
+
+bool TermArena::match(TermId Pattern, TermId Ground, Subst &S) const {
+  const TermData &P = Terms[Pattern];
+  if (P.K == TermData::Kind::Var) {
+    auto [It, Inserted] = S.emplace(P.Sym, Ground);
+    return Inserted || It->second == Ground;
+  }
+  const TermData &G = Terms[Ground];
+  if (P.K != G.K)
+    return false;
+  if (P.K == TermData::Kind::Int)
+    return P.Int == G.Int;
+  if (P.Sym != G.Sym || P.Args.size() != G.Args.size())
+    return false;
+  for (size_t I = 0; I < P.Args.size(); ++I)
+    if (!match(P.Args[I], G.Args[I], S))
+      return false;
+  return true;
+}
+
+std::string TermArena::str(TermId Id) const {
+  const TermData &D = Terms[Id];
+  switch (D.K) {
+  case TermData::Kind::Int:
+    return std::to_string(D.Int);
+  case TermData::Kind::Var:
+    return "?" + D.Sym;
+  case TermData::Kind::App: {
+    if (D.Args.empty())
+      return D.Sym;
+    std::string Out = D.Sym + "(";
+    for (size_t I = 0; I < D.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += str(D.Args[I]);
+    }
+    return Out + ")";
+  }
+  }
+  return "?";
+}

@@ -1,0 +1,107 @@
+//===- Term.h - Hash-consed first-order terms -------------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term language of the automatic theorem prover that stands in for
+/// Simplify (section 4). Terms are hash-consed in an arena: structurally
+/// equal terms share one TermId, which makes congruence closure and pattern
+/// matching cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_PROVER_TERM_H
+#define STQ_PROVER_TERM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stq::prover {
+
+using TermId = uint32_t;
+constexpr TermId InvalidTerm = ~0u;
+
+/// One node of the term DAG.
+struct TermData {
+  enum class Kind {
+    App, ///< Function application (constants are nullary applications).
+    Int, ///< Integer literal; two different literals are always disequal.
+    Var, ///< Pattern variable; appears only in axioms and triggers.
+  };
+
+  Kind K = Kind::App;
+  std::string Sym;
+  std::vector<TermId> Args;
+  int64_t Int = 0;
+};
+
+/// Substitutions map pattern-variable names to ground terms.
+using Subst = std::map<std::string, TermId>;
+
+/// Owns all terms of one prover session. TermIds are dense indices, so
+/// side tables can be plain vectors.
+class TermArena {
+public:
+  TermArena();
+
+  /// Interns an application term.
+  TermId app(const std::string &Sym, std::vector<TermId> Args = {});
+  /// Interns an integer literal.
+  TermId intConst(int64_t Value);
+  /// Interns a pattern variable.
+  TermId var(const std::string &Name);
+
+  const TermData &get(TermId Id) const { return Terms[Id]; }
+  uint32_t size() const { return static_cast<uint32_t>(Terms.size()); }
+
+  /// Distinguished constants shared by every session.
+  TermId trueTerm() const { return True; }
+  TermId falseTerm() const { return False; }
+  TermId nullTerm() const { return Null; }
+
+  bool isGround(TermId Id) const;
+  /// Collects the pattern variables occurring in \p Id into \p Out.
+  void collectVars(TermId Id, std::vector<std::string> &Out) const;
+
+  /// Applies \p S to \p Id; every variable in \p Id must be bound.
+  TermId substitute(TermId Id, const Subst &S);
+
+  /// Matches pattern \p Pattern against ground term \p Ground, extending
+  /// \p S. Purely syntactic (no matching modulo equality). Returns false and
+  /// leaves \p S unspecified on mismatch.
+  bool match(TermId Pattern, TermId Ground, Subst &S) const;
+
+  std::string str(TermId Id) const;
+
+private:
+  struct Key {
+    TermData::Kind K;
+    std::string Sym;
+    std::vector<TermId> Args;
+    int64_t Int;
+    bool operator<(const Key &O) const {
+      if (K != O.K)
+        return K < O.K;
+      if (Int != O.Int)
+        return Int < O.Int;
+      if (Sym != O.Sym)
+        return Sym < O.Sym;
+      return Args < O.Args;
+    }
+  };
+
+  TermId intern(TermData Data);
+
+  std::vector<TermData> Terms;
+  std::map<Key, TermId> Interned;
+  TermId True = 0, False = 0, Null = 0;
+};
+
+} // namespace stq::prover
+
+#endif // STQ_PROVER_TERM_H

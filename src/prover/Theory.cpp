@@ -1,0 +1,288 @@
+//===- Theory.cpp ---------------------------------------------------------===//
+
+#include "prover/Theory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace stq::prover;
+
+//===----------------------------------------------------------------------===//
+// Congruence closure
+//===----------------------------------------------------------------------===//
+
+CongruenceClosure::CongruenceClosure(const TermArena &A) : Arena(A) {
+  sync();
+  // true and false are distinct.
+  assertNe(A.trueTerm(), A.falseTerm());
+}
+
+void CongruenceClosure::sync() {
+  uint32_t N = Arena.size();
+  uint32_t Old = static_cast<uint32_t>(Parent.size());
+  if (Old >= N)
+    return;
+  Parent.resize(N);
+  Size.resize(N, 1);
+  Uses.resize(N);
+  Registered.resize(N, false);
+  for (uint32_t I = Old; I < N; ++I)
+    Parent[I] = I;
+  // Register every term so congruence sees the full DAG, including terms
+  // that appear only in order literals.
+  for (uint32_t I = 0; I < N; ++I)
+    if (Arena.get(I).K != TermData::Kind::Var)
+      ensure(I);
+}
+
+TermId CongruenceClosure::find(TermId T) {
+  if (T >= Parent.size())
+    sync();
+  while (Parent[T] != T) {
+    Parent[T] = Parent[Parent[T]];
+    T = Parent[T];
+  }
+  return T;
+}
+
+std::vector<TermId> CongruenceClosure::signatureOf(TermId T) {
+  const TermData &D = Arena.get(T);
+  std::vector<TermId> Sig;
+  Sig.reserve(D.Args.size());
+  for (TermId Arg : D.Args)
+    Sig.push_back(find(Arg));
+  return Sig;
+}
+
+void CongruenceClosure::ensure(TermId T) {
+  if (Registered[T])
+    return;
+  Registered[T] = true;
+  const TermData &D = Arena.get(T);
+  if (D.K == TermData::Kind::Int)
+    ClassInt[find(T)] = D.Int;
+  for (TermId Arg : D.Args) {
+    ensure(Arg);
+    Uses[find(Arg)].push_back(T);
+  }
+  if (D.K == TermData::Kind::App && !D.Args.empty()) {
+    auto Key = std::make_pair(D.Sym, signatureOf(T));
+    auto [It, Inserted] = Signatures.emplace(Key, T);
+    if (!Inserted && find(It->second) != find(T))
+      PendingMerges.emplace_back(It->second, T);
+    while (!PendingMerges.empty()) {
+      auto [X, Y] = PendingMerges.back();
+      PendingMerges.pop_back();
+      merge(X, Y);
+    }
+  }
+}
+
+void CongruenceClosure::merge(TermId A, TermId B) {
+  if (Conflict)
+    return;
+  TermId Ra = find(A), Rb = find(B);
+  if (Ra == Rb)
+    return;
+  if (Size[Ra] < Size[Rb])
+    std::swap(Ra, Rb);
+  // Merge Rb into Ra.
+  auto IntA = ClassInt.find(Ra);
+  auto IntB = ClassInt.find(Rb);
+  if (IntA != ClassInt.end() && IntB != ClassInt.end() &&
+      IntA->second != IntB->second) {
+    Conflict = true;
+    return;
+  }
+  Parent[Rb] = Ra;
+  Size[Ra] += Size[Rb];
+  if (IntB != ClassInt.end())
+    ClassInt[Ra] = IntB->second;
+
+  // Recompute signatures of terms that used Rb.
+  std::vector<TermId> Moved = std::move(Uses[Rb]);
+  Uses[Rb].clear();
+  for (TermId User : Moved) {
+    const TermData &D = Arena.get(User);
+    auto Key = std::make_pair(D.Sym, signatureOf(User));
+    auto [It, Inserted] = Signatures.emplace(Key, User);
+    if (!Inserted && find(It->second) != find(User))
+      PendingMerges.emplace_back(It->second, User);
+    Uses[Ra].push_back(User);
+  }
+  while (!PendingMerges.empty()) {
+    auto [X, Y] = PendingMerges.back();
+    PendingMerges.pop_back();
+    merge(X, Y);
+  }
+  if (!checkNeConflicts())
+    Conflict = true;
+}
+
+bool CongruenceClosure::checkNeConflicts() {
+  for (auto &[A, B] : Disequalities)
+    if (find(A) == find(B))
+      return false;
+  return true;
+}
+
+bool CongruenceClosure::assertEq(TermId A, TermId B) {
+  if (Conflict)
+    return false;
+  sync();
+  merge(A, B);
+  return !Conflict;
+}
+
+bool CongruenceClosure::assertNe(TermId A, TermId B) {
+  if (Conflict)
+    return false;
+  sync();
+  if (find(A) == find(B)) {
+    Conflict = true;
+    return false;
+  }
+  Disequalities.emplace_back(A, B);
+  return true;
+}
+
+std::optional<int64_t> CongruenceClosure::classIntValue(TermId T) {
+  auto Found = ClassInt.find(find(T));
+  if (Found == ClassInt.end())
+    return std::nullopt;
+  return Found->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Integer difference bounds
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A difference-bound solver over congruence-class representatives. Builds
+/// edges x - y <= c and searches for negative cycles (Floyd-Warshall; the
+/// variable counts here are tiny). Also detects disequalities forced into
+/// equalities.
+class DiffBounds {
+public:
+  explicit DiffBounds(CongruenceClosure &CC) : CC(CC) {}
+
+  /// Index for the class of term \p T, creating it on first use.
+  unsigned varOf(TermId T) {
+    TermId Rep = CC.find(T);
+    auto [It, Inserted] = VarIndex.emplace(Rep, Vars.size());
+    if (Inserted) {
+      Vars.push_back(Rep);
+      // Classes with a known integer value are pinned relative to zero.
+      if (auto V = CC.classIntValue(Rep)) {
+        unsigned Z = zeroVar();
+        addEdge(It->second, Z, *V);
+        addEdge(Z, It->second, -*V);
+      }
+    }
+    return It->second;
+  }
+
+  unsigned zeroVar() {
+    if (!Zero) {
+      Zero = Vars.size();
+      Vars.push_back(InvalidTerm);
+      VarIndex.emplace(InvalidTerm, *Zero);
+    }
+    return *Zero;
+  }
+
+  /// Adds x - y <= c.
+  void addEdge(unsigned X, unsigned Y, int64_t C) {
+    Edges.push_back({X, Y, C});
+  }
+
+  /// Returns true on an arithmetic conflict given the extra disequality
+  /// pairs (a forced equality contradicting a disequality is a conflict).
+  bool conflict(const std::vector<std::pair<TermId, TermId>> &NePairs) {
+    size_t N = Vars.size();
+    if (N == 0)
+      return false;
+    constexpr int64_t Inf = std::numeric_limits<int64_t>::max() / 4;
+    std::vector<std::vector<int64_t>> Dist(N, std::vector<int64_t>(N, Inf));
+    for (size_t I = 0; I < N; ++I)
+      Dist[I][I] = 0;
+    for (const Edge &E : Edges)
+      Dist[E.X][E.Y] = std::min(Dist[E.X][E.Y], E.C);
+    for (size_t K = 0; K < N; ++K)
+      for (size_t I = 0; I < N; ++I) {
+        if (Dist[I][K] == Inf)
+          continue;
+        for (size_t J = 0; J < N; ++J) {
+          if (Dist[K][J] == Inf)
+            continue;
+          Dist[I][J] = std::min(Dist[I][J], Dist[I][K] + Dist[K][J]);
+        }
+      }
+    for (size_t I = 0; I < N; ++I)
+      if (Dist[I][I] < 0)
+        return true;
+    // x <= y and y <= x force x = y; conflict with an asserted x != y.
+    for (auto &[A, B] : NePairs) {
+      auto Ia = VarIndex.find(CC.find(A));
+      auto Ib = VarIndex.find(CC.find(B));
+      if (Ia == VarIndex.end() || Ib == VarIndex.end())
+        continue;
+      if (Dist[Ia->second][Ib->second] <= 0 &&
+          Dist[Ib->second][Ia->second] <= 0)
+        return true;
+    }
+    return false;
+  }
+
+private:
+  struct Edge {
+    unsigned X, Y;
+    int64_t C;
+  };
+
+  CongruenceClosure &CC;
+  std::map<TermId, unsigned> VarIndex;
+  std::vector<TermId> Vars;
+  std::vector<Edge> Edges;
+  std::optional<unsigned> Zero;
+};
+
+} // namespace
+
+bool stq::prover::theoryConflict(const TermArena &A,
+                                 const std::vector<Lit> &Units) {
+  CongruenceClosure CC(A);
+  std::vector<std::pair<TermId, TermId>> NePairs;
+  std::vector<Lit> OrderLits;
+  for (const Lit &L : Units) {
+    if (L.O == Lit::Op::Eq) {
+      bool Ok = L.Neg ? CC.assertNe(L.L, L.R) : CC.assertEq(L.L, L.R);
+      if (!Ok)
+        return true;
+      if (L.Neg)
+        NePairs.emplace_back(L.L, L.R);
+    } else {
+      OrderLits.push_back(L);
+    }
+  }
+  if (CC.inConflict())
+    return true;
+
+  DiffBounds DB(CC);
+  for (const Lit &L : OrderLits) {
+    unsigned X = DB.varOf(L.L);
+    unsigned Y = DB.varOf(L.R);
+    if (!L.Neg) {
+      // L <= R  ->  L - R <= 0 ;  L < R  ->  L - R <= -1 (integers).
+      DB.addEdge(X, Y, L.O == Lit::Op::Le ? 0 : -1);
+    } else {
+      // !(L <= R) -> R < L -> R - L <= -1 ; !(L < R) -> R - L <= 0.
+      DB.addEdge(Y, X, L.O == Lit::Op::Le ? -1 : 0);
+    }
+  }
+  // Pin every integer-valued class that participates in equalities so that
+  // order literals can see constants merged in via congruence.
+  return DB.conflict(NePairs);
+}

@@ -1,0 +1,83 @@
+//===- Theory.h - Ground theory solver (EUF + integer order) ----*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ground decision procedures behind the prover, in the Nelson-Oppen
+/// style of Simplify: congruence closure for equality with uninterpreted
+/// functions, and an integer difference-bound solver for order literals,
+/// with equalities propagated between the two until fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_PROVER_THEORY_H
+#define STQ_PROVER_THEORY_H
+
+#include "prover/Formula.h"
+#include "prover/Term.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace stq::prover {
+
+/// Congruence closure over the term DAG. Built fresh for each theory check
+/// (the DPLL search rebuilds rather than backtracks; problem sizes are
+/// small).
+class CongruenceClosure {
+public:
+  explicit CongruenceClosure(const TermArena &A);
+
+  /// Asserts an equality; returns false if a conflict arises.
+  bool assertEq(TermId A, TermId B);
+  /// Asserts a disequality; returns false if a conflict arises.
+  bool assertNe(TermId A, TermId B);
+
+  TermId find(TermId T);
+  bool isEqual(TermId A, TermId B) { return find(A) == find(B); }
+  bool inConflict() const { return Conflict; }
+
+  /// The integer constant value of \p T's class, if known.
+  std::optional<int64_t> classIntValue(TermId T);
+
+private:
+  /// Grows the side tables to the arena's current size and registers every
+  /// term (terms may be interned after construction).
+  void sync();
+  /// Registers \p T and its subterms.
+  void ensure(TermId T);
+  /// Computes the congruence signature of an application term.
+  std::vector<TermId> signatureOf(TermId T);
+  /// Merges the classes of A and B, processing congruence consequences.
+  void merge(TermId A, TermId B);
+  bool checkNeConflicts();
+
+  const TermArena &Arena;
+  std::vector<TermId> Parent;
+  std::vector<uint32_t> Size;
+  /// Terms that mention each class representative as an argument.
+  std::vector<std::vector<TermId>> Uses;
+  /// Signature -> witness term, for congruence detection.
+  std::map<std::pair<std::string, std::vector<TermId>>, TermId> Signatures;
+  /// Known integer value per class representative.
+  std::map<TermId, int64_t> ClassInt;
+  std::vector<std::pair<TermId, TermId>> Disequalities;
+  std::vector<std::pair<TermId, TermId>> PendingMerges;
+  std::vector<bool> Registered;
+  bool Conflict = false;
+};
+
+/// Checks a conjunction of literals for theory consistency.
+///
+/// \returns true if the conjunction is UNSATISFIABLE (a conflict was found),
+/// false if it is consistent as far as the solver can tell.
+bool theoryConflict(const TermArena &A, const std::vector<Lit> &Units);
+
+} // namespace stq::prover
+
+#endif // STQ_PROVER_THEORY_H

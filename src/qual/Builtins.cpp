@@ -1,0 +1,168 @@
+//===- Builtins.cpp -------------------------------------------------------===//
+
+#include "qual/Builtins.h"
+
+#include "qual/QualParser.h"
+
+using namespace stq;
+using namespace stq::qual;
+
+namespace {
+
+// Figure 1. A value qualifier for positive integers.
+const char *PosSource = R"(
+value qualifier pos(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C > 0
+  | decl int Expr E1, E2:
+      E1 * E2, where pos(E1) && pos(E2)
+  | decl int Expr E1:
+      -E1, where neg(E1)
+  invariant value(E) > 0
+)";
+
+// The neg qualifier is referenced by figure 1 but not shown in the paper;
+// this is the symmetric definition (mutually recursive with pos).
+const char *NegSource = R"(
+value qualifier neg(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C < 0
+  | decl int Expr E1:
+      -E1, where pos(E1)
+  | decl int Expr E1, E2:
+      E1 * E2, where (pos(E1) && neg(E2)) || (neg(E1) && pos(E2))
+  invariant value(E) < 0
+)";
+
+// A nonnegative-integer qualifier in the same style as figure 1; not in
+// the paper but expressible and automatically provable in its framework
+// (used by the quickstart example and the sum/product extension tests).
+const char *NonnegSource = R"(
+value qualifier nonneg(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C >= 0
+  | decl int Expr E1, E2:
+      E1 * E2, where nonneg(E1) && nonneg(E2)
+  | decl int Expr E1, E2:
+      E1 + E2, where nonneg(E1) && nonneg(E2)
+  | decl int Expr E1:
+      E1, where pos(E1)
+  invariant value(E) >= 0
+)";
+
+// Figure 3. Nonzero integers, with the division restrict rule.
+const char *NonzeroSource = R"(
+value qualifier nonzero(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C != 0
+  | decl int Expr E1:
+      E1, where pos(E1)
+  | decl int Expr E1, E2:
+      E1 * E2, where nonzero(E1) && nonzero(E2)
+  restrict
+    decl int Expr E1, E2:
+      E1 / E2, where nonzero(E2)
+  invariant value(E) != 0
+)";
+
+// Figure 12. Nonnull pointers; the restrict rule checks every dereference.
+const char *NonnullSource = R"(
+value qualifier nonnull(T* Expr E)
+  case E of
+    decl T LValue L:
+      &L
+  restrict
+    decl T* Expr E1:
+      *E1, where nonnull(E1)
+  invariant value(E) != NULL
+)";
+
+// Figure 4, augmented with the section 6.3 clause making constants trusted.
+// Flow qualifier: no invariant; soundness comes from subtyping alone.
+const char *UntaintedSource = R"(
+value qualifier untainted(T Expr E)
+  case E of
+    decl T Const C:
+      C
+)";
+
+// Figure 4. Any expression may be considered tainted.
+const char *TaintedSource = R"(
+value qualifier tainted(T Expr E)
+  case E of
+    E
+)";
+
+// Figure 5. Unique pointers.
+const char *UniqueSource = R"(
+ref qualifier unique(T* LValue L)
+  assign L
+    NULL
+  | new
+  disallow L
+  invariant value(L) == NULL ||
+            (isHeapLoc(value(L)) &&
+             forall T** P: *P == value(L) => P == location(L))
+)";
+
+// Figure 7. Unaliased variables.
+const char *UnaliasedSource = R"(
+ref qualifier unaliased(T Var X)
+  ondecl
+  disallow &X
+  invariant forall T** P: *P != location(X)
+)";
+
+} // namespace
+
+std::string stq::qual::builtinQualifierSource(const std::string &Name) {
+  if (Name == "pos")
+    return PosSource;
+  if (Name == "neg")
+    return NegSource;
+  if (Name == "nonneg")
+    return NonnegSource;
+  if (Name == "nonzero")
+    return NonzeroSource;
+  if (Name == "nonnull")
+    return NonnullSource;
+  if (Name == "untainted")
+    return UntaintedSource;
+  if (Name == "tainted")
+    return TaintedSource;
+  if (Name == "unique")
+    return UniqueSource;
+  if (Name == "unaliased")
+    return UnaliasedSource;
+  return "";
+}
+
+std::vector<std::string> stq::qual::builtinQualifierNames() {
+  return {"pos",     "neg",       "nonneg", "nonzero", "nonnull",
+          "tainted", "untainted", "unique", "unaliased"};
+}
+
+bool stq::qual::loadBuiltinQualifiers(const std::vector<std::string> &Names,
+                                      QualifierSet &Set,
+                                      DiagnosticEngine &Diags) {
+  for (const std::string &Name : Names) {
+    std::string Source = builtinQualifierSource(Name);
+    if (Source.empty()) {
+      Diags.error(SourceLoc(), "qualparse",
+                  "unknown builtin qualifier '" + Name + "'");
+      return false;
+    }
+    if (!parseQualifiers(Source, Set, Diags))
+      return false;
+  }
+  return checkWellFormed(Set, Diags);
+}
+
+bool stq::qual::loadAllBuiltinQualifiers(QualifierSet &Set,
+                                         DiagnosticEngine &Diags) {
+  return loadBuiltinQualifiers(builtinQualifierNames(), Set, Diags);
+}

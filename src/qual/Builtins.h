@@ -1,0 +1,45 @@
+//===- Builtins.h - The paper's qualifier library ---------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The qualifier definitions from the paper, written in the qualifier DSL:
+/// pos, neg, nonzero (figures 1, 3), nonnull (figure 12), tainted/untainted
+/// (figure 4, with the section 6.3 constants clause), unique (figure 5), and
+/// unaliased (figure 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_QUAL_BUILTINS_H
+#define STQ_QUAL_BUILTINS_H
+
+#include "qual/QualAST.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace stq::qual {
+
+/// Returns the DSL source of the named builtin qualifier. Valid names: pos,
+/// neg, nonzero, nonnull, tainted, untainted, unique, unaliased. Returns an
+/// empty string for unknown names.
+std::string builtinQualifierSource(const std::string &Name);
+
+/// Names of all builtin qualifiers, in a stable order.
+std::vector<std::string> builtinQualifierNames();
+
+/// Parses and well-formedness-checks the named builtins into \p Set.
+/// Returns true on success.
+bool loadBuiltinQualifiers(const std::vector<std::string> &Names,
+                           QualifierSet &Set, DiagnosticEngine &Diags);
+
+/// Loads every builtin qualifier.
+bool loadAllBuiltinQualifiers(QualifierSet &Set, DiagnosticEngine &Diags);
+
+} // namespace stq::qual
+
+#endif // STQ_QUAL_BUILTINS_H

@@ -1,0 +1,907 @@
+//===- QualParser.cpp -----------------------------------------------------===//
+
+#include "qual/QualParser.h"
+
+#include "support/Lexer.h"
+
+#include <cassert>
+#include <set>
+
+using namespace stq;
+using namespace stq::qual;
+using cminus::BinaryOp;
+using cminus::UnaryOp;
+
+namespace {
+
+class QualParser {
+public:
+  QualParser(std::vector<Token> Tokens, QualifierSet &Set,
+             DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Set(Set), Diags(Diags) {}
+
+  bool run();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t Index = Pos + Ahead;
+    if (Index >= Tokens.size())
+      Index = Tokens.size() - 1;
+    return Tokens[Index];
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokenKind K) const { return peek().is(K); }
+  bool checkIdent(const char *S) const { return peek().isIdent(S); }
+  bool match(TokenKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool matchIdent(const char *S) {
+    if (!checkIdent(S))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokenKind K, const char *Context) {
+    if (match(K))
+      return true;
+    error(std::string("expected ") + tokenKindName(K) + " " + Context);
+    return false;
+  }
+  void error(const std::string &Message) {
+    Diags.error(peek().Loc, "qualparse", Message);
+    Failed = true;
+  }
+  /// Skips to the next 'value'/'ref' keyword or EOF.
+  void synchronize() {
+    while (!check(TokenKind::EndOfFile) && !checkIdent("value") &&
+           !checkIdent("ref"))
+      advance();
+  }
+
+  /// True when the current token starts a new block or definition,
+  /// terminating a clause list.
+  bool atBlockBoundary() const {
+    return check(TokenKind::EndOfFile) || checkIdent("case") ||
+           checkIdent("restrict") || checkIdent("assign") ||
+           checkIdent("disallow") || checkIdent("ondecl") ||
+           checkIdent("invariant") || checkIdent("value") ||
+           checkIdent("ref");
+  }
+
+  void parseQualifierDef();
+  bool parseTypePattern(TypePattern &Out);
+  bool parseClassifier(Classifier &Out);
+  bool parseClause(Clause &Out);
+  bool parsePattern(ExprPattern &Out);
+  bool parsePred(Pred &Out);
+  bool parsePredAnd(Pred &Out);
+  bool parsePredAtom(Pred &Out);
+  bool parsePredTerm(Pred::Term &Out);
+  bool parseInvPred(InvPred &Out);
+  bool parseInvOr(InvPred &Out);
+  bool parseInvAnd(InvPred &Out);
+  bool parseInvAtom(InvPred &Out);
+  bool parseInvTerm(InvTerm &Out);
+  /// Parses a comparison operator; also accepts '=' as equality (the
+  /// paper's invariants write `*P = value(L)`).
+  bool parseCmpOp(BinaryOp &Out, bool AllowSingleEq);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  QualifierSet &Set;
+  DiagnosticEngine &Diags;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool QualParser::run() {
+  while (!check(TokenKind::EndOfFile)) {
+    if (checkIdent("value") || checkIdent("ref")) {
+      parseQualifierDef();
+    } else {
+      error("expected 'value' or 'ref' qualifier definition");
+      synchronize();
+    }
+  }
+  return !Failed;
+}
+
+void QualParser::parseQualifierDef() {
+  QualifierDef Def;
+  Def.Loc = peek().Loc;
+  Def.IsRef = checkIdent("ref");
+  advance(); // 'value' or 'ref'
+  if (!matchIdent("qualifier")) {
+    error("expected 'qualifier'");
+    synchronize();
+    return;
+  }
+  if (!check(TokenKind::Identifier)) {
+    error("expected qualifier name");
+    synchronize();
+    return;
+  }
+  Def.Name = advance().Text;
+  if (!expect(TokenKind::LParen, "after qualifier name") ||
+      !parseTypePattern(Def.SubjectTy) ||
+      !parseClassifier(Def.SubjectCls)) {
+    synchronize();
+    return;
+  }
+  if (!check(TokenKind::Identifier)) {
+    error("expected subject variable name");
+    synchronize();
+    return;
+  }
+  Def.SubjectVar = advance().Text;
+  if (!expect(TokenKind::RParen, "to close qualifier signature")) {
+    synchronize();
+    return;
+  }
+
+  // Blocks, in any order.
+  while (true) {
+    if (matchIdent("case")) {
+      if (!check(TokenKind::Identifier) || peek().Text != Def.SubjectVar)
+        error("case block must scrutinize the subject variable '" +
+              Def.SubjectVar + "'");
+      else
+        advance();
+      if (!matchIdent("of"))
+        error("expected 'of' after case subject");
+      do {
+        Clause C;
+        if (!parseClause(C))
+          break;
+        Def.Cases.push_back(std::move(C));
+      } while (match(TokenKind::Pipe));
+      continue;
+    }
+    if (matchIdent("restrict")) {
+      do {
+        Clause C;
+        if (!parseClause(C))
+          break;
+        Def.Restricts.push_back(std::move(C));
+      } while (match(TokenKind::Pipe));
+      continue;
+    }
+    if (matchIdent("assign")) {
+      if (!check(TokenKind::Identifier) || peek().Text != Def.SubjectVar)
+        error("assign block must name the subject variable '" +
+              Def.SubjectVar + "'");
+      else
+        advance();
+      do {
+        Clause C;
+        if (!parseClause(C))
+          break;
+        Def.Assigns.push_back(std::move(C));
+      } while (match(TokenKind::Pipe));
+      continue;
+    }
+    if (matchIdent("disallow")) {
+      do {
+        if (match(TokenKind::Amp)) {
+          if (!check(TokenKind::Identifier) ||
+              peek().Text != Def.SubjectVar)
+            error("disallow '&' must apply to the subject variable");
+          else
+            advance();
+          Def.DisallowAddrOf = true;
+        } else if (check(TokenKind::Identifier) &&
+                   peek().Text == Def.SubjectVar) {
+          advance();
+          Def.DisallowRead = true;
+        } else {
+          error("disallow clause must be the subject variable or its "
+                "address");
+          break;
+        }
+      } while (match(TokenKind::Pipe));
+      continue;
+    }
+    if (matchIdent("ondecl")) {
+      Def.OnDecl = true;
+      continue;
+    }
+    if (matchIdent("invariant")) {
+      InvPred Inv;
+      if (parseInvPred(Inv))
+        Def.Invariant = std::move(Inv);
+      continue;
+    }
+    break;
+  }
+  Set.add(std::move(Def));
+}
+
+bool QualParser::parseTypePattern(TypePattern &Out) {
+  if (matchIdent("int"))
+    Out = TypePattern::intTy();
+  else if (matchIdent("char"))
+    Out = TypePattern::charTy();
+  else if (matchIdent("T"))
+    Out = TypePattern::any();
+  else {
+    error("expected type pattern ('T', 'int', or 'char')");
+    return false;
+  }
+  while (match(TokenKind::Star))
+    Out = TypePattern::pointerTo(std::move(Out));
+  return true;
+}
+
+bool QualParser::parseClassifier(Classifier &Out) {
+  if (matchIdent("Expr")) {
+    Out = Classifier::Expr;
+    return true;
+  }
+  if (matchIdent("Const")) {
+    Out = Classifier::Const;
+    return true;
+  }
+  if (matchIdent("LValue")) {
+    Out = Classifier::LValue;
+    return true;
+  }
+  if (matchIdent("Var")) {
+    Out = Classifier::Var;
+    return true;
+  }
+  error("expected classifier (Expr, Const, LValue, or Var)");
+  return false;
+}
+
+bool QualParser::parseClause(Clause &Out) {
+  Out.Loc = peek().Loc;
+  while (matchIdent("decl")) {
+    TypePattern Ty;
+    Classifier Cls;
+    if (!parseTypePattern(Ty) || !parseClassifier(Cls))
+      return false;
+    do {
+      if (!check(TokenKind::Identifier)) {
+        error("expected pattern variable name in decl");
+        return false;
+      }
+      VarPatternDecl D;
+      D.Loc = peek().Loc;
+      D.Name = advance().Text;
+      D.Ty = Ty;
+      D.Cls = Cls;
+      Out.Decls.push_back(std::move(D));
+    } while (match(TokenKind::Comma));
+    if (!expect(TokenKind::Colon, "after decl list"))
+      return false;
+  }
+  if (!parsePattern(Out.Pattern))
+    return false;
+  Out.Where = Pred::makeTrue();
+  if (match(TokenKind::Comma)) {
+    if (!matchIdent("where")) {
+      error("expected 'where' after ',' in clause");
+      return false;
+    }
+    if (!parsePred(Out.Where))
+      return false;
+  }
+  return true;
+}
+
+bool QualParser::parsePattern(ExprPattern &Out) {
+  Out.Loc = peek().Loc;
+  if (match(TokenKind::Star)) {
+    Out.K = ExprPattern::Kind::Deref;
+    if (!check(TokenKind::Identifier)) {
+      error("expected variable after '*' in pattern");
+      return false;
+    }
+    Out.X = advance().Text;
+    return true;
+  }
+  if (match(TokenKind::Amp)) {
+    Out.K = ExprPattern::Kind::AddrOf;
+    if (!check(TokenKind::Identifier)) {
+      error("expected variable after '&' in pattern");
+      return false;
+    }
+    Out.X = advance().Text;
+    return true;
+  }
+  if (matchIdent("new")) {
+    Out.K = ExprPattern::Kind::New;
+    return true;
+  }
+  if (matchIdent("NULL")) {
+    Out.K = ExprPattern::Kind::Null;
+    return true;
+  }
+  if (check(TokenKind::Minus) || check(TokenKind::Bang) ||
+      check(TokenKind::Tilde)) {
+    UnaryOp Op = check(TokenKind::Minus)  ? UnaryOp::Neg
+                 : check(TokenKind::Bang) ? UnaryOp::Not
+                                          : UnaryOp::BitNot;
+    advance();
+    Out.K = ExprPattern::Kind::Unary;
+    Out.Uop = Op;
+    if (!check(TokenKind::Identifier)) {
+      error("expected variable after unary operator in pattern");
+      return false;
+    }
+    Out.X = advance().Text;
+    return true;
+  }
+  if (!check(TokenKind::Identifier)) {
+    error("expected pattern");
+    return false;
+  }
+  Out.X = advance().Text;
+  // Binary pattern?
+  BinaryOp Bop;
+  bool IsBinary = true;
+  if (match(TokenKind::Plus))
+    Bop = BinaryOp::Add;
+  else if (match(TokenKind::Minus))
+    Bop = BinaryOp::Sub;
+  else if (match(TokenKind::Star))
+    Bop = BinaryOp::Mul;
+  else if (match(TokenKind::Slash))
+    Bop = BinaryOp::Div;
+  else if (match(TokenKind::Percent))
+    Bop = BinaryOp::Rem;
+  else if (match(TokenKind::EqEq))
+    Bop = BinaryOp::Eq;
+  else if (match(TokenKind::BangEq))
+    Bop = BinaryOp::Ne;
+  else if (match(TokenKind::Less))
+    Bop = BinaryOp::Lt;
+  else if (match(TokenKind::LessEq))
+    Bop = BinaryOp::Le;
+  else if (match(TokenKind::Greater))
+    Bop = BinaryOp::Gt;
+  else if (match(TokenKind::GreaterEq))
+    Bop = BinaryOp::Ge;
+  else
+    IsBinary = false;
+  if (!IsBinary) {
+    Out.K = ExprPattern::Kind::Var;
+    return true;
+  }
+  Out.K = ExprPattern::Kind::Binary;
+  Out.Bop = Bop;
+  if (!check(TokenKind::Identifier)) {
+    error("expected variable after binary operator in pattern");
+    return false;
+  }
+  Out.Y = advance().Text;
+  return true;
+}
+
+bool QualParser::parsePred(Pred &Out) {
+  if (!parsePredAnd(Out))
+    return false;
+  while (match(TokenKind::PipePipe)) {
+    Pred RHS;
+    if (!parsePredAnd(RHS))
+      return false;
+    Pred Combined;
+    Combined.K = Pred::Kind::Or;
+    Combined.Loc = Out.Loc;
+    Combined.LHS = std::make_shared<Pred>(std::move(Out));
+    Combined.RHS = std::make_shared<Pred>(std::move(RHS));
+    Out = std::move(Combined);
+  }
+  return true;
+}
+
+bool QualParser::parsePredAnd(Pred &Out) {
+  if (!parsePredAtom(Out))
+    return false;
+  while (match(TokenKind::AmpAmp)) {
+    Pred RHS;
+    if (!parsePredAtom(RHS))
+      return false;
+    Pred Combined;
+    Combined.K = Pred::Kind::And;
+    Combined.Loc = Out.Loc;
+    Combined.LHS = std::make_shared<Pred>(std::move(Out));
+    Combined.RHS = std::make_shared<Pred>(std::move(RHS));
+    Out = std::move(Combined);
+  }
+  return true;
+}
+
+bool QualParser::parsePredAtom(Pred &Out) {
+  Out.Loc = peek().Loc;
+  if (match(TokenKind::LParen)) {
+    if (!parsePred(Out))
+      return false;
+    return expect(TokenKind::RParen, "to close predicate");
+  }
+  // Qualifier check: name '(' var ')'.
+  if (check(TokenKind::Identifier) && peek(1).is(TokenKind::LParen)) {
+    Out.K = Pred::Kind::QualCheck;
+    Out.Qual = advance().Text;
+    advance(); // '('
+    if (!check(TokenKind::Identifier)) {
+      error("expected variable inside qualifier check");
+      return false;
+    }
+    Out.Var = advance().Text;
+    return expect(TokenKind::RParen, "to close qualifier check");
+  }
+  // Comparison.
+  Out.K = Pred::Kind::Compare;
+  if (!parsePredTerm(Out.A))
+    return false;
+  if (!parseCmpOp(Out.CmpOp, /*AllowSingleEq=*/false))
+    return false;
+  return parsePredTerm(Out.B);
+}
+
+bool QualParser::parsePredTerm(Pred::Term &Out) {
+  if (check(TokenKind::Identifier) && peek().isIdent("NULL")) {
+    advance();
+    Out.K = Pred::Term::Kind::Null;
+    return true;
+  }
+  if (check(TokenKind::Identifier)) {
+    Out.K = Pred::Term::Kind::Var;
+    Out.Var = advance().Text;
+    return true;
+  }
+  bool Negative = match(TokenKind::Minus);
+  if (check(TokenKind::IntLiteral)) {
+    Out.K = Pred::Term::Kind::Int;
+    Out.Int = advance().IntValue;
+    if (Negative)
+      Out.Int = -Out.Int;
+    return true;
+  }
+  error("expected predicate term (variable, integer, or NULL)");
+  return false;
+}
+
+bool QualParser::parseCmpOp(BinaryOp &Out, bool AllowSingleEq) {
+  if (match(TokenKind::EqEq))
+    Out = BinaryOp::Eq;
+  else if (AllowSingleEq && match(TokenKind::Eq))
+    Out = BinaryOp::Eq;
+  else if (match(TokenKind::BangEq))
+    Out = BinaryOp::Ne;
+  else if (match(TokenKind::Less))
+    Out = BinaryOp::Lt;
+  else if (match(TokenKind::LessEq))
+    Out = BinaryOp::Le;
+  else if (match(TokenKind::Greater))
+    Out = BinaryOp::Gt;
+  else if (match(TokenKind::GreaterEq))
+    Out = BinaryOp::Ge;
+  else {
+    error("expected comparison operator");
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Invariants
+//===----------------------------------------------------------------------===//
+
+bool QualParser::parseInvPred(InvPred &Out) {
+  if (!parseInvOr(Out))
+    return false;
+  if (match(TokenKind::FatArrow)) {
+    InvPred RHS;
+    if (!parseInvPred(RHS)) // Right-associative.
+      return false;
+    InvPred Combined;
+    Combined.K = InvPred::Kind::Implies;
+    Combined.Loc = Out.Loc;
+    Combined.LHS = std::make_shared<InvPred>(std::move(Out));
+    Combined.RHS = std::make_shared<InvPred>(std::move(RHS));
+    Out = std::move(Combined);
+  }
+  return true;
+}
+
+bool QualParser::parseInvOr(InvPred &Out) {
+  if (!parseInvAnd(Out))
+    return false;
+  while (match(TokenKind::PipePipe)) {
+    InvPred RHS;
+    if (!parseInvAnd(RHS))
+      return false;
+    InvPred Combined;
+    Combined.K = InvPred::Kind::Or;
+    Combined.Loc = Out.Loc;
+    Combined.LHS = std::make_shared<InvPred>(std::move(Out));
+    Combined.RHS = std::make_shared<InvPred>(std::move(RHS));
+    Out = std::move(Combined);
+  }
+  return true;
+}
+
+bool QualParser::parseInvAnd(InvPred &Out) {
+  if (!parseInvAtom(Out))
+    return false;
+  while (match(TokenKind::AmpAmp)) {
+    InvPred RHS;
+    if (!parseInvAtom(RHS))
+      return false;
+    InvPred Combined;
+    Combined.K = InvPred::Kind::And;
+    Combined.Loc = Out.Loc;
+    Combined.LHS = std::make_shared<InvPred>(std::move(Out));
+    Combined.RHS = std::make_shared<InvPred>(std::move(RHS));
+    Out = std::move(Combined);
+  }
+  return true;
+}
+
+bool QualParser::parseInvAtom(InvPred &Out) {
+  Out.Loc = peek().Loc;
+  if (matchIdent("forall")) {
+    Out.K = InvPred::Kind::Forall;
+    if (!parseTypePattern(Out.ForallTy))
+      return false;
+    if (!check(TokenKind::Identifier)) {
+      error("expected quantified variable name");
+      return false;
+    }
+    Out.ForallVar = advance().Text;
+    if (!expect(TokenKind::Colon, "after quantified variable"))
+      return false;
+    InvPred Body;
+    if (!parseInvPred(Body))
+      return false;
+    Out.Body = std::make_shared<InvPred>(std::move(Body));
+    return true;
+  }
+  if (match(TokenKind::LParen)) {
+    if (!parseInvPred(Out))
+      return false;
+    return expect(TokenKind::RParen, "to close invariant predicate");
+  }
+  if (checkIdent("isHeapLoc")) {
+    advance();
+    Out.K = InvPred::Kind::IsHeapLoc;
+    if (!expect(TokenKind::LParen, "after isHeapLoc"))
+      return false;
+    if (!parseInvTerm(Out.A))
+      return false;
+    return expect(TokenKind::RParen, "to close isHeapLoc");
+  }
+  Out.K = InvPred::Kind::Compare;
+  if (!parseInvTerm(Out.A))
+    return false;
+  if (!parseCmpOp(Out.CmpOp, /*AllowSingleEq=*/true))
+    return false;
+  return parseInvTerm(Out.B);
+}
+
+bool QualParser::parseInvTerm(InvTerm &Out) {
+  if (checkIdent("value") && peek(1).is(TokenKind::LParen)) {
+    advance();
+    advance();
+    Out.K = InvTerm::Kind::ValueOf;
+    if (!check(TokenKind::Identifier)) {
+      error("expected variable inside value(...)");
+      return false;
+    }
+    Out.Var = advance().Text;
+    return expect(TokenKind::RParen, "to close value(...)");
+  }
+  if (checkIdent("location") && peek(1).is(TokenKind::LParen)) {
+    advance();
+    advance();
+    Out.K = InvTerm::Kind::LocationOf;
+    if (!check(TokenKind::Identifier)) {
+      error("expected variable inside location(...)");
+      return false;
+    }
+    Out.Var = advance().Text;
+    return expect(TokenKind::RParen, "to close location(...)");
+  }
+  if (match(TokenKind::Star)) {
+    Out.K = InvTerm::Kind::Deref;
+    if (!check(TokenKind::Identifier)) {
+      error("expected quantified variable after '*'");
+      return false;
+    }
+    Out.Var = advance().Text;
+    return true;
+  }
+  if (checkIdent("NULL")) {
+    advance();
+    Out.K = InvTerm::Kind::Null;
+    return true;
+  }
+  if (check(TokenKind::Identifier)) {
+    Out.K = InvTerm::Kind::VarRef;
+    Out.Var = advance().Text;
+    return true;
+  }
+  bool Negative = match(TokenKind::Minus);
+  if (check(TokenKind::IntLiteral)) {
+    Out.K = InvTerm::Kind::Int;
+    Out.Int = advance().IntValue;
+    if (Negative)
+      Out.Int = -Out.Int;
+    return true;
+  }
+  error("expected invariant term");
+  return false;
+}
+
+bool stq::qual::parseQualifiers(const std::string &Source, QualifierSet &Set,
+                                DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  unsigned ErrorsBefore = Diags.errorCount();
+  QualParser P(Lex.tokenize(), Set, Diags);
+  bool Ok = P.run();
+  return Ok && Diags.errorCount() == ErrorsBefore;
+}
+
+//===----------------------------------------------------------------------===//
+// Well-formedness
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class WellFormedChecker {
+public:
+  WellFormedChecker(const QualifierSet &Set, DiagnosticEngine &Diags)
+      : Set(Set), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.error(Loc, "qualwf", Message);
+  }
+
+  void checkDef(const QualifierDef &Def);
+  void checkClause(const QualifierDef &Def, const Clause &C,
+                   const char *BlockName, bool SubjectInScope);
+  /// Verifies \p Name is a declared pattern variable (or the subject, when
+  /// in scope); returns its declaration or null for the subject.
+  const VarPatternDecl *resolveVar(const QualifierDef &Def, const Clause &C,
+                                   const std::string &Name,
+                                   bool SubjectInScope, SourceLoc Loc,
+                                   bool &Ok);
+  void checkPred(const QualifierDef &Def, const Clause &C, const Pred &P,
+                 bool SubjectInScope);
+  void checkInv(const QualifierDef &Def, const InvPred &P,
+                std::set<std::string> &Bound);
+  void checkInvTerm(const QualifierDef &Def, const InvTerm &T,
+                    const std::set<std::string> &Bound);
+
+  const QualifierSet &Set;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+bool WellFormedChecker::run() {
+  unsigned ErrorsBefore = Diags.errorCount();
+  std::set<std::string> Seen;
+  for (const QualifierDef &Def : Set.all()) {
+    if (!Seen.insert(Def.Name).second)
+      error(Def.Loc, "duplicate qualifier '" + Def.Name + "'");
+    checkDef(Def);
+  }
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+void WellFormedChecker::checkDef(const QualifierDef &Def) {
+  if (Def.isValue()) {
+    if (Def.SubjectCls != Classifier::Expr)
+      error(Def.Loc, "value qualifier '" + Def.Name +
+                         "' must have an Expr subject");
+    if (!Def.Assigns.empty() || Def.OnDecl || Def.DisallowRead ||
+        Def.DisallowAddrOf)
+      error(Def.Loc, "value qualifier '" + Def.Name +
+                         "' may not use assign/disallow/ondecl blocks");
+  } else {
+    if (Def.SubjectCls != Classifier::LValue &&
+        Def.SubjectCls != Classifier::Var)
+      error(Def.Loc, "reference qualifier '" + Def.Name +
+                         "' must have an LValue or Var subject");
+    if (!Def.Cases.empty())
+      error(Def.Loc, "reference qualifier '" + Def.Name +
+                         "' may not use a case block");
+  }
+
+  for (const Clause &C : Def.Cases)
+    checkClause(Def, C, "case", /*SubjectInScope=*/true);
+  for (const Clause &C : Def.Restricts)
+    checkClause(Def, C, "restrict", /*SubjectInScope=*/false);
+  for (const Clause &C : Def.Assigns)
+    checkClause(Def, C, "assign", /*SubjectInScope=*/false);
+
+  if (Def.Invariant) {
+    std::set<std::string> Bound;
+    checkInv(Def, *Def.Invariant, Bound);
+  }
+}
+
+const VarPatternDecl *WellFormedChecker::resolveVar(
+    const QualifierDef &Def, const Clause &C, const std::string &Name,
+    bool SubjectInScope, SourceLoc Loc, bool &Ok) {
+  if (const VarPatternDecl *D = C.findDecl(Name))
+    return D;
+  if (SubjectInScope && Name == Def.SubjectVar)
+    return nullptr; // The subject.
+  error(Loc, "undeclared pattern variable '" + Name + "' in '" + Def.Name +
+                 "'");
+  Ok = false;
+  return nullptr;
+}
+
+void WellFormedChecker::checkClause(const QualifierDef &Def, const Clause &C,
+                                    const char *BlockName,
+                                    bool SubjectInScope) {
+  // Duplicate decls.
+  std::set<std::string> Names;
+  for (const VarPatternDecl &D : C.Decls) {
+    if (!Names.insert(D.Name).second)
+      error(D.Loc, "duplicate pattern variable '" + D.Name + "'");
+    if (D.Name == Def.SubjectVar)
+      error(D.Loc, "pattern variable '" + D.Name +
+                       "' shadows the subject variable");
+  }
+
+  bool Ok = true;
+  const ExprPattern &P = C.Pattern;
+  switch (P.K) {
+  case ExprPattern::Kind::New:
+    if (std::string(BlockName) != "assign")
+      error(P.Loc,
+            "'new' may only be matched in assign blocks (calls are not "
+            "expressions)");
+    break;
+  case ExprPattern::Kind::Null:
+    if (std::string(BlockName) != "assign")
+      error(P.Loc, "'NULL' pattern is only available in assign blocks");
+    break;
+  case ExprPattern::Kind::Var:
+    resolveVar(Def, C, P.X, SubjectInScope, P.Loc, Ok);
+    break;
+  case ExprPattern::Kind::Deref:
+  case ExprPattern::Kind::AddrOf:
+  case ExprPattern::Kind::Unary: {
+    const VarPatternDecl *D = resolveVar(Def, C, P.X, SubjectInScope, P.Loc,
+                                         Ok);
+    if (Ok && P.K == ExprPattern::Kind::Deref && D &&
+        D->Ty.K != TypePattern::Kind::Pointer &&
+        D->Ty.K != TypePattern::Kind::Any)
+      error(P.Loc, "dereference pattern requires a pointer-typed variable");
+    break;
+  }
+  case ExprPattern::Kind::Binary:
+    resolveVar(Def, C, P.X, SubjectInScope, P.Loc, Ok);
+    resolveVar(Def, C, P.Y, SubjectInScope, P.Loc, Ok);
+    break;
+  }
+
+  checkPred(Def, C, C.Where, SubjectInScope);
+}
+
+void WellFormedChecker::checkPred(const QualifierDef &Def, const Clause &C,
+                                  const Pred &P, bool SubjectInScope) {
+  switch (P.K) {
+  case Pred::Kind::True:
+    return;
+  case Pred::Kind::And:
+  case Pred::Kind::Or:
+    checkPred(Def, C, *P.LHS, SubjectInScope);
+    checkPred(Def, C, *P.RHS, SubjectInScope);
+    return;
+  case Pred::Kind::QualCheck: {
+    if (!Set.find(P.Qual))
+      error(P.Loc, "qualifier check references unknown qualifier '" +
+                       P.Qual + "'");
+    bool Ok = true;
+    resolveVar(Def, C, P.Var, SubjectInScope, P.Loc, Ok);
+    return;
+  }
+  case Pred::Kind::Compare: {
+    for (const Pred::Term *T : {&P.A, &P.B}) {
+      if (T->K != Pred::Term::Kind::Var)
+        continue;
+      bool Ok = true;
+      const VarPatternDecl *D =
+          resolveVar(Def, C, T->Var, SubjectInScope, P.Loc, Ok);
+      if (Ok && (!D || D->Cls != Classifier::Const))
+        error(P.Loc, "comparison operand '" + T->Var +
+                         "' must have classifier Const");
+    }
+    return;
+  }
+  }
+}
+
+void WellFormedChecker::checkInv(const QualifierDef &Def, const InvPred &P,
+                                 std::set<std::string> &Bound) {
+  switch (P.K) {
+  case InvPred::Kind::Compare:
+    checkInvTerm(Def, P.A, Bound);
+    checkInvTerm(Def, P.B, Bound);
+    return;
+  case InvPred::Kind::IsHeapLoc:
+    checkInvTerm(Def, P.A, Bound);
+    return;
+  case InvPred::Kind::And:
+  case InvPred::Kind::Or:
+  case InvPred::Kind::Implies:
+    checkInv(Def, *P.LHS, Bound);
+    checkInv(Def, *P.RHS, Bound);
+    return;
+  case InvPred::Kind::Forall: {
+    if (!Def.IsRef)
+      error(P.Loc,
+            "quantified invariants are only supported for reference "
+            "qualifiers");
+    if (P.ForallTy.K != TypePattern::Kind::Pointer)
+      error(P.Loc, "quantified variable must range over pointer locations");
+    if (Bound.count(P.ForallVar) || P.ForallVar == Def.SubjectVar)
+      error(P.Loc, "quantified variable '" + P.ForallVar +
+                       "' shadows an existing binding");
+    Bound.insert(P.ForallVar);
+    checkInv(Def, *P.Body, Bound);
+    Bound.erase(P.ForallVar);
+    return;
+  }
+  }
+}
+
+void WellFormedChecker::checkInvTerm(const QualifierDef &Def, const InvTerm &T,
+                                     const std::set<std::string> &Bound) {
+  switch (T.K) {
+  case InvTerm::Kind::ValueOf:
+    if (T.Var != Def.SubjectVar)
+      error(SourceLoc(), "value(...) must name the subject variable in '" +
+                             Def.Name + "'");
+    return;
+  case InvTerm::Kind::LocationOf:
+    if (T.Var != Def.SubjectVar)
+      error(SourceLoc(),
+            "location(...) must name the subject variable in '" + Def.Name +
+                "'");
+    if (!Def.IsRef)
+      error(SourceLoc(),
+            "location(...) is only meaningful for reference qualifiers");
+    return;
+  case InvTerm::Kind::Deref:
+    if (!Bound.count(T.Var))
+      error(SourceLoc(), "'*" + T.Var +
+                             "' dereferences an unbound variable in '" +
+                             Def.Name + "'");
+    return;
+  case InvTerm::Kind::VarRef:
+    if (!Bound.count(T.Var))
+      error(SourceLoc(), "unbound variable '" + T.Var + "' in invariant of '" +
+                             Def.Name + "'");
+    return;
+  case InvTerm::Kind::Int:
+  case InvTerm::Kind::Null:
+    return;
+  }
+}
+
+bool stq::qual::checkWellFormed(const QualifierSet &Set,
+                                DiagnosticEngine &Diags) {
+  WellFormedChecker C(Set, Diags);
+  return C.run();
+}

@@ -1,0 +1,40 @@
+//===- QualParser.h - Parser for qualifier definitions ----------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the qualifier-definition language of section 2 and checks
+/// definitions for well-formedness (classifier constraints, variable
+/// scoping, block applicability).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_QUAL_QUALPARSER_H
+#define STQ_QUAL_QUALPARSER_H
+
+#include "qual/QualAST.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace stq::qual {
+
+/// Parses zero or more qualifier definitions from \p Source into \p Set.
+/// Parse errors use phase "qualparse". Returns true on success.
+bool parseQualifiers(const std::string &Source, QualifierSet &Set,
+                     DiagnosticEngine &Diags);
+
+/// Checks every definition in \p Set for well-formedness: subject
+/// classifiers match the qualifier kind, blocks are applicable, pattern and
+/// predicate variables are in scope with compatible classifiers, qualifier
+/// checks reference loaded qualifiers, and invariants use value/location and
+/// quantified variables legally. Errors use phase "qualwf". Returns true if
+/// all definitions are well formed.
+bool checkWellFormed(const QualifierSet &Set, DiagnosticEngine &Diags);
+
+} // namespace stq::qual
+
+#endif // STQ_QUAL_QUALPARSER_H

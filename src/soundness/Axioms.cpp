@@ -1,0 +1,113 @@
+//===- Axioms.cpp ---------------------------------------------------------===//
+
+#include "soundness/Axioms.h"
+
+using namespace stq;
+using namespace stq::soundness;
+using namespace stq::prover;
+
+void stq::soundness::addSemanticAxioms(Prover &P) {
+  TermArena &A = P.arena();
+  Vocab V(A);
+
+  TermId Vs = A.var("s");
+  TermId Vc = A.var("c");
+  TermId Ve1 = A.var("e1"), Ve2 = A.var("e2"), Ve = A.var("e");
+  TermId Vl = A.var("l");
+  TermId Vm = A.var("m"), Vk = A.var("k"), Vv = A.var("v"), Vj = A.var("j");
+  TermId Vx = A.var("x"), Vy = A.var("y");
+
+  // --- Expression evaluation -------------------------------------------
+  // evalExpr(s, constInt(c)) = c.
+  P.addAxiom("eval-const",
+             fForall({"s", "c"},
+                     fEq(V.evalExpr(Vs, V.constIntExpr(Vc)), Vc),
+                     {MultiPattern{V.evalExpr(Vs, V.constIntExpr(Vc))}}));
+  // Binary arithmetic expressions evaluate through their uninterpreted
+  // (but sign-axiomatized) value-level counterparts.
+  struct BinMap {
+    const char *ExprSym;
+    const char *ValueSym;
+  };
+  for (BinMap M : {BinMap{"mult", "times"}, BinMap{"plus", "plus"},
+                   BinMap{"sub", "minus"}, BinMap{"div", "divide"},
+                   BinMap{"rem", "remainder"}}) {
+    TermId ExprT = V.binExpr(M.ExprSym, Ve1, Ve2);
+    P.addAxiom(std::string("eval-") + M.ExprSym,
+               fForall({"s", "e1", "e2"},
+                       fEq(V.evalExpr(Vs, ExprT),
+                           A.app(M.ValueSym, {V.evalExpr(Vs, Ve1),
+                                              V.evalExpr(Vs, Ve2)})),
+                       {MultiPattern{V.evalExpr(Vs, ExprT)}}));
+  }
+  // Unary negation.
+  P.addAxiom("eval-neg",
+             fForall({"s", "e"},
+                     fEq(V.evalExpr(Vs, V.unExpr("neg", Ve)),
+                         A.app("negate", {V.evalExpr(Vs, Ve)})),
+                     {MultiPattern{V.evalExpr(Vs, V.unExpr("neg", Ve))}}));
+  // Dereference reads the store at the pointer's value.
+  P.addAxiom("eval-deref",
+             fForall({"s", "e"},
+                     fEq(V.evalExpr(Vs, V.derefExpr(Ve)),
+                         V.select(V.getStore(Vs), V.evalExpr(Vs, Ve))),
+                     {MultiPattern{V.evalExpr(Vs, V.derefExpr(Ve))}}));
+  // Address-of yields the l-value's location.
+  P.addAxiom("eval-addrof",
+             fForall({"s", "l"},
+                     fEq(V.evalExpr(Vs, V.addrOfExpr(Vl)),
+                         V.location(Vs, Vl)),
+                     {MultiPattern{V.evalExpr(Vs, V.addrOfExpr(Vl))}}));
+
+  // --- Locations --------------------------------------------------------
+  // Valid l-values have non-NULL locations, and locations are locations.
+  P.addAxiom("location-nonnull",
+             fForall({"s", "l"},
+                     fNe(V.location(Vs, Vl), A.nullTerm()),
+                     {MultiPattern{V.location(Vs, Vl)}}));
+  P.addAxiom("location-isloc",
+             fForall({"s", "l"}, V.isLoc(V.location(Vs, Vl)),
+                     {MultiPattern{V.location(Vs, Vl)}}));
+
+  // --- Maps --------------------------------------------------------------
+  P.addAxiom("select-update-eq",
+             fForall({"m", "k", "v"},
+                     fEq(V.select(V.update(Vm, Vk, Vv), Vk), Vv),
+                     {MultiPattern{V.update(Vm, Vk, Vv)}}));
+  P.addAxiom(
+      "select-update-other",
+      fForall({"m", "k", "v", "j"},
+              fOr({fEq(Vj, Vk), fEq(V.select(V.update(Vm, Vk, Vv), Vj),
+                                    V.select(Vm, Vj))}),
+              {MultiPattern{V.select(V.update(Vm, Vk, Vv), Vj)}}));
+
+  // --- Environments -------------------------------------------------------
+  // Distinct variables live at distinct locations.
+  P.addAxiom("env-injective",
+             fForall({"s", "x", "y"},
+                     fOr({fEq(Vx, Vy),
+                          fNe(V.select(V.getEnv(Vs), Vx),
+                              V.select(V.getEnv(Vs), Vy))}),
+                     {MultiPattern{V.select(V.getEnv(Vs), Vx),
+                                   V.select(V.getEnv(Vs), Vy)}}));
+  // Variable locations are on the stack and are valid locations.
+  P.addAxiom("env-stack",
+             fForall({"s", "x"},
+                     V.notHeapLoc(V.select(V.getEnv(Vs), Vx)),
+                     {MultiPattern{V.select(V.getEnv(Vs), Vx)}}));
+  P.addAxiom("env-isloc",
+             fForall({"s", "x"}, V.isLoc(V.select(V.getEnv(Vs), Vx)),
+                     {MultiPattern{V.select(V.getEnv(Vs), Vx)}}));
+  P.addAxiom("env-nonnull",
+             fForall({"s", "x"},
+                     fNe(V.select(V.getEnv(Vs), Vx), A.nullTerm()),
+                     {MultiPattern{V.select(V.getEnv(Vs), Vx)}}));
+
+  // --- Sorts ---------------------------------------------------------------
+  // NULL is neither a heap location nor a location at all.
+  P.addHypothesis(V.notHeapLoc(A.nullTerm()));
+  P.addHypothesis(V.notLoc(A.nullTerm()));
+
+  // Partial nonlinear arithmetic, as in Simplify.
+  P.addArithmeticSignAxioms();
+}

@@ -1,0 +1,102 @@
+//===- Axioms.h - Axiomatized dynamic semantics of the IL -------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The axioms the soundness checker supplies to the prover (section 4.1).
+/// Execution states are represented by constants related through
+/// `getEnv`/`getStore`; program expressions are reified terms (`constInt`,
+/// `multExpr`, `addrOfExpr`, ...) evaluated by `evalExpr`; environments and
+/// stores are maps with `select`/`update`.
+///
+/// Where the paper writes stepState(rho), our obligations introduce an
+/// explicit post-state constant whose store is an `update` of the
+/// pre-state's store; the two encodings are interchangeable and ours keeps
+/// the triggers simple.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SOUNDNESS_AXIOMS_H
+#define STQ_SOUNDNESS_AXIOMS_H
+
+#include "prover/Prover.h"
+
+namespace stq::soundness {
+
+/// Helpers that build the soundness vocabulary over a prover's arena.
+/// All functions intern terms; repeated calls are cheap.
+struct Vocab {
+  prover::TermArena &A;
+
+  explicit Vocab(prover::TermArena &A) : A(A) {}
+
+  // States and their components.
+  prover::TermId getEnv(prover::TermId State) {
+    return A.app("getEnv", {State});
+  }
+  prover::TermId getStore(prover::TermId State) {
+    return A.app("getStore", {State});
+  }
+
+  // Maps.
+  prover::TermId select(prover::TermId Map, prover::TermId Key) {
+    return A.app("select", {Map, Key});
+  }
+  prover::TermId update(prover::TermId Map, prover::TermId Key,
+                        prover::TermId Value) {
+    return A.app("update", {Map, Key, Value});
+  }
+
+  // Reified program expressions.
+  prover::TermId constIntExpr(prover::TermId Value) {
+    return A.app("constInt", {Value});
+  }
+  prover::TermId binExpr(const std::string &Op, prover::TermId E1,
+                         prover::TermId E2) {
+    return A.app(Op + "Expr", {E1, E2});
+  }
+  prover::TermId unExpr(const std::string &Op, prover::TermId E) {
+    return A.app(Op + "Expr", {E});
+  }
+  prover::TermId derefExpr(prover::TermId E) {
+    return A.app("derefExpr", {E});
+  }
+  prover::TermId addrOfExpr(prover::TermId L) {
+    return A.app("addrOfExpr", {L});
+  }
+
+  // Evaluation and locations.
+  prover::TermId evalExpr(prover::TermId State, prover::TermId E) {
+    return A.app("evalExpr", {State, E});
+  }
+  prover::TermId location(prover::TermId State, prover::TermId L) {
+    return A.app("location", {State, L});
+  }
+
+  // Value-sort predicates.
+  prover::FormulaPtr isHeapLoc(prover::TermId V) {
+    return prover::fPred(A, "isHeapLoc", {V});
+  }
+  prover::FormulaPtr notHeapLoc(prover::TermId V) {
+    return prover::fNotPred(A, "isHeapLoc", {V});
+  }
+  prover::FormulaPtr isLoc(prover::TermId V) {
+    return prover::fPred(A, "isLoc", {V});
+  }
+  prover::FormulaPtr notLoc(prover::TermId V) {
+    return prover::fNotPred(A, "isLoc", {V});
+  }
+};
+
+/// Installs the standard semantic axioms into \p P: expression evaluation,
+/// map select/update, location validity, environment injectivity and
+/// stack-ness, and NULL/heap sort facts. Also installs the arithmetic sign
+/// axioms for `times`/`plus`/`negate`.
+void addSemanticAxioms(prover::Prover &P);
+
+} // namespace stq::soundness
+
+#endif // STQ_SOUNDNESS_AXIOMS_H

@@ -1,0 +1,641 @@
+//===- Soundness.cpp ------------------------------------------------------===//
+
+#include "soundness/Soundness.h"
+
+#include "soundness/Axioms.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <sstream>
+
+using namespace stq;
+using namespace stq::soundness;
+using namespace stq::prover;
+using qual::Classifier;
+using qual::Clause;
+using qual::ExprPattern;
+using qual::InvPred;
+using qual::InvTerm;
+using qual::Pred;
+using qual::QualifierDef;
+using cminus::BinaryOp;
+using cminus::UnaryOp;
+
+namespace {
+
+const char *binExprSym(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Mul:
+    return "mult";
+  case BinaryOp::Add:
+    return "plus";
+  case BinaryOp::Sub:
+    return "sub";
+  case BinaryOp::Div:
+    return "div";
+  case BinaryOp::Rem:
+    return "rem";
+  case BinaryOp::Eq:
+    return "cmpEq";
+  case BinaryOp::Ne:
+    return "cmpNe";
+  case BinaryOp::Lt:
+    return "cmpLt";
+  case BinaryOp::Le:
+    return "cmpLe";
+  case BinaryOp::Gt:
+    return "cmpGt";
+  case BinaryOp::Ge:
+    return "cmpGe";
+  case BinaryOp::LAnd:
+    return "logAnd";
+  case BinaryOp::LOr:
+    return "logOr";
+  }
+  return "unknownBin";
+}
+
+const char *unExprSym(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "neg";
+  case UnaryOp::Not:
+    return "lognot";
+  case UnaryOp::BitNot:
+    return "bitnot";
+  }
+  return "unknownUn";
+}
+
+/// Context for translating a qualifier invariant into a prover formula.
+struct InvCtx {
+  TermId State = InvalidTerm;     ///< Execution state term (for evalExpr).
+  /// The store the invariant is evaluated against. Post-states use the
+  /// explicit update(...) term so the select/update axioms' triggers match
+  /// syntactically (our matcher does not match modulo equality).
+  TermId Store = InvalidTerm;
+  TermId ValueTerm = InvalidTerm; ///< value(<subject>).
+  TermId LocTerm = InvalidTerm;   ///< location(<subject>) (ref quals only).
+  std::map<std::string, TermId> Bound; ///< forall-bound location vars.
+};
+
+/// Builds one proof obligation: owns a prover seeded with the semantic
+/// axioms and provides the translation helpers shared by every obligation
+/// kind.
+class ObligationBuilder {
+public:
+  ObligationBuilder(const qual::QualifierSet &Set, ProverOptions Options)
+      : Set(Set), P(Options), A(P.arena()), V(A) {
+    addSemanticAxioms(P);
+    Rho = A.app("rho");
+  }
+
+  Prover &prover() { return P; }
+  TermArena &arena() { return A; }
+  Vocab &vocab() { return V; }
+  TermId rho() const { return Rho; }
+
+  /// Builds the reified expression term for a case/assign pattern,
+  /// creating fresh constants for the pattern variables; returns the term
+  /// and populates the bindings used for where-predicate translation.
+  TermId buildPatternExpr(const QualifierDef &Q, const Clause &C);
+
+  /// Translates a where-predicate into a hypothesis formula.
+  FormulaPtr translatePred(const Pred &Pr);
+
+  /// Translates qualifier \p Q's invariant under \p Ctx. Returns fTrue for
+  /// flow qualifiers.
+  FormulaPtr translateInv(const QualifierDef &Q, const InvCtx &Ctx);
+
+  /// Invariant hypothesis for a qualifier check q(X) on expression term
+  /// \p ExprTerm in state \p State.
+  FormulaPtr qualHypothesis(const std::string &QualName, TermId ExprTerm,
+                            TermId State);
+
+  /// Adds the allocation facts for a fresh heap cell and returns its
+  /// location value.
+  TermId freshAllocation(TermId PreStore);
+
+private:
+  TermId termOfVar(const QualifierDef &Q, const Clause &C,
+                   const std::string &Name);
+  FormulaPtr translateInvPred(const InvPred &Inv, InvCtx &Ctx);
+  TermId translateInvTerm(const InvTerm &T, const InvCtx &Ctx);
+
+  const qual::QualifierSet &Set;
+  Prover P;
+  TermArena &A;
+  Vocab V;
+  TermId Rho = InvalidTerm;
+  /// Pattern variable -> reified expression/l-value term.
+  std::map<std::string, TermId> ExprOf;
+  /// Const-classifier variable -> its value term.
+  std::map<std::string, TermId> ConstValOf;
+};
+
+TermId ObligationBuilder::termOfVar(const QualifierDef &Q, const Clause &C,
+                                    const std::string &Name) {
+  auto Found = ExprOf.find(Name);
+  if (Found != ExprOf.end())
+    return Found->second;
+  const qual::VarPatternDecl *D = C.findDecl(Name);
+  TermId T;
+  if (D && D->Cls == Classifier::Const) {
+    // A constant expression whose value is an arbitrary integer constant.
+    TermId Val = A.app("$const_" + Name);
+    ConstValOf[Name] = Val;
+    T = V.constIntExpr(Val);
+  } else if (D && (D->Cls == Classifier::LValue || D->Cls == Classifier::Var)) {
+    T = A.app("$lv_" + Name);
+  } else {
+    // Expr classifier (or the subject): an arbitrary expression.
+    T = A.app("$expr_" + Name);
+  }
+  ExprOf[Name] = T;
+  (void)Q;
+  return T;
+}
+
+TermId ObligationBuilder::buildPatternExpr(const QualifierDef &Q,
+                                           const Clause &C) {
+  const ExprPattern &Pat = C.Pattern;
+  switch (Pat.K) {
+  case ExprPattern::Kind::Var:
+    return termOfVar(Q, C, Pat.X);
+  case ExprPattern::Kind::Deref:
+    return V.derefExpr(termOfVar(Q, C, Pat.X));
+  case ExprPattern::Kind::AddrOf:
+    return V.addrOfExpr(termOfVar(Q, C, Pat.X));
+  case ExprPattern::Kind::Unary:
+    return V.unExpr(unExprSym(Pat.Uop), termOfVar(Q, C, Pat.X));
+  case ExprPattern::Kind::Binary:
+    return V.binExpr(binExprSym(Pat.Bop), termOfVar(Q, C, Pat.X),
+                     termOfVar(Q, C, Pat.Y));
+  case ExprPattern::Kind::New:
+  case ExprPattern::Kind::Null:
+    assert(false && "NULL/new handled by the assign-clause driver");
+    return InvalidTerm;
+  }
+  return InvalidTerm;
+}
+
+FormulaPtr ObligationBuilder::qualHypothesis(const std::string &QualName,
+                                             TermId ExprTerm, TermId State) {
+  const QualifierDef *Q = Set.find(QualName);
+  if (!Q || !Q->Invariant)
+    return fTrue(); // Flow qualifier: nothing may be assumed.
+  InvCtx Ctx;
+  Ctx.State = State;
+  Ctx.Store = V.getStore(State);
+  Ctx.ValueTerm = V.evalExpr(State, ExprTerm);
+  return translateInv(*Q, Ctx);
+}
+
+FormulaPtr ObligationBuilder::translatePred(const Pred &Pr) {
+  switch (Pr.K) {
+  case Pred::Kind::True:
+    return fTrue();
+  case Pred::Kind::And:
+    return fAnd({translatePred(*Pr.LHS), translatePred(*Pr.RHS)});
+  case Pred::Kind::Or:
+    return fOr({translatePred(*Pr.LHS), translatePred(*Pr.RHS)});
+  case Pred::Kind::QualCheck: {
+    auto Found = ExprOf.find(Pr.Var);
+    assert(Found != ExprOf.end() && "predicate variable not bound");
+    return qualHypothesis(Pr.Qual, Found->second, Rho);
+  }
+  case Pred::Kind::Compare: {
+    auto TermOf = [&](const Pred::Term &T) -> TermId {
+      switch (T.K) {
+      case Pred::Term::Kind::Int:
+        return A.intConst(T.Int);
+      case Pred::Term::Kind::Null:
+        return A.nullTerm();
+      case Pred::Term::Kind::Var: {
+        auto Found = ConstValOf.find(T.Var);
+        assert(Found != ConstValOf.end() &&
+               "comparison on non-Const variable");
+        return Found->second;
+      }
+      }
+      return InvalidTerm;
+    };
+    TermId L = TermOf(Pr.A), R = TermOf(Pr.B);
+    switch (Pr.CmpOp) {
+    case BinaryOp::Eq:
+      return fEq(L, R);
+    case BinaryOp::Ne:
+      return fNe(L, R);
+    case BinaryOp::Lt:
+      return fLt(L, R);
+    case BinaryOp::Le:
+      return fLe(L, R);
+    case BinaryOp::Gt:
+      return fGt(L, R);
+    case BinaryOp::Ge:
+      return fGe(L, R);
+    default:
+      return fTrue();
+    }
+  }
+  }
+  return fTrue();
+}
+
+FormulaPtr ObligationBuilder::translateInv(const QualifierDef &Q,
+                                           const InvCtx &Ctx) {
+  if (!Q.Invariant)
+    return fTrue();
+  InvCtx Mutable = Ctx;
+  return translateInvPred(*Q.Invariant, Mutable);
+}
+
+TermId ObligationBuilder::translateInvTerm(const InvTerm &T,
+                                           const InvCtx &Ctx) {
+  switch (T.K) {
+  case InvTerm::Kind::ValueOf:
+    return Ctx.ValueTerm;
+  case InvTerm::Kind::LocationOf:
+    assert(Ctx.LocTerm != InvalidTerm && "location in a value qualifier");
+    return Ctx.LocTerm;
+  case InvTerm::Kind::Deref: {
+    auto Found = Ctx.Bound.find(T.Var);
+    assert(Found != Ctx.Bound.end() && "unbound quantified variable");
+    return V.select(Ctx.Store, Found->second);
+  }
+  case InvTerm::Kind::VarRef: {
+    auto Found = Ctx.Bound.find(T.Var);
+    assert(Found != Ctx.Bound.end() && "unbound quantified variable");
+    return Found->second;
+  }
+  case InvTerm::Kind::Int:
+    return A.intConst(T.Int);
+  case InvTerm::Kind::Null:
+    return A.nullTerm();
+  }
+  return InvalidTerm;
+}
+
+FormulaPtr ObligationBuilder::translateInvPred(const InvPred &Inv,
+                                               InvCtx &Ctx) {
+  switch (Inv.K) {
+  case InvPred::Kind::Compare: {
+    TermId L = translateInvTerm(Inv.A, Ctx);
+    TermId R = translateInvTerm(Inv.B, Ctx);
+    switch (Inv.CmpOp) {
+    case BinaryOp::Eq:
+      return fEq(L, R);
+    case BinaryOp::Ne:
+      return fNe(L, R);
+    case BinaryOp::Lt:
+      return fLt(L, R);
+    case BinaryOp::Le:
+      return fLe(L, R);
+    case BinaryOp::Gt:
+      return fGt(L, R);
+    case BinaryOp::Ge:
+      return fGe(L, R);
+    default:
+      return fTrue();
+    }
+  }
+  case InvPred::Kind::IsHeapLoc:
+    return V.isHeapLoc(translateInvTerm(Inv.A, Ctx));
+  case InvPred::Kind::And:
+    return fAnd({translateInvPred(*Inv.LHS, Ctx),
+                 translateInvPred(*Inv.RHS, Ctx)});
+  case InvPred::Kind::Or:
+    return fOr({translateInvPred(*Inv.LHS, Ctx),
+                translateInvPred(*Inv.RHS, Ctx)});
+  case InvPred::Kind::Implies:
+    return fImplies(translateInvPred(*Inv.LHS, Ctx),
+                    translateInvPred(*Inv.RHS, Ctx));
+  case InvPred::Kind::Forall: {
+    // Quantified variables range over memory locations in the state.
+    std::string VarName = "q_" + Inv.ForallVar;
+    TermId Var = A.var(VarName);
+    auto Saved = Ctx.Bound;
+    Ctx.Bound[Inv.ForallVar] = Var;
+    FormulaPtr Body = translateInvPred(*Inv.Body, Ctx);
+    Ctx.Bound = Saved;
+    return fForall({VarName}, std::move(Body));
+  }
+  }
+  return fTrue();
+}
+
+TermId ObligationBuilder::freshAllocation(TermId PreStore) {
+  TermId NewL = A.app("$newLoc");
+  P.addHypothesis(V.isHeapLoc(NewL));
+  P.addHypothesis(V.isLoc(NewL));
+  P.addHypothesis(fNe(NewL, A.nullTerm()));
+  // Freshness: no existing cell holds the new location.
+  TermId Pv = A.var("fp");
+  P.addHypothesis(fForall({"fp"}, fNe(V.select(PreStore, Pv), NewL),
+                          {MultiPattern{V.select(PreStore, Pv)}}));
+  return NewL;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Obligation drivers
+//===----------------------------------------------------------------------===//
+
+Obligation SoundnessChecker::dischargeCaseClause(const QualifierDef &Q,
+                                                 const Clause &C,
+                                                 unsigned Index) {
+  Obligation O;
+  O.Qual = Q.Name;
+  O.Kind = "case";
+  O.Description = "case clause " + std::to_string(Index + 1) + " (" +
+                  C.Pattern.str() + ")";
+
+  ObligationBuilder B(Set, Options);
+  TermId E = B.buildPatternExpr(Q, C);
+  B.prover().addHypothesis(B.translatePred(C.Where));
+
+  InvCtx Ctx;
+  Ctx.State = B.rho();
+  Ctx.Store = B.vocab().getStore(B.rho());
+  Ctx.ValueTerm = B.vocab().evalExpr(B.rho(), E);
+  FormulaPtr Goal = B.translateInv(Q, Ctx);
+  O.Result = B.prover().prove(Goal);
+  O.Stats = B.prover().stats();
+  return O;
+}
+
+Obligation SoundnessChecker::dischargeAssignClause(const QualifierDef &Q,
+                                                   const Clause &C,
+                                                   unsigned Index) {
+  Obligation O;
+  O.Qual = Q.Name;
+  O.Kind = "assign";
+  O.Description = "assign clause " + std::to_string(Index + 1) + " (" +
+                  C.Pattern.str() + ")";
+
+  ObligationBuilder B(Set, Options);
+  Prover &P = B.prover();
+  TermArena &A = B.arena();
+  Vocab &V = B.vocab();
+  TermId Rho = B.rho();
+  TermId PreStore = V.getStore(Rho);
+
+  // The subject l-value's location.
+  TermId LocL = A.app("$locSubj");
+  P.addHypothesis(V.isLoc(LocL));
+  P.addHypothesis(fNe(LocL, A.nullTerm()));
+
+  // The assigned value, per the clause's pattern.
+  TermId RhsVal;
+  switch (C.Pattern.K) {
+  case ExprPattern::Kind::Null:
+    RhsVal = A.nullTerm();
+    break;
+  case ExprPattern::Kind::New:
+    RhsVal = B.freshAllocation(PreStore);
+    break;
+  default: {
+    TermId E = B.buildPatternExpr(Q, C);
+    P.addHypothesis(B.translatePred(C.Where));
+    RhsVal = V.evalExpr(Rho, E);
+    break;
+  }
+  }
+
+  // Post-state: the store is updated at the subject's location. The
+  // invariant is evaluated directly over the update(...) term.
+  TermId PostStore = V.update(PreStore, LocL, RhsVal);
+
+  InvCtx Ctx;
+  Ctx.State = Rho;
+  Ctx.Store = PostStore;
+  Ctx.LocTerm = LocL;
+  Ctx.ValueTerm = V.select(PostStore, LocL);
+  O.Result = P.prove(B.translateInv(Q, Ctx));
+  O.Stats = P.stats();
+  return O;
+}
+
+Obligation SoundnessChecker::dischargeOnDecl(const QualifierDef &Q) {
+  Obligation O;
+  O.Qual = Q.Name;
+  O.Kind = "ondecl";
+  O.Description = "establishment at declaration";
+
+  ObligationBuilder B(Set, Options);
+  Prover &P = B.prover();
+  TermArena &A = B.arena();
+  Vocab &V = B.vocab();
+  TermId Rho = B.rho();
+  TermId PreStore = V.getStore(Rho);
+
+  // A freshly declared variable: a stack location no existing cell holds,
+  // zero-initialized (our interpreter's semantics; DESIGN.md documents the
+  // substitution for C's uninitialized locals).
+  TermId LocL = A.app("$locSubj");
+  P.addHypothesis(V.isLoc(LocL));
+  P.addHypothesis(V.notHeapLoc(LocL));
+  P.addHypothesis(fNe(LocL, A.nullTerm()));
+  TermId Pv = A.var("fp");
+  P.addHypothesis(fForall({"fp"}, fNe(V.select(PreStore, Pv), LocL),
+                          {MultiPattern{V.select(PreStore, Pv)}}));
+
+  TermId PostStore = V.update(PreStore, LocL, A.nullTerm());
+
+  InvCtx Ctx;
+  Ctx.State = Rho;
+  Ctx.Store = PostStore;
+  Ctx.LocTerm = LocL;
+  Ctx.ValueTerm = V.select(PostStore, LocL);
+  O.Result = P.prove(B.translateInv(Q, Ctx));
+  O.Stats = P.stats();
+  return O;
+}
+
+std::vector<Obligation>
+SoundnessChecker::dischargePreservation(const QualifierDef &Q) {
+  // The paper's case analysis over right-hand sides consistent with the
+  // disallow clause (section 2.2.3).
+  struct RhsCase {
+    const char *Name;
+    /// Configures the RHS value; returns it.
+    std::function<TermId(ObligationBuilder &, TermId /*PreStore*/,
+                         TermId /*LocL*/, TermId /*SubjVarName*/)>
+        Setup;
+  };
+
+  std::vector<RhsCase> Cases;
+  Cases.push_back(
+      {"rhs NULL",
+       [](ObligationBuilder &B, TermId, TermId, TermId) {
+         return B.arena().nullTerm();
+       }});
+  Cases.push_back(
+      {"rhs integer constant",
+       [](ObligationBuilder &B, TermId, TermId, TermId) {
+         TermId C = B.arena().app("$intVal");
+         B.prover().addHypothesis(B.vocab().notLoc(C));
+         B.prover().addHypothesis(B.vocab().notHeapLoc(C));
+         return C;
+       }});
+  Cases.push_back(
+      {"rhs new allocation",
+       [](ObligationBuilder &B, TermId PreStore, TermId, TermId) {
+         return B.freshAllocation(PreStore);
+       }});
+  Cases.push_back(
+      {"rhs read of an l-value",
+       [&Q](ObligationBuilder &B, TermId PreStore, TermId LocL, TermId) {
+         TermId K = B.arena().app("$readLoc");
+         B.prover().addHypothesis(B.vocab().isLoc(K));
+         // `disallow L`: the read may not refer to the subject l-value.
+         if (Q.DisallowRead)
+           B.prover().addHypothesis(fNe(K, LocL));
+         return B.vocab().select(PreStore, K);
+       }});
+  Cases.push_back(
+      {"rhs address of a variable",
+       [&Q](ObligationBuilder &B, TermId, TermId, TermId SubjVar) {
+         TermId Y = B.arena().app("$otherVar");
+         // `disallow &X`: the address-of may not name the subject.
+         if (Q.DisallowAddrOf && SubjVar != InvalidTerm)
+           B.prover().addHypothesis(fNe(Y, SubjVar));
+         return B.vocab().select(B.vocab().getEnv(B.rho()), Y);
+       }});
+
+  std::vector<Obligation> Out;
+  for (const RhsCase &RC : Cases) {
+    Obligation O;
+    O.Qual = Q.Name;
+    O.Kind = "preserve";
+    O.Description = std::string("preservation, ") + RC.Name;
+
+    ObligationBuilder B(Set, Options);
+    Prover &P = B.prover();
+    TermArena &A = B.arena();
+    Vocab &V = B.vocab();
+    TermId Rho = B.rho();
+    TermId PreStore = V.getStore(Rho);
+
+    // The subject l-value's location. For Var subjects it is an
+    // environment slot, enabling injectivity/stack reasoning.
+    TermId SubjVar = InvalidTerm;
+    TermId LocL;
+    if (Q.SubjectCls == Classifier::Var) {
+      SubjVar = A.app("$subjVar");
+      LocL = V.select(V.getEnv(Rho), SubjVar);
+    } else {
+      LocL = A.app("$locSubj");
+      P.addHypothesis(V.isLoc(LocL));
+      P.addHypothesis(fNe(LocL, A.nullTerm()));
+    }
+
+    // The invariant holds before the assignment.
+    InvCtx Pre;
+    Pre.State = Rho;
+    Pre.Store = PreStore;
+    Pre.LocTerm = LocL;
+    Pre.ValueTerm = V.select(PreStore, LocL);
+    P.addHypothesis(B.translateInv(Q, Pre));
+
+    // An assignment to some other l-value. When the qualifier has an
+    // assign block, assignments to the subject itself are covered by the
+    // assign obligations; otherwise the target may be any l-value,
+    // including the subject.
+    TermId Loc2 = A.app("$locOther");
+    P.addHypothesis(V.isLoc(Loc2));
+    P.addHypothesis(fNe(Loc2, A.nullTerm()));
+    if (!Q.Assigns.empty())
+      P.addHypothesis(fNe(Loc2, LocL));
+
+    TermId RhsVal = RC.Setup(B, PreStore, LocL, SubjVar);
+
+    TermId PostStore = V.update(PreStore, Loc2, RhsVal);
+
+    InvCtx PostCtx;
+    PostCtx.State = Rho;
+    PostCtx.Store = PostStore;
+    PostCtx.LocTerm = LocL;
+    PostCtx.ValueTerm = V.select(PostStore, LocL);
+    O.Result = P.prove(B.translateInv(Q, PostCtx));
+    O.Stats = P.stats();
+    Out.push_back(std::move(O));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+SoundnessReport SoundnessChecker::checkQualifier(const std::string &Name) {
+  SoundnessReport Report;
+  Report.Qual = Name;
+  const QualifierDef *Q = Set.find(Name);
+  if (!Q) {
+    if (Diags)
+      Diags->error(SourceLoc(), "soundness",
+                   "unknown qualifier '" + Name + "'");
+    return Report;
+  }
+  if (!Q->Invariant) {
+    // Flow qualifier: proper value flow is guaranteed by subtyping alone.
+    Report.IsFlowQualifier = true;
+    return Report;
+  }
+
+  if (Q->isValue()) {
+    for (unsigned I = 0; I < Q->Cases.size(); ++I)
+      Report.Obligations.push_back(dischargeCaseClause(*Q, Q->Cases[I], I));
+  } else {
+    for (unsigned I = 0; I < Q->Assigns.size(); ++I)
+      Report.Obligations.push_back(
+          dischargeAssignClause(*Q, Q->Assigns[I], I));
+    if (Q->OnDecl)
+      Report.Obligations.push_back(dischargeOnDecl(*Q));
+    auto Preserve = dischargePreservation(*Q);
+    Report.Obligations.insert(Report.Obligations.end(), Preserve.begin(),
+                              Preserve.end());
+  }
+
+  for (const Obligation &O : Report.Obligations) {
+    Report.TotalSeconds += O.Stats.Seconds;
+    if (!O.proved() && Diags)
+      Diags->error(SourceLoc(), "soundness",
+                   "qualifier '" + Name + "': obligation failed: " +
+                       O.Description +
+                       (O.Stats.Model.empty()
+                            ? std::string()
+                            : " [counterexample sketch: " + O.Stats.Model +
+                                  "]"));
+  }
+  return Report;
+}
+
+std::vector<SoundnessReport> SoundnessChecker::checkAll() {
+  std::vector<SoundnessReport> Out;
+  for (const QualifierDef &Q : Set.all())
+    Out.push_back(checkQualifier(Q.Name));
+  return Out;
+}
+
+std::string stq::soundness::formatReports(
+    const std::vector<SoundnessReport> &Reports) {
+  std::ostringstream OS;
+  for (const SoundnessReport &R : Reports) {
+    OS << R.Qual << ": ";
+    if (R.IsFlowQualifier) {
+      OS << "flow qualifier (sound by subtyping)\n";
+      continue;
+    }
+    OS << (R.sound() ? "SOUND" : "UNSOUND") << " ("
+       << R.Obligations.size() << " obligations, " << R.failedCount()
+       << " failed, " << R.TotalSeconds << "s)\n";
+    for (const Obligation &O : R.Obligations)
+      OS << "  [" << (O.proved() ? "ok" : "FAIL") << "] " << O.Kind << ": "
+         << O.Description << " (" << O.Stats.Seconds << "s)\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,112 @@
+//===- Soundness.h - Automated soundness checking of qualifiers -*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automated soundness checker (sections 2.1.3, 2.2.3, 4.2). For each
+/// qualifier with a declared invariant it generates proof obligations and
+/// discharges them with the prover:
+///
+///  * one obligation per `case` clause of a value qualifier: matching the
+///    pattern and satisfying the predicate, in an arbitrary execution
+///    state, must establish the invariant;
+///  * one obligation per `assign` clause of a reference qualifier, and one
+///    for `ondecl`: the assignment/declaration must establish the
+///    invariant for the qualified l-value;
+///  * preservation obligations: an arbitrary assignment to some *other*
+///    l-value, with a right-hand side consistent with the qualifier's
+///    `disallow` clause, must preserve the invariant. The checker performs
+///    the paper's case analysis over right-hand-side forms (NULL, integer
+///    constants, allocation, reads, addresses of variables).
+///
+/// `restrict` clauses do not affect soundness and are ignored. Qualifiers
+/// without an invariant (flow qualifiers such as tainted/untainted) have no
+/// obligations: their guarantees come from subtyping alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SOUNDNESS_SOUNDNESS_H
+#define STQ_SOUNDNESS_SOUNDNESS_H
+
+#include "prover/Prover.h"
+#include "qual/QualAST.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace stq::soundness {
+
+/// One discharged (or failed) proof obligation.
+struct Obligation {
+  std::string Qual;
+  /// "case", "assign", "ondecl", or "preserve".
+  std::string Kind;
+  std::string Description;
+  prover::ProofResult Result = prover::ProofResult::Unknown;
+  prover::ProverStats Stats;
+
+  bool proved() const { return Result == prover::ProofResult::Proved; }
+};
+
+/// The soundness verdict for one qualifier.
+struct SoundnessReport {
+  std::string Qual;
+  /// True when the qualifier declares no invariant: soundness is vacuous
+  /// (flow qualifiers).
+  bool IsFlowQualifier = false;
+  std::vector<Obligation> Obligations;
+  double TotalSeconds = 0.0;
+
+  bool sound() const {
+    for (const Obligation &O : Obligations)
+      if (!O.proved())
+        return false;
+    return true;
+  }
+  unsigned failedCount() const {
+    unsigned N = 0;
+    for (const Obligation &O : Obligations)
+      if (!O.proved())
+        ++N;
+    return N;
+  }
+};
+
+/// Checks qualifier definitions for soundness against their declared
+/// invariants. Failures are also reported to the diagnostic engine (phase
+/// "soundness") when one is supplied.
+class SoundnessChecker {
+public:
+  SoundnessChecker(const qual::QualifierSet &Set,
+                   prover::ProverOptions Options = {},
+                   DiagnosticEngine *Diags = nullptr)
+      : Set(Set), Options(Options), Diags(Diags) {}
+
+  /// Checks one qualifier by name.
+  SoundnessReport checkQualifier(const std::string &Name);
+  /// Checks every qualifier in the set.
+  std::vector<SoundnessReport> checkAll();
+
+private:
+  Obligation dischargeCaseClause(const qual::QualifierDef &Q,
+                                 const qual::Clause &C, unsigned Index);
+  Obligation dischargeAssignClause(const qual::QualifierDef &Q,
+                                   const qual::Clause &C, unsigned Index);
+  Obligation dischargeOnDecl(const qual::QualifierDef &Q);
+  std::vector<Obligation> dischargePreservation(const qual::QualifierDef &Q);
+
+  const qual::QualifierSet &Set;
+  prover::ProverOptions Options;
+  DiagnosticEngine *Diags;
+};
+
+/// Renders a human-readable summary of \p Reports.
+std::string formatReports(const std::vector<SoundnessReport> &Reports);
+
+} // namespace stq::soundness
+
+#endif // STQ_SOUNDNESS_SOUNDNESS_H

@@ -1,0 +1,46 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast -----------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal hand-rolled RTTI in the LLVM style. A class opts in by defining
+/// `static bool classof(const Base *)` over a kind discriminator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SUPPORT_CASTING_H
+#define STQ_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace stq {
+
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace stq
+
+#endif // STQ_SUPPORT_CASTING_H

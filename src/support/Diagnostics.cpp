@@ -1,0 +1,64 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <ostream>
+
+using namespace stq;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  Out += severityName(Severity);
+  if (!Phase.empty()) {
+    Out += " [";
+    Out += Phase;
+    Out += "]";
+  }
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Phase, std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  else if (Severity == DiagSeverity::Warning)
+    ++NumWarnings;
+  Diags.push_back({Severity, Loc, std::move(Phase), std::move(Message)});
+}
+
+unsigned DiagnosticEngine::countInPhase(const std::string &Phase) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Phase == Phase)
+      ++N;
+  return N;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << "\n";
+}

@@ -1,0 +1,79 @@
+//===- Diagnostics.h - Diagnostic collection and reporting -----*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A diagnostic engine shared by all phases. Following the paper's CIL
+/// implementation, qualifier-checking errors are reported as warnings and do
+/// not abort processing; hard parse errors stop the current phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SUPPORT_DIAGNOSTICS_H
+#define STQ_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stq {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic: severity, optional location, message text, and
+/// the phase that produced it (e.g. "parse", "qualcheck", "soundness").
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Phase;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics across phases. Not thread-safe; one engine per
+/// compilation.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Phase,
+              std::string Message);
+
+  void error(SourceLoc Loc, std::string Phase, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Phase), std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Phase, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Phase), std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Phase, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Phase), std::move(Message));
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+  bool hasErrors() const { return NumErrors != 0; }
+
+  /// Number of diagnostics (any severity) whose phase matches \p Phase.
+  unsigned countInPhase(const std::string &Phase) const;
+
+  /// Drops all collected diagnostics and resets counters.
+  void clear();
+
+  /// Prints every diagnostic, one per line, to \p OS.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace stq
+
+#endif // STQ_SUPPORT_DIAGNOSTICS_H

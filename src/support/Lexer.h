@@ -1,0 +1,123 @@
+//===- Lexer.h - Shared C-like tokenizer ------------------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single tokenizer shared by the C-minus front end and the
+/// qualifier-definition language. Both languages draw from the same C-like
+/// token set; keyword recognition is left to the parsers so each language
+/// keeps its own keyword table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SUPPORT_LEXER_H
+#define STQ_SUPPORT_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stq {
+
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+  CharLiteral,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Ellipsis,
+  Arrow,      // ->
+  Amp,        // &
+  AmpAmp,     // &&
+  Pipe,       // |
+  PipePipe,   // ||
+  Bang,       // !
+  BangEq,     // !=
+  Eq,         // =
+  EqEq,       // ==
+  FatArrow,   // =>
+  Less,       // <
+  LessEq,     // <=
+  Greater,    // >
+  GreaterEq,  // >=
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  Slash,      // /
+  Percent,    // %
+  Colon,      // :
+  Question,   // ?
+  Tilde,      // ~
+};
+
+/// Returns a human-readable spelling for \p Kind, e.g. "'=='" or
+/// "identifier".
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLoc Loc;
+  /// Identifier spelling, or decoded string/char literal contents.
+  std::string Text;
+  /// Value for IntLiteral and CharLiteral tokens.
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isIdent(const char *S) const {
+    return Kind == TokenKind::Identifier && Text == S;
+  }
+};
+
+/// Tokenizes an entire buffer up front. Handles //- and /* */-style comments,
+/// decimal and hex integer literals, and C escape sequences in string/char
+/// literals. Lexical errors are reported to the DiagnosticEngine and the
+/// offending character is skipped.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer and returns the token stream, terminated by an
+  /// EndOfFile token.
+  std::vector<Token> tokenize();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  void lexToken(std::vector<Token> &Out);
+  void lexNumber(std::vector<Token> &Out, SourceLoc Start, char First);
+  void lexIdentifier(std::vector<Token> &Out, SourceLoc Start, char First);
+  void lexString(std::vector<Token> &Out, SourceLoc Start);
+  void lexChar(std::vector<Token> &Out, SourceLoc Start);
+  /// Decodes one escape sequence after a backslash; returns the character.
+  char lexEscape();
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace stq
+
+#endif // STQ_SUPPORT_LEXER_H

@@ -1,0 +1,11 @@
+//===- SourceLoc.cpp ------------------------------------------------------===//
+
+#include "support/SourceLoc.h"
+
+using namespace stq;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}

@@ -1,0 +1,45 @@
+//===- SourceLoc.h - Source locations for diagnostics ----------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source coordinates shared by the C-minus front end and the
+/// qualifier-definition parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SUPPORT_SOURCELOC_H
+#define STQ_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace stq {
+
+/// A 1-based (line, column) position in some input buffer. Line 0 denotes an
+/// unknown/synthesized location.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(unsigned Line, unsigned Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+  friend bool operator!=(const SourceLoc &A, const SourceLoc &B) {
+    return !(A == B);
+  }
+
+  /// Renders as "line:col", or "<unknown>" for invalid locations.
+  std::string str() const;
+};
+
+} // namespace stq
+
+#endif // STQ_SUPPORT_SOURCELOC_H

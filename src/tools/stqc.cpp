@@ -1,0 +1,339 @@
+//===- stqc.cpp - The semantic-type-qualifier compiler driver -------------===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+// A command-line driver over the whole pipeline:
+//
+//   stqc prove  [--builtins a,b,..] [--qualfile F]
+//       verify every loaded qualifier's type rules against its invariant
+//   stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]
+//               [--flow-sensitive]
+//       run the extensible typechecker; exit nonzero on qualifier errors
+//   stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]
+//       typecheck, instrument casts, and execute
+//   stqc infer  (FILE | -e SRC) [--builtins ..]
+//       infer value-qualifier annotations (section 8 future work)
+//   stqc dump-builtin NAME
+//       print a builtin qualifier's definition in the qualifier DSL
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "checker/Inference.h"
+#include "cminus/Lowering.h"
+#include "cminus/Parser.h"
+#include "cminus/Sema.h"
+#include "interp/Interp.h"
+#include "qual/Builtins.h"
+#include "qual/QualParser.h"
+#include "soundness/Soundness.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace stq;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string File;
+  std::string InlineSource;
+  std::vector<std::string> Builtins;
+  std::vector<std::string> QualFiles;
+  std::string Entry = "main";
+  bool FlowSensitive = false;
+  std::string DumpName;
+};
+
+void usage() {
+  std::printf(
+      "usage:\n"
+      "  stqc prove  [--builtins a,b,..] [--qualfile F]\n"
+      "  stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]"
+      " [--flow-sensitive]\n"
+      "  stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]\n"
+      "  stqc infer  (FILE | -e SRC) [--builtins ..] [--qualfile F]\n"
+      "  stqc dump-builtin NAME\n"
+      "builtin qualifiers: pos neg nonneg nonzero nonnull tainted"
+      " untainted unique unaliased\n");
+}
+
+std::vector<std::string> splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  if (Argc < 2)
+    return false;
+  Options.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "stqc: missing value for %s\n", Arg.c_str());
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--builtins") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      auto More = splitCommas(V);
+      Options.Builtins.insert(Options.Builtins.end(), More.begin(),
+                              More.end());
+    } else if (Arg == "--qualfile") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.QualFiles.push_back(V);
+    } else if (Arg == "--entry") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Entry = V;
+    } else if (Arg == "-e") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.InlineSource = V;
+    } else if (Arg == "--flow-sensitive") {
+      Options.FlowSensitive = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      return false;
+    } else if (!Arg.empty() && Arg[0] != '-' && Options.Command ==
+               "dump-builtin" && Options.DumpName.empty()) {
+      Options.DumpName = Arg;
+    } else if (!Arg.empty() && Arg[0] != '-' && Options.File.empty()) {
+      Options.File = Arg;
+    } else {
+      std::fprintf(stderr, "stqc: unknown argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "stqc: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+void printDiagnostics(const DiagnosticEngine &Diags) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+}
+
+/// Loads the requested builtins plus any qualifier-definition files.
+bool loadQualifiers(const CliOptions &Options, qual::QualifierSet &Set,
+                    DiagnosticEngine &Diags) {
+  std::vector<std::string> Builtins = Options.Builtins;
+  if (Builtins.empty() && Options.QualFiles.empty())
+    Builtins = qual::builtinQualifierNames();
+  for (const std::string &Name : Builtins) {
+    std::string Source = qual::builtinQualifierSource(Name);
+    if (Source.empty()) {
+      std::fprintf(stderr, "stqc: unknown builtin qualifier '%s'\n",
+                   Name.c_str());
+      return false;
+    }
+    if (!qual::parseQualifiers(Source, Set, Diags))
+      return false;
+  }
+  for (const std::string &Path : Options.QualFiles) {
+    std::string Source;
+    if (!readFile(Path, Source) ||
+        !qual::parseQualifiers(Source, Set, Diags))
+      return false;
+  }
+  return qual::checkWellFormed(Set, Diags);
+}
+
+bool getProgramSource(const CliOptions &Options, std::string &Out) {
+  if (!Options.InlineSource.empty()) {
+    Out = Options.InlineSource;
+    return true;
+  }
+  if (Options.File.empty()) {
+    std::fprintf(stderr, "stqc: no input (pass FILE or -e SRC)\n");
+    return false;
+  }
+  return readFile(Options.File, Out);
+}
+
+int cmdProve(const CliOptions &Options) {
+  qual::QualifierSet Set;
+  DiagnosticEngine Diags;
+  if (!loadQualifiers(Options, Set, Diags)) {
+    printDiagnostics(Diags);
+    return 2;
+  }
+  soundness::SoundnessChecker SC(Set);
+  auto Reports = SC.checkAll();
+  std::printf("%s", soundness::formatReports(Reports).c_str());
+  for (const auto &R : Reports)
+    if (!R.sound())
+      return 1;
+  return 0;
+}
+
+int cmdCheck(const CliOptions &Options) {
+  qual::QualifierSet Set;
+  DiagnosticEngine Diags;
+  if (!loadQualifiers(Options, Set, Diags)) {
+    printDiagnostics(Diags);
+    return 2;
+  }
+  std::string Source;
+  if (!getProgramSource(Options, Source))
+    return 2;
+  std::unique_ptr<cminus::Program> Prog;
+  checker::CheckerOptions CheckOptions;
+  CheckOptions.FlowSensitiveNarrowing = Options.FlowSensitive;
+  checker::CheckResult Result =
+      checker::checkSource(Source, Set, Diags, Prog, CheckOptions);
+  printDiagnostics(Diags);
+  if (Diags.hasErrors())
+    return 2;
+  std::printf("qualifier errors: %u (dereference sites %u, assignment "
+              "checks %u, run-time checks %zu)\n",
+              Result.QualErrors, Result.Stats.DerefSites,
+              Result.Stats.AssignChecks, Result.RuntimeChecks.size());
+  return Result.ok() ? 0 : 1;
+}
+
+int cmdRun(const CliOptions &Options) {
+  qual::QualifierSet Set;
+  DiagnosticEngine Diags;
+  if (!loadQualifiers(Options, Set, Diags)) {
+    printDiagnostics(Diags);
+    return 2;
+  }
+  std::string Source;
+  if (!getProgramSource(Options, Source))
+    return 2;
+  interp::InterpOptions RunOptions;
+  RunOptions.EntryPoint = Options.Entry;
+  interp::RunResult R = interp::runSource(Source, Set, Diags, RunOptions);
+  printDiagnostics(Diags);
+  if (!R.Output.empty())
+    std::printf("%s", R.Output.c_str());
+  switch (R.Status) {
+  case interp::RunStatus::Ok:
+    std::printf("[exit %ld]\n", static_cast<long>(*R.ExitValue));
+    return static_cast<int>(*R.ExitValue & 0xff);
+  case interp::RunStatus::CheckFailure:
+    for (const auto &F : R.CheckFailures)
+      std::fprintf(stderr,
+                   "fatal: run-time qualifier check failed at %s: value %s "
+                   "does not satisfy '%s'\n",
+                   F.Loc.str().c_str(), F.ValueStr.c_str(), F.Qual.c_str());
+    return 3;
+  case interp::RunStatus::Trap:
+    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
+    return 4;
+  case interp::RunStatus::FuelExhausted:
+    std::fprintf(stderr, "error: step budget exhausted\n");
+    return 5;
+  case interp::RunStatus::SetupError:
+    std::fprintf(stderr, "error: %s\n", R.TrapMessage.c_str());
+    return 2;
+  }
+  return 2;
+}
+
+int cmdInfer(const CliOptions &Options) {
+  qual::QualifierSet Set;
+  DiagnosticEngine Diags;
+  if (!loadQualifiers(Options, Set, Diags)) {
+    printDiagnostics(Diags);
+    return 2;
+  }
+  std::string Source;
+  if (!getProgramSource(Options, Source))
+    return 2;
+  auto Prog = cminus::parseProgram(Source, Set.names(), Diags);
+  if (Diags.hasErrors() || !cminus::runSema(*Prog, Set.refNames(), Diags) ||
+      !cminus::lowerProgram(*Prog, Diags)) {
+    printDiagnostics(Diags);
+    return 2;
+  }
+  checker::InferenceOutcome Outcome = checker::inferQualifiers(*Prog, Set);
+  for (const auto &[Var, Quals] : Outcome.Inferred) {
+    std::string List;
+    for (const std::string &Q : Quals)
+      List += (List.empty() ? "" : " ") + Q;
+    std::printf("%s: %s '%s' may be annotated: %s\n",
+                Var->Loc.str().c_str(),
+                Var->IsParam ? "parameter" : (Var->IsGlobal ? "global"
+                                                            : "local"),
+                Var->Name.c_str(), List.c_str());
+  }
+  std::printf("inferred %u annotation(s) on %zu variable(s) in %u "
+              "iteration(s)\n",
+              Outcome.totalInferred(), Outcome.Inferred.size(),
+              Outcome.Iterations);
+  return 0;
+}
+
+int cmdDumpBuiltin(const CliOptions &Options) {
+  if (Options.DumpName.empty()) {
+    usage();
+    return 2;
+  }
+  std::string Source = qual::builtinQualifierSource(Options.DumpName);
+  if (Source.empty()) {
+    std::fprintf(stderr, "stqc: unknown builtin qualifier '%s'\n",
+                 Options.DumpName.c_str());
+    return 2;
+  }
+  std::printf("%s", Source.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Options;
+  if (!parseArgs(Argc, Argv, Options)) {
+    usage();
+    return 2;
+  }
+  if (Options.Command == "prove")
+    return cmdProve(Options);
+  if (Options.Command == "check")
+    return cmdCheck(Options);
+  if (Options.Command == "run")
+    return cmdRun(Options);
+  if (Options.Command == "infer")
+    return cmdInfer(Options);
+  if (Options.Command == "dump-builtin")
+    return cmdDumpBuiltin(Options);
+  usage();
+  return 2;
+}

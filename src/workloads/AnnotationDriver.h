@@ -1,0 +1,82 @@
+//===- AnnotationDriver.h - Automated annotation fixpoint -------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automates the paper's section 6.1 process: "We applied nonnull
+/// annotations to variables in an iterative fashion. Running our extensible
+/// typechecker on the unannotated files produced an error message for each
+/// dereference ... These errors were removed by annotating some variables
+/// with nonnull, which could in turn cause error messages on assignments to
+/// the newly-annotated variables, leading to more annotations" - with casts
+/// where the type rules are insufficient (flow-insensitivity).
+///
+/// The driver mutates declared types in the parsed AST (annotations) and
+/// records assumed casts through the checker's AssumedCasts option, looping
+/// to a fixpoint. Its outputs are exactly the rows of Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_WORKLOADS_ANNOTATIONDRIVER_H
+#define STQ_WORKLOADS_ANNOTATIONDRIVER_H
+
+#include "workloads/Workloads.h"
+
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace stq::workloads {
+
+/// One row of Table 1 (the nonnull experiment).
+struct Table1Row {
+  unsigned Lines = 0;
+  unsigned Dereferences = 0;
+  unsigned Annotations = 0;
+  unsigned Casts = 0;
+  unsigned Errors = 0;
+  unsigned Iterations = 0;
+  /// Dereference errors before any annotation (the starting point of the
+  /// iterative process).
+  unsigned InitialErrors = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs the iterative nonnull annotation process on \p W. With
+/// \p FlowSensitive set, the checker's section 8 narrowing extension is
+/// enabled: NULL-check guards count, which removes most casts (the
+/// quantified version of the paper's future-work claim).
+Table1Row runNonnullExperiment(const GeneratedWorkload &W,
+                               bool FlowSensitive = false);
+
+/// One row of Table 2 (the untainted experiment).
+struct Table2Row {
+  unsigned Lines = 0;
+  unsigned PrintfCalls = 0;
+  unsigned Annotations = 0;
+  unsigned Casts = 0;
+  unsigned Errors = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs the untainted format-string experiment on \p W. Annotates format
+/// parameters (and literal-only locals) iteratively; residual failures are
+/// real format-string bugs.
+Table2Row runUntaintedExperiment(const GeneratedWorkload &W);
+
+/// The section 6.2 unique experiment.
+struct UniqueRow {
+  unsigned RefSites = 0;   ///< References to the unique global.
+  unsigned Violations = 0; ///< disallow/assign-rule violations found.
+  unsigned Casts = 0;      ///< Reference-qualifier casts (the init).
+  double Seconds = 0.0;
+};
+
+UniqueRow runUniqueExperiment(const GeneratedWorkload &W);
+
+} // namespace stq::workloads
+
+#endif // STQ_WORKLOADS_ANNOTATIONDRIVER_H

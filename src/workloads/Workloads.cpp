@@ -1,0 +1,494 @@
+//===- Workloads.cpp ------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <sstream>
+
+using namespace stq;
+using namespace stq::workloads;
+
+unsigned stq::workloads::countLines(const std::string &Source) {
+  unsigned N = 0;
+  bool Blank = true;
+  for (char C : Source) {
+    if (C == '\n') {
+      if (!Blank)
+        ++N;
+      Blank = true;
+    } else if (C != ' ' && C != '\t') {
+      Blank = false;
+    }
+  }
+  if (!Blank)
+    ++N;
+  return N;
+}
+
+namespace {
+
+/// Names for the dfa struct's fields.
+const char *IntFields[] = {"nstates",  "ntokens", "depth",     "tindex",
+                           "nleaves",  "nregexps", "searchflag", "trcount"};
+const char *StableFields[] = {"success",  "newlines", "charclasses",
+                              "states",   "follows",  "positions"};
+const char *NullableFields[] = {"trans", "realtrans", "fails", "musts"};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// grep dfa.c analogue (Table 1)
+//===----------------------------------------------------------------------===//
+
+GeneratedWorkload stq::workloads::makeGrepDfa(unsigned Scale) {
+  std::ostringstream OS;
+  OS << "// Synthetic analogue of grep 2.5's dfa.c for the nonnull\n"
+        "// experiment (Table 1). Structure: a DFA with transition tables,\n"
+        "// analyzers that walk them, and NULL-guarded lazy tables that\n"
+        "// defeat a flow-insensitive qualifier system (the paper's main\n"
+        "// source of casts).\n";
+  OS << "struct dfa {\n";
+  for (const char *F : IntFields)
+    OS << "  int " << F << ";\n";
+  for (const char *F : StableFields)
+    OS << "  int* " << F << ";\n";
+  for (const char *F : NullableFields)
+    OS << "  int* " << F << ";\n";
+  OS << "  char* mustmatch;\n";
+  OS << "};\n\n";
+
+  unsigned Analyzers = 12 * Scale;
+  unsigned Guarded = 25 * Scale;
+
+  // Analyzer functions: heavy dereferencing of the dfa and of a caller
+  // supplied buffer.
+  for (unsigned K = 0; K < Analyzers; ++K) {
+    OS << "int dfa_analyze_" << K << "(struct dfa* d, int* buf, int n) {\n";
+    OS << "  int acc = 0;\n";
+    OS << "  int limit = n;\n";
+    OS << "  if (limit > 64) limit = 64;\n";
+    // Integer field dereferences.
+    for (unsigned I = 0; I < 8; ++I)
+      OS << "  acc = acc + d->" << IntFields[(K + I) % 8] << ";\n";
+    // Stable-table dereferences.
+    for (unsigned I = 0; I < 4; ++I) {
+      const char *F = StableFields[(K + I) % 6];
+      OS << "  acc = acc + d->" << F << "[" << (I + 1) << "];\n";
+      OS << "  acc = acc * 2 - d->" << F << "[0];\n";
+    }
+    // Buffer loop.
+    OS << "  for (int i = 0; i < limit; i = i + 1) {\n";
+    OS << "    buf[i] = acc + i;\n";
+    OS << "    acc = acc + buf[i] % 7;\n";
+    OS << "  }\n";
+    // Pure arithmetic padding (the real dfa.c has long stretches of
+    // state-machine logic between pointer accesses).
+    OS << "  int tmp0 = acc * 3 + 1;\n";
+    OS << "  int tmp1 = tmp0 - n;\n";
+    OS << "  int tmp2 = tmp1 * tmp1;\n";
+    OS << "  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }\n";
+    OS << "  while (acc > 100000) { acc = acc / 2; }\n";
+    // State-machine padding, mirroring dfa.c's long analysis routines.
+    for (unsigned P = 0; P < 10; ++P) {
+      OS << "  int st" << P << " = (acc + " << (P * 3 + 1) << ") % 251;\n";
+      OS << "  if (st" << P << " > 125) { st" << P << " = 250 - st" << P
+         << "; }\n";
+      OS << "  acc = acc + st" << P << " * " << (P + 1) << ";\n";
+      OS << "  acc = acc + d->" << IntFields[(K + P) % 8] << ";\n";
+    }
+    OS << "  acc = acc + d->" << IntFields[K % 8] << " * 2;\n";
+    OS << "  acc = acc + d->" << StableFields[K % 6] << "[2];\n";
+    OS << "  return acc;\n";
+    OS << "}\n\n";
+  }
+
+  // Guarded lookups: the flow-insensitivity idiom. Each function reads two
+  // lazily-built (nullable) tables behind NULL checks.
+  for (unsigned K = 0; K < Guarded; ++K) {
+    const char *F1 = NullableFields[K % 4];
+    const char *F2 = NullableFields[(K + 1) % 4];
+    OS << "int dfa_lookup_" << K << "(struct dfa* d, int works) {\n";
+    OS << "  int* t;\n";
+    OS << "  int* u;\n";
+    OS << "  int acc = d->" << IntFields[K % 8] << ";\n";
+    OS << "  t = d->" << F1 << ";\n";
+    OS << "  if (t != NULL) {\n";
+    OS << "    acc = acc + t[works];\n";
+    OS << "    acc = acc + t[works + 1];\n";
+    OS << "    acc = acc - t[0];\n";
+    OS << "  }\n";
+    OS << "  u = d->" << F2 << ";\n";
+    OS << "  if (u != NULL) {\n";
+    OS << "    acc = acc + u[works % 8];\n";
+    OS << "    acc = acc + u[1] * 2;\n";
+    OS << "  }\n";
+    OS << "  acc = acc + d->" << IntFields[(K + 3) % 8] << ";\n";
+    for (unsigned P = 0; P < 6; ++P) {
+      OS << "  int h" << P << " = acc * " << (P + 2) << " % 8191;\n";
+      OS << "  if (h" << P << " % 2 == 0) { acc = acc + h" << P
+         << "; } else { acc = acc - h" << P << " / 3; }\n";
+      OS << "  acc = acc + d->" << IntFields[(K + P) % 8] << " % 31;\n";
+    }
+    OS << "  int scaled = acc * 5 % 9973;\n";
+    OS << "  if (scaled < 0) scaled = -scaled;\n";
+    OS << "  return scaled;\n";
+    OS << "}\n\n";
+  }
+
+  // Builder: allocates the stable tables (casts in the annotated fixpoint:
+  // malloc may return NULL) and leaves the lazy tables NULL.
+  OS << "void dfa_build(struct dfa* d, int n) {\n";
+  for (const char *F : StableFields)
+    OS << "  d->" << F << " = (int*) malloc(sizeof(int) * n);\n";
+  for (const char *F : NullableFields)
+    OS << "  d->" << F << " = NULL;\n";
+  OS << "  d->nstates = n;\n";
+  OS << "  d->ntokens = n * 2;\n";
+  OS << "  for (int i = 0; i < n; i = i + 1) {\n";
+  for (const char *F : StableFields)
+    OS << "    d->" << F << "[i] = i;\n";
+  OS << "  }\n";
+  OS << "}\n\n";
+
+  // Lazy-table materializer and reset.
+  OS << "void dfa_materialize(struct dfa* d, int n) {\n";
+  for (const char *F : NullableFields)
+    OS << "  d->" << F << " = (int*) malloc(sizeof(int) * n);\n";
+  OS << "  for (int i = 0; i < n; i = i + 1) {\n";
+  for (const char *F : NullableFields)
+    OS << "    d->" << F << "[i] = i % 3;\n";
+  OS << "  }\n";
+  OS << "}\n\n";
+  OS << "void dfa_reset(struct dfa* d) {\n";
+  for (const char *F : NullableFields)
+    OS << "  d->" << F << " = NULL;\n";
+  OS << "  d->trcount = 0;\n";
+  OS << "}\n\n";
+
+  // Driver main.
+  OS << "int main() {\n";
+  OS << "  struct dfa* d = (struct dfa*) malloc(sizeof(struct dfa));\n";
+  OS << "  int* scratch = (int*) malloc(sizeof(int) * 64);\n";
+  OS << "  dfa_build(d, 64);\n";
+  OS << "  dfa_materialize(d, 64);\n";
+  OS << "  int total = 0;\n";
+  for (unsigned K = 0; K < Analyzers; ++K)
+    OS << "  total = total + dfa_analyze_" << K << "(d, scratch, 64);\n";
+  for (unsigned K = 0; K < Guarded; ++K)
+    OS << "  total = total + dfa_lookup_" << K << "(d, " << (K % 8) << ");\n";
+  OS << "  dfa_reset(d);\n";
+  OS << "  return total % 256;\n";
+  OS << "}\n";
+
+  GeneratedWorkload W;
+  W.Name = "grep-dfa";
+  W.Source = OS.str();
+  W.Lines = countLines(W.Source);
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// grep unique experiment (section 6.2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+GeneratedWorkload makeGrepUniqueImpl(bool Violating) {
+  std::ostringstream OS;
+  unsigned RefSites = 0;
+  OS << "// Section 6.2: the dfa global is the sole reference to the DFA\n"
+        "// being built. All subsequent uses dereference it, preserving\n"
+        "// uniqueness.\n";
+  OS << "struct dfa {\n  int nstates;\n  int ntokens;\n  int* trans;\n"
+        "  int* fails;\n};\n\n";
+  OS << "struct dfa* parser_result();\n\n";
+  if (Violating)
+    OS << "void external_use(struct dfa* d);\n\n";
+  OS << "struct dfa* unique dfa;\n\n";
+  // Initialization needs a cast: the assign rules cannot validate a value
+  // received from the parser module.
+  OS << "void dfa_init() {\n"
+        "  dfa = (struct dfa* unique) parser_result();\n"
+        "}\n\n";
+  // 49 subsequent references, spread over several procedures, mirroring
+  // dfacomp/dfaexec/dfafree in grep.
+  const unsigned PerFn[] = {12, 10, 9, 8, 6, 4};
+  unsigned FnIdx = 0;
+  for (unsigned Count : PerFn) {
+    OS << "int dfa_use_" << FnIdx++ << "(int x) {\n";
+    OS << "  int acc = x;\n";
+    for (unsigned I = 0; I < Count; ++I) {
+      switch (I % 4) {
+      case 0:
+        OS << "  acc = acc + dfa->nstates;\n";
+        break;
+      case 1:
+        OS << "  acc = acc + dfa->ntokens;\n";
+        break;
+      case 2:
+        OS << "  dfa->nstates = acc;\n";
+        break;
+      case 3:
+        OS << "  dfa->ntokens = acc % 7;\n";
+        break;
+      }
+      ++RefSites;
+    }
+    OS << "  return acc;\n}\n\n";
+  }
+  if (Violating) {
+    OS << "void leak() {\n"
+          "  external_use(dfa);\n" // Violates the disallow rule.
+          "}\n\n";
+  }
+  OS << "int main() {\n  dfa_init();\n  int t = 0;\n";
+  for (unsigned I = 0; I < FnIdx; ++I)
+    OS << "  t = t + dfa_use_" << I << "(t);\n";
+  if (Violating)
+    OS << "  leak();\n";
+  OS << "  return t % 100;\n}\n";
+
+  GeneratedWorkload W;
+  W.Name = Violating ? "grep-unique-violating" : "grep-unique";
+  W.Source = OS.str();
+  W.Lines = countLines(W.Source);
+  W.UniqueRefSites = RefSites;
+  return W;
+}
+
+} // namespace
+
+GeneratedWorkload stq::workloads::makeGrepDfaUnique() {
+  return makeGrepUniqueImpl(/*Violating=*/false);
+}
+
+GeneratedWorkload stq::workloads::makeGrepDfaUniqueViolating() {
+  return makeGrepUniqueImpl(/*Violating=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// Taint workloads (Table 2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared prelude: printf with the untainted format signature the paper
+/// installs via alternate library headers.
+const char *TaintPrelude =
+    "int printf(char* untainted fmt, ...);\n"
+    "struct dirent { char* d_name; int d_type; };\n"
+    "struct session { int sock; int logged_in; char* user; };\n\n";
+
+} // namespace
+
+GeneratedWorkload stq::workloads::makeBftpd() {
+  std::ostringstream OS;
+  unsigned Calls = 0;
+  OS << "// Synthetic analogue of bftpd 1.0.11: an FTP server whose\n"
+        "// replies go through sendstrf; one directory-listing path uses a\n"
+        "// file name as the format string (the real, previously reported\n"
+        "// exploit).\n";
+  OS << TaintPrelude;
+  // The two wrappers whose format parameters the authors had to annotate.
+  OS << "int sendstrf(int s, char* format, ...) {\n"
+        "  printf(format);\n"
+        "  return s;\n"
+        "}\n\n";
+  ++Calls;
+  OS << "int bftpd_log(int level, char* fmt, ...) {\n"
+        "  printf(fmt);\n"
+        "  return level;\n"
+        "}\n\n";
+  ++Calls;
+
+  const char *Replies[] = {
+      "220 Service ready.",          "331 Password required for user.",
+      "230 User logged in.",         "250 Requested action okay.",
+      "425 Cannot open connection.", "226 Closing data connection.",
+      "550 Permission denied.",      "221 Goodbye.",
+      "200 Command okay.",           "502 Command not implemented.",
+  };
+  const char *Commands[] = {"user", "pass", "cwd",  "list", "retr",
+                            "stor", "dele", "mkd",  "rmd",  "pwd",
+                            "syst", "type", "port", "pasv", "quit",
+                            "noop", "abor", "rest", "rnfr", "rnto",
+                            "site", "mdtm", "size", "appe", "stat",
+                            "help"};
+  unsigned Idx = 0;
+  for (const char *Cmd : Commands) {
+    OS << "void command_" << Cmd << "(struct session* s, char* arg) {\n";
+    OS << "  if (s->logged_in == 0 && " << (Idx % 3) << " == 0) {\n";
+    OS << "    sendstrf(s->sock, \"530 Not logged in.\");\n";
+    ++Calls;
+    OS << "    return;\n  }\n";
+    OS << "  bftpd_log(1, \"handling " << Cmd << "\");\n";
+    ++Calls;
+    OS << "  sendstrf(s->sock, \"" << Replies[Idx % 10] << "\");\n";
+    ++Calls;
+    OS << "  if (arg != NULL) {\n";
+    OS << "    bftpd_log(2, \"arg present\");\n";
+    ++Calls;
+    OS << "    sendstrf(s->sock, \"200 Noted.\");\n";
+    ++Calls;
+    OS << "  }\n";
+    // Protocol bookkeeping padding.
+    for (unsigned P = 0; P < 12; ++P) {
+      OS << "  int c" << P << " = s->sock * " << (P + Idx + 1)
+         << " % 199;\n";
+      OS << "  if (c" << P << " > 99) { s->logged_in = s->logged_in + 0; "
+            "}\n";
+    }
+    OS << "}\n\n";
+    ++Idx;
+  }
+  // The exploitable path: entry->d_name flows into the format parameter.
+  OS << "void command_list_entry(struct session* s, struct dirent* entry) {\n"
+        "  sendstrf(s->sock, entry->d_name);\n"
+        "}\n\n";
+  ++Calls;
+  OS << "int main() {\n"
+        "  struct session* s = (struct session*) "
+        "malloc(sizeof(struct session));\n"
+        "  s->sock = 4;\n"
+        "  s->logged_in = 1;\n"
+        "  printf(\"bftpd starting\\n\");\n";
+  ++Calls;
+  OS << "  command_user(s, \"anonymous\");\n"
+        "  command_quit(s, NULL);\n"
+        "  return 0;\n"
+        "}\n";
+
+  GeneratedWorkload W;
+  W.Name = "bftpd";
+  W.Source = OS.str();
+  W.Lines = countLines(W.Source);
+  W.PrintfCalls = Calls;
+  W.PlantedBugs = 1;
+  return W;
+}
+
+GeneratedWorkload stq::workloads::makeMingetty() {
+  std::ostringstream OS;
+  unsigned Calls = 0;
+  OS << "// Synthetic analogue of mingetty 0.9.4: issue/login prompting on\n"
+        "// a terminal; one logging wrapper needs its format parameter\n"
+        "// annotated. No vulnerabilities.\n";
+  OS << TaintPrelude;
+  OS << "int log_msg(char* fmt, ...) {\n"
+        "  printf(fmt);\n"
+        "  return 0;\n"
+        "}\n\n";
+  ++Calls;
+  const char *Steps[] = {"parse_args", "open_tty", "output_issue",
+                         "read_login", "spawn_login"};
+  unsigned Idx = 0;
+  for (const char *Step : Steps) {
+    OS << "int " << Step << "(int fd) {\n";
+    OS << "  log_msg(\"" << Step << " begin\");\n";
+    ++Calls;
+    OS << "  if (fd < 0) {\n";
+    OS << "    printf(\"%s: bad fd %d\\n\", \"" << Step << "\", fd);\n";
+    ++Calls;
+    OS << "    return -1;\n  }\n";
+    OS << "  printf(\"step %d\\n\", " << Idx << ");\n";
+    ++Calls;
+    OS << "  log_msg(\"" << Step << " end\");\n";
+    ++Calls;
+    OS << "  int code = fd * " << (Idx + 2) << " % 17;\n";
+    for (unsigned P = 0; P < 36; ++P) {
+      OS << "  int m" << P << " = code + " << (P * 7 + Idx) << " % 13;\n";
+      OS << "  if (m" << P << " % 3 == 0) { code = code + m" << P
+         << " % 5; }\n";
+    }
+    OS << "  return code;\n";
+    OS << "}\n\n";
+    ++Idx;
+  }
+  OS << "int main() {\n"
+        "  int fd = 1;\n"
+        "  int rc = 0;\n"
+        "  rc = rc + parse_args(fd);\n"
+        "  rc = rc + open_tty(fd);\n"
+        "  rc = rc + output_issue(fd);\n"
+        "  rc = rc + read_login(fd);\n"
+        "  rc = rc + spawn_login(fd);\n"
+        "  printf(\"mingetty done rc=%d\\n\", rc);\n";
+  ++Calls;
+  OS << "  printf(\"tty ready\\n\");\n";
+  ++Calls;
+  OS << "  return rc % 2;\n"
+        "}\n";
+
+  GeneratedWorkload W;
+  W.Name = "mingetty";
+  W.Source = OS.str();
+  W.Lines = countLines(W.Source);
+  W.PrintfCalls = Calls;
+  return W;
+}
+
+GeneratedWorkload stq::workloads::makeIdentd() {
+  std::ostringstream OS;
+  unsigned Calls = 0;
+  OS << "// Synthetic analogue of identd 1.0: a network identification\n"
+        "// responder; every format string is a literal, so no annotations\n"
+        "// or casts are needed at all.\n";
+  OS << TaintPrelude;
+  const char *Stages[] = {"parse_request", "lookup_connection",
+                          "format_reply"};
+  unsigned Idx = 0;
+  for (const char *Stage : Stages) {
+    OS << "int " << Stage << "(int port_a, int port_b) {\n";
+    OS << "  printf(\"" << Stage << ": %d , %d\\n\", port_a, port_b);\n";
+    ++Calls;
+    OS << "  if (port_a <= 0 || port_b <= 0) {\n";
+    OS << "    printf(\"%d , %d : ERROR : INVALID-PORT\\n\", port_a, "
+          "port_b);\n";
+    ++Calls;
+    OS << "    return -1;\n  }\n";
+    OS << "  if (port_a > 65535) {\n";
+    OS << "    printf(\"range error %d\\n\", port_a);\n";
+    ++Calls;
+    OS << "    return -1;\n  }\n";
+    OS << "  printf(\"" << Stage << " ok\\n\");\n";
+    ++Calls;
+    OS << "  int token = port_a * 31 + port_b + " << Idx << ";\n";
+    for (unsigned P = 0; P < 24; ++P) {
+      OS << "  int k" << P << " = token % " << (P + 2) << " + " << P
+         << ";\n";
+      OS << "  if (k" << P << " > 10) { token = token + k" << P
+         << " % 7; }\n";
+    }
+    OS << "  printf(\"token %d\\n\", token);\n";
+    ++Calls;
+    OS << "  return token;\n";
+    OS << "}\n\n";
+    ++Idx;
+  }
+  OS << "int main() {\n"
+        "  int t = 0;\n"
+        "  t = t + parse_request(113, 1023);\n"
+        "  t = t + lookup_connection(22, 4055);\n"
+        "  t = t + format_reply(80, 51234);\n"
+        "  printf(\"identd: %d , %d : USERID : UNIX : nobody\\n\", 113, "
+        "1023);\n";
+  ++Calls;
+  OS << "  printf(\"done\\n\");\n";
+  ++Calls;
+  OS << "  printf(\"requests served: %d\\n\", 3);\n";
+  ++Calls;
+  OS << "  printf(\"shutting down\\n\");\n";
+  ++Calls;
+  OS << "  printf(\"bye\\n\");\n";
+  ++Calls;
+  OS << "  printf(\"exit code %d\\n\", t % 2);\n";
+  ++Calls;
+  OS << "  return t % 2;\n"
+        "}\n";
+
+  GeneratedWorkload W;
+  W.Name = "identd";
+  W.Source = OS.str();
+  W.Lines = countLines(W.Source);
+  W.PrintfCalls = Calls;
+  return W;
+}

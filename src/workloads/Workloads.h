@@ -1,0 +1,67 @@
+//===- Workloads.h - Synthetic analogues of the paper's programs -*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generators for C-minus programs that stand in for the
+/// paper's evaluation subjects (section 6):
+///
+///  * grep 2.5's dfa.c/dfa.h (2287 lines, 1072 dereferences) for the
+///    nonnull experiment (Table 1) and the unique experiment (section 6.2,
+///    49 validated references to the dfa global);
+///  * bftpd 1.0.11 (750 lines, 134 printf calls, one real format-string
+///    bug), mingetty 0.9.4 (293 lines, 23 calls), and identd 1.0
+///    (228 lines, 21 calls) for the untainted experiment (Table 2).
+///
+/// The generators reproduce the structural statistics that determine the
+/// checker's output counts; see DESIGN.md's substitution table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_WORKLOADS_WORKLOADS_H
+#define STQ_WORKLOADS_WORKLOADS_H
+
+#include <string>
+
+namespace stq::workloads {
+
+struct GeneratedWorkload {
+  std::string Name;
+  std::string Source;
+  /// Non-blank source lines (the paper's "lines" rows).
+  unsigned Lines = 0;
+  /// Call sites in the printf family (taint workloads).
+  unsigned PrintfCalls = 0;
+  /// Format-string bugs deliberately present.
+  unsigned PlantedBugs = 0;
+  /// Reference sites to the unique global (unique workloads).
+  unsigned UniqueRefSites = 0;
+};
+
+/// The dfa.c/dfa.h analogue for Table 1. \p Scale multiplies the function
+/// counts (Scale=1 approximates the paper's statistics); larger scales feed
+/// the checker-time benchmark.
+GeneratedWorkload makeGrepDfa(unsigned Scale = 1);
+
+/// Section 6.2: the unique dfa global, initialized through a cast, with 49
+/// subsequent references that all preserve uniqueness.
+GeneratedWorkload makeGrepDfaUnique();
+
+/// The idiom the paper reports as a true uniqueness violation: globals
+/// passed as procedure arguments.
+GeneratedWorkload makeGrepDfaUniqueViolating();
+
+/// Table 2's three programs.
+GeneratedWorkload makeBftpd();
+GeneratedWorkload makeMingetty();
+GeneratedWorkload makeIdentd();
+
+/// Counts non-blank lines (the measure used by the paper's tables).
+unsigned countLines(const std::string &Source);
+
+} // namespace stq::workloads
+
+#endif // STQ_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,250 @@
+//===- test_inference.cpp - Tests for qualifier inference -----------------===//
+//
+// The section 8 future-work extension: inferring value-qualifier
+// annotations as the greatest fixpoint consistent with every flow into
+// each variable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Inference.h"
+
+#include "cminus/Lowering.h"
+#include "cminus/Parser.h"
+#include "cminus/Sema.h"
+#include "qual/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace stq;
+using namespace stq::checker;
+using namespace stq::cminus;
+
+namespace {
+
+struct Setup {
+  qual::QualifierSet Quals;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog;
+  InferenceOutcome Outcome;
+};
+
+std::unique_ptr<Setup> infer(const std::vector<std::string> &QualNames,
+                             const std::string &Source,
+                             InferenceOptions Options = {}) {
+  auto S = std::make_unique<Setup>();
+  EXPECT_TRUE(qual::loadBuiltinQualifiers(QualNames, S->Quals, S->Diags));
+  S->Prog = parseProgram(Source, S->Quals.names(), S->Diags);
+  EXPECT_FALSE(S->Diags.hasErrors());
+  EXPECT_TRUE(runSema(*S->Prog, S->Quals.refNames(), S->Diags));
+  EXPECT_TRUE(lowerProgram(*S->Prog, S->Diags));
+  S->Outcome = inferQualifiers(*S->Prog, S->Quals, Options);
+  return S;
+}
+
+const VarDecl *findVar(const Program &Prog, const std::string &Name) {
+  // Globals.
+  for (const VarDecl *G : Prog.Globals)
+    if (G->Name == Name)
+      return G;
+  // Walk function bodies and parameters.
+  const VarDecl *Found = nullptr;
+  std::function<void(const Stmt *)> Walk = [&](const Stmt *S) {
+    if (!S || Found)
+      return;
+    if (const auto *Block = dyn_cast<BlockStmt>(S)) {
+      for (const Stmt *Sub : Block->Stmts)
+        Walk(Sub);
+    } else if (const auto *Decl = dyn_cast<DeclStmt>(S)) {
+      if (Decl->Var->Name == Name)
+        Found = Decl->Var;
+    } else if (const auto *If = dyn_cast<IfStmt>(S)) {
+      Walk(If->Then);
+      Walk(If->Else);
+    } else if (const auto *While = dyn_cast<WhileStmt>(S)) {
+      Walk(While->Body);
+    } else if (const auto *For = dyn_cast<ForStmt>(S)) {
+      Walk(For->Init);
+      Walk(For->Step);
+      Walk(For->Body);
+    }
+  };
+  for (const FuncDecl *Fn : Prog.Functions) {
+    for (const VarDecl *P : Fn->Params)
+      if (P->Name == Name)
+        return P;
+    if (Fn->isDefinition())
+      Walk(Fn->Body);
+    if (Found)
+      return Found;
+  }
+  return nullptr;
+}
+
+bool inferred(const Setup &S, const std::string &Var,
+              const std::string &Qual) {
+  const VarDecl *V = findVar(*S.Prog, Var);
+  if (!V)
+    return false;
+  auto Found = S.Outcome.Inferred.find(V);
+  return Found != S.Outcome.Inferred.end() && Found->second.count(Qual);
+}
+
+TEST(Inference, ConstantInitializerGivesPos) {
+  auto S = infer({"pos", "neg", "nonneg", "nonzero"},
+                 "int f() { int x = 3; return x; }");
+  EXPECT_TRUE(inferred(*S, "x", "pos"));
+  EXPECT_TRUE(inferred(*S, "x", "nonzero"));
+  EXPECT_TRUE(inferred(*S, "x", "nonneg"));
+  EXPECT_FALSE(inferred(*S, "x", "neg"));
+}
+
+TEST(Inference, PropagatesThroughChains) {
+  auto S = infer({"pos", "neg"},
+                 "int f() {\n"
+                 "  int a = 5;\n"
+                 "  int b = a;\n"
+                 "  int c = b * a;\n"
+                 "  return c;\n"
+                 "}");
+  EXPECT_TRUE(inferred(*S, "a", "pos"));
+  EXPECT_TRUE(inferred(*S, "b", "pos"));
+  EXPECT_TRUE(inferred(*S, "c", "pos"));
+}
+
+TEST(Inference, CyclesKeepQualifiers) {
+  // The greatest fixpoint keeps pos on a mutually-dependent pair seeded
+  // with a positive constant.
+  auto S = infer({"pos", "neg"},
+                 "int f(int k) {\n"
+                 "  int x = 3;\n"
+                 "  int y = x;\n"
+                 "  x = y;\n"
+                 "  y = x;\n"
+                 "  return x + y;\n"
+                 "}");
+  EXPECT_TRUE(inferred(*S, "x", "pos"));
+  EXPECT_TRUE(inferred(*S, "y", "pos"));
+}
+
+TEST(Inference, NegativeAssignmentRemoves) {
+  auto S = infer({"pos", "neg", "nonzero"},
+                 "int f(int c) {\n"
+                 "  int x = 3;\n"
+                 "  if (c) x = -1;\n"
+                 "  return x;\n"
+                 "}");
+  EXPECT_FALSE(inferred(*S, "x", "pos"));
+  EXPECT_FALSE(inferred(*S, "x", "neg"));
+  EXPECT_TRUE(inferred(*S, "x", "nonzero")); // Both 3 and -1 are nonzero.
+}
+
+TEST(Inference, ParametersInferredFromCallSites) {
+  auto S = infer({"pos", "neg"},
+                 "int g(int v) { return v; }\n"
+                 "int f() { return g(4) + g(9); }");
+  EXPECT_TRUE(inferred(*S, "v", "pos"));
+
+  auto S2 = infer({"pos", "neg"},
+                  "int g(int v) { return v; }\n"
+                  "int f() { return g(4) + g(0); }");
+  EXPECT_FALSE(inferred(*S2, "v", "pos"));
+}
+
+TEST(Inference, NonnullForAddressTakenLocals) {
+  auto S = infer({"nonnull"},
+                 "int f() {\n"
+                 "  int x = 1;\n"
+                 "  int* p = &x;\n"
+                 "  return *p;\n"
+                 "}");
+  EXPECT_TRUE(inferred(*S, "p", "nonnull"));
+}
+
+TEST(Inference, NullableStaysUnannotated) {
+  auto S = infer({"nonnull"},
+                 "int f(int c) {\n"
+                 "  int x = 1;\n"
+                 "  int* p = &x;\n"
+                 "  if (c) p = NULL;\n"
+                 "  return 0;\n"
+                 "}");
+  EXPECT_FALSE(inferred(*S, "p", "nonnull"));
+}
+
+TEST(Inference, DeclaredQualifiersNotReReported) {
+  auto S = infer({"pos", "neg"}, "int f() { int pos x = 3; return x; }");
+  EXPECT_FALSE(inferred(*S, "x", "pos"));
+}
+
+TEST(Inference, VariablesWithoutFlowsSkipped) {
+  auto S = infer({"pos", "neg"}, "int f(int unused) { return 1; }");
+  EXPECT_FALSE(inferred(*S, "unused", "pos"));
+}
+
+TEST(Inference, LocalsOnlySkipsGlobals) {
+  InferenceOptions Options;
+  Options.LocalsOnly = true;
+  auto S = infer({"pos", "neg"}, "int g = 5;\nint f() { return g; }",
+                 Options);
+  EXPECT_FALSE(inferred(*S, "g", "pos"));
+  auto S2 = infer({"pos", "neg"}, "int g = 5;\nint f() { return g; }");
+  EXPECT_TRUE(inferred(*S2, "g", "pos"));
+}
+
+TEST(Inference, ApplyInferenceMakesCheckerAcceptMore) {
+  // Without annotations the dereference errors; inference discovers the
+  // nonnull annotation and the checker then accepts.
+  const char *Source = "int deref(int* nonnull q) { return *q; }\n"
+                       "int f() {\n"
+                       "  int x = 1;\n"
+                       "  int* p = &x;\n"
+                       "  return deref(p);\n"
+                       "}\n";
+  auto S = infer({"nonnull"}, Source);
+  EXPECT_TRUE(inferred(*S, "p", "nonnull"));
+
+  applyInference(*S->Prog, S->Outcome);
+  DiagnosticEngine D2;
+  ASSERT_TRUE(runSema(*S->Prog, S->Quals.refNames(), D2));
+  QualChecker Checker(*S->Prog, S->Quals, D2, {});
+  auto Result = Checker.run();
+  EXPECT_EQ(Result.QualErrors, 0u);
+}
+
+TEST(Inference, InferenceIsValidatedByChecker) {
+  // Applying whatever inference finds never introduces new qualifier
+  // errors (inference only claims what the checker can derive).
+  const char *Source = "int h(int pos a);\n"
+                       "int f(int c) {\n"
+                       "  int x = 2;\n"
+                       "  int y = x * 3;\n"
+                       "  int z = y - x;\n"
+                       "  if (c) z = -z;\n"
+                       "  return h(y) + z;\n"
+                       "}\n";
+  auto S = infer({"pos", "neg", "nonneg", "nonzero"}, Source);
+  DiagnosticEngine Before;
+  {
+    QualChecker Checker(*S->Prog, S->Quals, Before, {});
+    Checker.run();
+  }
+  applyInference(*S->Prog, S->Outcome);
+  DiagnosticEngine After;
+  ASSERT_TRUE(runSema(*S->Prog, S->Quals.refNames(), After));
+  QualChecker Checker(*S->Prog, S->Quals, After, {});
+  auto Result = Checker.run();
+  EXPECT_LE(Result.QualErrors, Before.countInPhase("qualcheck"));
+}
+
+TEST(Inference, ConvergesQuickly) {
+  auto S = infer({"pos", "neg", "nonneg", "nonzero"},
+                 "int f() {\n"
+                 "  int a = 1; int b = a; int c = b; int d = c;\n"
+                 "  a = d;\n"
+                 "  return a;\n"
+                 "}");
+  EXPECT_LE(S->Outcome.Iterations, 6u);
+  EXPECT_TRUE(inferred(*S, "d", "pos"));
+}
+
+} // namespace

@@ -1,0 +1,331 @@
+//===- test_lambda.cpp - Tests for the section 5 formal calculus ----------===//
+//
+// Includes the property-based test of Theorem 5.1: randomly generated
+// well-typed programs preserve semantic conformance under the locally
+// sound rule system, and the locally unsound variant (the bogus
+// subtraction rule) yields counterexample programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Lambda.h"
+
+#include <gtest/gtest.h>
+
+using namespace stq::lambda;
+
+namespace {
+
+LTypePtr intQ(std::initializer_list<std::string> Quals) {
+  return LType::withQuals(LType::intTy(), std::set<std::string>(Quals));
+}
+
+/// Typechecks, evaluates, and reports whether preservation held.
+struct Outcome {
+  bool WellTyped = false;
+  bool Evaluated = false;
+  bool Preserved = false;
+  LTypePtr Ty;
+  LValuePtr Value;
+};
+
+Outcome runTerm(const TermPtr &T, const QualSystem &Sys) {
+  Outcome O;
+  O.Ty = typecheck(T, Sys);
+  if (!O.Ty)
+    return O;
+  O.WellTyped = true;
+  Store S;
+  EvalResult R = evaluate(T, S);
+  if (!R.Ok)
+    return O;
+  O.Evaluated = true;
+  O.Value = R.Value;
+  O.Preserved = preservationHolds(R.Value, O.Ty, S, Sys);
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Subtyping (figure 9)
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaSubtype, ValQualDropsAtTopLevel) {
+  EXPECT_TRUE(LType::isSubtype(intQ({"pos"}), LType::intTy()));
+  EXPECT_FALSE(LType::isSubtype(LType::intTy(), intQ({"pos"})));
+  EXPECT_TRUE(LType::isSubtype(intQ({"pos", "nonzero"}), intQ({"nonzero"})));
+}
+
+TEST(LambdaSubtype, QualOrderIrrelevant) {
+  EXPECT_TRUE(LType::equals(intQ({"pos", "nonzero"}),
+                            intQ({"nonzero", "pos"})));
+}
+
+TEST(LambdaSubtype, RefTypesInvariant) {
+  LTypePtr RefPos = LType::ref(intQ({"pos"}));
+  LTypePtr RefInt = LType::ref(LType::intTy());
+  EXPECT_FALSE(LType::isSubtype(RefPos, RefInt));
+  EXPECT_FALSE(LType::isSubtype(RefInt, RefPos));
+  EXPECT_TRUE(LType::isSubtype(RefPos, RefPos));
+}
+
+TEST(LambdaSubtype, FunctionContravariance) {
+  // (int -> int pos) <= (int pos -> int).
+  LTypePtr Sub = LType::fun(LType::intTy(), intQ({"pos"}));
+  LTypePtr Super = LType::fun(intQ({"pos"}), LType::intTy());
+  EXPECT_TRUE(LType::isSubtype(Sub, Super));
+  EXPECT_FALSE(LType::isSubtype(Super, Sub));
+}
+
+//===----------------------------------------------------------------------===//
+// Typechecking with qualifier rules (figure 10)
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaTypecheck, ConstantsGetDerivedQuals) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  TermPtr T = tConst(5);
+  LTypePtr Ty = typecheck(T, Sys);
+  ASSERT_NE(Ty, nullptr);
+  EXPECT_TRUE(Ty->Quals.count("pos"));
+  EXPECT_TRUE(Ty->Quals.count("nonzero")); // Via the subtype encoding.
+  EXPECT_FALSE(Ty->Quals.count("neg"));
+}
+
+TEST(LambdaTypecheck, ProductOfPosIsPos) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  LTypePtr Ty = typecheck(tBin(LBinOp::Mul, tConst(2), tConst(3)), Sys);
+  ASSERT_NE(Ty, nullptr);
+  EXPECT_TRUE(Ty->Quals.count("pos"));
+}
+
+TEST(LambdaTypecheck, DifferenceIsNotPos) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  LTypePtr Ty = typecheck(tBin(LBinOp::Sub, tConst(5), tConst(3)), Sys);
+  ASSERT_NE(Ty, nullptr);
+  EXPECT_FALSE(Ty->Quals.count("pos"));
+}
+
+TEST(LambdaTypecheck, NegationFlipsSign) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  LTypePtr Ty = typecheck(tUn(LUnOp::Neg, tConst(4)), Sys);
+  ASSERT_NE(Ty, nullptr);
+  EXPECT_TRUE(Ty->Quals.count("neg"));
+  EXPECT_FALSE(Ty->Quals.count("pos"));
+}
+
+TEST(LambdaTypecheck, LetPropagatesQualifiedTypes) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  // let x = 3 in x * x : int pos.
+  TermPtr T = tLet("x", tConst(3), tBin(LBinOp::Mul, tVar("x"), tVar("x")));
+  LTypePtr Ty = typecheck(T, Sys);
+  ASSERT_NE(Ty, nullptr);
+  EXPECT_TRUE(Ty->Quals.count("pos"));
+}
+
+TEST(LambdaTypecheck, ApplicationUsesSubsumption) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  // (\x:int. x) applied to 3: int pos <= int, so this typechecks.
+  TermPtr Fn = tLambda("x", LType::intTy(), tVar("x"));
+  LTypePtr Ty = typecheck(tApp(Fn, tConst(3)), Sys);
+  ASSERT_NE(Ty, nullptr);
+  EXPECT_EQ(Ty->K, LType::Kind::Int);
+}
+
+TEST(LambdaTypecheck, ApplicationRequiringPosRejectsPlain) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  TermPtr Fn = tLambda("x", intQ({"pos"}), tVar("x"));
+  // 0 is not pos.
+  EXPECT_EQ(typecheck(tApp(Fn, tConst(0)), Sys), nullptr);
+  // 7 is.
+  EXPECT_NE(typecheck(tApp(Fn, tConst(7)), Sys), nullptr);
+}
+
+TEST(LambdaTypecheck, AssignmentRequiresPointeeSubtype) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  // let r = ref 5 in r := 0 must fail: 0 lacks pos/nonzero.
+  TermPtr Bad = tLet("r", tRef(tConst(5)), tAssign(tVar("r"), tConst(0)));
+  EXPECT_EQ(typecheck(Bad, Sys), nullptr);
+  // r := 7 is fine.
+  TermPtr Good = tLet("r", tRef(tConst(5)), tAssign(tVar("r"), tConst(7)));
+  EXPECT_NE(typecheck(Good, Sys), nullptr);
+}
+
+TEST(LambdaTypecheck, IllTypedTermsRejected) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  EXPECT_EQ(typecheck(tVar("nope"), Sys), nullptr);
+  EXPECT_EQ(typecheck(tDeref(tConst(1)), Sys), nullptr);
+  EXPECT_EQ(typecheck(tApp(tConst(1), tConst(2)), Sys), nullptr);
+  EXPECT_EQ(typecheck(tBin(LBinOp::Add, tUnit(), tConst(1)), Sys), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaEval, Arithmetic) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  TermPtr T = tBin(LBinOp::Add, tConst(2), tBin(LBinOp::Mul, tConst(3),
+                                                tConst(4)));
+  ASSERT_NE(typecheck(T, Sys), nullptr);
+  Store S;
+  EvalResult R = evaluate(T, S);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value->Int, 14);
+}
+
+TEST(LambdaEval, RefAssignDeref) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  TermPtr T = tLet("r", tRef(tConst(5)),
+                   tLet("u", tAssign(tVar("r"), tConst(9)),
+                        tDeref(tVar("r"))));
+  ASSERT_NE(typecheck(T, Sys), nullptr);
+  Store S;
+  EvalResult R = evaluate(T, S);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value->Int, 9);
+  EXPECT_EQ(S.Cells.size(), 1u);
+}
+
+TEST(LambdaEval, ClosuresCaptureEnvironment) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  // let y = 10 in ((\x:int. x + y) 5).
+  TermPtr T =
+      tLet("y", tConst(10),
+           tApp(tLambda("x", LType::intTy(),
+                        tBin(LBinOp::Add, tVar("x"), tVar("y"))),
+                tConst(5)));
+  ASSERT_NE(typecheck(T, Sys), nullptr);
+  Store S;
+  EvalResult R = evaluate(T, S);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value->Int, 15);
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic conformance (figure 11)
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaConformance, IntAgainstQualifiedTypes) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  Store S;
+  auto V = std::make_shared<LValue>();
+  V->K = LValue::Kind::Int;
+  V->Int = 7;
+  EXPECT_TRUE(conforms(V, intQ({"pos"}), S, Sys));
+  EXPECT_TRUE(conforms(V, intQ({"pos", "nonzero"}), S, Sys));
+  EXPECT_FALSE(conforms(V, intQ({"neg"}), S, Sys));
+  V->Int = -2;
+  EXPECT_FALSE(conforms(V, intQ({"pos"}), S, Sys));
+  EXPECT_TRUE(conforms(V, intQ({"neg", "nonzero"}), S, Sys));
+}
+
+TEST(LambdaConformance, RefFollowsStore) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  Store S;
+  auto Cell = std::make_shared<LValue>();
+  Cell->K = LValue::Kind::Int;
+  Cell->Int = 3;
+  S.Cells.push_back(Cell);
+  S.CellTypes.push_back(intQ({"pos"}));
+  auto Loc = std::make_shared<LValue>();
+  Loc->K = LValue::Kind::Loc;
+  Loc->Loc = 0;
+  EXPECT_TRUE(conforms(Loc, LType::ref(intQ({"pos"})), S, Sys));
+  // Mutate the cell to a negative value: conformance at ref (int pos) is
+  // lost.
+  Cell->Int = -1;
+  EXPECT_FALSE(conforms(Loc, LType::ref(intQ({"pos"})), S, Sys));
+}
+
+//===----------------------------------------------------------------------===//
+// Theorem 5.1 (type preservation) as a property
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaPreservation, HandwrittenProgramsPreserve) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  std::vector<TermPtr> Programs = {
+      tBin(LBinOp::Mul, tConst(3), tConst(4)),
+      tLet("x", tConst(5), tBin(LBinOp::Mul, tVar("x"), tVar("x"))),
+      tLet("r", tRef(tConst(2)),
+           tLet("u", tAssign(tVar("r"), tConst(8)), tDeref(tVar("r")))),
+      tApp(tLambda("x", intQ({"pos"}),
+                   tBin(LBinOp::Mul, tVar("x"), tVar("x"))),
+           tConst(6)),
+      tUn(LUnOp::Neg, tBin(LBinOp::Mul, tConst(2), tConst(-3))),
+  };
+  for (const TermPtr &T : Programs) {
+    Outcome O = runTerm(T, Sys);
+    ASSERT_TRUE(O.WellTyped) << T->str();
+    ASSERT_TRUE(O.Evaluated) << T->str();
+    EXPECT_TRUE(O.Preserved) << T->str() << " : " << O.Ty->str()
+                             << " evaluated to " << O.Value->str();
+  }
+}
+
+TEST(LambdaPreservation, BogusRuleHasConcreteCounterexample) {
+  QualSystem Bogus = QualSystem::withBogusSubtractionRule();
+  // 3 - 5 synthesizes int pos under the bogus rule but evaluates to -2.
+  Outcome O = runTerm(tBin(LBinOp::Sub, tConst(3), tConst(5)), Bogus);
+  ASSERT_TRUE(O.WellTyped);
+  EXPECT_TRUE(O.Ty->Quals.count("pos"));
+  ASSERT_TRUE(O.Evaluated);
+  EXPECT_FALSE(O.Preserved);
+}
+
+TEST(LambdaPreservation, BogusRuleBreaksStoreConformance) {
+  QualSystem Bogus = QualSystem::withBogusSubtractionRule();
+  // The store cell typed int pos ends up holding a non-positive value.
+  TermPtr T = tLet("r", tRef(tConst(5)),
+                   tLet("u", tAssign(tVar("r"),
+                                     tBin(LBinOp::Sub, tConst(3), tConst(9))),
+                        tDeref(tVar("r"))));
+  Outcome O = runTerm(T, Bogus);
+  ASSERT_TRUE(O.WellTyped);
+  ASSERT_TRUE(O.Evaluated);
+  EXPECT_FALSE(O.Preserved);
+}
+
+/// Property sweep: every randomly generated well-typed program preserves
+/// conformance under the sound rule system.
+class LambdaPreservationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LambdaPreservationSweep, RandomProgramsPreserve) {
+  QualSystem Sys = QualSystem::posNegNonzero();
+  unsigned WellTyped = 0;
+  for (uint64_t I = 0; I < 200; ++I) {
+    GenOptions Options;
+    Options.Seed = GetParam() * 100000 + I;
+    Options.MaxDepth = 3 + static_cast<unsigned>(I % 3);
+    TermPtr T = generateTerm(Options);
+    Outcome O = runTerm(T, Sys);
+    if (!O.WellTyped || !O.Evaluated)
+      continue;
+    ++WellTyped;
+    EXPECT_TRUE(O.Preserved)
+        << "counterexample: " << T->str() << " : " << O.Ty->str()
+        << " evaluated to " << O.Value->str();
+  }
+  // The generator must produce a healthy fraction of well-typed programs
+  // for the property to have teeth.
+  EXPECT_GT(WellTyped, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LambdaPreservationSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LambdaPreservation, SweepFindsBogusRuleCounterexamples) {
+  QualSystem Bogus = QualSystem::withBogusSubtractionRule();
+  unsigned Counterexamples = 0;
+  for (uint64_t Seed = 0; Seed < 2000 && Counterexamples == 0; ++Seed) {
+    GenOptions Options;
+    Options.Seed = Seed;
+    Options.MaxDepth = 4;
+    TermPtr T = generateTerm(Options);
+    Outcome O = runTerm(T, Bogus);
+    if (O.WellTyped && O.Evaluated && !O.Preserved)
+      ++Counterexamples;
+  }
+  EXPECT_GT(Counterexamples, 0u)
+      << "the unsound rule system should break preservation on random "
+         "programs";
+}
+
+} // namespace

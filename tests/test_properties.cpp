@@ -1,0 +1,307 @@
+//===- test_properties.cpp - Cross-module property tests ------------------===//
+//
+// Property-based tests that cut across modules:
+//
+//  * the ground theory solver never reports a conflict for a satisfiable
+//    conjunction (soundness of the prover's core, checked against brute
+//    force over small domains);
+//  * printing and reparsing a generated workload preserves the checker's
+//    observable behavior;
+//  * the parser survives arbitrary token garbage;
+//  * a user-defined qualifier suite (the kernel/user qualifiers of Johnson
+//    and Wagner, which the paper cites) works end to end without any
+//    builtin support.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "cminus/Lowering.h"
+#include "cminus/Parser.h"
+#include "cminus/Printer.h"
+#include "cminus/Sema.h"
+#include "prover/Theory.h"
+#include "qual/Builtins.h"
+#include "qual/QualParser.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace stq;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Theory-solver soundness vs brute force
+//===----------------------------------------------------------------------===//
+
+/// Random conjunctions over 4 integer variables with values in [-2, 2].
+/// If the solver reports a conflict, brute force must find no model.
+class TheorySoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TheorySoundness, NoFalseConflicts) {
+  std::mt19937_64 Rng(GetParam());
+  unsigned ConflictsFound = 0, Cases = 0;
+  for (unsigned Iter = 0; Iter < 400; ++Iter) {
+    prover::TermArena A;
+    std::vector<prover::TermId> Vars = {A.app("v0"), A.app("v1"),
+                                        A.app("v2"), A.app("v3")};
+    auto Pick = [&](unsigned N) {
+      return std::uniform_int_distribution<unsigned>(0, N - 1)(Rng);
+    };
+    unsigned NumLits = 3 + Pick(5);
+    std::vector<prover::Lit> Lits;
+    // Mirror each literal as a closure over concrete assignments.
+    struct ConcreteLit {
+      bool Neg;
+      prover::Lit::Op O;
+      int L, R;       // Variable indices, or -1 when a constant.
+      int64_t LC, RC; // Constant values when L/R is -1.
+    };
+    std::vector<ConcreteLit> Concrete;
+    for (unsigned I = 0; I < NumLits; ++I) {
+      ConcreteLit C;
+      C.Neg = Pick(2) == 0;
+      unsigned OpPick = Pick(3);
+      C.O = OpPick == 0   ? prover::Lit::Op::Eq
+            : OpPick == 1 ? prover::Lit::Op::Le
+                          : prover::Lit::Op::Lt;
+      C.L = static_cast<int>(Pick(4));
+      if (Pick(2) == 0) {
+        C.R = static_cast<int>(Pick(4));
+      } else {
+        C.R = -1;
+        C.RC = static_cast<int64_t>(Pick(5)) - 2;
+      }
+      Concrete.push_back(C);
+      prover::TermId Lt = Vars[C.L];
+      prover::TermId Rt = C.R >= 0 ? Vars[C.R] : A.intConst(C.RC);
+      Lits.push_back(prover::Lit{C.Neg, C.O, Lt, Rt});
+    }
+
+    bool SolverConflict = prover::theoryConflict(A, Lits);
+    ++Cases;
+    if (!SolverConflict)
+      continue; // Solver may be incomplete; only conflicts are claims.
+    ++ConflictsFound;
+
+    // Brute force all 5^4 assignments.
+    bool Satisfiable = false;
+    for (int V0 = -2; V0 <= 2 && !Satisfiable; ++V0)
+      for (int V1 = -2; V1 <= 2 && !Satisfiable; ++V1)
+        for (int V2 = -2; V2 <= 2 && !Satisfiable; ++V2)
+          for (int V3 = -2; V3 <= 2 && !Satisfiable; ++V3) {
+            int64_t Vals[4] = {V0, V1, V2, V3};
+            bool All = true;
+            for (const ConcreteLit &C : Concrete) {
+              int64_t L = Vals[C.L];
+              int64_t R = C.R >= 0 ? Vals[C.R] : C.RC;
+              bool Holds = C.O == prover::Lit::Op::Eq   ? L == R
+                           : C.O == prover::Lit::Op::Le ? L <= R
+                                                        : L < R;
+              if (C.Neg)
+                Holds = !Holds;
+              if (!Holds) {
+                All = false;
+                break;
+              }
+            }
+            Satisfiable = All;
+          }
+    // A solver conflict claims unsatisfiability over ALL integers, so any
+    // model inside the box refutes it. (The converse is not asserted:
+    // no box model does not mean no integer model, and the solver is
+    // allowed to be incomplete anyway.)
+    EXPECT_FALSE(Satisfiable)
+        << "solver reported a conflict for a satisfiable conjunction";
+  }
+  // The generator should produce a healthy mix.
+  EXPECT_GT(ConflictsFound, 10u);
+  EXPECT_LT(ConflictsFound, Cases);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheorySoundness,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+//===----------------------------------------------------------------------===//
+// Print / reparse round trip
+//===----------------------------------------------------------------------===//
+
+struct PipelineResult {
+  unsigned QualErrors = 0;
+  unsigned DerefSites = 0;
+  bool Ok = false;
+};
+
+PipelineResult runPipeline(const std::string &Source,
+                           const qual::QualifierSet &Quals) {
+  PipelineResult Out;
+  DiagnosticEngine Diags;
+  auto Prog = cminus::parseProgram(Source, Quals.names(), Diags);
+  if (Diags.hasErrors())
+    return Out;
+  if (!cminus::runSema(*Prog, Quals.refNames(), Diags))
+    return Out;
+  if (!cminus::lowerProgram(*Prog, Diags))
+    return Out;
+  checker::QualChecker Checker(*Prog, Quals, Diags, {});
+  auto Result = Checker.run();
+  Out.QualErrors = Result.QualErrors;
+  Out.DerefSites = Result.Stats.DerefSites;
+  Out.Ok = true;
+  return Out;
+}
+
+TEST(RoundTrip, WorkloadsSurvivePrintAndReparse) {
+  // The taint workloads mention untainted in their prelude, so register
+  // the full qualifier vocabulary.
+  qual::QualifierSet Quals;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(qual::loadBuiltinQualifiers(
+      {"nonnull", "tainted", "untainted"}, Quals, Diags));
+
+  for (const workloads::GeneratedWorkload &W :
+       {workloads::makeGrepDfa(), workloads::makeMingetty(),
+        workloads::makeIdentd()}) {
+    // Parse the original (unlowered: print before lowering to keep the
+    // program in surface form).
+    DiagnosticEngine D1;
+    auto Prog = cminus::parseProgram(W.Source, Quals.names(), D1);
+    ASSERT_FALSE(D1.hasErrors()) << W.Name;
+    ASSERT_TRUE(cminus::runSema(*Prog, Quals.refNames(), D1));
+    std::string Printed = cminus::printProgram(*Prog);
+
+    PipelineResult Original = runPipeline(W.Source, Quals);
+    PipelineResult Reparsed = runPipeline(Printed, Quals);
+    ASSERT_TRUE(Original.Ok) << W.Name;
+    ASSERT_TRUE(Reparsed.Ok) << W.Name << "\n" << Printed.substr(0, 2000);
+    // The checker sees the same program.
+    EXPECT_EQ(Original.QualErrors, Reparsed.QualErrors) << W.Name;
+    EXPECT_EQ(Original.DerefSites, Reparsed.DerefSites) << W.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parser robustness
+//===----------------------------------------------------------------------===//
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, GarbageNeverCrashes) {
+  std::mt19937_64 Rng(GetParam());
+  const char *Fragments[] = {
+      "int",    "char",  "struct", "*",  "(",      ")",    "{",  "}",
+      ";",      ",",     "x",      "y",  "f",      "42",   "+",  "-",
+      "/",      "%",     "==",     "!=", "return", "if",   "else",
+      "while",  "for",   "&",      "&&", "||",     "NULL", "=",  "\"s\"",
+      "pos",    "->",    ".",      "[",  "]",      "!",    "~",  "<",
+      "sizeof", "break", "0x1F",   "'c'"};
+  for (unsigned Iter = 0; Iter < 200; ++Iter) {
+    std::string Source;
+    unsigned Len = 5 + static_cast<unsigned>(Rng() % 60);
+    for (unsigned I = 0; I < Len; ++I) {
+      Source += Fragments[Rng() % (sizeof(Fragments) / sizeof(char *))];
+      Source += ' ';
+    }
+    DiagnosticEngine Diags;
+    auto Prog = cminus::parseProgram(Source, {"pos"}, Diags);
+    ASSERT_NE(Prog, nullptr);
+    // If it parsed cleanly, the rest of the pipeline must also not crash.
+    if (!Diags.hasErrors()) {
+      cminus::runSema(*Prog, {}, Diags);
+      if (!Diags.hasErrors())
+        cminus::lowerProgram(*Prog, Diags);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(7, 77, 777));
+
+TEST(QualParserFuzz, GarbageNeverCrashes) {
+  std::mt19937_64 Rng(99);
+  const char *Fragments[] = {
+      "value", "ref",   "qualifier", "case",      "of",        "decl",
+      "where", "(",     ")",         ":",         "|",         "invariant",
+      "forall", "T",    "int",       "Expr",      "Const",     "LValue",
+      "Var",   "E",     "C",         "value",     "location",  "*",
+      "&&",    "||",    "=>",        ">",         "0",         "NULL",
+      "assign", "new",  "disallow",  "ondecl",    "isHeapLoc"};
+  for (unsigned Iter = 0; Iter < 200; ++Iter) {
+    std::string Source;
+    unsigned Len = 5 + static_cast<unsigned>(Rng() % 50);
+    for (unsigned I = 0; I < Len; ++I) {
+      Source += Fragments[Rng() % (sizeof(Fragments) / sizeof(char *))];
+      Source += ' ';
+    }
+    qual::QualifierSet Set;
+    DiagnosticEngine Diags;
+    if (qual::parseQualifiers(Source, Set, Diags))
+      qual::checkWellFormed(Set, Diags);
+  }
+  SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// A user-defined qualifier suite: kernel/user pointers
+//===----------------------------------------------------------------------===//
+
+TEST(UserDefinedSuite, KernelUserPointersEndToEnd) {
+  // The flow qualifiers of Johnson and Wagner (cited in section 2.1.4):
+  // pointers from user space must never be dereferenced in kernel space.
+  // Entirely user-defined - no builtin involvement.
+  const char *Defs = R"(
+value qualifier kernel(T* Expr E)
+  case E of
+    decl T LValue L:
+      &L
+  restrict
+    decl T* Expr E1:
+      *E1, where kernel(E1)
+value qualifier user(T* Expr E)
+  case E of
+    E
+)";
+  qual::QualifierSet Set;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(qual::parseQualifiers(Defs, Set, Diags));
+  ASSERT_TRUE(qual::checkWellFormed(Set, Diags));
+
+  // Dereferencing a user pointer in the kernel is rejected; copy_from_user
+  // launders it through a kernel buffer.
+  const char *Code = "void copy_from_user(int* kernel dst, int* user src);\n"
+                     "int syscall_handler(int* user ubuf) {\n"
+                     "  int kbuf;\n"
+                     "  copy_from_user(&kbuf, ubuf);\n"
+                     "  return kbuf;\n"
+                     "}\n"
+                     "int bad_handler(int* user ubuf) {\n"
+                     "  return *ubuf;\n"
+                     "}\n";
+  DiagnosticEngine D2;
+  std::unique_ptr<cminus::Program> Prog;
+  auto Result = checker::checkSource(Code, Set, D2, Prog);
+  ASSERT_FALSE(D2.hasErrors());
+  // Exactly one error: the direct dereference in bad_handler. (And the
+  // dereference inside copy_from_user's contract is the callee's
+  // problem; it has no body here.)
+  EXPECT_EQ(Result.QualErrors, 1u);
+}
+
+TEST(UserDefinedSuite, KernelQualifierProvesSound) {
+  // kernel's case rule (&L is a kernel pointer) establishes... nothing
+  // (flow qualifier, no invariant) - it is vacuously sound, like
+  // tainted/untainted.
+  const char *Defs = "value qualifier kernel(T* Expr E)\n"
+                     "  case E of\n"
+                     "    decl T LValue L:\n"
+                     "      &L\n";
+  qual::QualifierSet Set;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(qual::parseQualifiers(Defs, Set, Diags));
+  ASSERT_TRUE(qual::checkWellFormed(Set, Diags));
+  // No invariant: no obligations, guaranteed by subtyping.
+  EXPECT_FALSE(Set.find("kernel")->Invariant.has_value());
+}
+
+} // namespace

@@ -1,0 +1,437 @@
+//===- test_prover.cpp - Tests for the automatic theorem prover -----------===//
+
+#include "prover/Prover.h"
+#include "prover/Theory.h"
+
+#include <gtest/gtest.h>
+
+using namespace stq::prover;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+TEST(TermArena, HashConsing) {
+  TermArena A;
+  TermId X1 = A.app("f", {A.intConst(1)});
+  TermId X2 = A.app("f", {A.intConst(1)});
+  TermId X3 = A.app("f", {A.intConst(2)});
+  EXPECT_EQ(X1, X2);
+  EXPECT_NE(X1, X3);
+  EXPECT_EQ(A.intConst(5), A.intConst(5));
+  EXPECT_EQ(A.var("v"), A.var("v"));
+  EXPECT_NE(A.var("v"), A.app("v"));
+}
+
+TEST(TermArena, GroundnessAndVars) {
+  TermArena A;
+  TermId G = A.app("f", {A.intConst(1), A.app("c")});
+  TermId V = A.app("f", {A.var("x"), A.app("c")});
+  EXPECT_TRUE(A.isGround(G));
+  EXPECT_FALSE(A.isGround(V));
+  std::vector<std::string> Vars;
+  A.collectVars(V, Vars);
+  ASSERT_EQ(Vars.size(), 1u);
+  EXPECT_EQ(Vars[0], "x");
+}
+
+TEST(TermArena, Substitution) {
+  TermArena A;
+  TermId Pattern = A.app("f", {A.var("x"), A.var("y")});
+  Subst S{{"x", A.intConst(1)}, {"y", A.app("c")}};
+  TermId Result = A.substitute(Pattern, S);
+  EXPECT_EQ(Result, A.app("f", {A.intConst(1), A.app("c")}));
+}
+
+TEST(TermArena, Matching) {
+  TermArena A;
+  TermId Pattern = A.app("f", {A.var("x"), A.app("g", {A.var("x")})});
+  TermId Good = A.app("f", {A.app("c"), A.app("g", {A.app("c")})});
+  TermId Bad = A.app("f", {A.app("c"), A.app("g", {A.app("d")})});
+  Subst S;
+  EXPECT_TRUE(A.match(Pattern, Good, S));
+  EXPECT_EQ(S["x"], A.app("c"));
+  Subst S2;
+  EXPECT_FALSE(A.match(Pattern, Bad, S2));
+}
+
+//===----------------------------------------------------------------------===//
+// Congruence closure
+//===----------------------------------------------------------------------===//
+
+TEST(CongruenceClosureTest, BasicEquality) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y"), Z = A.app("z");
+  CongruenceClosure CC(A);
+  EXPECT_TRUE(CC.assertEq(X, Y));
+  EXPECT_TRUE(CC.assertEq(Y, Z));
+  EXPECT_TRUE(CC.isEqual(X, Z));
+}
+
+TEST(CongruenceClosureTest, CongruencePropagation) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y");
+  TermId FX = A.app("f", {X}), FY = A.app("f", {Y});
+  CongruenceClosure CC(A);
+  CC.assertEq(X, Y);
+  // f(x) = f(y) by congruence even though never asserted.
+  EXPECT_TRUE(CC.isEqual(FX, FY));
+}
+
+TEST(CongruenceClosureTest, NestedCongruence) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y");
+  TermId GFX = A.app("g", {A.app("f", {X})});
+  TermId GFY = A.app("g", {A.app("f", {Y})});
+  CongruenceClosure CC(A);
+  CC.assertEq(X, Y);
+  EXPECT_TRUE(CC.isEqual(GFX, GFY));
+}
+
+TEST(CongruenceClosureTest, DisequalityConflict) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y");
+  CongruenceClosure CC(A);
+  EXPECT_TRUE(CC.assertNe(X, Y));
+  EXPECT_FALSE(CC.assertEq(X, Y));
+  EXPECT_TRUE(CC.inConflict());
+}
+
+TEST(CongruenceClosureTest, CongruenceInducedDisequalityConflict) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y");
+  TermId FX = A.app("f", {X}), FY = A.app("f", {Y});
+  CongruenceClosure CC(A);
+  EXPECT_TRUE(CC.assertNe(FX, FY));
+  EXPECT_FALSE(CC.assertEq(X, Y));
+}
+
+TEST(CongruenceClosureTest, DistinctIntConstantsConflict) {
+  TermArena A;
+  TermId X = A.app("x");
+  CongruenceClosure CC(A);
+  EXPECT_TRUE(CC.assertEq(X, A.intConst(1)));
+  EXPECT_FALSE(CC.assertEq(X, A.intConst(2)));
+}
+
+TEST(CongruenceClosureTest, TrueFalseDistinct) {
+  TermArena A;
+  CongruenceClosure CC(A);
+  EXPECT_FALSE(CC.assertEq(A.trueTerm(), A.falseTerm()));
+}
+
+TEST(CongruenceClosureTest, ClassIntValue) {
+  TermArena A;
+  TermId X = A.app("x");
+  CongruenceClosure CC(A);
+  CC.assertEq(X, A.intConst(7));
+  auto V = CC.classIntValue(X);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Ground theory combination
+//===----------------------------------------------------------------------===//
+
+TEST(TheoryTest, OrderCycleConflict) {
+  TermArena A;
+  TermId X = A.app("x");
+  // x > 0 and x <= 0.
+  std::vector<Lit> Units = {
+      Lit{false, Lit::Op::Lt, A.intConst(0), X},
+      Lit{false, Lit::Op::Le, X, A.intConst(0)},
+  };
+  EXPECT_TRUE(theoryConflict(A, Units));
+}
+
+TEST(TheoryTest, OrderConsistent) {
+  TermArena A;
+  TermId X = A.app("x");
+  std::vector<Lit> Units = {
+      Lit{false, Lit::Op::Lt, A.intConst(0), X},
+      Lit{false, Lit::Op::Le, X, A.intConst(10)},
+  };
+  EXPECT_FALSE(theoryConflict(A, Units));
+}
+
+TEST(TheoryTest, EqualityFeedsArithmetic) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y");
+  // x = y, y > 0, x <= 0: conflict through the equality.
+  std::vector<Lit> Units = {
+      Lit{false, Lit::Op::Eq, X, Y},
+      Lit{false, Lit::Op::Lt, A.intConst(0), Y},
+      Lit{false, Lit::Op::Le, X, A.intConst(0)},
+  };
+  EXPECT_TRUE(theoryConflict(A, Units));
+}
+
+TEST(TheoryTest, ConstantBoundsConflict) {
+  TermArena A;
+  TermId X = A.app("x");
+  // x = 3 (via CC) and x < 2.
+  std::vector<Lit> Units = {
+      Lit{false, Lit::Op::Eq, X, A.intConst(3)},
+      Lit{false, Lit::Op::Lt, X, A.intConst(2)},
+  };
+  EXPECT_TRUE(theoryConflict(A, Units));
+}
+
+TEST(TheoryTest, IntegerTightness) {
+  TermArena A;
+  TermId X = A.app("x");
+  // 0 < x and x < 1 has no integer solution.
+  std::vector<Lit> Units = {
+      Lit{false, Lit::Op::Lt, A.intConst(0), X},
+      Lit{false, Lit::Op::Lt, X, A.intConst(1)},
+  };
+  EXPECT_TRUE(theoryConflict(A, Units));
+}
+
+TEST(TheoryTest, ForcedEqualityVsDisequality) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y");
+  // x <= y, y <= x, x != y.
+  std::vector<Lit> Units = {
+      Lit{false, Lit::Op::Le, X, Y},
+      Lit{false, Lit::Op::Le, Y, X},
+      Lit{true, Lit::Op::Eq, X, Y},
+  };
+  EXPECT_TRUE(theoryConflict(A, Units));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end proving
+//===----------------------------------------------------------------------===//
+
+TEST(ProverTest, GroundModusPonens) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId X = A.app("x");
+  P.addHypothesis(fImplies(fPred(A, "p", {X}), fPred(A, "q", {X})));
+  P.addHypothesis(fPred(A, "p", {X}));
+  EXPECT_EQ(P.prove(fPred(A, "q", {X})), ProofResult::Proved);
+}
+
+TEST(ProverTest, UnprovableGoalIsUnknown) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId X = A.app("x");
+  P.addHypothesis(fPred(A, "p", {X}));
+  EXPECT_EQ(P.prove(fPred(A, "q", {X})), ProofResult::Unknown);
+}
+
+TEST(ProverTest, EqualitySubstitution) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId X = A.app("x"), Y = A.app("y");
+  P.addHypothesis(fEq(X, Y));
+  EXPECT_EQ(P.prove(fEq(A.app("f", {X}), A.app("f", {Y}))),
+            ProofResult::Proved);
+}
+
+TEST(ProverTest, DisjunctionCaseSplit) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId X = A.app("x");
+  // (p \/ q) /\ (p => r) /\ (q => r) |- r.
+  P.addHypothesis(fOr({fPred(A, "p", {X}), fPred(A, "q", {X})}));
+  P.addHypothesis(fImplies(fPred(A, "p", {X}), fPred(A, "r", {X})));
+  P.addHypothesis(fImplies(fPred(A, "q", {X}), fPred(A, "r", {X})));
+  EXPECT_EQ(P.prove(fPred(A, "r", {X})), ProofResult::Proved);
+}
+
+TEST(ProverTest, QuantifiedAxiomInstantiation) {
+  Prover P;
+  TermArena &A = P.arena();
+  // forall x. p(x) => q(x); p(c) |- q(c).
+  TermId Vx = A.var("x");
+  P.addAxiom("pq", fForall({"x"}, fImplies(fPred(A, "p", {Vx}),
+                                           fPred(A, "q", {Vx}))));
+  TermId C = A.app("c");
+  P.addHypothesis(fPred(A, "p", {C}));
+  EXPECT_EQ(P.prove(fPred(A, "q", {C})), ProofResult::Proved);
+  EXPECT_GE(P.stats().Instantiations, 1u);
+}
+
+TEST(ProverTest, ChainedInstantiationRounds) {
+  Prover P;
+  TermArena &A = P.arena();
+  // forall x. p(x) => p(f(x)); p(c) |- p(f(f(c))).
+  // Needs two rounds: f(f(c)) only exists after the first instantiation.
+  TermId Vx = A.var("x");
+  P.addAxiom("step",
+             fForall({"x"}, fImplies(fPred(A, "p", {Vx}),
+                                     fPred(A, "p", {A.app("f", {Vx})}))));
+  TermId C = A.app("c");
+  P.addHypothesis(fPred(A, "p", {C}));
+  TermId FFC = A.app("f", {A.app("f", {C})});
+  EXPECT_EQ(P.prove(fPred(A, "p", {FFC})), ProofResult::Proved);
+  EXPECT_GE(P.stats().Rounds, 2u);
+}
+
+TEST(ProverTest, SelectUpdateSameKey) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId Vm = A.var("m"), Vk = A.var("k"), Vv = A.var("v");
+  TermId Upd = A.app("update", {Vm, Vk, Vv});
+  P.addAxiom("select-update-eq",
+             fForall({"m", "k", "v"},
+                     fEq(A.app("select", {Upd, Vk}), Vv),
+                     {MultiPattern{Upd}}));
+  TermId M = A.app("m0"), K = A.app("k0"), V = A.app("v0");
+  TermId Sel = A.app("select", {A.app("update", {M, K, V}), K});
+  EXPECT_EQ(P.prove(fEq(Sel, V)), ProofResult::Proved);
+}
+
+TEST(ProverTest, SelectUpdateOtherKeyViaCaseSplit) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId Vm = A.var("m"), Vk = A.var("k"), Vv = A.var("v"), Vj = A.var("j");
+  TermId Upd = A.app("update", {Vm, Vk, Vv});
+  P.addAxiom("select-update-eq",
+             fForall({"m", "k", "v"},
+                     fEq(A.app("select", {Upd, Vk}), Vv),
+                     {MultiPattern{Upd}}));
+  P.addAxiom("select-update-other",
+             fForall({"m", "k", "v", "j"},
+                     fOr({fEq(Vj, Vk),
+                          fEq(A.app("select", {Upd, Vj}),
+                              A.app("select", {Vm, Vj}))}),
+                     {MultiPattern{A.app("select", {Upd, Vj})}}));
+  TermId M = A.app("m0"), K = A.app("k0"), V = A.app("v0"), J = A.app("j0");
+  P.addHypothesis(fNe(J, K));
+  TermId Sel = A.app("select", {A.app("update", {M, K, V}), J});
+  EXPECT_EQ(P.prove(fEq(Sel, A.app("select", {M, J}))), ProofResult::Proved);
+}
+
+TEST(ProverTest, ProductSignRule) {
+  Prover P;
+  P.addArithmeticSignAxioms();
+  TermArena &A = P.arena();
+  TermId X = A.app("x"), Y = A.app("y");
+  P.addHypothesis(fGt(X, A.intConst(0)));
+  P.addHypothesis(fGt(Y, A.intConst(0)));
+  EXPECT_EQ(P.prove(fGt(A.app("times", {X, Y}), A.intConst(0))),
+            ProofResult::Proved);
+}
+
+TEST(ProverTest, ProductOfMixedSignsIsNegative) {
+  Prover P;
+  P.addArithmeticSignAxioms();
+  TermArena &A = P.arena();
+  TermId X = A.app("x"), Y = A.app("y");
+  P.addHypothesis(fGt(X, A.intConst(0)));
+  P.addHypothesis(fLt(Y, A.intConst(0)));
+  EXPECT_EQ(P.prove(fLt(A.app("times", {X, Y}), A.intConst(0))),
+            ProofResult::Proved);
+}
+
+TEST(ProverTest, DifferenceOfPositivesNotProvablePositive) {
+  // The paper's running example of a bogus rule: pos(a), pos(b) does not
+  // imply pos(a - b). The prover must fail to prove it.
+  Prover P;
+  P.addArithmeticSignAxioms();
+  TermArena &A = P.arena();
+  TermId X = A.app("x"), Y = A.app("y");
+  P.addHypothesis(fGt(X, A.intConst(0)));
+  P.addHypothesis(fGt(Y, A.intConst(0)));
+  EXPECT_NE(P.prove(fGt(A.app("minus", {X, Y}), A.intConst(0))),
+            ProofResult::Proved);
+}
+
+TEST(ProverTest, NegatedGoalWithForallSkolemizes) {
+  Prover P;
+  TermArena &A = P.arena();
+  // p(k) for all k is not provable from p(c) alone.
+  TermId Vk = A.var("k");
+  TermId C = A.app("c");
+  P.addHypothesis(fPred(A, "p", {C}));
+  EXPECT_NE(P.prove(fForall({"k"}, fPred(A, "p", {Vk}))),
+            ProofResult::Proved);
+  // But it is provable from the matching axiom.
+  Prover P2;
+  TermArena &A2 = P2.arena();
+  TermId Vk2 = A2.var("k");
+  P2.addAxiom("all-p", fForall({"k"}, fPred(A2, "p", {Vk2})));
+  EXPECT_EQ(P2.prove(fForall({"k"}, fPred(A2, "p", {Vk2}))),
+            ProofResult::Proved);
+}
+
+TEST(ProverTest, HypothesisWithNestedForallUsesProxy) {
+  // hyp: q(c) \/ (forall k. p(k)); goal p(d) is NOT provable (the model
+  // may choose the q(c) disjunct).
+  Prover P;
+  TermArena &A = P.arena();
+  TermId C = A.app("c"), D = A.app("d");
+  TermId Vk = A.var("k");
+  P.addHypothesis(fOr({fPred(A, "q", {C}),
+                       fForall({"k"}, fPred(A, "p", {Vk}))}));
+  EXPECT_NE(P.prove(fPred(A, "p", {D})), ProofResult::Proved);
+
+  // With !q(c) the forall branch is forced and the goal follows via the
+  // proxy-guarded axiom.
+  Prover P2;
+  TermArena &A2 = P2.arena();
+  TermId C2 = A2.app("c"), D2 = A2.app("d");
+  TermId Vk2 = A2.var("k");
+  P2.addHypothesis(fOr({fPred(A2, "q", {C2}),
+                        fForall({"k"}, fPred(A2, "p", {Vk2}))}));
+  P2.addHypothesis(fNot(fPred(A2, "q", {C2})));
+  EXPECT_EQ(P2.prove(fPred(A2, "p", {D2})), ProofResult::Proved);
+}
+
+TEST(ProverTest, MultiPatternTriggers) {
+  Prover P;
+  TermArena &A = P.arena();
+  // forall x,y. p(x) /\ q(y) => r(x,y), with separate single patterns that
+  // must be joined.
+  TermId Vx = A.var("x"), Vy = A.var("y");
+  P.addAxiom("join",
+             fForall({"x", "y"},
+                     fImplies(fAnd({fPred(A, "p", {Vx}),
+                                    fPred(A, "q", {Vy})}),
+                              fPred(A, "r", {Vx, Vy})),
+                     {MultiPattern{A.app("p", {Vx}), A.app("q", {Vy})}}));
+  TermId C = A.app("c"), D = A.app("d");
+  P.addHypothesis(fPred(A, "p", {C}));
+  P.addHypothesis(fPred(A, "q", {D}));
+  EXPECT_EQ(P.prove(fPred(A, "r", {C, D})), ProofResult::Proved);
+}
+
+TEST(ProverTest, ContradictoryHypothesesProveAnything) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId X = A.app("x");
+  P.addHypothesis(fEq(X, A.intConst(1)));
+  P.addHypothesis(fEq(X, A.intConst(2)));
+  EXPECT_EQ(P.prove(fPred(A, "anything", {X})), ProofResult::Proved);
+}
+
+TEST(ProverTest, StatsArePopulated) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId Vx = A.var("x");
+  P.addAxiom("pq", fForall({"x"}, fImplies(fPred(A, "p", {Vx}),
+                                           fPred(A, "q", {Vx}))));
+  TermId C = A.app("c");
+  P.addHypothesis(fPred(A, "p", {C}));
+  ASSERT_EQ(P.prove(fPred(A, "q", {C})), ProofResult::Proved);
+  EXPECT_GT(P.stats().TheoryChecks, 0u);
+  EXPECT_GT(P.stats().Clauses, 0u);
+  EXPECT_GE(P.stats().Seconds, 0.0);
+}
+
+TEST(ProverTest, ModelReportedOnFailure) {
+  Prover P;
+  TermArena &A = P.arena();
+  TermId X = A.app("x");
+  P.addHypothesis(fPred(A, "p", {X}));
+  ASSERT_EQ(P.prove(fPred(A, "q", {X})), ProofResult::Unknown);
+  EXPECT_FALSE(P.stats().Model.empty());
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- test_support.cpp - Tests for the support library -------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Lexer.h"
+#include "support/SourceLoc.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace stq;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.tokenize();
+}
+
+std::vector<Token> lexOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Toks = lex(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Source;
+  return Toks;
+}
+
+TEST(SourceLoc, InvalidByDefault) {
+  SourceLoc Loc;
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "<unknown>");
+}
+
+TEST(SourceLoc, StrFormatsLineColon) {
+  SourceLoc Loc(3, 14);
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "3:14");
+}
+
+TEST(SourceLoc, Equality) {
+  EXPECT_EQ(SourceLoc(1, 2), SourceLoc(1, 2));
+  EXPECT_NE(SourceLoc(1, 2), SourceLoc(1, 3));
+  EXPECT_NE(SourceLoc(1, 2), SourceLoc(2, 2));
+}
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(1, 1), "parse", "bad");
+  Diags.warning(SourceLoc(2, 1), "qualcheck", "iffy");
+  Diags.note(SourceLoc(3, 1), "qualcheck", "fyi");
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.warningCount(), 1u);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, CountInPhase) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(1, 1), "parse", "a");
+  Diags.warning(SourceLoc(2, 1), "qualcheck", "b");
+  Diags.warning(SourceLoc(3, 1), "qualcheck", "c");
+  EXPECT_EQ(Diags.countInPhase("qualcheck"), 2u);
+  EXPECT_EQ(Diags.countInPhase("parse"), 1u);
+  EXPECT_EQ(Diags.countInPhase("soundness"), 0u);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(1, 1), "parse", "a");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(Diagnostics, PrintFormat) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(4, 7), "sema", "bad thing");
+  std::ostringstream OS;
+  Diags.print(OS);
+  EXPECT_EQ(OS.str(), "4:7: error [sema]: bad thing\n");
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto Toks = lexOk("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].is(TokenKind::EndOfFile));
+}
+
+TEST(Lexer, Identifiers) {
+  auto Toks = lexOk("foo _bar baz9");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "foo");
+  EXPECT_EQ(Toks[1].Text, "_bar");
+  EXPECT_EQ(Toks[2].Text, "baz9");
+}
+
+TEST(Lexer, DecimalAndHexIntegers) {
+  auto Toks = lexOk("0 42 0x1F");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 31);
+}
+
+TEST(Lexer, StringLiteralEscapes) {
+  auto Toks = lexOk("\"a\\n\\t\\\"b\"");
+  ASSERT_GE(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].is(TokenKind::StringLiteral));
+  EXPECT_EQ(Toks[0].Text, "a\n\t\"b");
+}
+
+TEST(Lexer, CharLiteral) {
+  auto Toks = lexOk("'x' '\\n'");
+  ASSERT_GE(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].IntValue, 'x');
+  EXPECT_EQ(Toks[1].IntValue, '\n');
+}
+
+TEST(Lexer, MultiCharPunctuation) {
+  auto Toks = lexOk("-> && || == != <= >= => ...");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Arrow,     TokenKind::AmpAmp, TokenKind::PipePipe,
+      TokenKind::EqEq,      TokenKind::BangEq, TokenKind::LessEq,
+      TokenKind::GreaterEq, TokenKind::FatArrow, TokenKind::Ellipsis,
+      TokenKind::EndOfFile};
+  ASSERT_EQ(Toks.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Toks[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, SingleCharPunctuationDoesNotGreedilyMerge) {
+  auto Toks = lexOk("= = < > ! & |");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Eq,   TokenKind::Eq,   TokenKind::Less, TokenKind::Greater,
+      TokenKind::Bang, TokenKind::Amp,  TokenKind::Pipe,
+      TokenKind::EndOfFile};
+  ASSERT_EQ(Toks.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Toks[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto Toks = lexOk("a // comment with * and / stuff\nb");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  auto Toks = lexOk("a /* multi\nline */ b");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentErrors) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedStringErrors) {
+  DiagnosticEngine Diags;
+  lex("\"abc", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnknownCharacterErrors) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the bad character.
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto Toks = lexOk("ab\n  cd");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Toks[1].Loc, SourceLoc(2, 3));
+}
+
+} // namespace

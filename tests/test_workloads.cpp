@@ -1,0 +1,209 @@
+//===- test_workloads.cpp - Tests for workload generators and drivers -----===//
+//
+// Verifies the synthetic analogues of the paper's evaluation subjects and
+// the automated annotation process whose outputs are Tables 1 and 2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AnnotationDriver.h"
+#include "workloads/Workloads.h"
+
+#include "cminus/Parser.h"
+#include "cminus/Sema.h"
+#include "interp/Interp.h"
+#include "qual/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace stq;
+using namespace stq::workloads;
+
+namespace {
+
+/// The generated sources must be valid, executable C-minus.
+void expectRunnable(const GeneratedWorkload &W,
+                    const std::vector<std::string> &QualNames) {
+  qual::QualifierSet Quals;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(qual::loadBuiltinQualifiers(QualNames, Quals, Diags));
+  interp::RunResult R = interp::runSource(W.Source, Quals, Diags, {});
+  EXPECT_TRUE(R.ok()) << W.Name << ": " << R.TrapMessage;
+}
+
+TEST(Workloads, CountLines) {
+  EXPECT_EQ(countLines(""), 0u);
+  EXPECT_EQ(countLines("a\nb\n"), 2u);
+  EXPECT_EQ(countLines("a\n\n  \nb"), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// grep dfa (Table 1)
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadGrep, GeneratedProgramParsesAndRuns) {
+  GeneratedWorkload W = makeGrepDfa();
+  expectRunnable(W, {"nonnull"});
+}
+
+TEST(WorkloadGrep, StructuralStatisticsNearPaper) {
+  GeneratedWorkload W = makeGrepDfa();
+  // Paper: 2287 lines. Shape: same order of magnitude.
+  EXPECT_GT(W.Lines, 1200u);
+  EXPECT_LT(W.Lines, 3500u);
+}
+
+TEST(WorkloadGrep, NonnullExperimentShape) {
+  GeneratedWorkload W = makeGrepDfa();
+  Table1Row Row = runNonnullExperiment(W);
+
+  // Paper's Table 1: 1072 dereferences, 114 annotations, 59 casts,
+  // 0 errors. The shape that must reproduce:
+  //  - every dereference is checked, and there are on the order of 1000;
+  EXPECT_GT(Row.Dereferences, 500u);
+  EXPECT_LT(Row.Dereferences, 2200u);
+  //  - annotations are an order of magnitude fewer than dereferences;
+  EXPECT_LT(Row.Annotations * 5, Row.Dereferences);
+  EXPECT_GT(Row.Annotations, 40u);
+  EXPECT_LT(Row.Annotations, 250u);
+  //  - casts are fewer than annotations (flow-insensitivity tax);
+  EXPECT_GT(Row.Casts, 10u);
+  EXPECT_LT(Row.Casts, Row.Annotations);
+  //  - the process converges with no residual errors.
+  EXPECT_EQ(Row.Errors, 0u);
+  //  - the unannotated program starts with an error per unproven deref.
+  EXPECT_GT(Row.InitialErrors, Row.Annotations);
+}
+
+TEST(WorkloadGrep, FlowSensitivityRemovesGuardedCasts) {
+  // The quantified version of the paper's section 8 claim: the casts come
+  // from flow-insensitivity, so enabling the narrowing extension removes
+  // the guarded-table casts (and the local annotations they forced).
+  GeneratedWorkload W = makeGrepDfa();
+  Table1Row Insensitive = runNonnullExperiment(W, /*FlowSensitive=*/false);
+  Table1Row Sensitive = runNonnullExperiment(W, /*FlowSensitive=*/true);
+  EXPECT_EQ(Sensitive.Errors, 0u);
+  EXPECT_LT(Sensitive.Casts, Insensitive.Casts / 2);
+  EXPECT_LT(Sensitive.Annotations, Insensitive.Annotations);
+  // The dereference count is a property of the program, not the policy.
+  EXPECT_EQ(Sensitive.Dereferences, Insensitive.Dereferences);
+}
+
+TEST(WorkloadGrep, ScaleGrowsTheProgram) {
+  GeneratedWorkload W1 = makeGrepDfa(1);
+  GeneratedWorkload W3 = makeGrepDfa(3);
+  EXPECT_GT(W3.Lines, 2 * W1.Lines);
+}
+
+//===----------------------------------------------------------------------===//
+// grep unique (section 6.2)
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadUnique, FortyNineReferencesValidated) {
+  GeneratedWorkload W = makeGrepDfaUnique();
+  EXPECT_EQ(W.UniqueRefSites, 49u); // The paper's count.
+  UniqueRow Row = runUniqueExperiment(W);
+  EXPECT_EQ(Row.Violations, 0u);
+  EXPECT_EQ(Row.Casts, 1u); // The initialization cast.
+}
+
+TEST(WorkloadUnique, GlobalPassedAsArgumentViolates) {
+  GeneratedWorkload W = makeGrepDfaUniqueViolating();
+  UniqueRow Row = runUniqueExperiment(W);
+  EXPECT_GE(Row.Violations, 1u);
+}
+
+TEST(WorkloadUnique, GeneratedProgramsParse) {
+  // (They are not run: parser_result is external, as in grep where the
+  // value comes from the parser module.)
+  qual::QualifierSet Quals;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(qual::loadBuiltinQualifiers({"unique"}, Quals, Diags));
+  auto Prog = cminus::parseProgram(makeGrepDfaUnique().Source, Quals.names(),
+                                   Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(cminus::runSema(*Prog, Quals.refNames(), Diags));
+}
+
+//===----------------------------------------------------------------------===//
+// Taint workloads (Table 2)
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadTaint, PrintfCallCountsMatchPaper) {
+  EXPECT_EQ(makeBftpd().PrintfCalls, 134u);
+  EXPECT_EQ(makeMingetty().PrintfCalls, 23u);
+  EXPECT_EQ(makeIdentd().PrintfCalls, 21u);
+}
+
+TEST(WorkloadTaint, LineCountsNearPaper) {
+  // Paper: 750 / 293 / 228.
+  GeneratedWorkload B = makeBftpd();
+  GeneratedWorkload M = makeMingetty();
+  GeneratedWorkload I = makeIdentd();
+  EXPECT_GT(B.Lines, 400u);
+  EXPECT_LT(B.Lines, 1100u);
+  EXPECT_GT(M.Lines, 120u);
+  EXPECT_LT(M.Lines, 450u);
+  EXPECT_GT(I.Lines, 90u);
+  EXPECT_LT(I.Lines, 350u);
+  // Relative ordering preserved.
+  EXPECT_GT(B.Lines, M.Lines);
+  EXPECT_GT(M.Lines, I.Lines);
+}
+
+TEST(WorkloadTaint, BftpdExperimentFindsTheBug) {
+  Table2Row Row = runUntaintedExperiment(makeBftpd());
+  // Paper: 2 annotations, 0 casts, 1 error (the exploitable call).
+  EXPECT_EQ(Row.Annotations, 2u);
+  EXPECT_EQ(Row.Casts, 0u);
+  EXPECT_EQ(Row.Errors, 1u);
+}
+
+TEST(WorkloadTaint, MingettyExperimentClean) {
+  Table2Row Row = runUntaintedExperiment(makeMingetty());
+  // Paper: 1 annotation, 0 casts, 0 errors.
+  EXPECT_EQ(Row.Annotations, 1u);
+  EXPECT_EQ(Row.Casts, 0u);
+  EXPECT_EQ(Row.Errors, 0u);
+}
+
+TEST(WorkloadTaint, IdentdExperimentClean) {
+  Table2Row Row = runUntaintedExperiment(makeIdentd());
+  // Paper: 0 annotations, 0 casts, 0 errors.
+  EXPECT_EQ(Row.Annotations, 0u);
+  EXPECT_EQ(Row.Casts, 0u);
+  EXPECT_EQ(Row.Errors, 0u);
+}
+
+TEST(WorkloadTaint, ProgramsExecuteAndExposeBugDynamically) {
+  // The interpreter shows the bftpd bug is real: the d_name format string
+  // reads nonexistent arguments.
+  qual::QualifierSet Quals;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(qual::loadBuiltinQualifiers({"tainted", "untainted"}, Quals,
+                                          Diags));
+  GeneratedWorkload B = makeBftpd();
+  // Drive the vulnerable path directly.
+  std::string Source = B.Source +
+                       "\nint poc() {\n"
+                       "  struct session* s = (struct session*) "
+                       "malloc(sizeof(struct session));\n"
+                       "  s->sock = 4;\n"
+                       "  struct dirent* e = (struct dirent*) "
+                       "malloc(sizeof(struct dirent));\n"
+                       "  e->d_name = \"%s%s%s\";\n"
+                       "  command_list_entry(s, e);\n"
+                       "  return 0;\n"
+                       "}\n";
+  interp::InterpOptions Options;
+  Options.EntryPoint = "poc";
+  interp::RunResult R = interp::runSource(Source, Quals, Diags, Options);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_GE(R.FormatViolations.size(), 1u);
+}
+
+TEST(WorkloadTaint, MingettyAndIdentdRun) {
+  expectRunnable(makeMingetty(), {"tainted", "untainted"});
+  expectRunnable(makeIdentd(), {"tainted", "untainted"});
+}
+
+} // namespace
