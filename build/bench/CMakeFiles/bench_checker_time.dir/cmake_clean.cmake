@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checker_time.dir/bench_checker_time.cpp.o"
+  "CMakeFiles/bench_checker_time.dir/bench_checker_time.cpp.o.d"
+  "bench_checker_time"
+  "bench_checker_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

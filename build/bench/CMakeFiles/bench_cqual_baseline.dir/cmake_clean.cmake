@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cqual_baseline.dir/bench_cqual_baseline.cpp.o"
+  "CMakeFiles/bench_cqual_baseline.dir/bench_cqual_baseline.cpp.o.d"
+  "bench_cqual_baseline"
+  "bench_cqual_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cqual_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lambda_preservation.dir/bench_lambda_preservation.cpp.o"
+  "CMakeFiles/bench_lambda_preservation.dir/bench_lambda_preservation.cpp.o.d"
+  "bench_lambda_preservation"
+  "bench_lambda_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lambda_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_soundness_times.cpp" "bench/CMakeFiles/bench_soundness_times.dir/bench_soundness_times.cpp.o" "gcc" "bench/CMakeFiles/bench_soundness_times.dir/bench_soundness_times.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soundness/CMakeFiles/stq_soundness.dir/DependInfo.cmake"
+  "/root/repo/build/src/prover/CMakeFiles/stq_prover.dir/DependInfo.cmake"
+  "/root/repo/build/src/qual/CMakeFiles/stq_qual.dir/DependInfo.cmake"
+  "/root/repo/build/src/cminus/CMakeFiles/stq_cminus.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soundness_times.dir/bench_soundness_times.cpp.o"
+  "CMakeFiles/bench_soundness_times.dir/bench_soundness_times.cpp.o.d"
+  "bench_soundness_times"
+  "bench_soundness_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soundness_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

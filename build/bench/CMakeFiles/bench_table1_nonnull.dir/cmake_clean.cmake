@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_nonnull.dir/bench_table1_nonnull.cpp.o"
+  "CMakeFiles/bench_table1_nonnull.dir/bench_table1_nonnull.cpp.o.d"
+  "bench_table1_nonnull"
+  "bench_table1_nonnull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nonnull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

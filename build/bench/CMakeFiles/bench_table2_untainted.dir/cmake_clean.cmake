@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_untainted.dir/bench_table2_untainted.cpp.o"
+  "CMakeFiles/bench_table2_untainted.dir/bench_table2_untainted.cpp.o.d"
+  "bench_table2_untainted"
+  "bench_table2_untainted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_untainted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

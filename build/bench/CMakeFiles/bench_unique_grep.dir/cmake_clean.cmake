@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unique_grep.dir/bench_unique_grep.cpp.o"
+  "CMakeFiles/bench_unique_grep.dir/bench_unique_grep.cpp.o.d"
+  "bench_unique_grep"
+  "bench_unique_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unique_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_soundness.dir/lambda_soundness.cpp.o"
+  "CMakeFiles/lambda_soundness.dir/lambda_soundness.cpp.o.d"
+  "lambda_soundness"
+  "lambda_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonnull_grep.dir/nonnull_grep.cpp.o"
+  "CMakeFiles/nonnull_grep.dir/nonnull_grep.cpp.o.d"
+  "nonnull_grep"
+  "nonnull_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonnull_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_format_string.dir/taint_format_string.cpp.o"
+  "CMakeFiles/taint_format_string.dir/taint_format_string.cpp.o.d"
+  "taint_format_string"
+  "taint_format_string.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_format_string.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

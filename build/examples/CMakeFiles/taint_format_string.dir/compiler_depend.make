@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for taint_format_string.
+# This may be replaced when dependencies are built.

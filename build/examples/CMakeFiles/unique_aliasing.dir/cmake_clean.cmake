@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unique_aliasing.dir/unique_aliasing.cpp.o"
+  "CMakeFiles/unique_aliasing.dir/unique_aliasing.cpp.o.d"
+  "unique_aliasing"
+  "unique_aliasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unique_aliasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

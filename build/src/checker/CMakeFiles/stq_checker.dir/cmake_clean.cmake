@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_checker.dir/Checker.cpp.o"
+  "CMakeFiles/stq_checker.dir/Checker.cpp.o.d"
+  "CMakeFiles/stq_checker.dir/Inference.cpp.o"
+  "CMakeFiles/stq_checker.dir/Inference.cpp.o.d"
+  "libstq_checker.a"
+  "libstq_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cminus/AST.cpp" "src/cminus/CMakeFiles/stq_cminus.dir/AST.cpp.o" "gcc" "src/cminus/CMakeFiles/stq_cminus.dir/AST.cpp.o.d"
+  "/root/repo/src/cminus/Lowering.cpp" "src/cminus/CMakeFiles/stq_cminus.dir/Lowering.cpp.o" "gcc" "src/cminus/CMakeFiles/stq_cminus.dir/Lowering.cpp.o.d"
+  "/root/repo/src/cminus/Parser.cpp" "src/cminus/CMakeFiles/stq_cminus.dir/Parser.cpp.o" "gcc" "src/cminus/CMakeFiles/stq_cminus.dir/Parser.cpp.o.d"
+  "/root/repo/src/cminus/Printer.cpp" "src/cminus/CMakeFiles/stq_cminus.dir/Printer.cpp.o" "gcc" "src/cminus/CMakeFiles/stq_cminus.dir/Printer.cpp.o.d"
+  "/root/repo/src/cminus/Sema.cpp" "src/cminus/CMakeFiles/stq_cminus.dir/Sema.cpp.o" "gcc" "src/cminus/CMakeFiles/stq_cminus.dir/Sema.cpp.o.d"
+  "/root/repo/src/cminus/Type.cpp" "src/cminus/CMakeFiles/stq_cminus.dir/Type.cpp.o" "gcc" "src/cminus/CMakeFiles/stq_cminus.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/stq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_cminus.dir/AST.cpp.o"
+  "CMakeFiles/stq_cminus.dir/AST.cpp.o.d"
+  "CMakeFiles/stq_cminus.dir/Lowering.cpp.o"
+  "CMakeFiles/stq_cminus.dir/Lowering.cpp.o.d"
+  "CMakeFiles/stq_cminus.dir/Parser.cpp.o"
+  "CMakeFiles/stq_cminus.dir/Parser.cpp.o.d"
+  "CMakeFiles/stq_cminus.dir/Printer.cpp.o"
+  "CMakeFiles/stq_cminus.dir/Printer.cpp.o.d"
+  "CMakeFiles/stq_cminus.dir/Sema.cpp.o"
+  "CMakeFiles/stq_cminus.dir/Sema.cpp.o.d"
+  "CMakeFiles/stq_cminus.dir/Type.cpp.o"
+  "CMakeFiles/stq_cminus.dir/Type.cpp.o.d"
+  "libstq_cminus.a"
+  "libstq_cminus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_cminus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_cqual.dir/Cqual.cpp.o"
+  "CMakeFiles/stq_cqual.dir/Cqual.cpp.o.d"
+  "libstq_cqual.a"
+  "libstq_cqual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_cqual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

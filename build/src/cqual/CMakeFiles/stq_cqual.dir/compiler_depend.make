@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stq_cqual.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for stq_cqual.
+# This may be replaced when dependencies are built.

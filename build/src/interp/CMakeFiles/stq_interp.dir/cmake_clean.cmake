@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_interp.dir/Interp.cpp.o"
+  "CMakeFiles/stq_interp.dir/Interp.cpp.o.d"
+  "libstq_interp.a"
+  "libstq_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_lambda.dir/Lambda.cpp.o"
+  "CMakeFiles/stq_lambda.dir/Lambda.cpp.o.d"
+  "libstq_lambda.a"
+  "libstq_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prover/Formula.cpp" "src/prover/CMakeFiles/stq_prover.dir/Formula.cpp.o" "gcc" "src/prover/CMakeFiles/stq_prover.dir/Formula.cpp.o.d"
+  "/root/repo/src/prover/Prover.cpp" "src/prover/CMakeFiles/stq_prover.dir/Prover.cpp.o" "gcc" "src/prover/CMakeFiles/stq_prover.dir/Prover.cpp.o.d"
+  "/root/repo/src/prover/Term.cpp" "src/prover/CMakeFiles/stq_prover.dir/Term.cpp.o" "gcc" "src/prover/CMakeFiles/stq_prover.dir/Term.cpp.o.d"
+  "/root/repo/src/prover/Theory.cpp" "src/prover/CMakeFiles/stq_prover.dir/Theory.cpp.o" "gcc" "src/prover/CMakeFiles/stq_prover.dir/Theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/stq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_prover.dir/Formula.cpp.o"
+  "CMakeFiles/stq_prover.dir/Formula.cpp.o.d"
+  "CMakeFiles/stq_prover.dir/Prover.cpp.o"
+  "CMakeFiles/stq_prover.dir/Prover.cpp.o.d"
+  "CMakeFiles/stq_prover.dir/Term.cpp.o"
+  "CMakeFiles/stq_prover.dir/Term.cpp.o.d"
+  "CMakeFiles/stq_prover.dir/Theory.cpp.o"
+  "CMakeFiles/stq_prover.dir/Theory.cpp.o.d"
+  "libstq_prover.a"
+  "libstq_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

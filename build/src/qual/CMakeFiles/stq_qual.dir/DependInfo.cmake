@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qual/Builtins.cpp" "src/qual/CMakeFiles/stq_qual.dir/Builtins.cpp.o" "gcc" "src/qual/CMakeFiles/stq_qual.dir/Builtins.cpp.o.d"
+  "/root/repo/src/qual/QualAST.cpp" "src/qual/CMakeFiles/stq_qual.dir/QualAST.cpp.o" "gcc" "src/qual/CMakeFiles/stq_qual.dir/QualAST.cpp.o.d"
+  "/root/repo/src/qual/QualParser.cpp" "src/qual/CMakeFiles/stq_qual.dir/QualParser.cpp.o" "gcc" "src/qual/CMakeFiles/stq_qual.dir/QualParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cminus/CMakeFiles/stq_cminus.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_qual.dir/Builtins.cpp.o"
+  "CMakeFiles/stq_qual.dir/Builtins.cpp.o.d"
+  "CMakeFiles/stq_qual.dir/QualAST.cpp.o"
+  "CMakeFiles/stq_qual.dir/QualAST.cpp.o.d"
+  "CMakeFiles/stq_qual.dir/QualParser.cpp.o"
+  "CMakeFiles/stq_qual.dir/QualParser.cpp.o.d"
+  "libstq_qual.a"
+  "libstq_qual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_qual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

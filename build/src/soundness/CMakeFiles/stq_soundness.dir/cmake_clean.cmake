@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_soundness.dir/Axioms.cpp.o"
+  "CMakeFiles/stq_soundness.dir/Axioms.cpp.o.d"
+  "CMakeFiles/stq_soundness.dir/Soundness.cpp.o"
+  "CMakeFiles/stq_soundness.dir/Soundness.cpp.o.d"
+  "libstq_soundness.a"
+  "libstq_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstq_soundness.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/stq_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/stq_support.dir/Lexer.cpp.o"
+  "CMakeFiles/stq_support.dir/Lexer.cpp.o.d"
+  "CMakeFiles/stq_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/stq_support.dir/SourceLoc.cpp.o.d"
+  "libstq_support.a"
+  "libstq_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stqc.dir/stqc.cpp.o"
+  "CMakeFiles/stqc.dir/stqc.cpp.o.d"
+  "stqc"
+  "stqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/tools
+# Build directory: /root/repo/build/src/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(stqc.prove_builtins "/root/repo/build/src/tools/stqc" "prove")
+set_tests_properties(stqc.prove_builtins PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;5;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(stqc.dump_builtin "/root/repo/build/src/tools/stqc" "dump-builtin" "pos")
+set_tests_properties(stqc.dump_builtin PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;6;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(stqc.check_ok "/root/repo/build/src/tools/stqc" "check" "-e" "int pos x = 3;" "--builtins" "pos,neg")
+set_tests_properties(stqc.check_ok PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;7;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(stqc.check_fails "/root/repo/build/src/tools/stqc" "check" "-e" "int pos x = -1;" "--builtins" "pos,neg")
+set_tests_properties(stqc.check_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;9;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(stqc.run_program "/root/repo/build/src/tools/stqc" "run" "-e" "int main() { printf(\"%d\", 6 * 7); return 0; }" "--builtins" "tainted,untainted")
+set_tests_properties(stqc.run_program PROPERTIES  PASS_REGULAR_EXPRESSION "42" _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;12;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(stqc.run_check_failure "/root/repo/build/src/tools/stqc" "run" "-e" "int main() { int y = -3; int pos x = (int pos) y; return x; }" "--builtins" "pos,neg")
+set_tests_properties(stqc.run_check_failure PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;16;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(stqc.infer "/root/repo/build/src/tools/stqc" "infer" "-e" "int f() { int x = 3; int y = x * x; return y; }" "--builtins" "pos,neg")
+set_tests_properties(stqc.infer PROPERTIES  PASS_REGULAR_EXPRESSION "'y' may be annotated: pos" _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;20;add_test;/root/repo/src/tools/CMakeLists.txt;0;")

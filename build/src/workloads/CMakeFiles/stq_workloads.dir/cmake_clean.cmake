@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stq_workloads.dir/AnnotationDriver.cpp.o"
+  "CMakeFiles/stq_workloads.dir/AnnotationDriver.cpp.o.d"
+  "CMakeFiles/stq_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/stq_workloads.dir/Workloads.cpp.o.d"
+  "libstq_workloads.a"
+  "libstq_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stq_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cminus.dir/test_cminus.cpp.o"
+  "CMakeFiles/test_cminus.dir/test_cminus.cpp.o.d"
+  "test_cminus"
+  "test_cminus.pdb"
+  "test_cminus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cminus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

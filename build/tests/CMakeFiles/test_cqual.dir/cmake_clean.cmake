@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cqual.dir/test_cqual.cpp.o"
+  "CMakeFiles/test_cqual.dir/test_cqual.cpp.o.d"
+  "test_cqual"
+  "test_cqual.pdb"
+  "test_cqual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cqual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

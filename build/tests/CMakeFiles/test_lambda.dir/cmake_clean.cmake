@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lambda.dir/test_lambda.cpp.o"
+  "CMakeFiles/test_lambda.dir/test_lambda.cpp.o.d"
+  "test_lambda"
+  "test_lambda.pdb"
+  "test_lambda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prover.dir/test_prover.cpp.o"
+  "CMakeFiles/test_prover.dir/test_prover.cpp.o.d"
+  "test_prover"
+  "test_prover.pdb"
+  "test_prover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qual.dir/test_qual.cpp.o"
+  "CMakeFiles/test_qual.dir/test_qual.cpp.o.d"
+  "test_qual"
+  "test_qual.pdb"
+  "test_qual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
