@@ -1,0 +1,181 @@
+//===- bench_parallel_scaling.cpp - Parallel pipeline scaling -------------===//
+//
+// Measures the work-stealing checking pipeline and the memoized prover
+// cache on the paper's two headline workloads: Table 1 (nonnull on the
+// grep-dfa analogue) and Table 2 (untainted on the daemon analogues).
+// For each, sweeps --jobs over 1/2/4/8 and reports wall-clock speedup
+// against the sequential baseline, then primes the prover cache and
+// reports the warm hit rate for the soundness obligations.
+//
+// Speedup is hardware-bound: on an N-core host the pipeline cannot beat
+// min(jobs, N)x, so the table prints the detected concurrency alongside
+// the measurements.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Parallel.h"
+#include "cminus/Lowering.h"
+#include "cminus/Parser.h"
+#include "cminus/Sema.h"
+#include "prover/ProverCache.h"
+#include "qual/Builtins.h"
+#include "soundness/Soundness.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace stq;
+using namespace stq::workloads;
+
+namespace {
+
+constexpr unsigned JobSweep[] = {1, 2, 4, 8};
+
+struct Prepared {
+  qual::QualifierSet Quals;
+  DiagnosticEngine Diags;
+  std::unique_ptr<cminus::Program> Prog;
+};
+
+std::unique_ptr<Prepared> prepare(const std::string &Source,
+                                  const std::vector<std::string> &Names) {
+  auto P = std::make_unique<Prepared>();
+  qual::loadBuiltinQualifiers(Names, P->Quals, P->Diags);
+  P->Prog = cminus::parseProgram(Source, P->Quals.names(), P->Diags);
+  cminus::runSema(*P->Prog, P->Quals.refNames(), P->Diags);
+  cminus::lowerProgram(*P->Prog, P->Diags);
+  if (P->Diags.hasErrors()) {
+    std::fprintf(stderr, "workload failed the front end\n");
+    std::exit(1);
+  }
+  return P;
+}
+
+double timeCheck(Prepared &P, unsigned Jobs, unsigned Reps,
+                 checker::ParallelStats *Stats, unsigned *Errors) {
+  double Best = 0;
+  for (unsigned R = 0; R < Reps; ++R) {
+    DiagnosticEngine Diags;
+    auto Start = std::chrono::steady_clock::now();
+    checker::CheckResult Result =
+        checker::checkProgramParallel(*P.Prog, P.Quals, Diags, {}, Jobs,
+                                      Stats);
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    if (R == 0 || Secs < Best)
+      Best = Secs;
+    if (Errors)
+      *Errors = Result.QualErrors;
+  }
+  return Best;
+}
+
+void printScalingTable(const char *Label, const std::string &Source,
+                       const std::vector<std::string> &Names) {
+  auto P = prepare(Source, Names);
+  std::printf("=== %s: checking speedup vs --jobs ===\n", Label);
+  std::printf("%6s %12s %9s %9s %8s %8s\n", "jobs", "check time", "speedup",
+              "units", "executed", "stolen");
+  double Baseline = 0;
+  for (unsigned Jobs : JobSweep) {
+    checker::ParallelStats Stats;
+    unsigned Errors = 0;
+    double Secs = timeCheck(*P, Jobs, /*Reps=*/3, &Stats, &Errors);
+    if (Jobs == 1)
+      Baseline = Secs;
+    std::printf("%6u %11.4fs %8.2fx %9u %8llu %8llu\n", Jobs, Secs,
+                Secs > 0 ? Baseline / Secs : 0.0, Stats.Units,
+                static_cast<unsigned long long>(Stats.Executed),
+                static_cast<unsigned long long>(Stats.Steals));
+  }
+  std::printf("\n");
+}
+
+void printCacheTable(const char *Label,
+                     const std::vector<std::string> &Names) {
+  DiagnosticEngine Diags;
+  qual::QualifierSet Quals;
+  qual::loadBuiltinQualifiers(Names, Quals, Diags);
+
+  prover::ProverCache Cache;
+  // Cold pass: every obligation misses and is inserted.
+  soundness::SoundnessChecker Cold(Quals, {}, nullptr, &Cache);
+  auto Start = std::chrono::steady_clock::now();
+  Cold.checkAll(/*Jobs=*/4);
+  double ColdSecs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+  // Warm pass: identical obligations replay from the cache.
+  soundness::SoundnessChecker Warm(Quals, {}, nullptr, &Cache);
+  Start = std::chrono::steady_clock::now();
+  Warm.checkAll(/*Jobs=*/4);
+  double WarmSecs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+
+  prover::CacheStats CS = Cache.stats();
+  std::printf("=== %s: prover cache (soundness obligations) ===\n", Label);
+  std::printf("cold pass %.4fs, warm pass %.4fs\n", ColdSecs, WarmSecs);
+  std::printf("%llu lookups, %llu hits, %llu misses (hit rate %.1f%%), "
+              "%llu entries, %.4fs prover time saved\n\n",
+              static_cast<unsigned long long>(CS.Lookups),
+              static_cast<unsigned long long>(CS.Hits),
+              static_cast<unsigned long long>(CS.Misses),
+              100.0 * CS.hitRate(),
+              static_cast<unsigned long long>(CS.Entries), CS.SecondsSaved);
+}
+
+void BM_CheckParallel(benchmark::State &State, const std::string &Source,
+                      const std::vector<std::string> &Names) {
+  auto P = prepare(Source, Names);
+  unsigned Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    checker::CheckResult Result =
+        checker::checkProgramParallel(*P->Prog, P->Quals, Diags, {}, Jobs);
+    benchmark::DoNotOptimize(Result.QualErrors);
+  }
+  State.counters["jobs"] = Jobs;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("hardware concurrency: %u thread(s)\n\n",
+              std::thread::hardware_concurrency());
+
+  // Table 1 workload: nonnull on grep-dfa, scaled up so the per-function
+  // shards dominate the fork/join overhead.
+  GeneratedWorkload T1 = makeGrepDfa(/*Scale=*/8);
+  printScalingTable("Table 1 (nonnull, grep-dfa x8)", T1.Source, {"nonnull"});
+
+  // Table 2 workload: tainted/untainted on the bftpd daemon analogue.
+  GeneratedWorkload T2 = makeBftpd();
+  printScalingTable("Table 2 (untainted, bftpd)", T2.Source,
+                    {"tainted", "untainted"});
+
+  printCacheTable("Table 1 + Table 2 qualifiers",
+                  {"pos", "neg", "nonnull", "tainted", "untainted"});
+
+  GeneratedWorkload T1Bench = makeGrepDfa(/*Scale=*/8);
+  for (unsigned Jobs : JobSweep)
+    benchmark::RegisterBenchmark(
+        ("BM_CheckParallel/nonnull/jobs:" + std::to_string(Jobs)).c_str(),
+        [T1Bench, Jobs](benchmark::State &State) {
+          BM_CheckParallel(State, T1Bench.Source, {"nonnull"});
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(3)->Arg(Jobs);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

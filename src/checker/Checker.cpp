@@ -1017,7 +1017,7 @@ void QualChecker::checkFunction(FuncDecl *Fn) {
   CurrentFn = nullptr;
 }
 
-CheckResult QualChecker::run() {
+CheckResult QualChecker::runGlobals() {
   for (VarDecl *G : Prog.Globals) {
     if (!G->Init)
       continue;
@@ -1025,6 +1025,16 @@ CheckResult QualChecker::run() {
     checkAssignmentTo(G->DeclaredTy, G->Init, G->Loc,
                       "initialization of global '" + G->Name + "'", G);
   }
+  return Result;
+}
+
+CheckResult QualChecker::runFunction(cminus::FuncDecl *Fn) {
+  checkFunction(Fn);
+  return Result;
+}
+
+CheckResult QualChecker::run() {
+  runGlobals();
   for (FuncDecl *Fn : Prog.Functions)
     if (Fn->isDefinition())
       checkFunction(Fn);

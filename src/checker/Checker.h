@@ -136,6 +136,14 @@ public:
   /// Performs qualifier checking over the whole program.
   CheckResult run();
 
+  /// Shard entry points for the parallel pipeline (Parallel.h). A unit is
+  /// either the global initializers or one function definition; run() is
+  /// runGlobals() followed by runFunction() on every definition. The
+  /// checker never mutates the program, so distinct instances may check
+  /// distinct units of one program concurrently.
+  CheckResult runGlobals();
+  CheckResult runFunction(cminus::FuncDecl *Fn);
+
   /// Can \p E be given qualifier \p Q? Uses the declared/static type and the
   /// qualifier's case clauses (recursively). Public so tests, the
   /// annotation driver, and the CQUAL baseline can query it.

@@ -1,0 +1,69 @@
+//===- Parallel.h - Sharded parallel qualifier checking ---------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel checking pipeline (`stqc check --jobs N`). The program is
+/// split into units — the global initializers plus one unit per function
+/// definition — and the units are checked by independent QualChecker
+/// instances on a work-stealing pool. The checker only reads the lowered
+/// AST, so units share the program without synchronization; each unit
+/// collects diagnostics into a private engine.
+///
+/// Determinism: unit results are merged in program order (globals first,
+/// then functions as declared), which reproduces the sequential checker's
+/// diagnostic and runtime-check order exactly. `--jobs N` must be
+/// byte-identical to `--jobs 1`; the differential test enforces this.
+///
+/// The only observable difference from a single sequential QualChecker is
+/// the memoization counters: the hasQualifier memo is per-instance, so a
+/// sharded run re-derives queries a sequential run would have memo-hit
+/// across function boundaries. Stats.MemoHits may therefore differ;
+/// diagnostics and failures may not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_CHECKER_PARALLEL_H
+#define STQ_CHECKER_PARALLEL_H
+
+#include "checker/Checker.h"
+
+namespace stq::checker {
+
+/// Counters describing one parallel checking run.
+struct ParallelStats {
+  /// Shardable units: 1 (globals) + function definitions.
+  unsigned Units = 0;
+  /// Worker threads used.
+  unsigned Jobs = 0;
+  /// Tasks executed / stolen on the pool (0 stolen when Jobs <= 1).
+  uint64_t Executed = 0;
+  uint64_t Steals = 0;
+};
+
+/// Checks \p Prog with \p Jobs workers. Jobs <= 1 runs the plain
+/// sequential checker on \p Diags; otherwise units run concurrently and
+/// their diagnostics are merged into \p Diags in program order.
+CheckResult checkProgramParallel(cminus::Program &Prog,
+                                 const qual::QualifierSet &Quals,
+                                 DiagnosticEngine &Diags,
+                                 CheckerOptions Options = {},
+                                 unsigned Jobs = 1,
+                                 ParallelStats *StatsOut = nullptr);
+
+/// Convenience entry point mirroring checkSource: full front end, then
+/// parallel checking.
+CheckResult checkSourceParallel(const std::string &Source,
+                                const qual::QualifierSet &Quals,
+                                DiagnosticEngine &Diags,
+                                std::unique_ptr<cminus::Program> &ProgOut,
+                                CheckerOptions Options = {},
+                                unsigned Jobs = 1,
+                                ParallelStats *StatsOut = nullptr);
+
+} // namespace stq::checker
+
+#endif // STQ_CHECKER_PARALLEL_H

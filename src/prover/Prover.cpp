@@ -179,14 +179,16 @@ void Prover::addAxiomInternal(const std::string &Name,
 }
 
 void Prover::addAxiom(const std::string &Name, FormulaPtr F) {
+  Inputs.push_back({"axiom:" + Name, F});
   if (F->K == Formula::Kind::Forall) {
     addAxiomInternal(Name, F->Vars, F->Triggers, F->Body);
     return;
   }
-  addHypothesis(std::move(F));
+  addClauses(toClauses(F, /*Positive=*/true));
 }
 
 void Prover::addHypothesis(FormulaPtr F) {
+  Inputs.push_back({"hyp", F});
   addClauses(toClauses(F, /*Positive=*/true));
 }
 

@@ -53,6 +53,15 @@ enum class ProofResult {
   ResourceOut, ///< Budget exhausted.
 };
 
+/// One formula fed into a session (axiom or hypothesis), recorded in
+/// insertion order so the memoized prover cache (ProverCache.h) can key the
+/// whole proof task canonically.
+struct ProverInput {
+  /// "axiom:<name>" or "hyp".
+  std::string Tag;
+  FormulaPtr F;
+};
+
 struct ProverStats {
   unsigned Rounds = 0;
   unsigned Instantiations = 0;
@@ -86,6 +95,10 @@ public:
   ProofResult prove(FormulaPtr Goal);
 
   const ProverStats &stats() const { return Stats; }
+
+  /// Every axiom and hypothesis added so far, in order. Together with the
+  /// goal this identifies the proof task for memoization.
+  const std::vector<ProverInput> &inputs() const { return Inputs; }
 
   /// Fresh Skolem constant (also used by obligation generators for their
   /// own "arbitrary value" constants).
@@ -131,6 +144,7 @@ private:
 
   ProverOptions Options;
   TermArena A;
+  std::vector<ProverInput> Inputs;
   std::vector<Axiom> Axioms;
   std::vector<Clause> GroundClauses;
   std::set<std::vector<std::tuple<bool, Lit::Op, TermId, TermId>>>

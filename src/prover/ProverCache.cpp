@@ -1,0 +1,283 @@
+//===- ProverCache.cpp ----------------------------------------------------===//
+
+#include "prover/ProverCache.h"
+
+using namespace stq::prover;
+
+//===----------------------------------------------------------------------===//
+// Canonicalizer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Probe-serializes \p T with assigned binders as ?N and unassigned ones as
+/// the wildcard ?*, without mutating the binder state. Used to orient
+/// symmetric equalities alpha-invariantly: the probe depends only on
+/// structure and on indices assigned by earlier (alpha-invariant)
+/// traversal, never on binder names.
+void probeInto(const TermArena &A, TermId T,
+               const std::vector<std::vector<std::pair<std::string, unsigned>>>
+                   &Scopes,
+               std::string &Out) {
+  const TermData &D = A.get(T);
+  switch (D.K) {
+  case TermData::Kind::Int:
+    Out += '#';
+    Out += std::to_string(D.Int);
+    return;
+  case TermData::Kind::Var:
+    for (auto Scope = Scopes.rbegin(); Scope != Scopes.rend(); ++Scope)
+      for (const auto &[Name, Index] : *Scope)
+        if (Name == D.Sym) {
+          if (Index == ~0u)
+            Out += "?*";
+          else {
+            Out += '?';
+            Out += std::to_string(Index);
+          }
+          return;
+        }
+    Out += "(fv ";
+    Out += D.Sym;
+    Out += ')';
+    return;
+  case TermData::Kind::App:
+    if (D.Args.empty()) {
+      Out += D.Sym;
+      return;
+    }
+    Out += '(';
+    Out += D.Sym;
+    for (TermId Arg : D.Args) {
+      Out += ' ';
+      probeInto(A, Arg, Scopes, Out);
+    }
+    Out += ')';
+    return;
+  }
+}
+
+} // namespace
+
+void Canonicalizer::termInto(TermId T, std::string &Out) {
+  const TermData &D = A.get(T);
+  switch (D.K) {
+  case TermData::Kind::Int:
+    Out += '#';
+    Out += std::to_string(D.Int);
+    return;
+  case TermData::Kind::Var:
+    // Bound variable: assign the next index on first use, so any
+    // alpha-renaming of the binders canonicalizes identically.
+    for (auto Scope = Scopes.rbegin(); Scope != Scopes.rend(); ++Scope)
+      for (auto &[Name, Index] : *Scope)
+        if (Name == D.Sym) {
+          if (Index == ~0u)
+            Index = NextBinder++;
+          Out += '?';
+          Out += std::to_string(Index);
+          return;
+        }
+    // Free pattern variable (only possible when canonicalizing a bare
+    // axiom body): keep the name.
+    Out += "(fv ";
+    Out += D.Sym;
+    Out += ')';
+    return;
+  case TermData::Kind::App:
+    if (D.Args.empty()) {
+      Out += D.Sym;
+      return;
+    }
+    Out += '(';
+    Out += D.Sym;
+    for (TermId Arg : D.Args) {
+      Out += ' ';
+      termInto(Arg, Out);
+    }
+    Out += ')';
+    return;
+  }
+}
+
+std::string Canonicalizer::term(TermId T) {
+  std::string Out;
+  termInto(T, Out);
+  return Out;
+}
+
+void Canonicalizer::litInto(const Lit &L, std::string &Out) {
+  Out += "(lit ";
+  Out += L.Neg ? '-' : '+';
+  switch (L.O) {
+  case Lit::Op::Eq:
+    Out += "= ";
+    break;
+  case Lit::Op::Le:
+    Out += "<= ";
+    break;
+  case Lit::Op::Lt:
+    Out += "< ";
+    break;
+  }
+  TermId First = L.L, Second = L.R;
+  if (L.O == Lit::Op::Eq) {
+    // Orient the symmetric equality by probe serialization; ties keep the
+    // original order (a tie means the sides are identical up to
+    // not-yet-numbered binders, so either order canonicalizes the same).
+    std::string PL, PR;
+    probeInto(A, L.L, Scopes, PL);
+    probeInto(A, L.R, Scopes, PR);
+    if (PR < PL)
+      std::swap(First, Second);
+  }
+  termInto(First, Out);
+  Out += ' ';
+  termInto(Second, Out);
+  Out += ')';
+}
+
+void Canonicalizer::formulaInto(const FormulaPtr &F, std::string &Out) {
+  switch (F->K) {
+  case Formula::Kind::True:
+    Out += 'T';
+    return;
+  case Formula::Kind::False:
+    Out += 'F';
+    return;
+  case Formula::Kind::Lit:
+    litInto(F->L, Out);
+    return;
+  case Formula::Kind::Not:
+    Out += "(not ";
+    formulaInto(F->Kids[0], Out);
+    Out += ')';
+    return;
+  case Formula::Kind::Implies:
+    Out += "(=> ";
+    formulaInto(F->Kids[0], Out);
+    Out += ' ';
+    formulaInto(F->Kids[1], Out);
+    Out += ')';
+    return;
+  case Formula::Kind::And:
+  case Formula::Kind::Or:
+    Out += F->K == Formula::Kind::And ? "(and" : "(or";
+    for (const FormulaPtr &Kid : F->Kids) {
+      Out += ' ';
+      formulaInto(Kid, Out);
+    }
+    Out += ')';
+    return;
+  case Formula::Kind::Forall: {
+    Out += "(forall ";
+    Out += std::to_string(F->Vars.size());
+    Out += ' ';
+    Scopes.emplace_back();
+    for (const std::string &V : F->Vars)
+      Scopes.back().emplace_back(V, ~0u);
+    formulaInto(F->Body, Out);
+    for (const MultiPattern &MP : F->Triggers) {
+      Out += " (trig";
+      for (TermId T : MP) {
+        Out += ' ';
+        termInto(T, Out);
+      }
+      Out += ')';
+    }
+    Scopes.pop_back();
+    Out += ')';
+    return;
+  }
+  }
+}
+
+std::string Canonicalizer::formula(const FormulaPtr &F) {
+  std::string Out;
+  formulaInto(F, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Task keys
+//===----------------------------------------------------------------------===//
+
+uint64_t stq::prover::fnv1aHash(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string stq::prover::canonicalTaskKey(
+    const TermArena &A, const std::vector<ProverInput> &Inputs,
+    const FormulaPtr &Goal) {
+  std::string Key;
+  for (const ProverInput &In : Inputs) {
+    // Binder numbering restarts per formula: quantifier scopes never span
+    // formulas, and it keeps standalone formula keys stable.
+    Canonicalizer C(A);
+    Key += In.Tag;
+    Key += ':';
+    Key += C.formula(In.F);
+    Key += '\n';
+  }
+  Canonicalizer C(A);
+  Key += "goal:";
+  Key += C.formula(Goal);
+  return Key;
+}
+
+//===----------------------------------------------------------------------===//
+// ProverCache
+//===----------------------------------------------------------------------===//
+
+std::optional<CachedAnswer> ProverCache::lookup(const std::string &Key) {
+  Shard &S = shardFor(Key);
+  std::optional<CachedAnswer> Out;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto Found = S.Map.find(Key);
+    if (Found != S.Map.end())
+      Out = Found->second;
+  }
+  std::lock_guard<std::mutex> Lock(StatsM);
+  ++Stats.Lookups;
+  if (Out) {
+    ++Stats.Hits;
+    Stats.SecondsSaved += Out->Stats.Seconds;
+  } else {
+    ++Stats.Misses;
+  }
+  return Out;
+}
+
+void ProverCache::insert(const std::string &Key, ProofResult Result,
+                         const ProverStats &ProveStats) {
+  Shard &S = shardFor(Key);
+  bool Fresh;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Fresh = S.Map.emplace(Key, CachedAnswer{Result, ProveStats}).second;
+  }
+  std::lock_guard<std::mutex> Lock(StatsM);
+  ++Stats.Insertions;
+  if (Fresh)
+    ++Stats.Entries;
+}
+
+CacheStats ProverCache::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  return Stats;
+}
+
+void ProverCache::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.clear();
+  }
+  std::lock_guard<std::mutex> Lock(StatsM);
+  Stats = {};
+}

@@ -3,6 +3,7 @@
 #include "soundness/Soundness.h"
 
 #include "soundness/Axioms.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <functional>
@@ -343,9 +344,26 @@ TermId ObligationBuilder::freshAllocation(TermId PreStore) {
 // Obligation drivers
 //===----------------------------------------------------------------------===//
 
+void SoundnessChecker::dischargeGoal(Prover &P, FormulaPtr Goal,
+                                     Obligation &O) const {
+  if (Cache) {
+    O.CacheKey = prover::canonicalTaskKey(P.arena(), P.inputs(), Goal);
+    if (auto Hit = Cache->lookup(O.CacheKey)) {
+      O.Result = Hit->Result;
+      O.Stats = Hit->Stats;
+      O.FromCache = true;
+      return;
+    }
+  }
+  O.Result = P.prove(Goal);
+  O.Stats = P.stats();
+  if (Cache)
+    Cache->insert(O.CacheKey, O.Result, O.Stats);
+}
+
 Obligation SoundnessChecker::dischargeCaseClause(const QualifierDef &Q,
                                                  const Clause &C,
-                                                 unsigned Index) {
+                                                 unsigned Index) const {
   Obligation O;
   O.Qual = Q.Name;
   O.Kind = "case";
@@ -361,14 +379,13 @@ Obligation SoundnessChecker::dischargeCaseClause(const QualifierDef &Q,
   Ctx.Store = B.vocab().getStore(B.rho());
   Ctx.ValueTerm = B.vocab().evalExpr(B.rho(), E);
   FormulaPtr Goal = B.translateInv(Q, Ctx);
-  O.Result = B.prover().prove(Goal);
-  O.Stats = B.prover().stats();
+  dischargeGoal(B.prover(), std::move(Goal), O);
   return O;
 }
 
 Obligation SoundnessChecker::dischargeAssignClause(const QualifierDef &Q,
                                                    const Clause &C,
-                                                   unsigned Index) {
+                                                   unsigned Index) const {
   Obligation O;
   O.Qual = Q.Name;
   O.Kind = "assign";
@@ -413,12 +430,11 @@ Obligation SoundnessChecker::dischargeAssignClause(const QualifierDef &Q,
   Ctx.Store = PostStore;
   Ctx.LocTerm = LocL;
   Ctx.ValueTerm = V.select(PostStore, LocL);
-  O.Result = P.prove(B.translateInv(Q, Ctx));
-  O.Stats = P.stats();
+  dischargeGoal(P, B.translateInv(Q, Ctx), O);
   return O;
 }
 
-Obligation SoundnessChecker::dischargeOnDecl(const QualifierDef &Q) {
+Obligation SoundnessChecker::dischargeOnDecl(const QualifierDef &Q) const {
   Obligation O;
   O.Qual = Q.Name;
   O.Kind = "ondecl";
@@ -449,23 +465,23 @@ Obligation SoundnessChecker::dischargeOnDecl(const QualifierDef &Q) {
   Ctx.Store = PostStore;
   Ctx.LocTerm = LocL;
   Ctx.ValueTerm = V.select(PostStore, LocL);
-  O.Result = P.prove(B.translateInv(Q, Ctx));
-  O.Stats = P.stats();
+  dischargeGoal(P, B.translateInv(Q, Ctx), O);
   return O;
 }
 
-std::vector<Obligation>
-SoundnessChecker::dischargePreservation(const QualifierDef &Q) {
-  // The paper's case analysis over right-hand sides consistent with the
-  // disallow clause (section 2.2.3).
-  struct RhsCase {
-    const char *Name;
-    /// Configures the RHS value; returns it.
-    std::function<TermId(ObligationBuilder &, TermId /*PreStore*/,
-                         TermId /*LocL*/, TermId /*SubjVarName*/)>
-        Setup;
-  };
+namespace {
 
+/// One case of the paper's preservation analysis over right-hand sides
+/// consistent with the disallow clause (section 2.2.3).
+struct RhsCase {
+  const char *Name;
+  /// Configures the RHS value; returns it.
+  std::function<TermId(ObligationBuilder &, TermId /*PreStore*/,
+                       TermId /*LocL*/, TermId /*SubjVarName*/)>
+      Setup;
+};
+
+std::vector<RhsCase> preservationRhsCases(const QualifierDef &Q) {
   std::vector<RhsCase> Cases;
   Cases.push_back(
       {"rhs NULL",
@@ -504,73 +520,121 @@ SoundnessChecker::dischargePreservation(const QualifierDef &Q) {
            B.prover().addHypothesis(fNe(Y, SubjVar));
          return B.vocab().select(B.vocab().getEnv(B.rho()), Y);
        }});
+  return Cases;
+}
 
-  std::vector<Obligation> Out;
-  for (const RhsCase &RC : Cases) {
-    Obligation O;
-    O.Qual = Q.Name;
-    O.Kind = "preserve";
-    O.Description = std::string("preservation, ") + RC.Name;
+} // namespace
 
-    ObligationBuilder B(Set, Options);
-    Prover &P = B.prover();
-    TermArena &A = B.arena();
-    Vocab &V = B.vocab();
-    TermId Rho = B.rho();
-    TermId PreStore = V.getStore(Rho);
+Obligation
+SoundnessChecker::dischargePreservationCase(const QualifierDef &Q,
+                                            unsigned CaseIndex) const {
+  std::vector<RhsCase> Cases = preservationRhsCases(Q);
+  assert(CaseIndex < Cases.size() && "preservation case out of range");
+  const RhsCase &RC = Cases[CaseIndex];
 
-    // The subject l-value's location. For Var subjects it is an
-    // environment slot, enabling injectivity/stack reasoning.
-    TermId SubjVar = InvalidTerm;
-    TermId LocL;
-    if (Q.SubjectCls == Classifier::Var) {
-      SubjVar = A.app("$subjVar");
-      LocL = V.select(V.getEnv(Rho), SubjVar);
-    } else {
-      LocL = A.app("$locSubj");
-      P.addHypothesis(V.isLoc(LocL));
-      P.addHypothesis(fNe(LocL, A.nullTerm()));
-    }
+  Obligation O;
+  O.Qual = Q.Name;
+  O.Kind = "preserve";
+  O.Description = std::string("preservation, ") + RC.Name;
 
-    // The invariant holds before the assignment.
-    InvCtx Pre;
-    Pre.State = Rho;
-    Pre.Store = PreStore;
-    Pre.LocTerm = LocL;
-    Pre.ValueTerm = V.select(PreStore, LocL);
-    P.addHypothesis(B.translateInv(Q, Pre));
+  ObligationBuilder B(Set, Options);
+  Prover &P = B.prover();
+  TermArena &A = B.arena();
+  Vocab &V = B.vocab();
+  TermId Rho = B.rho();
+  TermId PreStore = V.getStore(Rho);
 
-    // An assignment to some other l-value. When the qualifier has an
-    // assign block, assignments to the subject itself are covered by the
-    // assign obligations; otherwise the target may be any l-value,
-    // including the subject.
-    TermId Loc2 = A.app("$locOther");
-    P.addHypothesis(V.isLoc(Loc2));
-    P.addHypothesis(fNe(Loc2, A.nullTerm()));
-    if (!Q.Assigns.empty())
-      P.addHypothesis(fNe(Loc2, LocL));
-
-    TermId RhsVal = RC.Setup(B, PreStore, LocL, SubjVar);
-
-    TermId PostStore = V.update(PreStore, Loc2, RhsVal);
-
-    InvCtx PostCtx;
-    PostCtx.State = Rho;
-    PostCtx.Store = PostStore;
-    PostCtx.LocTerm = LocL;
-    PostCtx.ValueTerm = V.select(PostStore, LocL);
-    O.Result = P.prove(B.translateInv(Q, PostCtx));
-    O.Stats = P.stats();
-    Out.push_back(std::move(O));
+  // The subject l-value's location. For Var subjects it is an
+  // environment slot, enabling injectivity/stack reasoning.
+  TermId SubjVar = InvalidTerm;
+  TermId LocL;
+  if (Q.SubjectCls == Classifier::Var) {
+    SubjVar = A.app("$subjVar");
+    LocL = V.select(V.getEnv(Rho), SubjVar);
+  } else {
+    LocL = A.app("$locSubj");
+    P.addHypothesis(V.isLoc(LocL));
+    P.addHypothesis(fNe(LocL, A.nullTerm()));
   }
-  return Out;
+
+  // The invariant holds before the assignment.
+  InvCtx Pre;
+  Pre.State = Rho;
+  Pre.Store = PreStore;
+  Pre.LocTerm = LocL;
+  Pre.ValueTerm = V.select(PreStore, LocL);
+  P.addHypothesis(B.translateInv(Q, Pre));
+
+  // An assignment to some other l-value. When the qualifier has an
+  // assign block, assignments to the subject itself are covered by the
+  // assign obligations; otherwise the target may be any l-value,
+  // including the subject.
+  TermId Loc2 = A.app("$locOther");
+  P.addHypothesis(V.isLoc(Loc2));
+  P.addHypothesis(fNe(Loc2, A.nullTerm()));
+  if (!Q.Assigns.empty())
+    P.addHypothesis(fNe(Loc2, LocL));
+
+  TermId RhsVal = RC.Setup(B, PreStore, LocL, SubjVar);
+
+  TermId PostStore = V.update(PreStore, Loc2, RhsVal);
+
+  InvCtx PostCtx;
+  PostCtx.State = Rho;
+  PostCtx.Store = PostStore;
+  PostCtx.LocTerm = LocL;
+  PostCtx.ValueTerm = V.select(PostStore, LocL);
+  dischargeGoal(P, B.translateInv(Q, PostCtx), O);
+  return O;
 }
 
 //===----------------------------------------------------------------------===//
 // Entry points
 //===----------------------------------------------------------------------===//
 
-SoundnessReport SoundnessChecker::checkQualifier(const std::string &Name) {
+std::vector<std::function<Obligation()>>
+SoundnessChecker::obligationTasks(const QualifierDef &Q) const {
+  // Each closure owns an independent prover session, so the pool may run
+  // them on any thread in any order; callers write results into
+  // preassigned slots to keep report order deterministic.
+  std::vector<std::function<Obligation()>> Tasks;
+  if (Q.isValue()) {
+    for (unsigned I = 0; I < Q.Cases.size(); ++I)
+      Tasks.push_back(
+          [this, &Q, I] { return dischargeCaseClause(Q, Q.Cases[I], I); });
+    return Tasks;
+  }
+  for (unsigned I = 0; I < Q.Assigns.size(); ++I)
+    Tasks.push_back(
+        [this, &Q, I] { return dischargeAssignClause(Q, Q.Assigns[I], I); });
+  if (Q.OnDecl)
+    Tasks.push_back([this, &Q] { return dischargeOnDecl(Q); });
+  size_t PreserveCases = preservationRhsCases(Q).size();
+  for (unsigned I = 0; I < PreserveCases; ++I)
+    Tasks.push_back(
+        [this, &Q, I] { return dischargePreservationCase(Q, I); });
+  return Tasks;
+}
+
+void SoundnessChecker::finalizeReport(SoundnessReport &Report) const {
+  for (const Obligation &O : Report.Obligations) {
+    // Cache hits carry the original run's stats; only fresh prover time
+    // counts toward this report's wall clock.
+    if (!O.FromCache)
+      Report.TotalSeconds += O.Stats.Seconds;
+    if (!O.proved() && Diags)
+      Diags->error(SourceLoc(), "soundness",
+                   "qualifier '" + Report.Qual + "': obligation failed: " +
+                       O.Description +
+                       (O.Stats.Model.empty()
+                            ? std::string()
+                            : " [counterexample sketch: " + O.Stats.Model +
+                                  "]"));
+  }
+}
+
+SoundnessReport SoundnessChecker::checkQualifier(const std::string &Name,
+                                                 unsigned Jobs) {
   SoundnessReport Report;
   Report.Qual = Name;
   const QualifierDef *Q = Set.find(Name);
@@ -586,38 +650,41 @@ SoundnessReport SoundnessChecker::checkQualifier(const std::string &Name) {
     return Report;
   }
 
-  if (Q->isValue()) {
-    for (unsigned I = 0; I < Q->Cases.size(); ++I)
-      Report.Obligations.push_back(dischargeCaseClause(*Q, Q->Cases[I], I));
-  } else {
-    for (unsigned I = 0; I < Q->Assigns.size(); ++I)
-      Report.Obligations.push_back(
-          dischargeAssignClause(*Q, Q->Assigns[I], I));
-    if (Q->OnDecl)
-      Report.Obligations.push_back(dischargeOnDecl(*Q));
-    auto Preserve = dischargePreservation(*Q);
-    Report.Obligations.insert(Report.Obligations.end(), Preserve.begin(),
-                              Preserve.end());
-  }
-
-  for (const Obligation &O : Report.Obligations) {
-    Report.TotalSeconds += O.Stats.Seconds;
-    if (!O.proved() && Diags)
-      Diags->error(SourceLoc(), "soundness",
-                   "qualifier '" + Name + "': obligation failed: " +
-                       O.Description +
-                       (O.Stats.Model.empty()
-                            ? std::string()
-                            : " [counterexample sketch: " + O.Stats.Model +
-                                  "]"));
-  }
+  auto Tasks = obligationTasks(*Q);
+  Report.Obligations.resize(Tasks.size());
+  parallelFor(Jobs, Tasks.size(), [&](size_t I) {
+    Report.Obligations[I] = Tasks[I]();
+  });
+  finalizeReport(Report);
   return Report;
 }
 
-std::vector<SoundnessReport> SoundnessChecker::checkAll() {
-  std::vector<SoundnessReport> Out;
-  for (const QualifierDef &Q : Set.all())
-    Out.push_back(checkQualifier(Q.Name));
+std::vector<SoundnessReport> SoundnessChecker::checkAll(unsigned Jobs) {
+  // Flatten every qualifier's obligations into one task list so the pool
+  // balances across qualifiers (reference qualifiers dominate; value
+  // qualifiers finish in milliseconds).
+  std::vector<SoundnessReport> Out(Set.all().size());
+  std::vector<std::function<Obligation()>> Tasks;
+  std::vector<std::pair<size_t, size_t>> Slots; // (report, obligation) index
+  for (size_t QI = 0; QI < Set.all().size(); ++QI) {
+    const QualifierDef &Q = Set.all()[QI];
+    Out[QI].Qual = Q.Name;
+    if (!Q.Invariant) {
+      Out[QI].IsFlowQualifier = true;
+      continue;
+    }
+    auto QTasks = obligationTasks(Q);
+    Out[QI].Obligations.resize(QTasks.size());
+    for (size_t TI = 0; TI < QTasks.size(); ++TI) {
+      Tasks.push_back(std::move(QTasks[TI]));
+      Slots.emplace_back(QI, TI);
+    }
+  }
+  parallelFor(Jobs, Tasks.size(), [&](size_t I) {
+    Out[Slots[I].first].Obligations[Slots[I].second] = Tasks[I]();
+  });
+  for (SoundnessReport &R : Out)
+    finalizeReport(R);
   return Out;
 }
 

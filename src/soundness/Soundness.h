@@ -32,9 +32,11 @@
 #define STQ_SOUNDNESS_SOUNDNESS_H
 
 #include "prover/Prover.h"
+#include "prover/ProverCache.h"
 #include "qual/QualAST.h"
 #include "support/Diagnostics.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,11 @@ struct Obligation {
   std::string Description;
   prover::ProofResult Result = prover::ProofResult::Unknown;
   prover::ProverStats Stats;
+  /// The canonical task key, when a cache was consulted.
+  std::string CacheKey;
+  /// True when Result was replayed from the cache; Stats then describe the
+  /// original (cached) run.
+  bool FromCache = false;
 
   bool proved() const { return Result == prover::ProofResult::Proved; }
 };
@@ -83,25 +90,44 @@ class SoundnessChecker {
 public:
   SoundnessChecker(const qual::QualifierSet &Set,
                    prover::ProverOptions Options = {},
-                   DiagnosticEngine *Diags = nullptr)
-      : Set(Set), Options(Options), Diags(Diags) {}
+                   DiagnosticEngine *Diags = nullptr,
+                   prover::ProverCache *Cache = nullptr)
+      : Set(Set), Options(Options), Diags(Diags), Cache(Cache) {}
 
-  /// Checks one qualifier by name.
-  SoundnessReport checkQualifier(const std::string &Name);
-  /// Checks every qualifier in the set.
-  std::vector<SoundnessReport> checkAll();
+  /// Checks one qualifier by name, discharging its obligations across
+  /// \p Jobs worker threads (every obligation is an independent prover
+  /// session). Jobs <= 1 is the sequential baseline; results and their
+  /// order are identical for any job count.
+  SoundnessReport checkQualifier(const std::string &Name, unsigned Jobs = 1);
+  /// Checks every qualifier in the set, fanning all obligations of all
+  /// qualifiers into one task pool.
+  std::vector<SoundnessReport> checkAll(unsigned Jobs = 1);
 
 private:
+  /// The independent proof tasks for \p Q, in report order. Each closure
+  /// owns its prover session and is safe to run on any thread.
+  std::vector<std::function<Obligation()>>
+  obligationTasks(const qual::QualifierDef &Q) const;
+  /// Reports failures to Diags and accumulates timing, after tasks ran.
+  void finalizeReport(SoundnessReport &Report) const;
+
   Obligation dischargeCaseClause(const qual::QualifierDef &Q,
-                                 const qual::Clause &C, unsigned Index);
+                                 const qual::Clause &C, unsigned Index) const;
   Obligation dischargeAssignClause(const qual::QualifierDef &Q,
-                                   const qual::Clause &C, unsigned Index);
-  Obligation dischargeOnDecl(const qual::QualifierDef &Q);
-  std::vector<Obligation> dischargePreservation(const qual::QualifierDef &Q);
+                                   const qual::Clause &C,
+                                   unsigned Index) const;
+  Obligation dischargeOnDecl(const qual::QualifierDef &Q) const;
+  Obligation dischargePreservationCase(const qual::QualifierDef &Q,
+                                       unsigned CaseIndex) const;
+  /// Consults the cache, runs the prover on a miss, and records the
+  /// outcome into \p O.
+  void dischargeGoal(prover::Prover &P, prover::FormulaPtr Goal,
+                     Obligation &O) const;
 
   const qual::QualifierSet &Set;
   prover::ProverOptions Options;
   DiagnosticEngine *Diags;
+  prover::ProverCache *Cache;
 };
 
 /// Renders a human-readable summary of \p Reports.

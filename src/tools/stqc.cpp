@@ -5,11 +5,15 @@
 //
 // A command-line driver over the whole pipeline:
 //
-//   stqc prove  [--builtins a,b,..] [--qualfile F]
-//       verify every loaded qualifier's type rules against its invariant
+//   stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N] [--stats]
+//               [--warm-cache]
+//       verify every loaded qualifier's type rules against its invariant;
+//       obligations fan out over N workers backed by the memoized prover
+//       cache (--warm-cache primes it with a silent first pass)
 //   stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]
-//               [--flow-sensitive]
-//       run the extensible typechecker; exit nonzero on qualifier errors
+//               [--flow-sensitive] [--jobs N] [--stats]
+//       run the extensible typechecker, sharded across N workers; exit
+//       nonzero on qualifier errors
 //   stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]
 //       typecheck, instrument casts, and execute
 //   stqc infer  (FILE | -e SRC) [--builtins ..]
@@ -21,15 +25,19 @@
 
 #include "checker/Checker.h"
 #include "checker/Inference.h"
+#include "checker/Parallel.h"
 #include "cminus/Lowering.h"
 #include "cminus/Parser.h"
 #include "cminus/Sema.h"
 #include "interp/Interp.h"
+#include "prover/ProverCache.h"
 #include "qual/Builtins.h"
 #include "qual/QualParser.h"
 #include "soundness/Soundness.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -47,15 +55,21 @@ struct CliOptions {
   std::vector<std::string> QualFiles;
   std::string Entry = "main";
   bool FlowSensitive = false;
+  /// Worker threads for check/prove; 0 means "pick for me" (hardware
+  /// concurrency).
+  unsigned Jobs = 1;
+  bool Stats = false;
+  bool WarmCache = false;
   std::string DumpName;
 };
 
 void usage() {
   std::printf(
       "usage:\n"
-      "  stqc prove  [--builtins a,b,..] [--qualfile F]\n"
+      "  stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N]"
+      " [--stats] [--warm-cache]\n"
       "  stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]"
-      " [--flow-sensitive]\n"
+      " [--flow-sensitive] [--jobs N] [--stats]\n"
       "  stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]\n"
       "  stqc infer  (FILE | -e SRC) [--builtins ..] [--qualfile F]\n"
       "  stqc dump-builtin NAME\n"
@@ -117,6 +131,22 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.InlineSource = V;
     } else if (Arg == "--flow-sensitive") {
       Options.FlowSensitive = true;
+    } else if (Arg == "--jobs" || Arg == "-j") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      long N = std::strtol(V, &End, 10);
+      if (N < 0 || End == V || *End != '\0') {
+        std::fprintf(stderr, "stqc: bad --jobs value '%s'\n", V);
+        return false;
+      }
+      Options.Jobs = N == 0 ? ThreadPool::defaultJobs()
+                            : static_cast<unsigned>(N);
+    } else if (Arg == "--stats") {
+      Options.Stats = true;
+    } else if (Arg == "--warm-cache") {
+      Options.WarmCache = true;
     } else if (Arg == "--help" || Arg == "-h") {
       return false;
     } else if (!Arg.empty() && Arg[0] != '-' && Options.Command ==
@@ -186,6 +216,16 @@ bool getProgramSource(const CliOptions &Options, std::string &Out) {
   return readFile(Options.File, Out);
 }
 
+void printCacheStats(const prover::CacheStats &CS) {
+  std::printf("prover cache: %llu lookups, %llu hits, %llu misses "
+              "(hit rate %.1f%%), %llu entries, %.3fs prover time saved\n",
+              static_cast<unsigned long long>(CS.Lookups),
+              static_cast<unsigned long long>(CS.Hits),
+              static_cast<unsigned long long>(CS.Misses),
+              100.0 * CS.hitRate(),
+              static_cast<unsigned long long>(CS.Entries), CS.SecondsSaved);
+}
+
 int cmdProve(const CliOptions &Options) {
   qual::QualifierSet Set;
   DiagnosticEngine Diags;
@@ -193,9 +233,18 @@ int cmdProve(const CliOptions &Options) {
     printDiagnostics(Diags);
     return 2;
   }
-  soundness::SoundnessChecker SC(Set);
-  auto Reports = SC.checkAll();
+  prover::ProverCache Cache;
+  if (Options.WarmCache) {
+    // A silent first pass: every obligation lands in the cache, so the
+    // reported pass below replays entirely from it.
+    soundness::SoundnessChecker Warm(Set, {}, nullptr, &Cache);
+    Warm.checkAll(Options.Jobs);
+  }
+  soundness::SoundnessChecker SC(Set, {}, nullptr, &Cache);
+  auto Reports = SC.checkAll(Options.Jobs);
   std::printf("%s", soundness::formatReports(Reports).c_str());
+  if (Options.Stats)
+    printCacheStats(Cache.stats());
   for (const auto &R : Reports)
     if (!R.sound())
       return 1;
@@ -215,8 +264,9 @@ int cmdCheck(const CliOptions &Options) {
   std::unique_ptr<cminus::Program> Prog;
   checker::CheckerOptions CheckOptions;
   CheckOptions.FlowSensitiveNarrowing = Options.FlowSensitive;
-  checker::CheckResult Result =
-      checker::checkSource(Source, Set, Diags, Prog, CheckOptions);
+  checker::ParallelStats PStats;
+  checker::CheckResult Result = checker::checkSourceParallel(
+      Source, Set, Diags, Prog, CheckOptions, Options.Jobs, &PStats);
   printDiagnostics(Diags);
   if (Diags.hasErrors())
     return 2;
@@ -224,6 +274,13 @@ int cmdCheck(const CliOptions &Options) {
               "checks %u, run-time checks %zu)\n",
               Result.QualErrors, Result.Stats.DerefSites,
               Result.Stats.AssignChecks, Result.RuntimeChecks.size());
+  if (Options.Stats)
+    std::printf("pipeline: %u units over %u jobs, %llu tasks executed, "
+                "%llu stolen; %u hasQualifier queries, %u memo hits\n",
+                PStats.Units, PStats.Jobs,
+                static_cast<unsigned long long>(PStats.Executed),
+                static_cast<unsigned long long>(PStats.Steals),
+                Result.Stats.HasQualQueries, Result.Stats.MemoHits);
   return Result.ok() ? 0 : 1;
 }
 

@@ -1,0 +1,285 @@
+//===- test_differential.cpp - Sequential vs parallel differential tests --===//
+//
+// The parallel pipeline's contract is behavioral equivalence: for any job
+// count, `stqc check --jobs N` must produce the same diagnostics as the
+// sequential checker, and a prover answer replayed from the memoized cache
+// must match a fresh re-proof of the same obligation. This harness checks
+// both over randomized workloads with fixed seeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "checker/Parallel.h"
+#include "prover/ProverCache.h"
+#include "qual/Builtins.h"
+#include "soundness/Soundness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace stq;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Randomized C-minus program generation
+//===----------------------------------------------------------------------===//
+
+/// Generates a random C-minus program over the pos/neg qualifiers. The
+/// expression grammar mixes derivably-qualified terms (positive constants,
+/// products of pos, negations of neg) with deliberately ill-typed ones
+/// (zero and negative constants, sums, subtractions), so every program
+/// yields a mix of accepted declarations and qualifier diagnostics.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(unsigned Seed) : Rng(Seed) {}
+
+  std::string generate() {
+    std::string Out;
+    unsigned Functions = 2 + Rng() % 6;
+    for (unsigned F = 0; F < Functions; ++F)
+      Out += function(F);
+    return Out;
+  }
+
+private:
+  std::mt19937 Rng;
+
+  unsigned pick(unsigned N) { return Rng() % N; }
+
+  std::string qualifier() {
+    switch (pick(3)) {
+    case 0: return "pos ";
+    case 1: return "neg ";
+    default: return "";
+    }
+  }
+
+  /// An expression over the in-scope names \p Vars. Depth-bounded.
+  std::string expr(const std::vector<std::string> &Vars, unsigned Depth) {
+    if (Depth == 0 || pick(3) == 0) {
+      if (!Vars.empty() && pick(2) == 0)
+        return Vars[pick(static_cast<unsigned>(Vars.size()))];
+      // Constants across the sign spectrum: pos-derivable, neg-derivable,
+      // and zero (derivable for neither).
+      static const char *Consts[] = {"3", "7", "1", "0", "-2", "-9"};
+      return Consts[pick(6)];
+    }
+    switch (pick(4)) {
+    case 0:
+      return "(" + expr(Vars, Depth - 1) + " * " + expr(Vars, Depth - 1) +
+             ")";
+    case 1:
+      return "(" + expr(Vars, Depth - 1) + " + " + expr(Vars, Depth - 1) +
+             ")";
+    case 2:
+      return "(" + expr(Vars, Depth - 1) + " - " + expr(Vars, Depth - 1) +
+             ")";
+    default:
+      return "(-" + expr(Vars, Depth - 1) + ")";
+    }
+  }
+
+  std::string function(unsigned Index) {
+    std::string Name = "f" + std::to_string(Index);
+    unsigned Params = pick(3);
+    std::vector<std::string> Vars;
+    std::string Sig;
+    for (unsigned P = 0; P < Params; ++P) {
+      std::string PName = "p" + std::to_string(P);
+      if (P)
+        Sig += ", ";
+      Sig += "int " + qualifier() + PName;
+      Vars.push_back(PName);
+    }
+    std::string Body;
+    unsigned Stmts = 1 + pick(5);
+    for (unsigned S = 0; S < Stmts; ++S) {
+      std::string VName = "v" + std::to_string(S);
+      Body += "  int " + qualifier() + VName + " = " + expr(Vars, 2) + ";\n";
+      Vars.push_back(VName);
+    }
+    Body += "  return " + Vars.back() + ";\n";
+    return "int " + Name + "(" + Sig + ") {\n" + Body + "}\n";
+  }
+};
+
+/// Renders a diagnostic as "line:col:severity:message" for comparison.
+std::string render(const Diagnostic &D) {
+  return std::to_string(D.Loc.Line) + ":" + std::to_string(D.Loc.Col) + ":" +
+         std::to_string(static_cast<int>(D.Severity)) + ":" + D.Phase + ":" +
+         D.Message;
+}
+
+std::vector<std::string> renderAll(const DiagnosticEngine &Diags) {
+  std::vector<std::string> Out;
+  for (const Diagnostic &D : Diags.diagnostics())
+    Out.push_back(render(D));
+  return Out;
+}
+
+struct CheckOutcome {
+  std::vector<std::string> Diags;
+  unsigned QualErrors = 0;
+  size_t RuntimeChecks = 0;
+  size_t Failures = 0;
+};
+
+CheckOutcome runCheck(const std::string &Source, unsigned Jobs) {
+  CheckOutcome Out;
+  DiagnosticEngine Diags;
+  qual::QualifierSet Quals;
+  EXPECT_TRUE(qual::loadBuiltinQualifiers({"pos", "neg"}, Quals, Diags));
+  std::unique_ptr<cminus::Program> Prog;
+  checker::CheckResult Result =
+      checker::checkSourceParallel(Source, Quals, Diags, Prog, {}, Jobs);
+  EXPECT_FALSE(Diags.hasErrors()) << "generator produced invalid source:\n"
+                                  << Source;
+  Out.Diags = renderAll(Diags);
+  Out.QualErrors = Result.QualErrors;
+  Out.RuntimeChecks = Result.RuntimeChecks.size();
+  Out.Failures = Result.Failures.size();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Checker differential: --jobs 4 vs sequential
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialChecker, RandomProgramsParallelMatchesSequential) {
+  for (unsigned Seed = 0; Seed < 25; ++Seed) {
+    std::string Source = ProgramGenerator(Seed).generate();
+    CheckOutcome Seq = runCheck(Source, 1);
+    CheckOutcome Par = runCheck(Source, 4);
+
+    // The contract is byte-identical output in the same order, which is
+    // strictly stronger than the sorted comparison; check the exact
+    // sequence first so ordering bugs are not masked.
+    EXPECT_EQ(Seq.Diags, Par.Diags) << "seed " << Seed << "\n" << Source;
+
+    // And the location-sorted comparison the harness specifies, so a
+    // future relaxation of the ordering contract still gets content
+    // equality checked.
+    std::vector<std::string> SeqSorted = Seq.Diags, ParSorted = Par.Diags;
+    std::sort(SeqSorted.begin(), SeqSorted.end());
+    std::sort(ParSorted.begin(), ParSorted.end());
+    EXPECT_EQ(SeqSorted, ParSorted) << "seed " << Seed;
+
+    EXPECT_EQ(Seq.QualErrors, Par.QualErrors) << "seed " << Seed;
+    EXPECT_EQ(Seq.RuntimeChecks, Par.RuntimeChecks) << "seed " << Seed;
+    EXPECT_EQ(Seq.Failures, Par.Failures) << "seed " << Seed;
+  }
+}
+
+TEST(DifferentialChecker, JobSweepIsInvariant) {
+  // One program, every job count: all outputs identical to --jobs 1.
+  std::string Source = ProgramGenerator(12345).generate();
+  CheckOutcome Base = runCheck(Source, 1);
+  EXPECT_GT(Base.QualErrors, 0u)
+      << "generator should plant qualifier errors; got none:\n" << Source;
+  for (unsigned Jobs : {2u, 3u, 4u, 8u, 16u}) {
+    CheckOutcome Out = runCheck(Source, Jobs);
+    EXPECT_EQ(Base.Diags, Out.Diags) << "jobs " << Jobs;
+    EXPECT_EQ(Base.QualErrors, Out.QualErrors) << "jobs " << Jobs;
+  }
+}
+
+TEST(DifferentialChecker, ParallelEntryMatchesCheckSource) {
+  // The parallel front end (parse/sema/lower) must match checkSource's.
+  std::string Source = ProgramGenerator(777).generate();
+
+  DiagnosticEngine DiagsA;
+  qual::QualifierSet QualsA;
+  ASSERT_TRUE(qual::loadBuiltinQualifiers({"pos", "neg"}, QualsA, DiagsA));
+  std::unique_ptr<cminus::Program> ProgA;
+  checker::CheckResult A =
+      checker::checkSource(Source, QualsA, DiagsA, ProgA);
+
+  CheckOutcome B = runCheck(Source, 4);
+  EXPECT_EQ(renderAll(DiagsA), B.Diags);
+  EXPECT_EQ(A.QualErrors, B.QualErrors);
+}
+
+//===----------------------------------------------------------------------===//
+// Prover cache differential: replayed answers vs fresh re-proofs
+//===----------------------------------------------------------------------===//
+
+/// Every builtin qualifier with a soundness invariant, checked with and
+/// without the cache; verdicts must agree obligation-by-obligation.
+void expectReportsMatch(const soundness::SoundnessReport &Fresh,
+                        const soundness::SoundnessReport &Cached) {
+  ASSERT_EQ(Fresh.Obligations.size(), Cached.Obligations.size())
+      << Fresh.Qual;
+  for (size_t I = 0; I < Fresh.Obligations.size(); ++I) {
+    const soundness::Obligation &F = Fresh.Obligations[I];
+    const soundness::Obligation &C = Cached.Obligations[I];
+    EXPECT_EQ(F.Qual, C.Qual);
+    EXPECT_EQ(F.Kind, C.Kind) << F.Qual << " #" << I;
+    EXPECT_EQ(F.Description, C.Description) << F.Qual << " #" << I;
+    EXPECT_EQ(F.Result, C.Result) << F.Qual << ": " << F.Description;
+  }
+}
+
+TEST(DifferentialProver, CachedAnswersMatchFreshReproofs) {
+  DiagnosticEngine Diags;
+  qual::QualifierSet Quals;
+  ASSERT_TRUE(qual::loadBuiltinQualifiers(
+      {"pos", "neg", "nonzero", "nonnull", "tainted", "untainted"}, Quals,
+      Diags));
+
+  // Fresh run, no cache: the ground truth.
+  soundness::SoundnessChecker Fresh(Quals);
+  std::vector<soundness::SoundnessReport> FreshReports = Fresh.checkAll();
+
+  // Cold run populates the cache, warm run replays every answer.
+  prover::ProverCache Cache;
+  soundness::SoundnessChecker Cold(Quals, {}, nullptr, &Cache);
+  std::vector<soundness::SoundnessReport> ColdReports = Cold.checkAll();
+  soundness::SoundnessChecker Warm(Quals, {}, nullptr, &Cache);
+  std::vector<soundness::SoundnessReport> WarmReports = Warm.checkAll(4);
+
+  ASSERT_EQ(FreshReports.size(), ColdReports.size());
+  ASSERT_EQ(FreshReports.size(), WarmReports.size());
+  unsigned Replayed = 0;
+  for (size_t I = 0; I < FreshReports.size(); ++I) {
+    expectReportsMatch(FreshReports[I], ColdReports[I]);
+    expectReportsMatch(FreshReports[I], WarmReports[I]);
+    for (const soundness::Obligation &O : WarmReports[I].Obligations) {
+      EXPECT_TRUE(O.FromCache) << O.Qual << ": " << O.Description;
+      Replayed += O.FromCache;
+    }
+  }
+  EXPECT_GT(Replayed, 0u);
+
+  prover::CacheStats CS = Cache.stats();
+  EXPECT_EQ(CS.Hits, Replayed);
+  EXPECT_EQ(CS.Misses, CS.Insertions);
+  EXPECT_GT(CS.hitRate(), 0.0);
+}
+
+TEST(DifferentialProver, CacheIsJobCountInvariant) {
+  DiagnosticEngine Diags;
+  qual::QualifierSet Quals;
+  ASSERT_TRUE(
+      qual::loadBuiltinQualifiers({"pos", "neg", "nonzero"}, Quals, Diags));
+
+  // Populate sequentially; replay in parallel — and vice versa.
+  for (unsigned PrimeJobs : {1u, 4u}) {
+    prover::ProverCache Cache;
+    soundness::SoundnessChecker Prime(Quals, {}, nullptr, &Cache);
+    std::vector<soundness::SoundnessReport> A = Prime.checkAll(PrimeJobs);
+    soundness::SoundnessChecker Replay(Quals, {}, nullptr, &Cache);
+    std::vector<soundness::SoundnessReport> B =
+        Replay.checkAll(PrimeJobs == 1 ? 4 : 1);
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t I = 0; I < A.size(); ++I)
+      expectReportsMatch(A[I], B[I]);
+    EXPECT_EQ(Cache.stats().Hits, Cache.stats().Misses);
+  }
+}
+
+} // namespace

@@ -19,6 +19,7 @@
 #include "cminus/Parser.h"
 #include "cminus/Printer.h"
 #include "cminus/Sema.h"
+#include "prover/ProverCache.h"
 #include "prover/Theory.h"
 #include "qual/Builtins.h"
 #include "qual/QualParser.h"
@@ -27,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 
 using namespace stq;
 
@@ -302,6 +304,225 @@ TEST(UserDefinedSuite, KernelQualifierProvesSound) {
   ASSERT_TRUE(qual::checkWellFormed(Set, Diags));
   // No invariant: no obligations, guaranteed by subtyping.
   EXPECT_FALSE(Set.find("kernel")->Invariant.has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical formula hashing (the prover cache's key function)
+//===----------------------------------------------------------------------===//
+//
+// The memoized prover cache replays an answer whenever two proof tasks
+// canonicalize identically, so the canonical form must be (a) injective on
+// structurally distinct ground terms and formulas — collisions would replay
+// wrong answers — and (b) invariant under exactly the transformations the
+// prover itself cannot observe: alpha-renaming of bound variables and the
+// orientation of symmetric equalities.
+
+/// Canonical form of one formula in its own throwaway canonicalizer.
+std::string keyOf(const prover::TermArena &A, const prover::FormulaPtr &F) {
+  return prover::Canonicalizer(A).formula(F);
+}
+
+TEST(CanonicalizerProperty, GroundTermInjectivityBruteForce) {
+  // Brute-force the space of ground terms of depth <= 2 over two atoms,
+  // two integer literals, one unary and one binary symbol. Hash-consing
+  // makes TermIds structure-unique, so injectivity is exactly "number of
+  // distinct canonical strings == number of distinct TermIds".
+  prover::TermArena A;
+  std::vector<prover::TermId> All = {A.app("a"), A.app("b"), A.intConst(0),
+                                     A.intConst(1)};
+  for (unsigned Depth = 0; Depth < 2; ++Depth) {
+    std::vector<prover::TermId> Snapshot = All;
+    for (prover::TermId T : Snapshot)
+      All.push_back(A.app("f", {T}));
+    for (prover::TermId L : Snapshot)
+      for (prover::TermId R : Snapshot)
+        All.push_back(A.app("g", {L, R}));
+  }
+  std::set<prover::TermId> Unique(All.begin(), All.end());
+  std::set<std::string> Keys;
+  for (prover::TermId T : Unique)
+    Keys.insert(prover::Canonicalizer(A).term(T));
+  EXPECT_GT(Unique.size(), 600u); // The space is genuinely brute-forced.
+  EXPECT_EQ(Keys.size(), Unique.size());
+}
+
+TEST(CanonicalizerProperty, GroundFormulaInjectivity) {
+  prover::TermArena A;
+  std::vector<prover::TermId> Terms = {A.app("a"), A.app("b"), A.intConst(0),
+                                       A.app("f", {A.app("a")})};
+
+  // Ordered comparisons and connectives: no two distinct formulas may
+  // share a key.
+  std::vector<prover::FormulaPtr> Formulas = {prover::fTrue(),
+                                              prover::fFalse()};
+  for (prover::TermId L : Terms)
+    for (prover::TermId R : Terms) {
+      Formulas.push_back(prover::fLt(L, R));
+      Formulas.push_back(prover::fLe(L, R));
+      Formulas.push_back(prover::fNot(prover::fLt(L, R)));
+    }
+  prover::FormulaPtr P = prover::fLt(Terms[0], Terms[1]);
+  prover::FormulaPtr Q = prover::fLt(Terms[1], Terms[0]);
+  Formulas.push_back(prover::fAnd({P, Q}));
+  Formulas.push_back(prover::fAnd({Q, P}));
+  Formulas.push_back(prover::fOr({P, Q}));
+  Formulas.push_back(prover::fOr({Q, P}));
+  Formulas.push_back(prover::fImplies(P, Q));
+  Formulas.push_back(prover::fImplies(Q, P));
+
+  std::set<std::string> Keys;
+  for (const prover::FormulaPtr &F : Formulas)
+    Keys.insert(keyOf(A, F));
+  EXPECT_EQ(Keys.size(), Formulas.size());
+}
+
+TEST(CanonicalizerProperty, EqualityOrientationCollapsesSwapsOnly) {
+  prover::TermArena A;
+  std::vector<prover::TermId> Terms = {A.app("a"), A.app("b"), A.intConst(0),
+                                       A.intConst(1)};
+  // a = b and b = a are the same constraint; the canonical form orients
+  // them identically — and collapses nothing else. Over all 16 ordered
+  // pairs that leaves exactly the 10 unordered pairs (incl. diagonal).
+  std::set<std::string> Keys;
+  for (prover::TermId L : Terms)
+    for (prover::TermId R : Terms) {
+      EXPECT_EQ(keyOf(A, prover::fEq(L, R)), keyOf(A, prover::fEq(R, L)));
+      Keys.insert(keyOf(A, prover::fEq(L, R)));
+    }
+  EXPECT_EQ(Keys.size(), 10u);
+}
+
+TEST(CanonicalizerProperty, AlphaRenamingInvariance) {
+  // forall X Y. p(X, Y) => q(Y), built with arbitrary binder names and in
+  // arbitrary binder-list order, always canonicalizes identically — the
+  // whole point of the cache key being usable across prover sessions.
+  auto Build = [](const std::string &X, const std::string &Y, bool SwapVars) {
+    prover::TermArena A;
+    prover::FormulaPtr Body =
+        prover::fImplies(prover::fPred(A, "p", {A.var(X), A.var(Y)}),
+                         prover::fPred(A, "q", {A.var(Y)}));
+    std::vector<std::string> Vars =
+        SwapVars ? std::vector<std::string>{Y, X}
+                 : std::vector<std::string>{X, Y};
+    return prover::Canonicalizer(A).formula(prover::fForall(Vars, Body));
+  };
+  std::string Reference = Build("x", "y", false);
+  EXPECT_EQ(Reference, Build("u", "v", false));
+  EXPECT_EQ(Reference, Build("lhs", "rhs", false));
+  // Binder-list order is immaterial: indices come from first use.
+  EXPECT_EQ(Reference, Build("x", "y", true));
+
+  // Renaming must be consistent: forall x y. p(x, x) is a different
+  // formula and must not collide.
+  prover::TermArena A;
+  prover::FormulaPtr Diag = prover::fForall(
+      {"x", "y"}, prover::fImplies(prover::fPred(A, "p", {A.var("x"), A.var("x")}),
+                                   prover::fPred(A, "q", {A.var("x")})));
+  EXPECT_NE(Reference, prover::Canonicalizer(A).formula(Diag));
+}
+
+TEST(CanonicalizerProperty, ShadowingAndFreeVariables) {
+  // Inner binders shadow outer ones; renaming only the inner binder keeps
+  // the key, renaming a *free* variable changes it (free names are part of
+  // the task's meaning).
+  auto Nested = [](const std::string &Inner) {
+    prover::TermArena A;
+    prover::FormulaPtr InnerF =
+        prover::fForall({Inner}, prover::fPred(A, "q", {A.var(Inner)}));
+    return prover::Canonicalizer(A).formula(prover::fForall(
+        {"x"}, prover::fImplies(prover::fPred(A, "p", {A.var("x")}), InnerF)));
+  };
+  EXPECT_EQ(Nested("x"), Nested("z"));
+
+  auto Free = [](const std::string &Name) {
+    prover::TermArena A;
+    return prover::Canonicalizer(A).formula(
+        prover::fPred(A, "p", {A.var(Name)}));
+  };
+  EXPECT_NE(Free("x"), Free("y"));
+}
+
+TEST(CanonicalizerProperty, SymmetricEqualityUnderBinders) {
+  // The orientation decision must itself be alpha-invariant: the probe
+  // serialization renders not-yet-numbered binders as a wildcard, so
+  // forall x. x = a and forall x. a = x orient the same way.
+  auto Build = [](bool Swap) {
+    prover::TermArena A;
+    prover::TermId X = A.var("x"), C = A.app("a");
+    prover::FormulaPtr Body =
+        Swap ? prover::fEq(C, X) : prover::fEq(X, C);
+    return prover::Canonicalizer(A).formula(prover::fForall({"x"}, Body));
+  };
+  EXPECT_EQ(Build(false), Build(true));
+
+  // Two unnumbered binders tie in the probe and keep their order; the
+  // formulas are alpha-plus-symmetry equivalent, so collapsing is correct.
+  auto Pair = [](bool Swap) {
+    prover::TermArena A;
+    prover::TermId X = A.var("x"), Y = A.var("y");
+    prover::FormulaPtr Body =
+        Swap ? prover::fEq(Y, X) : prover::fEq(X, Y);
+    return prover::Canonicalizer(A).formula(prover::fForall({"x", "y"}, Body));
+  };
+  EXPECT_EQ(Pair(false), Pair(true));
+}
+
+TEST(CanonicalizerProperty, TaskKeyStableAcrossArenas) {
+  // The full task key (axioms + hypotheses + goal) must not depend on the
+  // arena's interning order — that is what lets one session replay
+  // another's answer.
+  auto Build = [](bool WarmArena, const std::string &BinderName) {
+    auto A = std::make_unique<prover::TermArena>();
+    if (WarmArena) {
+      // Interning unrelated junk first shifts every TermId.
+      A->app("junk", {A->intConst(42), A->app("more")});
+    }
+    prover::TermId C = A->app("c");
+    prover::FormulaPtr Axiom = prover::fForall(
+        {BinderName},
+        prover::fImplies(prover::fPred(*A, "p", {A->var(BinderName)}),
+                         prover::fPred(*A, "q", {A->var(BinderName)})));
+    prover::FormulaPtr Hyp = prover::fPred(*A, "p", {C});
+    prover::FormulaPtr Goal = prover::fPred(*A, "q", {C});
+    std::vector<prover::ProverInput> Inputs = {{"axiom:imp", Axiom},
+                                               {"hyp", Hyp}};
+    return prover::canonicalTaskKey(*A, Inputs, Goal);
+  };
+  std::string Reference = Build(false, "x");
+  EXPECT_EQ(Reference, Build(true, "x"));
+  EXPECT_EQ(Reference, Build(true, "v"));
+  EXPECT_EQ(Reference, Build(false, "binder"));
+}
+
+TEST(CanonicalizerProperty, RandomAlphaRenamings) {
+  // Randomized variant: random small formulas, random fresh binder names;
+  // the key never changes under renaming.
+  std::mt19937 Rng(99);
+  auto Pick = [&](unsigned N) {
+    return std::uniform_int_distribution<unsigned>(0, N - 1)(Rng);
+  };
+  for (unsigned Iter = 0; Iter < 200; ++Iter) {
+    // A random body over two binders: a conjunction of 1-3 predicate
+    // literals, each over a random choice of the binders.
+    unsigned Lits = 1 + Pick(3);
+    std::vector<std::pair<unsigned, unsigned>> Shape;
+    for (unsigned L = 0; L < Lits; ++L)
+      Shape.push_back({Pick(2), Pick(2)});
+    auto Build = [&](const std::string &V0, const std::string &V1) {
+      prover::TermArena A;
+      std::vector<prover::FormulaPtr> Kids;
+      const std::string Names[2] = {V0, V1};
+      for (auto [I, J] : Shape)
+        Kids.push_back(prover::fPred(
+            A, "p" + std::to_string(Kids.size()),
+            {A.var(Names[I]), A.var(Names[J])}));
+      return prover::Canonicalizer(A).formula(
+          prover::fForall({V0, V1}, prover::fAnd(Kids)));
+    };
+    std::string N0 = "a" + std::to_string(Pick(1000));
+    std::string N1 = "b" + std::to_string(Pick(1000));
+    ASSERT_EQ(Build("x", "y"), Build(N0, N1)) << "iteration " << Iter;
+  }
 }
 
 } // namespace
