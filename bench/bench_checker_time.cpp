@@ -9,10 +9,7 @@
 
 #include "checker/Checker.h"
 #include "checker/Inference.h"
-#include "cminus/Lowering.h"
-#include "cminus/Parser.h"
-#include "cminus/Sema.h"
-#include "qual/Builtins.h"
+#include "driver/Session.h"
 #include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
@@ -26,18 +23,18 @@ using namespace stq::workloads;
 namespace {
 
 struct Prepared {
-  qual::QualifierSet Quals;
-  DiagnosticEngine Diags;
+  std::unique_ptr<Session> S;
   std::unique_ptr<cminus::Program> Prog;
+  const qual::QualifierSet &quals() const { return S->qualifiers(); }
 };
 
 std::unique_ptr<Prepared> prepare(const GeneratedWorkload &W,
                                   const std::vector<std::string> &Names) {
   auto P = std::make_unique<Prepared>();
-  qual::loadBuiltinQualifiers(Names, P->Quals, P->Diags);
-  P->Prog = cminus::parseProgram(W.Source, P->Quals.names(), P->Diags);
-  cminus::runSema(*P->Prog, P->Quals.refNames(), P->Diags);
-  cminus::lowerProgram(*P->Prog, P->Diags);
+  SessionOptions Opts;
+  Opts.Builtins = Names;
+  P->S = std::make_unique<Session>(Opts);
+  P->Prog = P->S->frontEnd(W.Source).Program;
   return P;
 }
 
@@ -49,7 +46,7 @@ void printTable() {
     GeneratedWorkload W = makeGrepDfa(Scale);
     auto P = prepare(W, {"nonnull"});
     auto Start = std::chrono::steady_clock::now();
-    checker::QualChecker Checker(*P->Prog, P->Quals, P->Diags, {});
+    checker::QualChecker Checker(*P->Prog, P->quals(), P->S->diags(), {});
     auto Result = Checker.run();
     double Secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - Start)
@@ -67,7 +64,7 @@ void printTable() {
   auto P = prepare(W, {"nonnull"});
   auto Start = std::chrono::steady_clock::now();
   checker::InferenceOutcome Outcome =
-      checker::inferQualifiers(*P->Prog, P->Quals);
+      checker::inferQualifiers(*P->Prog, P->quals());
   double Secs = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
@@ -91,14 +88,11 @@ void printTable() {
       "  for (int i = 0; i < reps; i = i + 1) total = total + stride;\n"
       "  return scale(stride) + total / window;\n"
       "}\n";
-  qual::QualifierSet IntQuals;
-  DiagnosticEngine D2;
-  qual::loadBuiltinQualifiers({"pos", "neg", "nonneg", "nonzero"}, IntQuals,
-                              D2);
-  auto Prog2 = cminus::parseProgram(Derivable, IntQuals.names(), D2);
-  cminus::runSema(*Prog2, IntQuals.refNames(), D2);
-  cminus::lowerProgram(*Prog2, D2);
-  auto Out2 = checker::inferQualifiers(*Prog2, IntQuals);
+  SessionOptions IntOpts;
+  IntOpts.Builtins = {"pos", "neg", "nonneg", "nonzero"};
+  Session S2(IntOpts);
+  auto Prog2 = S2.frontEnd(Derivable).Program;
+  auto Out2 = checker::inferQualifiers(*Prog2, S2.qualifiers());
   std::printf("constants-rooted module (pos/nonneg/nonzero): inferred %u "
               "annotation(s) on %zu variable(s) - including the int pos "
               "argument of scale() - with zero manual annotations\n\n",
@@ -112,7 +106,7 @@ void benchChecker(benchmark::State &State, unsigned Scale, bool Memoize) {
     checker::CheckerOptions Options;
     Options.Memoize = Memoize;
     DiagnosticEngine Scratch;
-    checker::QualChecker Checker(*P->Prog, P->Quals, Scratch, Options);
+    checker::QualChecker Checker(*P->Prog, P->quals(), Scratch, Options);
     auto Result = Checker.run();
     benchmark::DoNotOptimize(Result.QualErrors);
   }
@@ -125,7 +119,7 @@ static void BM_InferenceGrep(benchmark::State &State) {
   GeneratedWorkload W = makeGrepDfa();
   auto P = prepare(W, {"nonnull"});
   for (auto _ : State) {
-    auto Outcome = checker::inferQualifiers(*P->Prog, P->Quals);
+    auto Outcome = checker::inferQualifiers(*P->Prog, P->quals());
     benchmark::DoNotOptimize(Outcome.totalInferred());
   }
 }
@@ -155,7 +149,7 @@ static void BM_CheckAllQualifiersOnBftpd(benchmark::State &State) {
                        "untainted", "unique", "unaliased"});
   for (auto _ : State) {
     DiagnosticEngine Scratch;
-    checker::QualChecker Checker(*P->Prog, P->Quals, Scratch, {});
+    checker::QualChecker Checker(*P->Prog, P->quals(), Scratch, {});
     auto Result = Checker.run();
     benchmark::DoNotOptimize(Result.QualErrors);
   }

@@ -3,17 +3,29 @@
 // Runs the paper's worked code examples end to end (typecheck + execute)
 // and reports each figure's expected outcome next to the measured one.
 //
+// Also measures the paper's headline timing claims (value-qualifier
+// soundness under a second, reference-qualifier soundness under thirty,
+// checking overhead under a second) and writes them to BENCH_timings.json
+// so CI can track them. Set STQ_ENFORCE_TIMING_BOUNDS=1 to make a blown
+// bound a hard failure; STQ_TIMINGS_OUT overrides the output path.
+//
 //===----------------------------------------------------------------------===//
 
-#include "checker/Checker.h"
+#include "driver/Session.h"
 #include "interp/Interp.h"
-#include "qual/Builtins.h"
+#include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 using namespace stq;
+using namespace stq::workloads;
 
 namespace {
 
@@ -77,24 +89,148 @@ void printTable() {
   std::printf("%-26s %10s %10s   %s\n", "figure", "expected", "measured",
               "behavior");
   for (const FigureCase &F : Figures) {
-    qual::QualifierSet Quals;
-    DiagnosticEngine Diags;
-    qual::loadBuiltinQualifiers(F.Quals, Quals, Diags);
-    std::unique_ptr<cminus::Program> Prog;
-    auto R = checker::checkSource(F.Source, Quals, Diags, Prog);
+    SessionOptions Options;
+    Options.Builtins = F.Quals;
+    Session S(Options);
+    auto R = S.check(F.Source).Result;
     std::printf("%-26s %10u %10u   %s\n", F.Figure, F.ExpectedErrors,
                 R.QualErrors, F.Expect);
   }
   std::printf("\n");
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_timings.json: the paper's wall-clock claims, measured.
+// ---------------------------------------------------------------------------
+
+struct TimingEntry {
+  const char *Name;
+  const char *Claim;
+  double Seconds = 0;
+  double BoundSeconds = 0;
+  bool withinBound() const { return Seconds <= BoundSeconds; }
+};
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+std::vector<TimingEntry> measureTimings() {
+  std::vector<TimingEntry> Entries;
+
+  // Section 4: discharging a value qualifier's proof obligations takes
+  // under a second.
+  {
+    SessionOptions Options;
+    Options.Builtins = {"pos", "neg", "nonneg", "nonzero"};
+    Session S(Options);
+    S.loadQualifiers();
+    auto Start = std::chrono::steady_clock::now();
+    S.prove();
+    Entries.push_back({"value_qualifier_soundness",
+                       "section 4: value-qualifier soundness proofs finish "
+                       "in under a second",
+                       secondsSince(Start), 1.0});
+  }
+
+  // Section 5: reference-qualifier obligations quantify over the heap and
+  // are allowed up to thirty seconds.
+  {
+    SessionOptions Options;
+    Options.Builtins = {"nonnull", "unique", "unaliased"};
+    Session S(Options);
+    S.loadQualifiers();
+    auto Start = std::chrono::steady_clock::now();
+    S.prove();
+    Entries.push_back({"ref_qualifier_soundness",
+                       "section 5: reference-qualifier soundness proofs "
+                       "finish in under thirty seconds",
+                       secondsSince(Start), 30.0});
+  }
+
+  // Section 6: qualifier checking adds under one second of compile time on
+  // every experiment (measured on the grep-dfa workload).
+  {
+    GeneratedWorkload W = makeGrepDfa();
+    SessionOptions Options;
+    Options.Builtins = {"nonnull"};
+    Session S(Options);
+    auto FE = S.frontEnd(W.Source);
+    auto Start = std::chrono::steady_clock::now();
+    if (FE.Ok) {
+      DiagnosticEngine Scratch;
+      checker::QualChecker Checker(*FE.Program, S.qualifiers(), Scratch, {});
+      auto Result = Checker.run();
+      benchmark::DoNotOptimize(Result.QualErrors);
+    }
+    Entries.push_back({"check_overhead_grep_dfa",
+                       "section 6: qualifier checking adds under one second "
+                       "of compile time",
+                       secondsSince(Start), 1.0});
+  }
+
+  return Entries;
+}
+
+bool writeTimings(const std::vector<TimingEntry> &Entries,
+                  const std::string &Path) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  bool All = true;
+  OS << "{\n  \"schema\": \"stq-bench-timings-v1\",\n  \"entries\": [\n";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const TimingEntry &E = Entries[I];
+    All = All && E.withinBound();
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", E.Seconds);
+    OS << "    {\n"
+       << "      \"name\": \"" << E.Name << "\",\n"
+       << "      \"claim\": \"" << E.Claim << "\",\n"
+       << "      \"seconds\": " << Buf << ",\n";
+    std::snprintf(Buf, sizeof(Buf), "%.6f", E.BoundSeconds);
+    OS << "      \"bound_seconds\": " << Buf << ",\n"
+       << "      \"within_bound\": " << (E.withinBound() ? "true" : "false")
+       << "\n    }" << (I + 1 < Entries.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n  \"all_within_bounds\": " << (All ? "true" : "false")
+     << "\n}\n";
+  return true;
+}
+
+// Returns false when a bound was blown and STQ_ENFORCE_TIMING_BOUNDS asks
+// us to treat that as a failure.
+bool reportTimings() {
+  std::vector<TimingEntry> Entries = measureTimings();
+  std::printf("=== Paper timing claims ===\n");
+  bool All = true;
+  for (const TimingEntry &E : Entries) {
+    All = All && E.withinBound();
+    std::printf("%-28s %9.4fs (bound %5.1fs) %s\n", E.Name, E.Seconds,
+                E.BoundSeconds, E.withinBound() ? "ok" : "EXCEEDED");
+  }
+  const char *Out = std::getenv("STQ_TIMINGS_OUT");
+  std::string Path = Out && *Out ? Out : "BENCH_timings.json";
+  if (writeTimings(Entries, Path))
+    std::printf("timings written to %s\n\n", Path.c_str());
+  else
+    std::printf("could not write %s\n\n", Path.c_str());
+  const char *Enforce = std::getenv("STQ_ENFORCE_TIMING_BOUNDS");
+  if (Enforce && *Enforce && std::string(Enforce) != "0" && !All)
+    return false;
+  return true;
+}
+
 } // namespace
 
 // Figure 2 end-to-end: typecheck, execute, run-time check passes.
 static void BM_Figure2EndToEnd(benchmark::State &State) {
-  qual::QualifierSet Quals;
-  DiagnosticEngine Diags;
-  qual::loadBuiltinQualifiers({"pos", "neg"}, Quals, Diags);
+  SessionOptions Options;
+  Options.Builtins = {"pos", "neg"};
+  Session S(Options);
+  S.loadQualifiers();
   const char *Source =
       "int pos gcd(int pos n, int pos m) {\n"
       "  if (m == n) return n;\n"
@@ -109,7 +245,8 @@ static void BM_Figure2EndToEnd(benchmark::State &State) {
       "int main() { return lcm(21, 6); }\n";
   for (auto _ : State) {
     DiagnosticEngine Scratch;
-    interp::RunResult R = interp::runSource(Source, Quals, Scratch, {});
+    interp::RunResult R =
+        interp::runSource(Source, S.qualifiers(), Scratch, {});
     if (!R.ok() || *R.ExitValue != 42)
       State.SkipWithError("figure 2 did not execute correctly");
     benchmark::DoNotOptimize(R.ChecksExecuted);
@@ -119,9 +256,10 @@ BENCHMARK(BM_Figure2EndToEnd)->Unit(benchmark::kMillisecond);
 
 // The run-time check firing (a failed cast is a fatal error).
 static void BM_RuntimeCheckFailurePath(benchmark::State &State) {
-  qual::QualifierSet Quals;
-  DiagnosticEngine Diags;
-  qual::loadBuiltinQualifiers({"pos", "neg"}, Quals, Diags);
+  SessionOptions Options;
+  Options.Builtins = {"pos", "neg"};
+  Session S(Options);
+  S.loadQualifiers();
   const char *Source = "int main() {\n"
                        "  int y = -3;\n"
                        "  int pos x = (int pos) y;\n"
@@ -129,7 +267,8 @@ static void BM_RuntimeCheckFailurePath(benchmark::State &State) {
                        "}\n";
   for (auto _ : State) {
     DiagnosticEngine Scratch;
-    interp::RunResult R = interp::runSource(Source, Quals, Scratch, {});
+    interp::RunResult R =
+        interp::runSource(Source, S.qualifiers(), Scratch, {});
     if (R.Status != interp::RunStatus::CheckFailure)
       State.SkipWithError("check did not fire");
     benchmark::DoNotOptimize(R.CheckFailures.size());
@@ -139,7 +278,8 @@ BENCHMARK(BM_RuntimeCheckFailurePath)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   printTable();
+  bool BoundsOk = reportTimings();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return BoundsOk ? 0 : 1;
 }

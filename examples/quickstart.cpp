@@ -15,12 +15,10 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "checker/Checker.h"
-#include "interp/Interp.h"
-#include "qual/QualParser.h"
-#include "soundness/Soundness.h"
+#include "driver/Session.h"
 
 #include <cstdio>
+#include <iostream>
 
 using namespace stq;
 
@@ -72,38 +70,31 @@ int main() {
 
 int main() {
   std::printf("== 1. Define the qualifier and prove it sound ==\n");
-  qual::QualifierSet Quals;
-  DiagnosticEngine Diags;
-  if (!qual::parseQualifiers(EvenQualifier, Quals, Diags) ||
-      !qual::checkWellFormed(Quals, Diags)) {
-    for (const Diagnostic &D : Diags.diagnostics())
-      std::printf("%s\n", D.str().c_str());
+  SessionOptions Options;
+  Options.QualSources = {EvenQualifier};
+  Session S(Options);
+  if (!S.loadQualifiers()) {
+    S.diags().print(std::cout);
     return 1;
   }
-  soundness::SoundnessChecker SC(Quals);
-  auto Report = SC.checkQualifier("nonneg");
+  auto Report = S.proveQualifier("nonneg");
   std::printf("%s", soundness::formatReports({Report}).c_str());
 
   std::printf("\n== 2. The soundness checker rejects a broken rule ==\n");
-  qual::QualifierSet Broken;
-  DiagnosticEngine Diags2;
-  qual::parseQualifiers(BrokenQualifier, Broken, Diags2);
-  qual::checkWellFormed(Broken, Diags2);
-  soundness::SoundnessChecker SC2(Broken);
-  auto BrokenReport = SC2.checkQualifier("nonneg");
+  SessionOptions BrokenOptions;
+  BrokenOptions.QualSources = {BrokenQualifier};
+  Session SB(BrokenOptions);
+  auto BrokenReport = SB.proveQualifier("nonneg");
   std::printf("%s", soundness::formatReports({BrokenReport}).c_str());
 
   std::printf("\n== 3. Typecheck an annotated program ==\n");
-  DiagnosticEngine CheckDiags;
-  std::unique_ptr<cminus::Program> Prog;
-  checker::CheckResult Check =
-      checker::checkSource(Program, Quals, CheckDiags, Prog);
+  Session::RunOutcome Out = S.run(Program);
   std::printf("qualifier errors: %u, run-time checks inserted: %zu\n",
-              Check.QualErrors, Check.RuntimeChecks.size());
+              Out.Check.Result.QualErrors,
+              Out.Check.Result.RuntimeChecks.size());
 
   std::printf("\n== 4. Execute with run-time checks ==\n");
-  interp::RunResult Run =
-      interp::runProgram(*Prog, Quals, Check.RuntimeChecks, {});
+  const interp::RunResult &Run = Out.Run;
   if (Run.ok())
     std::printf("program returned %ld after %lu run-time checks\n",
                 static_cast<long>(*Run.ExitValue),

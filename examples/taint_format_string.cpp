@@ -11,9 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "checker/Checker.h"
-#include "interp/Interp.h"
-#include "qual/Builtins.h"
+#include "driver/Session.h"
 #include "workloads/AnnotationDriver.h"
 #include "workloads/Workloads.h"
 
@@ -23,10 +21,8 @@ using namespace stq;
 using namespace stq::workloads;
 
 int main() {
-  qual::QualifierSet Quals;
-  DiagnosticEngine Diags;
-  if (!qual::loadBuiltinQualifiers({"tainted", "untainted"}, Quals, Diags))
-    return 1;
+  SessionOptions Options;
+  Options.Builtins = {"tainted", "untainted"};
 
   std::printf("== Figure 4: flow checking for format strings ==\n");
   const char *Snippet = "int printf(char* untainted fmt, ...);\n"
@@ -35,14 +31,12 @@ int main() {
                         "  printf(fmt, buf);\n" // OK
                         "  printf(buf);\n"      // rejected
                         "}\n";
-  DiagnosticEngine SnippetDiags;
-  std::unique_ptr<cminus::Program> Prog;
-  checker::CheckResult R =
-      checker::checkSource(Snippet, Quals, SnippetDiags, Prog);
+  Session SnippetS(Options);
+  Session::CheckOutcome R = SnippetS.check(Snippet);
   std::printf("printf(fmt, buf) accepted; printf(buf) rejected: "
               "%u qualifier error(s)\n",
-              R.QualErrors);
-  for (const Diagnostic &D : SnippetDiags.diagnostics())
+              R.Result.QualErrors);
+  for (const Diagnostic &D : SnippetS.diags().diagnostics())
     if (D.Phase == "qualcheck")
       std::printf("  %s\n", D.str().c_str());
 
@@ -75,10 +69,10 @@ int main() {
                     "  command_list_entry(s, e);\n"
                     "  return 0;\n"
                     "}\n";
-  DiagnosticEngine PocDiags;
-  interp::InterpOptions Options;
-  Options.EntryPoint = "poc";
-  interp::RunResult Run = interp::runSource(Poc, Quals, PocDiags, Options);
+  SessionOptions PocOptions = Options;
+  PocOptions.Interp.EntryPoint = "poc";
+  Session PocS(PocOptions);
+  interp::RunResult Run = PocS.run(Poc).Run;
   for (const auto &V : Run.FormatViolations)
     std::printf("  format-string violation at %s: \"%s\" consumed %u "
                 "arguments, %u supplied\n",

@@ -13,10 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "checker/Checker.h"
-#include "qual/Builtins.h"
-#include "qual/QualParser.h"
-#include "soundness/Soundness.h"
+#include "driver/Session.h"
 #include "workloads/AnnotationDriver.h"
 #include "workloads/Workloads.h"
 
@@ -26,10 +23,8 @@ using namespace stq;
 using namespace stq::workloads;
 
 int main() {
-  qual::QualifierSet Quals;
-  DiagnosticEngine Diags;
-  if (!qual::loadBuiltinQualifiers({"unique", "unaliased"}, Quals, Diags))
-    return 1;
+  SessionOptions Options;
+  Options.Builtins = {"unique", "unaliased"};
 
   std::printf("== Figure 6: make_array typechecks ==\n");
   const char *Fig6 = "int* unique array;\n"
@@ -38,9 +33,8 @@ int main() {
                      "  for (int i = 0; i < n; i = i + 1)\n"
                      "    array[i] = i;\n"
                      "}\n";
-  DiagnosticEngine D1;
-  std::unique_ptr<cminus::Program> P1;
-  auto R1 = checker::checkSource(Fig6, Quals, D1, P1);
+  Session S1(Options);
+  auto R1 = S1.check(Fig6).Result;
   std::printf("qualifier errors: %u (malloc matches the `new` assign "
               "rule; element writes are unrestricted)\n",
               R1.QualErrors);
@@ -58,19 +52,18 @@ int main() {
                            "  int* r = &y;\n"  // address-of: rejected
                            "  y = 3;\n"
                            "}\n";
-  DiagnosticEngine D2;
-  std::unique_ptr<cminus::Program> P2;
-  auto R2 = checker::checkSource(Violations, Quals, D2, P2);
-  for (const Diagnostic &D : D2.diagnostics())
+  Session S2(Options);
+  auto R2 = S2.check(Violations).Result;
+  for (const Diagnostic &D : S2.diags().diagnostics())
     if (D.Phase == "qualcheck")
       std::printf("  %s\n", D.str().c_str());
   std::printf("(%u violations; the dereference was allowed)\n",
               R2.QualErrors);
 
   std::printf("\n== Soundness: disallow is what makes unique sound ==\n");
-  soundness::SoundnessChecker SC(Quals);
-  auto UniqueReport = SC.checkQualifier("unique");
-  auto UnaliasedReport = SC.checkQualifier("unaliased");
+  Session SP(Options);
+  auto UniqueReport = SP.proveQualifier("unique");
+  auto UnaliasedReport = SP.proveQualifier("unaliased");
   std::printf("unique:    %s (%zu obligations, %.3fs)\n",
               UniqueReport.sound() ? "SOUND" : "UNSOUND",
               UniqueReport.Obligations.size(), UniqueReport.TotalSeconds);
@@ -79,20 +72,17 @@ int main() {
               UnaliasedReport.Obligations.size(),
               UnaliasedReport.TotalSeconds);
 
-  qual::QualifierSet NoDisallow;
-  DiagnosticEngine D3;
-  qual::parseQualifiers(
+  SessionOptions NoDisallowOptions;
+  NoDisallowOptions.QualSources = {
       "ref qualifier unique(T* LValue L)\n"
       "  assign L\n"
       "    NULL\n"
       "  | new\n"
       "  invariant value(L) == NULL ||\n"
       "            (isHeapLoc(value(L)) &&\n"
-      "             forall T** P: *P == value(L) => P == location(L))\n",
-      NoDisallow, D3);
-  qual::checkWellFormed(NoDisallow, D3);
-  soundness::SoundnessChecker SC2(NoDisallow);
-  auto BrokenReport = SC2.checkQualifier("unique");
+      "             forall T** P: *P == value(L) => P == location(L))\n"};
+  Session SND(NoDisallowOptions);
+  auto BrokenReport = SND.proveQualifier("unique");
   std::printf("unique without `disallow L`: %s\n",
               BrokenReport.sound() ? "SOUND (?!)" : "UNSOUND - rejected");
   for (const auto &O : BrokenReport.Obligations)

@@ -6,6 +6,7 @@
 #include "cminus/Parser.h"
 #include "cminus/Printer.h"
 #include "cminus/Sema.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -1012,12 +1013,16 @@ void QualChecker::checkNarrowed(
 
 
 void QualChecker::checkFunction(FuncDecl *Fn) {
+  trace::Span S("check.unit",
+                trace::Tracer::enabled() ? Fn->Name : std::string());
   CurrentFn = Fn;
   checkStmt(Fn->Body);
   CurrentFn = nullptr;
 }
 
 CheckResult QualChecker::runGlobals() {
+  trace::Span S("check.unit", trace::Tracer::enabled() ? "<globals>"
+                                                       : std::string());
   for (VarDecl *G : Prog.Globals) {
     if (!G->Init)
       continue;

@@ -6,6 +6,7 @@
 #include "cminus/Parser.h"
 #include "cminus/Sema.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 using namespace stq;
 using namespace stq::checker;
@@ -49,6 +50,7 @@ CheckResult stq::checker::checkProgramParallel(cminus::Program &Prog,
                                                CheckerOptions Options,
                                                unsigned Jobs,
                                                ParallelStats *StatsOut) {
+  trace::Span Span("qualcheck");
   std::vector<cminus::FuncDecl *> Fns;
   for (cminus::FuncDecl *Fn : Prog.Functions)
     if (Fn->isDefinition())

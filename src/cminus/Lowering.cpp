@@ -2,6 +2,8 @@
 
 #include "cminus/Lowering.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 #include <string>
 #include <vector>
@@ -307,6 +309,7 @@ void Lowerer::forbidCallsLValue(LValue *LV, const char *Where) {
 }
 
 bool stq::cminus::lowerProgram(Program &Prog, DiagnosticEngine &Diags) {
+  trace::Span Span("lower");
   Lowerer L(Prog, Diags);
   return L.run();
 }

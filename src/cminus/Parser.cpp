@@ -2,6 +2,8 @@
 
 #include "cminus/Parser.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 
 using namespace stq;
@@ -12,8 +14,14 @@ std::unique_ptr<Program> stq::cminus::parseProgram(
     const std::string &Source,
     const std::vector<std::string> &QualifierNames, DiagnosticEngine &Diags) {
   Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens;
+  {
+    trace::Span LexSpan("lex");
+    Tokens = Lex.tokenize();
+  }
+  trace::Span ParseSpan("parse");
   std::set<std::string> QualSet(QualifierNames.begin(), QualifierNames.end());
-  Parser P(Lex.tokenize(), std::move(QualSet), Diags);
+  Parser P(std::move(Tokens), std::move(QualSet), Diags);
   return P.run();
 }
 

@@ -2,6 +2,8 @@
 
 #include "cminus/Sema.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 
 using namespace stq;
@@ -410,6 +412,7 @@ TypePtr Sema::typeOf(Expr *E) {
 bool stq::cminus::runSema(Program &Prog,
                           const std::vector<std::string> &RefQualNames,
                           DiagnosticEngine &Diags) {
+  trace::Span Span("sema");
   Sema S(Prog, RefQualNames, Diags);
   return S.run();
 }

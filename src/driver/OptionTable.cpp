@@ -1,0 +1,179 @@
+//===- OptionTable.cpp ----------------------------------------------------===//
+
+#include "driver/OptionTable.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+using namespace stq::cli;
+
+std::vector<std::string> stq::cli::splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+bool stq::cli::parseUnsigned(const std::string &Value, unsigned &Out) {
+  if (Value.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+  if (End == Value.c_str() || *End != '\0' || errno == ERANGE ||
+      Value[0] == '-' || N > 0xfffffffful)
+    return false;
+  Out = static_cast<unsigned>(N);
+  return true;
+}
+
+OptionTable &OptionTable::flag(const std::string &Name,
+                               const std::string &Alias,
+                               const std::string &Help,
+                               std::function<void()> Apply) {
+  Option O;
+  O.Name = Name;
+  O.Alias = Alias;
+  O.Kind = Option::Arity::Flag;
+  O.Help = Help;
+  O.Apply = [Fn = std::move(Apply)](const std::string &, std::string &) {
+    Fn();
+    return true;
+  };
+  Options.push_back(std::move(O));
+  return *this;
+}
+
+OptionTable &OptionTable::value(
+    const std::string &Name, const std::string &Alias,
+    const std::string &ValueName, const std::string &Help,
+    std::function<bool(const std::string &, std::string &)> Apply) {
+  Option O;
+  O.Name = Name;
+  O.Alias = Alias;
+  O.Kind = Option::Arity::Value;
+  O.ValueName = ValueName;
+  O.Help = Help;
+  O.Apply = std::move(Apply);
+  Options.push_back(std::move(O));
+  return *this;
+}
+
+OptionTable &OptionTable::optionalValue(
+    const std::string &Name, const std::string &ValueName,
+    const std::string &Help,
+    std::function<bool(const std::string &, std::string &)> Apply) {
+  Option O;
+  O.Name = Name;
+  O.Kind = Option::Arity::OptionalValue;
+  O.ValueName = ValueName;
+  O.Help = Help;
+  O.Apply = std::move(Apply);
+  Options.push_back(std::move(O));
+  return *this;
+}
+
+const Option *OptionTable::find(const std::string &Spelling) const {
+  for (const Option &O : Options)
+    if (O.Name == Spelling || (!O.Alias.empty() && O.Alias == Spelling))
+      return &O;
+  return nullptr;
+}
+
+bool OptionTable::parse(const std::vector<std::string> &Args,
+                        std::string &Error) const {
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    if (Arg.empty() || Arg[0] != '-') {
+      if (!Positional) {
+        Error = "unexpected argument '" + Arg + "'";
+        return false;
+      }
+      if (!Positional(Arg, Error))
+        return false;
+      continue;
+    }
+
+    std::string Spelling = Arg;
+    std::string Inline;
+    bool HasInline = false;
+    size_t Eq = Arg.find('=');
+    if (Eq != std::string::npos) {
+      Spelling = Arg.substr(0, Eq);
+      Inline = Arg.substr(Eq + 1);
+      HasInline = true;
+    }
+
+    const Option *O = find(Spelling);
+    if (!O) {
+      Error = "unknown option '" + Spelling + "'";
+      return false;
+    }
+
+    std::string Value;
+    switch (O->Kind) {
+    case Option::Arity::Flag:
+      if (HasInline) {
+        Error = "option '" + O->Name + "' takes no value";
+        return false;
+      }
+      break;
+    case Option::Arity::Value:
+      if (HasInline) {
+        Value = Inline;
+      } else if (I + 1 < Args.size()) {
+        Value = Args[++I];
+      } else {
+        Error = "missing value for '" + O->Name + "'";
+        return false;
+      }
+      break;
+    case Option::Arity::OptionalValue:
+      if (HasInline)
+        Value = Inline;
+      break;
+    }
+
+    std::string ApplyError;
+    if (!O->Apply(Value, ApplyError)) {
+      Error = ApplyError.empty()
+                  ? "bad value '" + Value + "' for '" + O->Name + "'"
+                  : ApplyError;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string OptionTable::helpText() const {
+  std::string Out;
+  for (const Option &O : Options) {
+    std::string Left = "  " + O.Name;
+    if (!O.Alias.empty())
+      Left += ", " + O.Alias;
+    switch (O.Kind) {
+    case Option::Arity::Flag:
+      break;
+    case Option::Arity::Value:
+      Left += " " + O.ValueName;
+      break;
+    case Option::Arity::OptionalValue:
+      Left += "[=" + O.ValueName + "]";
+      break;
+    }
+    while (Left.size() < 26)
+      Left += ' ';
+    Out += Left + O.Help + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,94 @@
+//===- OptionTable.h - Declarative command-line options ---------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small declarative option parser shared by every `stqc` subcommand,
+/// replacing the hand-rolled if/else argument loop. Each subcommand
+/// registers the options it accepts (flags, valued options, options with
+/// an optional value) with handlers; parse() then accepts both
+/// `--name value` and `--name=value` spellings, routes positionals, and
+/// turns unknown flags and malformed values into hard errors with a
+/// message naming the offending argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_DRIVER_OPTIONTABLE_H
+#define STQ_DRIVER_OPTIONTABLE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace stq::cli {
+
+/// Splits "a,b,c" into {"a","b","c"}, dropping empty pieces.
+std::vector<std::string> splitCommas(const std::string &S);
+
+/// Strict full-string parse of a non-negative integer. Returns false on
+/// empty input, trailing garbage, or overflow.
+bool parseUnsigned(const std::string &Value, unsigned &Out);
+
+/// One registered option and how to apply it.
+struct Option {
+  enum class Arity {
+    Flag,          ///< --name (a value is an error)
+    Value,         ///< --name V or --name=V (missing value is an error)
+    OptionalValue, ///< --name or --name=V (the separate-word form is not
+                   ///< consumed: `--metrics json` leaves `json` positional)
+  };
+
+  std::string Name;  ///< Primary spelling, with dashes ("--jobs").
+  std::string Alias; ///< Optional short spelling ("-j"), or empty.
+  Arity Kind = Arity::Flag;
+  std::string ValueName; ///< Placeholder for usage text ("N").
+  std::string Help;
+  /// Receives the value ("" for flags / omitted optional values). Returns
+  /// false with \p Error set to reject a malformed value.
+  std::function<bool(const std::string &Value, std::string &Error)> Apply;
+};
+
+/// The option set of one subcommand.
+class OptionTable {
+public:
+  /// Registers `--name` taking no value.
+  OptionTable &flag(const std::string &Name, const std::string &Alias,
+                    const std::string &Help, std::function<void()> Apply);
+  /// Registers `--name V` / `--name=V`.
+  OptionTable &
+  value(const std::string &Name, const std::string &Alias,
+        const std::string &ValueName, const std::string &Help,
+        std::function<bool(const std::string &, std::string &)> Apply);
+  /// Registers `--name` / `--name=V` (value optional; the two-word form is
+  /// not recognized, so a bare `--name` never swallows a file argument).
+  OptionTable &
+  optionalValue(const std::string &Name, const std::string &ValueName,
+                const std::string &Help,
+                std::function<bool(const std::string &, std::string &)> Apply);
+
+  /// Routes arguments that are not options (no leading '-'). Without a
+  /// handler, any positional is an error.
+  void positional(std::function<bool(const std::string &, std::string &)> H) {
+    Positional = std::move(H);
+  }
+
+  /// Parses \p Args (argv past the subcommand). On failure returns false
+  /// with \p Error set; nothing reports to stderr here.
+  bool parse(const std::vector<std::string> &Args, std::string &Error) const;
+
+  /// One "  --name N  help" line per option, for usage text.
+  std::string helpText() const;
+
+private:
+  const Option *find(const std::string &Spelling) const;
+
+  std::vector<Option> Options;
+  std::function<bool(const std::string &, std::string &)> Positional;
+};
+
+} // namespace stq::cli
+
+#endif // STQ_DRIVER_OPTIONTABLE_H

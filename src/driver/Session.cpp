@@ -1,0 +1,284 @@
+//===- Session.cpp --------------------------------------------------------===//
+
+#include "driver/Session.h"
+
+#include "cminus/Lowering.h"
+#include "cminus/Parser.h"
+#include "cminus/Sema.h"
+#include "qual/Builtins.h"
+#include "qual/QualParser.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace stq;
+
+bool stq::readFileToString(const std::string &Path, std::string &Out,
+                           std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+Session::Session(SessionOptions Options) : Opts(std::move(Options)) {}
+
+Session::~Session() = default;
+
+bool Session::loadQualifiers() {
+  if (Loaded != LoadState::NotLoaded)
+    return Loaded == LoadState::Ok;
+  Loaded = LoadState::Failed;
+
+  stats::ScopedTimer Timer(&Metrics, "phase.qualload_seconds");
+  std::vector<std::string> Builtins = Opts.Builtins;
+  if (Builtins.empty() && Opts.QualFiles.empty() && Opts.QualSources.empty() &&
+      Opts.ImplicitAllBuiltins)
+    Builtins = qual::builtinQualifierNames();
+
+  for (const std::string &Name : Builtins) {
+    std::string Source = qual::builtinQualifierSource(Name);
+    if (Source.empty()) {
+      Diags.error(SourceLoc(), "driver",
+                  "unknown builtin qualifier '" + Name + "'");
+      return false;
+    }
+    if (!qual::parseQualifiers(Source, Quals, Diags))
+      return false;
+  }
+  for (const std::string &Path : Opts.QualFiles) {
+    std::string Source, Error;
+    if (!readFileToString(Path, Source, Error)) {
+      Diags.error(SourceLoc(), "driver", Error);
+      return false;
+    }
+    if (!qual::parseQualifiers(Source, Quals, Diags))
+      return false;
+  }
+  for (const std::string &Source : Opts.QualSources)
+    if (!qual::parseQualifiers(Source, Quals, Diags))
+      return false;
+  if (!qual::checkWellFormed(Quals, Diags))
+    return false;
+
+  Loaded = LoadState::Ok;
+  Metrics.set("qual.loaded", Quals.all().size());
+  return true;
+}
+
+std::unique_ptr<cminus::Program> Session::frontEnd(const std::string &Source,
+                                                   bool &Ok) {
+  Ok = false;
+  std::unique_ptr<cminus::Program> Prog;
+  {
+    stats::ScopedTimer Timer(&Metrics, "phase.parse_seconds");
+    Prog = cminus::parseProgram(Source, Quals.names(), Diags);
+  }
+  if (!Prog || Diags.hasErrors())
+    return Prog;
+  {
+    stats::ScopedTimer Timer(&Metrics, "phase.sema_seconds");
+    if (!cminus::runSema(*Prog, Quals.refNames(), Diags))
+      return Prog;
+  }
+  {
+    stats::ScopedTimer Timer(&Metrics, "phase.lower_seconds");
+    if (!cminus::lowerProgram(*Prog, Diags) ||
+        !cminus::verifyLoweredProgram(*Prog, Diags))
+      return Prog;
+  }
+  Ok = true;
+  return Prog;
+}
+
+Session::FrontEndOutcome Session::frontEnd(const std::string &Source) {
+  FrontEndOutcome Out;
+  if (!loadQualifiers()) {
+    publishDiagMetrics();
+    return Out;
+  }
+  Out.Program = frontEnd(Source, Out.Ok);
+  publishDiagMetrics();
+  return Out;
+}
+
+Session::CheckOutcome Session::check(const std::string &Source) {
+  CheckOutcome Out;
+  if (!loadQualifiers()) {
+    publishDiagMetrics();
+    return Out;
+  }
+  Out.Program = frontEnd(Source, Out.FrontEndOk);
+  if (Out.FrontEndOk) {
+    stats::ScopedTimer Timer(&Metrics, "phase.qualcheck_seconds");
+    Out.Result = checker::checkProgramParallel(
+        *Out.Program, Quals, Diags, Opts.Checker, Opts.Jobs, &Out.Pipeline);
+  }
+  publishCheckMetrics(Out);
+  publishDiagMetrics();
+  return Out;
+}
+
+std::vector<soundness::SoundnessReport> Session::prove() {
+  if (!loadQualifiers()) {
+    publishDiagMetrics();
+    return {};
+  }
+  unsigned Jobs = Opts.Jobs;
+  if (Opts.WarmProverCache) {
+    // A silent first pass: every obligation lands in the cache, so the
+    // reported pass below replays entirely from it.
+    soundness::SoundnessChecker Warm(Quals, Opts.Prover, nullptr, &Cache,
+                                     &Metrics);
+    Warm.checkAll(Jobs);
+  }
+  std::vector<soundness::SoundnessReport> Reports;
+  {
+    stats::ScopedTimer Timer(&Metrics, "phase.prove_seconds");
+    soundness::SoundnessChecker SC(Quals, Opts.Prover, nullptr, &Cache,
+                                   &Metrics);
+    Reports = SC.checkAll(Jobs);
+  }
+  publishProveMetrics(Reports);
+  publishDiagMetrics();
+  return Reports;
+}
+
+soundness::SoundnessReport Session::proveQualifier(const std::string &Name) {
+  if (!loadQualifiers()) {
+    publishDiagMetrics();
+    return {};
+  }
+  soundness::SoundnessReport Report;
+  {
+    stats::ScopedTimer Timer(&Metrics, "phase.prove_seconds");
+    soundness::SoundnessChecker SC(Quals, Opts.Prover, nullptr, &Cache,
+                                   &Metrics);
+    Report = SC.checkQualifier(Name, Opts.Jobs);
+  }
+  publishProveMetrics({Report});
+  publishDiagMetrics();
+  return Report;
+}
+
+Session::RunOutcome Session::run(const std::string &Source) {
+  RunOutcome Out;
+  Out.Check = check(Source);
+  if (!Out.Check.FrontEndOk || Diags.hasErrors()) {
+    Out.Run.Status = interp::RunStatus::SetupError;
+    Out.Run.TrapMessage = "front-end errors";
+    return Out;
+  }
+  {
+    stats::ScopedTimer Timer(&Metrics, "phase.execute_seconds");
+    Out.Run = interp::runProgram(*Out.Check.Program, Quals,
+                                 Out.Check.Result.RuntimeChecks, Opts.Interp);
+  }
+  publishRunMetrics(Out.Run);
+  return Out;
+}
+
+Session::InferOutcome Session::infer(const std::string &Source) {
+  InferOutcome Out;
+  if (!loadQualifiers()) {
+    publishDiagMetrics();
+    return Out;
+  }
+  Out.Program = frontEnd(Source, Out.FrontEndOk);
+  if (Out.FrontEndOk) {
+    stats::ScopedTimer Timer(&Metrics, "phase.infer_seconds");
+    Out.Result = checker::inferQualifiers(*Out.Program, Quals);
+  }
+  if (Out.FrontEndOk) {
+    Metrics.set("infer.annotations", Out.Result.totalInferred());
+    Metrics.set("infer.variables", Out.Result.Inferred.size());
+    Metrics.set("infer.iterations", Out.Result.Iterations);
+  }
+  publishDiagMetrics();
+  return Out;
+}
+
+void Session::publishCheckMetrics(const CheckOutcome &Out) {
+  if (!Out.FrontEndOk)
+    return;
+  const checker::CheckerStats &S = Out.Result.Stats;
+  Metrics.set("check.units", Out.Pipeline.Units);
+  Metrics.set("check.qual_errors", Out.Result.QualErrors);
+  Metrics.set("check.deref_sites", S.DerefSites);
+  Metrics.set("check.restrict_checks", S.RestrictChecks);
+  Metrics.set("check.restrict_failures", S.RestrictFailures);
+  Metrics.set("check.assign_checks", S.AssignChecks);
+  Metrics.set("check.assign_failures", S.AssignFailures);
+  Metrics.set("check.ref_assign_checks", S.RefAssignChecks);
+  Metrics.set("check.ref_assign_failures", S.RefAssignFailures);
+  Metrics.set("check.disallow_failures", S.DisallowFailures);
+  Metrics.set("check.casts_to_value_qualified", S.CastsToValueQualified);
+  Metrics.set("check.casts_to_ref_qualified", S.CastsToRefQualified);
+  Metrics.set("check.elided_cast_checks", S.ElidedCastChecks);
+  Metrics.set("check.format_string_checks", S.FormatStringChecks);
+  Metrics.set("check.runtime_checks", Out.Result.RuntimeChecks.size());
+  // Scheduling-dependent counters (see docs/OBSERVABILITY.md): the
+  // hasQualifier memo is per checker instance, and pool accounting
+  // depends on the job count by definition.
+  Metrics.set("check.memo.has_qual_queries", S.HasQualQueries);
+  Metrics.set("check.memo.hits", S.MemoHits);
+  Metrics.set("pool.jobs", Out.Pipeline.Jobs);
+  Metrics.set("pool.executed", Out.Pipeline.Executed);
+  Metrics.set("pool.steals", Out.Pipeline.Steals);
+}
+
+void Session::publishProveMetrics(
+    const std::vector<soundness::SoundnessReport> &Reports) {
+  uint64_t Sound = 0, Unsound = 0, Flow = 0;
+  for (const soundness::SoundnessReport &R : Reports) {
+    if (R.IsFlowQualifier)
+      ++Flow;
+    else if (R.sound())
+      ++Sound;
+    else
+      ++Unsound;
+  }
+  Metrics.set("prove.qualifiers", Reports.size());
+  Metrics.set("prove.qualifiers_sound", Sound);
+  Metrics.set("prove.qualifiers_unsound", Unsound);
+  Metrics.set("prove.qualifiers_flow", Flow);
+  publishCacheMetrics();
+}
+
+void Session::publishRunMetrics(const interp::RunResult &R) {
+  Metrics.set("interp.steps", R.Steps);
+  Metrics.set("interp.checks_executed", R.ChecksExecuted);
+  Metrics.set("interp.check_failures", R.CheckFailures.size());
+  Metrics.set("interp.format_violations", R.FormatViolations.size());
+}
+
+void Session::publishCacheMetrics() {
+  prover::CacheStats CS = Cache.stats();
+  Metrics.set("prover.cache.lookups", CS.Lookups);
+  Metrics.set("prover.cache.hits", CS.Hits);
+  Metrics.set("prover.cache.misses", CS.Misses);
+  Metrics.set("prover.cache.insertions", CS.Insertions);
+  Metrics.set("prover.cache.entries", CS.Entries);
+  Metrics.set("prover.cache.contended", CS.Contended);
+  Metrics.setGauge("prover.cache.hit_rate", CS.hitRate());
+  Metrics.setGauge("prover.cache.seconds_saved", CS.SecondsSaved);
+}
+
+void Session::publishDiagMetrics() {
+  Metrics.set("diag.errors", Diags.errorCount());
+  Metrics.set("diag.warnings", Diags.warningCount());
+  Metrics.set("diag.total", Diags.diagnostics().size());
+}
+
+void Session::emitMetrics(std::ostream &OS, metrics::Format Format) {
+  publishDiagMetrics();
+  std::unique_ptr<metrics::MetricsEmitter> Emitter =
+      metrics::MetricsEmitter::create(Format);
+  Emitter->emit(Metrics.snapshot(), OS);
+}

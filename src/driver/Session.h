@@ -1,0 +1,181 @@
+//===- Session.h - The stq pipeline driver facade ---------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `stq::Session` is the one public entry point over the whole pipeline:
+/// qualifier loading (builtins, DSL files, inline DSL sources), the
+/// C-minus front end (parse, sema, lower, verify), the extensible
+/// typechecker (optionally sharded over a work-stealing pool), the
+/// automated soundness checker backed by the memoized prover cache, the
+/// instrumented interpreter, and qualifier inference.
+///
+/// A Session owns the objects every driver used to wire by hand - the
+/// DiagnosticEngine, the QualifierSet, the ProverCache - plus a
+/// stats::Registry that every stage publishes into (see
+/// docs/OBSERVABILITY.md for the counter names). `stqc`, the examples,
+/// and the benchmarks are all thin layers over this class.
+///
+/// Typical use:
+///
+///   stq::SessionOptions Opts;
+///   Opts.Builtins = {"nonnull"};
+///   stq::Session S(Opts);
+///   auto Out = S.check(Source);
+///   if (Out.FrontEndOk && Out.Result.ok()) { ... }
+///   S.emitMetrics(std::cout, stq::metrics::Format::Text);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_DRIVER_SESSION_H
+#define STQ_DRIVER_SESSION_H
+
+#include "checker/Checker.h"
+#include "checker/Inference.h"
+#include "checker/Parallel.h"
+#include "interp/Interp.h"
+#include "prover/Prover.h"
+#include "prover/ProverCache.h"
+#include "qual/QualAST.h"
+#include "soundness/Soundness.h"
+#include "support/Diagnostics.h"
+#include "support/MetricsEmitter.h"
+#include "support/Stats.h"
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stq {
+
+/// Reads \p Path into \p Out; on failure returns false and sets \p Error.
+bool readFileToString(const std::string &Path, std::string &Out,
+                      std::string &Error);
+
+/// Everything that configures a Session, with the defaults every driver
+/// used before the facade existed.
+struct SessionOptions {
+  /// Builtin qualifiers to load (see qual::builtinQualifierNames()).
+  std::vector<std::string> Builtins;
+  /// Paths of qualifier-DSL files to load.
+  std::vector<std::string> QualFiles;
+  /// Inline qualifier-DSL sources to load (after builtins and files).
+  std::vector<std::string> QualSources;
+  /// When no builtins, files, or sources are requested, load every
+  /// builtin (the historical `stqc` default).
+  bool ImplicitAllBuiltins = true;
+
+  checker::CheckerOptions Checker;
+  interp::InterpOptions Interp;
+  prover::ProverOptions Prover;
+
+  /// Worker threads for check() and prove(); <= 1 is the sequential
+  /// baseline (byte-identical diagnostics for any value).
+  unsigned Jobs = 1;
+  /// prove(): run a silent first pass so the reported pass replays
+  /// entirely from the prover cache.
+  bool WarmProverCache = false;
+};
+
+/// The pipeline driver. Not thread-safe: one Session per thread (the
+/// parallelism lives *inside* check() and prove()).
+class Session {
+public:
+  explicit Session(SessionOptions Options = {});
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Loads the configured qualifiers (idempotent; later calls return the
+  /// first outcome). All entry points below call this themselves.
+  bool loadQualifiers();
+
+  /// Result of check(): the front end's program (when it got that far)
+  /// plus the typechecker's verdict and pipeline counters.
+  struct CheckOutcome {
+    /// False when parse/sema/lower/verify failed; Result is then empty.
+    bool FrontEndOk = false;
+    checker::CheckResult Result;
+    checker::ParallelStats Pipeline;
+    std::unique_ptr<cminus::Program> Program;
+  };
+  /// Front end + extensible typechecker over `Jobs` workers.
+  CheckOutcome check(const std::string &Source);
+
+  /// Result of frontEnd().
+  struct FrontEndOutcome {
+    bool Ok = false;
+    std::unique_ptr<cminus::Program> Program;
+  };
+  /// Just the front end (parse, sema, lower, verify) — for tools and
+  /// benchmarks that drive the checker themselves.
+  FrontEndOutcome frontEnd(const std::string &Source);
+
+  /// Soundness-checks every loaded qualifier (obligations fan out over
+  /// `Jobs` workers, memoized in the session's prover cache).
+  std::vector<soundness::SoundnessReport> prove();
+  /// Soundness-checks one qualifier by name.
+  soundness::SoundnessReport proveQualifier(const std::string &Name);
+
+  /// Result of run(): the checking stage's outcome plus the execution.
+  struct RunOutcome {
+    CheckOutcome Check;
+    interp::RunResult Run;
+  };
+  /// Front end + typechecker + instrumented execution. Qualifier warnings
+  /// do not block execution (as in the paper); front-end errors yield
+  /// RunStatus::SetupError.
+  RunOutcome run(const std::string &Source);
+
+  /// Result of infer().
+  struct InferOutcome {
+    bool FrontEndOk = false;
+    checker::InferenceOutcome Result;
+    std::unique_ptr<cminus::Program> Program;
+  };
+  /// Front end + value-qualifier inference (section 8 future work).
+  InferOutcome infer(const std::string &Source);
+
+  /// The loaded qualifier set (empty before loadQualifiers()).
+  const qual::QualifierSet &qualifiers() const { return Quals; }
+  /// Every diagnostic reported so far, across all calls.
+  DiagnosticEngine &diags() { return Diags; }
+  const DiagnosticEngine &diags() const { return Diags; }
+  /// The session-lifetime memoized prover cache.
+  prover::ProverCache &proverCache() { return Cache; }
+  /// The metrics registry every stage publishes into.
+  stats::Registry &metrics() { return Metrics; }
+  const SessionOptions &options() const { return Opts; }
+
+  /// Emits a snapshot of the session's metrics (after publishing derived
+  /// gauges such as the prover-cache hit rate).
+  void emitMetrics(std::ostream &OS, metrics::Format Format);
+
+private:
+  /// parse + sema + lower + verify, recording phase.*_seconds.
+  std::unique_ptr<cminus::Program> frontEnd(const std::string &Source,
+                                            bool &Ok);
+  void publishCheckMetrics(const CheckOutcome &Out);
+  void publishProveMetrics(const std::vector<soundness::SoundnessReport> &);
+  void publishRunMetrics(const interp::RunResult &R);
+  void publishCacheMetrics();
+  void publishDiagMetrics();
+
+  SessionOptions Opts;
+  DiagnosticEngine Diags;
+  qual::QualifierSet Quals;
+  prover::ProverCache Cache;
+  stats::Registry Metrics;
+
+  enum class LoadState { NotLoaded, Ok, Failed };
+  LoadState Loaded = LoadState::NotLoaded;
+};
+
+} // namespace stq
+
+#endif // STQ_DRIVER_SESSION_H

@@ -4,6 +4,7 @@
 
 #include "cminus/Lowering.h"
 #include "cminus/Printer.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <map>
@@ -828,6 +829,7 @@ RunResult stq::interp::runProgram(
     const Program &Prog, const qual::QualifierSet &Quals,
     const std::vector<checker::RuntimeCastCheck> &Checks,
     InterpOptions Options) {
+  trace::Span Span("execute");
   Interpreter I(Prog, Quals, Checks, Options);
   return I.run();
 }

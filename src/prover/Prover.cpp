@@ -3,6 +3,7 @@
 #include "prover/Prover.h"
 
 #include "prover/Theory.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -546,6 +547,7 @@ void Prover::addArithmeticSignAxioms() {
 }
 
 ProofResult Prover::prove(FormulaPtr Goal) {
+  trace::Span Span("prover");
   auto Start = std::chrono::steady_clock::now();
   addClauses(toClauses(Goal, /*Positive=*/false));
 

@@ -53,6 +53,19 @@ enum class ProofResult {
   ResourceOut, ///< Budget exhausted.
 };
 
+/// Stable lowercase name, used in trace details and JSON metrics.
+inline const char *resultName(ProofResult R) {
+  switch (R) {
+  case ProofResult::Proved:
+    return "proved";
+  case ProofResult::Unknown:
+    return "unknown";
+  case ProofResult::ResourceOut:
+    return "resource-out";
+  }
+  return "unknown";
+}
+
 /// One formula fed into a session (axiom or hypothesis), recorded in
 /// insertion order so the memoized prover cache (ProverCache.h) can key the
 /// whole proof task canonically.

@@ -2,6 +2,8 @@
 
 #include "prover/ProverCache.h"
 
+#include "support/Trace.h"
+
 using namespace stq::prover;
 
 //===----------------------------------------------------------------------===//
@@ -237,14 +239,23 @@ std::string stq::prover::canonicalTaskKey(
 std::optional<CachedAnswer> ProverCache::lookup(const std::string &Key) {
   Shard &S = shardFor(Key);
   std::optional<CachedAnswer> Out;
+  bool Contention = false;
   {
-    std::lock_guard<std::mutex> Lock(S.M);
+    std::unique_lock<std::mutex> Lock(S.M, std::try_to_lock);
+    if (!Lock.owns_lock()) {
+      Contention = true;
+      Lock.lock();
+    }
     auto Found = S.Map.find(Key);
     if (Found != S.Map.end())
       Out = Found->second;
   }
+  if (trace::Tracer::enabled())
+    trace::instant(Out ? "prover.cache.hit" : "prover.cache.miss");
   std::lock_guard<std::mutex> Lock(StatsM);
   ++Stats.Lookups;
+  if (Contention)
+    ++Stats.Contended;
   if (Out) {
     ++Stats.Hits;
     Stats.SecondsSaved += Out->Stats.Seconds;
@@ -258,12 +269,19 @@ void ProverCache::insert(const std::string &Key, ProofResult Result,
                          const ProverStats &ProveStats) {
   Shard &S = shardFor(Key);
   bool Fresh;
+  bool Contention = false;
   {
-    std::lock_guard<std::mutex> Lock(S.M);
+    std::unique_lock<std::mutex> Lock(S.M, std::try_to_lock);
+    if (!Lock.owns_lock()) {
+      Contention = true;
+      Lock.lock();
+    }
     Fresh = S.Map.emplace(Key, CachedAnswer{Result, ProveStats}).second;
   }
   std::lock_guard<std::mutex> Lock(StatsM);
   ++Stats.Insertions;
+  if (Contention)
+    ++Stats.Contended;
   if (Fresh)
     ++Stats.Entries;
 }

@@ -80,14 +80,18 @@ struct CachedAnswer {
   ProverStats Stats;
 };
 
-/// Counters for `stqc --stats` and the scaling benchmark. Hits + Misses ==
-/// Lookups.
+/// Counters for `stqc --metrics` and the scaling benchmark. Hits + Misses
+/// == Lookups.
 struct CacheStats {
   uint64_t Lookups = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Insertions = 0;
   uint64_t Entries = 0;
+  /// Probes that found their shard mutex already held and had to block.
+  /// A measure of shard contention under the parallel pipeline; always 0
+  /// with one job.
+  uint64_t Contended = 0;
   /// Sum of the original solve times of every hit: prover latency the
   /// cache avoided.
   double SecondsSaved = 0.0;

@@ -4,8 +4,10 @@
 
 #include "soundness/Axioms.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cassert>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <sstream>
@@ -347,7 +349,10 @@ TermId ObligationBuilder::freshAllocation(TermId PreStore) {
 void SoundnessChecker::dischargeGoal(Prover &P, FormulaPtr Goal,
                                      Obligation &O) const {
   if (Cache) {
-    O.CacheKey = prover::canonicalTaskKey(P.arena(), P.inputs(), Goal);
+    {
+      stats::ScopedTimer Canon(Metrics, "prover.canon_seconds");
+      O.CacheKey = prover::canonicalTaskKey(P.arena(), P.inputs(), Goal);
+    }
     if (auto Hit = Cache->lookup(O.CacheKey)) {
       O.Result = Hit->Result;
       O.Stats = Hit->Stats;
@@ -592,6 +597,29 @@ SoundnessChecker::dischargePreservationCase(const QualifierDef &Q,
 // Entry points
 //===----------------------------------------------------------------------===//
 
+Obligation SoundnessChecker::runObligation(
+    const std::function<Obligation()> &Task) const {
+  trace::Span Span("obligation");
+  auto Start = std::chrono::steady_clock::now();
+  Obligation O = Task();
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  if (Span.active())
+    Span.detail(O.Qual + " " + O.Kind + ": " + O.Description + " -> " +
+                prover::resultName(O.Result));
+  if (Metrics) {
+    Metrics->add("prove.obligations", 1);
+    Metrics->add(O.proved() ? "prove.obligations_proved"
+                            : "prove.obligations_failed",
+                 1);
+    if (O.FromCache)
+      Metrics->add("prove.obligations_from_cache", 1);
+    Metrics->record("prove.obligation_seconds", Seconds);
+  }
+  return O;
+}
+
 std::vector<std::function<Obligation()>>
 SoundnessChecker::obligationTasks(const QualifierDef &Q) const {
   // Each closure owns an independent prover session, so the pool may run
@@ -650,10 +678,13 @@ SoundnessReport SoundnessChecker::checkQualifier(const std::string &Name,
     return Report;
   }
 
+  trace::Span Span("obligations", trace::Tracer::enabled()
+                                      ? Name
+                                      : std::string());
   auto Tasks = obligationTasks(*Q);
   Report.Obligations.resize(Tasks.size());
   parallelFor(Jobs, Tasks.size(), [&](size_t I) {
-    Report.Obligations[I] = Tasks[I]();
+    Report.Obligations[I] = runObligation(Tasks[I]);
   });
   finalizeReport(Report);
   return Report;
@@ -663,6 +694,7 @@ std::vector<SoundnessReport> SoundnessChecker::checkAll(unsigned Jobs) {
   // Flatten every qualifier's obligations into one task list so the pool
   // balances across qualifiers (reference qualifiers dominate; value
   // qualifiers finish in milliseconds).
+  trace::Span Span("obligations");
   std::vector<SoundnessReport> Out(Set.all().size());
   std::vector<std::function<Obligation()>> Tasks;
   std::vector<std::pair<size_t, size_t>> Slots; // (report, obligation) index
@@ -681,7 +713,8 @@ std::vector<SoundnessReport> SoundnessChecker::checkAll(unsigned Jobs) {
     }
   }
   parallelFor(Jobs, Tasks.size(), [&](size_t I) {
-    Out[Slots[I].first].Obligations[Slots[I].second] = Tasks[I]();
+    Out[Slots[I].first].Obligations[Slots[I].second] =
+        runObligation(Tasks[I]);
   });
   for (SoundnessReport &R : Out)
     finalizeReport(R);

@@ -35,6 +35,7 @@
 #include "prover/ProverCache.h"
 #include "qual/QualAST.h"
 #include "support/Diagnostics.h"
+#include "support/Stats.h"
 
 #include <functional>
 #include <string>
@@ -88,11 +89,16 @@ struct SoundnessReport {
 /// "soundness") when one is supplied.
 class SoundnessChecker {
 public:
+  /// \p Metrics, when given, receives per-obligation counters and timing
+  /// histograms (`prove.*`, `prover.canon_seconds`); see
+  /// docs/OBSERVABILITY.md for the names.
   SoundnessChecker(const qual::QualifierSet &Set,
                    prover::ProverOptions Options = {},
                    DiagnosticEngine *Diags = nullptr,
-                   prover::ProverCache *Cache = nullptr)
-      : Set(Set), Options(Options), Diags(Diags), Cache(Cache) {}
+                   prover::ProverCache *Cache = nullptr,
+                   stats::Registry *Metrics = nullptr)
+      : Set(Set), Options(Options), Diags(Diags), Cache(Cache),
+        Metrics(Metrics) {}
 
   /// Checks one qualifier by name, discharging its obligations across
   /// \p Jobs worker threads (every obligation is an independent prover
@@ -124,10 +130,15 @@ private:
   void dischargeGoal(prover::Prover &P, prover::FormulaPtr Goal,
                      Obligation &O) const;
 
+  /// Wraps \p Task with the per-obligation trace span, wall-time
+  /// histogram, and verdict counters.
+  Obligation runObligation(const std::function<Obligation()> &Task) const;
+
   const qual::QualifierSet &Set;
   prover::ProverOptions Options;
   DiagnosticEngine *Diags;
   prover::ProverCache *Cache;
+  stats::Registry *Metrics;
 };
 
 /// Renders a human-readable summary of \p Reports.

@@ -2,11 +2,13 @@
 
 #include "support/Diagnostics.h"
 
+#include "support/MetricsEmitter.h"
+
 #include <ostream>
 
 using namespace stq;
 
-static const char *severityName(DiagSeverity S) {
+const char *stq::severityName(DiagSeverity S) {
   switch (S) {
   case DiagSeverity::Note:
     return "note";
@@ -16,6 +18,37 @@ static const char *severityName(DiagSeverity S) {
     return "error";
   }
   return "unknown";
+}
+
+DiagnosticConsumer::~DiagnosticConsumer() = default;
+
+void TextDiagnosticConsumer::handleDiagnostic(const Diagnostic &D) {
+  if (!PhaseFilter.empty() && D.Phase != PhaseFilter)
+    return;
+  OS << D.str() << "\n";
+}
+
+void JsonDiagnosticConsumer::handleDiagnostic(const Diagnostic &D) {
+  Pending.push_back(D);
+}
+
+void JsonDiagnosticConsumer::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  OS << "{\n  \"schema\": \"stq-diagnostics-v1\",\n  \"diagnostics\": [";
+  bool First = true;
+  for (const Diagnostic &D : Pending) {
+    OS << (First ? "\n" : ",\n");
+    First = false;
+    OS << "    {\"severity\": \"" << severityName(D.Severity)
+       << "\", \"phase\": \"" << metrics::jsonEscape(D.Phase) << "\", ";
+    if (D.Loc.isValid())
+      OS << "\"line\": " << D.Loc.Line << ", \"col\": " << D.Loc.Col << ", ";
+    OS << "\"message\": \"" << metrics::jsonEscape(D.Message) << "\"}";
+  }
+  OS << (First ? "]\n" : "\n  ]\n") << "}\n";
+  Pending.clear();
 }
 
 std::string Diagnostic::str() const {
@@ -42,6 +75,8 @@ void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
   else if (Severity == DiagSeverity::Warning)
     ++NumWarnings;
   Diags.push_back({Severity, Loc, std::move(Phase), std::move(Message)});
+  if (Consumer)
+    Consumer->handleDiagnostic(Diags.back());
 }
 
 unsigned DiagnosticEngine::countInPhase(const std::string &Phase) const {

@@ -36,12 +36,60 @@ struct Diagnostic {
   std::string str() const;
 };
 
+const char *severityName(DiagSeverity S);
+
+/// Receives diagnostics as they are reported, so drivers render them
+/// without iterating the raw diagnostics() vector after the fact. Attach
+/// with DiagnosticEngine::setConsumer; handleDiagnostic is called in report
+/// order, finish() once when the producing pipeline completes (required for
+/// the JSON consumer to close its document).
+class DiagnosticConsumer {
+public:
+  virtual ~DiagnosticConsumer();
+  virtual void handleDiagnostic(const Diagnostic &D) = 0;
+  virtual void finish() {}
+};
+
+/// Streams each diagnostic as Diagnostic::str() plus a newline —
+/// byte-for-byte the historical `stqc` stderr output. An optional phase
+/// filter keeps only matching diagnostics (e.g. "qualcheck").
+class TextDiagnosticConsumer : public DiagnosticConsumer {
+public:
+  explicit TextDiagnosticConsumer(std::ostream &OS, std::string PhaseFilter = {})
+      : OS(OS), PhaseFilter(std::move(PhaseFilter)) {}
+  void handleDiagnostic(const Diagnostic &D) override;
+
+private:
+  std::ostream &OS;
+  std::string PhaseFilter;
+};
+
+/// Collects diagnostics and emits one "stq-diagnostics-v1" JSON document on
+/// finish() (schema in docs/OBSERVABILITY.md).
+class JsonDiagnosticConsumer : public DiagnosticConsumer {
+public:
+  explicit JsonDiagnosticConsumer(std::ostream &OS) : OS(OS) {}
+  void handleDiagnostic(const Diagnostic &D) override;
+  void finish() override;
+
+private:
+  std::ostream &OS;
+  std::vector<Diagnostic> Pending;
+  bool Finished = false;
+};
+
 /// Collects diagnostics across phases. Not thread-safe; one engine per
 /// compilation.
 class DiagnosticEngine {
 public:
   void report(DiagSeverity Severity, SourceLoc Loc, std::string Phase,
               std::string Message);
+
+  /// Forwards every subsequent report to \p C (also still collected in the
+  /// diagnostics() vector). Pass nullptr to detach. The engine does not own
+  /// the consumer and never calls finish() itself.
+  void setConsumer(DiagnosticConsumer *C) { Consumer = C; }
+  DiagnosticConsumer *consumer() const { return Consumer; }
 
   void error(SourceLoc Loc, std::string Phase, std::string Message) {
     report(DiagSeverity::Error, Loc, std::move(Phase), std::move(Message));
@@ -70,6 +118,7 @@ public:
 
 private:
   std::vector<Diagnostic> Diags;
+  DiagnosticConsumer *Consumer = nullptr;
   unsigned NumErrors = 0;
   unsigned NumWarnings = 0;
 };

@@ -1,0 +1,78 @@
+//===- MetricsEmitter.h - Text and JSON metrics backends --------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering backends for the observability layer: a Registry snapshot
+/// (Stats.h) becomes either a human-readable text block (`stqc --metrics`)
+/// or a machine-readable JSON document (`--metrics=json`, schema
+/// "stq-metrics-v1"; see docs/OBSERVABILITY.md), and a trace buffer
+/// (Trace.h) becomes a Chrome trace-event JSON file (`--trace FILE`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SUPPORT_METRICSEMITTER_H
+#define STQ_SUPPORT_METRICSEMITTER_H
+
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stq::metrics {
+
+enum class Format { Text, Json };
+
+/// Parses a `--metrics` value ("text", "json"); nullopt on anything else.
+std::optional<Format> parseFormat(const std::string &Name);
+
+/// Renders one Registry snapshot to a stream.
+class MetricsEmitter {
+public:
+  virtual ~MetricsEmitter();
+  virtual void emit(const stats::Registry::Snapshot &S,
+                    std::ostream &OS) const = 0;
+
+  static std::unique_ptr<MetricsEmitter> create(Format F);
+};
+
+/// `name = value` lines grouped into counters / gauges / histograms.
+class TextMetricsEmitter : public MetricsEmitter {
+public:
+  void emit(const stats::Registry::Snapshot &S,
+            std::ostream &OS) const override;
+};
+
+/// The "stq-metrics-v1" JSON document. Output is deterministic for a given
+/// snapshot: keys are sorted, doubles rendered with fixed precision.
+class JsonMetricsEmitter : public MetricsEmitter {
+public:
+  void emit(const stats::Registry::Snapshot &S,
+            std::ostream &OS) const override;
+};
+
+/// Writes \p Events in the Chrome trace-event format (a JSON object with a
+/// "traceEvents" array of "X"/"i" phase records).
+void writeChromeTrace(const std::vector<trace::TraceEvent> &Events,
+                      std::ostream &OS);
+
+/// Counter-name prefixes whose totals legitimately vary with `--jobs N`
+/// (work-stealing schedule, per-shard memo locality). Every other counter
+/// must be identical for any job count; the determinism test compares
+/// snapshots with these prefixes erased.
+const std::vector<std::string> &schedulingDependentCounterPrefixes();
+
+/// JSON string escaping shared by the metrics, diagnostics, and trace
+/// backends.
+std::string jsonEscape(const std::string &S);
+
+} // namespace stq::metrics
+
+#endif // STQ_SUPPORT_METRICSEMITTER_H

@@ -1,0 +1,89 @@
+//===- Stats.cpp ----------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cmath>
+
+using namespace stq::stats;
+
+void Histogram::record(double V) {
+  // Bucket on the microsecond log2 scale; bucket 0 holds sub-microsecond
+  // (and non-positive) samples.
+  unsigned Bucket = 0;
+  double Us = V * 1e6;
+  if (Us >= 1.0) {
+    Bucket = static_cast<unsigned>(std::floor(std::log2(Us))) + 1;
+    if (Bucket >= NumBuckets)
+      Bucket = NumBuckets - 1;
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  if (Count == 0) {
+    Min = Max = V;
+  } else {
+    if (V < Min)
+      Min = V;
+    if (V > Max)
+      Max = V;
+  }
+  ++Count;
+  Sum += V;
+  ++Buckets[Bucket];
+}
+
+Histogram::Data Histogram::data() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Data D;
+  D.Count = Count;
+  D.Sum = Sum;
+  D.Min = Min;
+  D.Max = Max;
+  unsigned Last = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    if (Buckets[I] != 0)
+      Last = I + 1;
+  D.Buckets.assign(Buckets, Buckets + Last);
+  return D;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Snapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C->get();
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges[Name] = G->get();
+  for (const auto &[Name, H] : Histograms)
+    S.Histograms[Name] = H->data();
+  return S;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}

@@ -1,0 +1,168 @@
+//===- Stats.h - Thread-safe named counters and histograms ------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer (docs/OBSERVABILITY.md): a
+/// registry of named counters (monotonic integers), gauges (last-write
+/// doubles, for derived ratios like cache hit rates), and histograms
+/// (count/sum/min/max plus log2 microsecond buckets, for durations).
+///
+/// A Registry is thread-safe: name lookup takes a mutex, increments on the
+/// returned Counter are a single relaxed atomic add. Hot paths should look
+/// a Counter up once and keep the reference; entries are never invalidated
+/// for a Registry's lifetime. Phase durations are recorded by ScopedTimer;
+/// the pipeline entry points additionally open trace spans (Trace.h), so
+/// one run can feed both `--metrics` and `--trace`.
+///
+/// Naming scheme: dot-separated, lowercase, `<component>.<metric>`;
+/// duration histograms end in `_seconds`. Counters under the prefixes
+/// returned by schedulingDependentCounterPrefixes() (MetricsEmitter.h) are
+/// allowed to vary with the job count; everything else must be identical
+/// for any `--jobs N` (the determinism test enforces this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SUPPORT_STATS_H
+#define STQ_SUPPORT_STATS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stq::stats {
+
+/// A monotonically increasing counter. Increments are lock-free.
+class Counter {
+public:
+  void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t get() const { return Value.load(std::memory_order_relaxed); }
+  /// Overwrites the value (for publishing an externally accumulated total).
+  void set(uint64_t N) { Value.store(N, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A distribution summary: count/sum/min/max plus coarse log2 buckets.
+/// Bucket I counts samples with floor(log2(V * 1e6)) == I - 1 (bucket 0 is
+/// everything below one microsecond), so durations in seconds land in a
+/// readable microsecond-scaled histogram.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 40;
+
+  struct Data {
+    uint64_t Count = 0;
+    double Sum = 0.0;
+    double Min = 0.0;
+    double Max = 0.0;
+    std::vector<uint64_t> Buckets; ///< Trailing zero buckets trimmed.
+
+    double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  };
+
+  void record(double V);
+  Data data() const;
+
+private:
+  mutable std::mutex M;
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  uint64_t Buckets[NumBuckets] = {};
+};
+
+/// A last-write-wins double, for derived values (rates, ratios).
+class Gauge {
+public:
+  void set(double V) {
+    std::lock_guard<std::mutex> Lock(M);
+    Value = V;
+  }
+  double get() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Value;
+  }
+
+private:
+  mutable std::mutex M;
+  double Value = 0.0;
+};
+
+/// A named collection of counters, gauges, and histograms. Lookup creates
+/// on first use; returned references stay valid until clear() or
+/// destruction.
+class Registry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Convenience: counter(Name).add(N).
+  void add(const std::string &Name, uint64_t N) { counter(Name).add(N); }
+  /// Convenience: counter(Name).set(N).
+  void set(const std::string &Name, uint64_t N) { counter(Name).set(N); }
+  /// Convenience: gauge(Name).set(V).
+  void setGauge(const std::string &Name, double V) { gauge(Name).set(V); }
+  /// Convenience: histogram(Name).record(V).
+  void record(const std::string &Name, double V) { histogram(Name).record(V); }
+
+  /// A point-in-time copy, ordered by name (deterministic emission).
+  struct Snapshot {
+    std::map<std::string, uint64_t> Counters;
+    std::map<std::string, double> Gauges;
+    std::map<std::string, Histogram::Data> Histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Drops every entry (outstanding references become dangling; only call
+  /// between measurement runs).
+  void clear();
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+/// Records elapsed wall time, in seconds, into a histogram on destruction.
+/// A null registry makes the timer a no-op (instrumentation disabled).
+class ScopedTimer {
+public:
+  ScopedTimer(Registry *R, const char *Name)
+      : R(R), Name(Name), Start(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  /// Records now instead of at destruction; idempotent.
+  void stop() {
+    if (!R)
+      return;
+    R->record(Name, std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count());
+    R = nullptr;
+  }
+
+private:
+  Registry *R;
+  const char *Name;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace stq::stats
+
+#endif // STQ_SUPPORT_STATS_H

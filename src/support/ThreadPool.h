@@ -36,7 +36,7 @@ namespace stq {
 
 class ThreadPool {
 public:
-  /// Counters describing one pool's lifetime, for `stqc --stats` and the
+  /// Counters describing one pool's lifetime, for `stqc --metrics` and the
   /// scaling benchmark.
   struct PoolStats {
     uint64_t Executed = 0; ///< Tasks run to completion.

@@ -1,0 +1,125 @@
+//===- Trace.cpp ----------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <chrono>
+#include <mutex>
+
+using namespace stq::trace;
+
+std::atomic<bool> Tracer::EnabledFlag{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceState {
+  std::mutex M;
+  std::vector<TraceEvent> Events;
+  Clock::time_point Epoch = Clock::now();
+  uint32_t NextTid = 0;
+};
+
+TraceState &state() {
+  static TraceState S;
+  return S;
+}
+
+thread_local uint32_t CachedTid = ~0u;
+thread_local uint64_t CachedTidTrace = ~0ull;
+thread_local uint32_t SpanDepth = 0;
+
+/// Bumped on every start() so cached thread ids from a previous trace are
+/// re-assigned.
+std::atomic<uint64_t> TraceGeneration{0};
+
+} // namespace
+
+void Tracer::start() {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Events.clear();
+  S.Epoch = Clock::now();
+  S.NextTid = 0;
+  TraceGeneration.fetch_add(1, std::memory_order_relaxed);
+  EnabledFlag.store(true, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::stop() {
+  EnabledFlag.store(false, std::memory_order_release);
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  return std::move(S.Events);
+}
+
+void Tracer::record(TraceEvent E) {
+  if (!enabled())
+    return;
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Events.push_back(std::move(E));
+}
+
+uint64_t Tracer::nowUs() {
+  TraceState &S = state();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            S.Epoch)
+          .count());
+}
+
+uint32_t Tracer::threadId() {
+  uint64_t Gen = TraceGeneration.load(std::memory_order_relaxed);
+  if (CachedTidTrace != Gen) {
+    TraceState &S = state();
+    std::lock_guard<std::mutex> Lock(S.M);
+    CachedTid = S.NextTid++;
+    CachedTidTrace = Gen;
+  }
+  return CachedTid;
+}
+
+uint32_t Tracer::enterSpan() { return SpanDepth++; }
+
+void Tracer::exitSpan() {
+  if (SpanDepth > 0)
+    --SpanDepth;
+}
+
+void Span::begin(const char *Name) {
+  Name_ = Name;
+  StartUs_ = Tracer::nowUs();
+  Depth_ = Tracer::enterSpan();
+}
+
+void Span::end() {
+  uint64_t EndUs = Tracer::nowUs();
+  Tracer::exitSpan();
+  TraceEvent E;
+  E.Name = Name_;
+  E.Detail = std::move(Detail_);
+  E.K = TraceEvent::Kind::Span;
+  E.StartUs = StartUs_;
+  E.DurUs = EndUs - StartUs_;
+  E.Tid = Tracer::threadId();
+  E.Depth = Depth_;
+  Tracer::record(std::move(E));
+}
+
+void stq::trace::instant(const char *Name) {
+  if (!Tracer::enabled())
+    return;
+  instant(Name, std::string());
+}
+
+void stq::trace::instant(const char *Name, std::string Detail) {
+  if (!Tracer::enabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Detail = std::move(Detail);
+  E.K = TraceEvent::Kind::Instant;
+  E.StartUs = Tracer::nowUs();
+  E.Tid = Tracer::threadId();
+  Tracer::record(std::move(E));
+}

@@ -3,15 +3,14 @@
 // Part of the stq project: a reproduction of "Semantic Type Qualifiers"
 // (Chin, Markstrum, Millstein; PLDI 2005).
 //
-// A command-line driver over the whole pipeline:
+// A thin command-line layer over stq::Session (driver/Session.h):
 //
-//   stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N] [--stats]
-//               [--warm-cache]
+//   stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N] [--warm-cache]
 //       verify every loaded qualifier's type rules against its invariant;
 //       obligations fan out over N workers backed by the memoized prover
 //       cache (--warm-cache primes it with a silent first pass)
 //   stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]
-//               [--flow-sensitive] [--jobs N] [--stats]
+//               [--flow-sensitive] [--jobs N]
 //       run the extensible typechecker, sharded across N workers; exit
 //       nonzero on qualifier errors
 //   stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]
@@ -21,25 +20,24 @@
 //   stqc dump-builtin NAME
 //       print a builtin qualifier's definition in the qualifier DSL
 //
+// Every subcommand also accepts the observability options
+// (docs/OBSERVABILITY.md):
+//
+//   --metrics[=FORMAT]   print pipeline counters to stdout (text or json)
+//   --trace FILE         write a Chrome trace-event JSON file of the run
+//   --diagnostics FORMAT render diagnostics as text (default) or json
+//
 //===----------------------------------------------------------------------===//
 
-#include "checker/Checker.h"
-#include "checker/Inference.h"
-#include "checker/Parallel.h"
-#include "cminus/Lowering.h"
-#include "cminus/Parser.h"
-#include "cminus/Sema.h"
-#include "interp/Interp.h"
-#include "prover/ProverCache.h"
+#include "driver/OptionTable.h"
+#include "driver/Session.h"
 #include "qual/Builtins.h"
-#include "qual/QualParser.h"
-#include "soundness/Soundness.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -51,157 +49,152 @@ struct CliOptions {
   std::string Command;
   std::string File;
   std::string InlineSource;
-  std::vector<std::string> Builtins;
-  std::vector<std::string> QualFiles;
-  std::string Entry = "main";
-  bool FlowSensitive = false;
-  /// Worker threads for check/prove; 0 means "pick for me" (hardware
-  /// concurrency).
-  unsigned Jobs = 1;
-  bool Stats = false;
-  bool WarmCache = false;
   std::string DumpName;
+  SessionOptions Session;
+  bool Metrics = false;
+  metrics::Format MetricsFormat = metrics::Format::Text;
+  std::string TraceFile;
+  bool JsonDiagnostics = false;
+  bool ShowHelp = false;
 };
 
-void usage() {
+cli::OptionTable buildOptionTable(CliOptions &Options) {
+  cli::OptionTable Table;
+  Table.value("--builtins", "", "a,b,..",
+              "load the named builtin qualifiers",
+              [&](const std::string &V, std::string &) {
+                auto More = cli::splitCommas(V);
+                Options.Session.Builtins.insert(
+                    Options.Session.Builtins.end(), More.begin(), More.end());
+                return true;
+              });
+  Table.value("--qualfile", "", "F", "load a qualifier-DSL file",
+              [&](const std::string &V, std::string &) {
+                Options.Session.QualFiles.push_back(V);
+                return true;
+              });
+  Table.value("--entry", "", "NAME", "entry function for `run`",
+              [&](const std::string &V, std::string &) {
+                Options.Session.Interp.EntryPoint = V;
+                return true;
+              });
+  Table.value("-e", "", "SRC", "inline C-minus source",
+              [&](const std::string &V, std::string &) {
+                Options.InlineSource = V;
+                return true;
+              });
+  Table.flag("--flow-sensitive", "",
+             "enable flow-sensitive qualifier narrowing", [&] {
+               Options.Session.Checker.FlowSensitiveNarrowing = true;
+             });
+  Table.value("--jobs", "-j", "N",
+              "worker threads for check/prove (0 = hardware)",
+              [&](const std::string &V, std::string &Error) {
+                unsigned N = 0;
+                if (!cli::parseUnsigned(V, N)) {
+                  Error = "bad --jobs value '" + V + "'";
+                  return false;
+                }
+                Options.Session.Jobs = N == 0 ? ThreadPool::defaultJobs() : N;
+                return true;
+              });
+  Table.flag("--warm-cache", "",
+             "prove: prime the prover cache with a silent first pass",
+             [&] { Options.Session.WarmProverCache = true; });
+  Table.optionalValue("--metrics", "FORMAT",
+                      "print pipeline metrics (text or json)",
+                      [&](const std::string &V, std::string &Error) {
+                        auto F = metrics::parseFormat(V);
+                        if (!F) {
+                          Error = "bad --metrics format '" + V +
+                                  "' (expected text or json)";
+                          return false;
+                        }
+                        Options.Metrics = true;
+                        Options.MetricsFormat = *F;
+                        return true;
+                      });
+  Table.value("--trace", "", "FILE",
+              "write a Chrome trace-event JSON file",
+              [&](const std::string &V, std::string &) {
+                Options.TraceFile = V;
+                return true;
+              });
+  Table.value("--diagnostics", "", "FORMAT",
+              "diagnostic rendering (text or json)",
+              [&](const std::string &V, std::string &Error) {
+                if (V == "json") {
+                  Options.JsonDiagnostics = true;
+                } else if (V != "text") {
+                  Error = "bad --diagnostics format '" + V +
+                          "' (expected text or json)";
+                  return false;
+                }
+                return true;
+              });
+  Table.flag("--help", "-h", "show this help",
+             [&] { Options.ShowHelp = true; });
+  Table.positional([&](const std::string &Arg, std::string &Error) {
+    if (Options.Command == "dump-builtin" && Options.DumpName.empty()) {
+      Options.DumpName = Arg;
+      return true;
+    }
+    if (Options.File.empty()) {
+      Options.File = Arg;
+      return true;
+    }
+    Error = "unexpected argument '" + Arg + "'";
+    return false;
+  });
+  return Table;
+}
+
+void usage(const cli::OptionTable &Table) {
   std::printf(
       "usage:\n"
       "  stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N]"
-      " [--stats] [--warm-cache]\n"
+      " [--warm-cache]\n"
       "  stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]"
-      " [--flow-sensitive] [--jobs N] [--stats]\n"
+      " [--flow-sensitive] [--jobs N]\n"
       "  stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]\n"
       "  stqc infer  (FILE | -e SRC) [--builtins ..] [--qualfile F]\n"
       "  stqc dump-builtin NAME\n"
+      "options:\n%s"
       "builtin qualifiers: pos neg nonneg nonzero nonnull tainted"
-      " untainted unique unaliased\n");
+      " untainted unique unaliased\n",
+      Table.helpText().c_str());
 }
 
-std::vector<std::string> splitCommas(const std::string &S) {
-  std::vector<std::string> Out;
-  std::string Cur;
-  for (char C : S) {
-    if (C == ',') {
-      if (!Cur.empty())
-        Out.push_back(Cur);
-      Cur.clear();
-    } else {
-      Cur += C;
+/// Renders every collected diagnostic to stderr through the configured
+/// DiagnosticConsumer (text is byte-for-byte the historical output).
+void reportDiagnostics(Session &S, const CliOptions &Options) {
+  if (Options.JsonDiagnostics) {
+    JsonDiagnosticConsumer C(std::cerr);
+    for (const Diagnostic &D : S.diags().diagnostics())
+      C.handleDiagnostic(D);
+    C.finish();
+    return;
+  }
+  TextDiagnosticConsumer C(std::cerr);
+  for (const Diagnostic &D : S.diags().diagnostics())
+    C.handleDiagnostic(D);
+}
+
+/// Emits --metrics to stdout and --trace to its file, after the
+/// subcommand's own output.
+void emitObservability(Session &S, const CliOptions &Options) {
+  if (Options.Metrics)
+    S.emitMetrics(std::cout, Options.MetricsFormat);
+  if (!Options.TraceFile.empty()) {
+    std::vector<trace::TraceEvent> Events = trace::Tracer::stop();
+    std::ofstream OS(Options.TraceFile);
+    if (!OS) {
+      std::fprintf(stderr, "stqc: cannot write trace file '%s'\n",
+                   Options.TraceFile.c_str());
+      return;
     }
+    metrics::writeChromeTrace(Events, OS);
   }
-  if (!Cur.empty())
-    Out.push_back(Cur);
-  return Out;
-}
-
-bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
-  if (Argc < 2)
-    return false;
-  Options.Command = Argv[1];
-  for (int I = 2; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto Next = [&]() -> const char * {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "stqc: missing value for %s\n", Arg.c_str());
-        return nullptr;
-      }
-      return Argv[++I];
-    };
-    if (Arg == "--builtins") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      auto More = splitCommas(V);
-      Options.Builtins.insert(Options.Builtins.end(), More.begin(),
-                              More.end());
-    } else if (Arg == "--qualfile") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Options.QualFiles.push_back(V);
-    } else if (Arg == "--entry") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Options.Entry = V;
-    } else if (Arg == "-e") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Options.InlineSource = V;
-    } else if (Arg == "--flow-sensitive") {
-      Options.FlowSensitive = true;
-    } else if (Arg == "--jobs" || Arg == "-j") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      char *End = nullptr;
-      long N = std::strtol(V, &End, 10);
-      if (N < 0 || End == V || *End != '\0') {
-        std::fprintf(stderr, "stqc: bad --jobs value '%s'\n", V);
-        return false;
-      }
-      Options.Jobs = N == 0 ? ThreadPool::defaultJobs()
-                            : static_cast<unsigned>(N);
-    } else if (Arg == "--stats") {
-      Options.Stats = true;
-    } else if (Arg == "--warm-cache") {
-      Options.WarmCache = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      return false;
-    } else if (!Arg.empty() && Arg[0] != '-' && Options.Command ==
-               "dump-builtin" && Options.DumpName.empty()) {
-      Options.DumpName = Arg;
-    } else if (!Arg.empty() && Arg[0] != '-' && Options.File.empty()) {
-      Options.File = Arg;
-    } else {
-      std::fprintf(stderr, "stqc: unknown argument '%s'\n", Arg.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "stqc: cannot open '%s'\n", Path.c_str());
-    return false;
-  }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  Out = SS.str();
-  return true;
-}
-
-void printDiagnostics(const DiagnosticEngine &Diags) {
-  for (const Diagnostic &D : Diags.diagnostics())
-    std::fprintf(stderr, "%s\n", D.str().c_str());
-}
-
-/// Loads the requested builtins plus any qualifier-definition files.
-bool loadQualifiers(const CliOptions &Options, qual::QualifierSet &Set,
-                    DiagnosticEngine &Diags) {
-  std::vector<std::string> Builtins = Options.Builtins;
-  if (Builtins.empty() && Options.QualFiles.empty())
-    Builtins = qual::builtinQualifierNames();
-  for (const std::string &Name : Builtins) {
-    std::string Source = qual::builtinQualifierSource(Name);
-    if (Source.empty()) {
-      std::fprintf(stderr, "stqc: unknown builtin qualifier '%s'\n",
-                   Name.c_str());
-      return false;
-    }
-    if (!qual::parseQualifiers(Source, Set, Diags))
-      return false;
-  }
-  for (const std::string &Path : Options.QualFiles) {
-    std::string Source;
-    if (!readFile(Path, Source) ||
-        !qual::parseQualifiers(Source, Set, Diags))
-      return false;
-  }
-  return qual::checkWellFormed(Set, Diags);
 }
 
 bool getProgramSource(const CliOptions &Options, std::string &Out) {
@@ -213,38 +206,24 @@ bool getProgramSource(const CliOptions &Options, std::string &Out) {
     std::fprintf(stderr, "stqc: no input (pass FILE or -e SRC)\n");
     return false;
   }
-  return readFile(Options.File, Out);
-}
-
-void printCacheStats(const prover::CacheStats &CS) {
-  std::printf("prover cache: %llu lookups, %llu hits, %llu misses "
-              "(hit rate %.1f%%), %llu entries, %.3fs prover time saved\n",
-              static_cast<unsigned long long>(CS.Lookups),
-              static_cast<unsigned long long>(CS.Hits),
-              static_cast<unsigned long long>(CS.Misses),
-              100.0 * CS.hitRate(),
-              static_cast<unsigned long long>(CS.Entries), CS.SecondsSaved);
+  std::string Error;
+  if (!readFileToString(Options.File, Out, Error)) {
+    std::fprintf(stderr, "stqc: %s\n", Error.c_str());
+    return false;
+  }
+  return true;
 }
 
 int cmdProve(const CliOptions &Options) {
-  qual::QualifierSet Set;
-  DiagnosticEngine Diags;
-  if (!loadQualifiers(Options, Set, Diags)) {
-    printDiagnostics(Diags);
+  Session S(Options.Session);
+  if (!S.loadQualifiers()) {
+    reportDiagnostics(S, Options);
+    emitObservability(S, Options);
     return 2;
   }
-  prover::ProverCache Cache;
-  if (Options.WarmCache) {
-    // A silent first pass: every obligation lands in the cache, so the
-    // reported pass below replays entirely from it.
-    soundness::SoundnessChecker Warm(Set, {}, nullptr, &Cache);
-    Warm.checkAll(Options.Jobs);
-  }
-  soundness::SoundnessChecker SC(Set, {}, nullptr, &Cache);
-  auto Reports = SC.checkAll(Options.Jobs);
+  auto Reports = S.prove();
   std::printf("%s", soundness::formatReports(Reports).c_str());
-  if (Options.Stats)
-    printCacheStats(Cache.stats());
+  emitObservability(S, Options);
   for (const auto &R : Reports)
     if (!R.sound())
       return 1;
@@ -252,96 +231,77 @@ int cmdProve(const CliOptions &Options) {
 }
 
 int cmdCheck(const CliOptions &Options) {
-  qual::QualifierSet Set;
-  DiagnosticEngine Diags;
-  if (!loadQualifiers(Options, Set, Diags)) {
-    printDiagnostics(Diags);
-    return 2;
-  }
   std::string Source;
   if (!getProgramSource(Options, Source))
     return 2;
-  std::unique_ptr<cminus::Program> Prog;
-  checker::CheckerOptions CheckOptions;
-  CheckOptions.FlowSensitiveNarrowing = Options.FlowSensitive;
-  checker::ParallelStats PStats;
-  checker::CheckResult Result = checker::checkSourceParallel(
-      Source, Set, Diags, Prog, CheckOptions, Options.Jobs, &PStats);
-  printDiagnostics(Diags);
-  if (Diags.hasErrors())
+  Session S(Options.Session);
+  Session::CheckOutcome Out = S.check(Source);
+  reportDiagnostics(S, Options);
+  if (S.diags().hasErrors()) {
+    emitObservability(S, Options);
     return 2;
+  }
   std::printf("qualifier errors: %u (dereference sites %u, assignment "
               "checks %u, run-time checks %zu)\n",
-              Result.QualErrors, Result.Stats.DerefSites,
-              Result.Stats.AssignChecks, Result.RuntimeChecks.size());
-  if (Options.Stats)
-    std::printf("pipeline: %u units over %u jobs, %llu tasks executed, "
-                "%llu stolen; %u hasQualifier queries, %u memo hits\n",
-                PStats.Units, PStats.Jobs,
-                static_cast<unsigned long long>(PStats.Executed),
-                static_cast<unsigned long long>(PStats.Steals),
-                Result.Stats.HasQualQueries, Result.Stats.MemoHits);
-  return Result.ok() ? 0 : 1;
+              Out.Result.QualErrors, Out.Result.Stats.DerefSites,
+              Out.Result.Stats.AssignChecks, Out.Result.RuntimeChecks.size());
+  emitObservability(S, Options);
+  return Out.Result.ok() ? 0 : 1;
 }
 
 int cmdRun(const CliOptions &Options) {
-  qual::QualifierSet Set;
-  DiagnosticEngine Diags;
-  if (!loadQualifiers(Options, Set, Diags)) {
-    printDiagnostics(Diags);
-    return 2;
-  }
   std::string Source;
   if (!getProgramSource(Options, Source))
     return 2;
-  interp::InterpOptions RunOptions;
-  RunOptions.EntryPoint = Options.Entry;
-  interp::RunResult R = interp::runSource(Source, Set, Diags, RunOptions);
-  printDiagnostics(Diags);
+  Session S(Options.Session);
+  Session::RunOutcome Out = S.run(Source);
+  reportDiagnostics(S, Options);
+  const interp::RunResult &R = Out.Run;
   if (!R.Output.empty())
     std::printf("%s", R.Output.c_str());
+  int Code = 2;
   switch (R.Status) {
   case interp::RunStatus::Ok:
     std::printf("[exit %ld]\n", static_cast<long>(*R.ExitValue));
-    return static_cast<int>(*R.ExitValue & 0xff);
+    Code = static_cast<int>(*R.ExitValue & 0xff);
+    break;
   case interp::RunStatus::CheckFailure:
     for (const auto &F : R.CheckFailures)
       std::fprintf(stderr,
                    "fatal: run-time qualifier check failed at %s: value %s "
                    "does not satisfy '%s'\n",
                    F.Loc.str().c_str(), F.ValueStr.c_str(), F.Qual.c_str());
-    return 3;
+    Code = 3;
+    break;
   case interp::RunStatus::Trap:
     std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
-    return 4;
+    Code = 4;
+    break;
   case interp::RunStatus::FuelExhausted:
     std::fprintf(stderr, "error: step budget exhausted\n");
-    return 5;
+    Code = 5;
+    break;
   case interp::RunStatus::SetupError:
     std::fprintf(stderr, "error: %s\n", R.TrapMessage.c_str());
-    return 2;
+    Code = 2;
+    break;
   }
-  return 2;
+  emitObservability(S, Options);
+  return Code;
 }
 
 int cmdInfer(const CliOptions &Options) {
-  qual::QualifierSet Set;
-  DiagnosticEngine Diags;
-  if (!loadQualifiers(Options, Set, Diags)) {
-    printDiagnostics(Diags);
-    return 2;
-  }
   std::string Source;
   if (!getProgramSource(Options, Source))
     return 2;
-  auto Prog = cminus::parseProgram(Source, Set.names(), Diags);
-  if (Diags.hasErrors() || !cminus::runSema(*Prog, Set.refNames(), Diags) ||
-      !cminus::lowerProgram(*Prog, Diags)) {
-    printDiagnostics(Diags);
+  Session S(Options.Session);
+  Session::InferOutcome Out = S.infer(Source);
+  if (!Out.FrontEndOk || S.diags().hasErrors()) {
+    reportDiagnostics(S, Options);
+    emitObservability(S, Options);
     return 2;
   }
-  checker::InferenceOutcome Outcome = checker::inferQualifiers(*Prog, Set);
-  for (const auto &[Var, Quals] : Outcome.Inferred) {
+  for (const auto &[Var, Quals] : Out.Result.Inferred) {
     std::string List;
     for (const std::string &Q : Quals)
       List += (List.empty() ? "" : " ") + Q;
@@ -353,14 +313,15 @@ int cmdInfer(const CliOptions &Options) {
   }
   std::printf("inferred %u annotation(s) on %zu variable(s) in %u "
               "iteration(s)\n",
-              Outcome.totalInferred(), Outcome.Inferred.size(),
-              Outcome.Iterations);
+              Out.Result.totalInferred(), Out.Result.Inferred.size(),
+              Out.Result.Iterations);
+  emitObservability(S, Options);
   return 0;
 }
 
-int cmdDumpBuiltin(const CliOptions &Options) {
+int cmdDumpBuiltin(const CliOptions &Options, const cli::OptionTable &Table) {
   if (Options.DumpName.empty()) {
-    usage();
+    usage(Table);
     return 2;
   }
   std::string Source = qual::builtinQualifierSource(Options.DumpName);
@@ -377,10 +338,25 @@ int cmdDumpBuiltin(const CliOptions &Options) {
 
 int main(int Argc, char **Argv) {
   CliOptions Options;
-  if (!parseArgs(Argc, Argv, Options)) {
-    usage();
+  cli::OptionTable Table = buildOptionTable(Options);
+  if (Argc < 2) {
+    usage(Table);
     return 2;
   }
+  Options.Command = Argv[1];
+  std::vector<std::string> Args(Argv + 2, Argv + Argc);
+  std::string Error;
+  if (!Table.parse(Args, Error)) {
+    std::fprintf(stderr, "stqc: %s\n", Error.c_str());
+    usage(Table);
+    return 2;
+  }
+  if (Options.ShowHelp) {
+    usage(Table);
+    return 2;
+  }
+  if (!Options.TraceFile.empty())
+    trace::Tracer::start();
   if (Options.Command == "prove")
     return cmdProve(Options);
   if (Options.Command == "check")
@@ -390,7 +366,7 @@ int main(int Argc, char **Argv) {
   if (Options.Command == "infer")
     return cmdInfer(Options);
   if (Options.Command == "dump-builtin")
-    return cmdDumpBuiltin(Options);
-  usage();
+    return cmdDumpBuiltin(Options, Table);
+  usage(Table);
   return 2;
 }
