@@ -1,0 +1,251 @@
+//===- ProverBenchReport.h - BENCH_prover.json writer -----------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+// Shared by bench_prover and bench_soundness_times: runs the builtin
+// qualifier soundness suite under both search engines (the incremental
+// trail-based core and the copy-per-node reference core), checks that the
+// per-obligation verdicts are identical, measures the warm prover-cache
+// replay, and writes the machine-readable `stq-bench-prover-v1` report so
+// the perf trajectory is trackable across PRs.
+//
+// Environment:
+//   STQ_PROVER_BENCH_OUT       output path (default BENCH_prover.json)
+//   STQ_ENFORCE_TIMING_BOUNDS  non-zero: a blown bound, a verdict mismatch,
+//                              or a non-replaying warm pass is a failure
+//
+// Bounds follow section 4 of the paper at 10x slack: value qualifiers
+// under 1 s each (gate 10 s), reference qualifiers under 30 s each
+// (gate 300 s).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_BENCH_PROVERBENCHREPORT_H
+#define STQ_BENCH_PROVERBENCHREPORT_H
+
+#include "prover/ProverCache.h"
+#include "qual/Builtins.h"
+#include "soundness/Soundness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace stq::benchutil {
+
+struct ObligationEntry {
+  std::string Qual;
+  std::string Kind;
+  std::string Description;
+  bool IsRef = false;
+  double Seconds = 0.0;          ///< Incremental-engine prover time.
+  double ReferenceSeconds = 0.0; ///< Reference-engine prover time.
+  uint64_t Propagations = 0;
+  unsigned Instantiations = 0;
+  std::string Result;
+  bool VerdictMatch = true;
+};
+
+struct ProverBenchReport {
+  std::vector<ObligationEntry> Entries;
+  double IncrementalSeconds = 0.0;
+  double ReferenceSeconds = 0.0;
+  double ValueSeconds = 0.0; ///< Incremental time over value qualifiers.
+  double ValueBoundSeconds = 10.0;
+  double RefSeconds = 0.0; ///< Incremental time over reference qualifiers.
+  double RefBoundSeconds = 300.0;
+  bool VerdictsMatch = true;
+  double WarmHitRate = 0.0;
+  uint64_t WarmProverCalls = 0; ///< Cache misses on the warm replay: 0.
+  uint64_t PersistHits = 0;     ///< Hits served by the save/load roundtrip.
+
+  double speedup() const {
+    return IncrementalSeconds > 0.0 ? ReferenceSeconds / IncrementalSeconds
+                                    : 0.0;
+  }
+  bool withinBounds() const {
+    return VerdictsMatch && ValueSeconds <= ValueBoundSeconds &&
+           RefSeconds <= RefBoundSeconds && WarmProverCalls == 0;
+  }
+};
+
+inline std::string benchJsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+/// Runs the whole builtin suite once per engine (sequential, uncached, so
+/// the numbers are pure prover time) and once more against a persisted
+/// cache roundtrip.
+inline ProverBenchReport measureProverBench() {
+  ProverBenchReport Report;
+
+  qual::QualifierSet Set;
+  DiagnosticEngine Diags;
+  qual::loadAllBuiltinQualifiers(Set, Diags);
+
+  prover::ProverOptions Incremental;
+  Incremental.Engine = prover::EngineKind::Incremental;
+  prover::ProverOptions Reference;
+  Reference.Engine = prover::EngineKind::Reference;
+
+  soundness::SoundnessChecker IncChecker(Set, Incremental);
+  std::vector<soundness::SoundnessReport> Inc = IncChecker.checkAll(1);
+  soundness::SoundnessChecker RefChecker(Set, Reference);
+  std::vector<soundness::SoundnessReport> Ref = RefChecker.checkAll(1);
+
+  for (size_t QI = 0; QI < Inc.size(); ++QI) {
+    const soundness::SoundnessReport &IR = Inc[QI];
+    if (IR.IsFlowQualifier)
+      continue;
+    const qual::QualifierDef *Q = Set.find(IR.Qual);
+    bool IsRef = Q && Q->IsRef;
+    for (size_t OI = 0; OI < IR.Obligations.size(); ++OI) {
+      const soundness::Obligation &O = IR.Obligations[OI];
+      ObligationEntry E;
+      E.Qual = IR.Qual;
+      E.Kind = O.Kind;
+      E.Description = O.Description;
+      E.IsRef = IsRef;
+      E.Seconds = O.Stats.Seconds;
+      E.Propagations = O.Stats.Propagations;
+      E.Instantiations = O.Stats.Instantiations;
+      E.Result = prover::resultName(O.Result);
+      // checkAll's obligation order is deterministic, so the two engines'
+      // reports align index for index.
+      const soundness::Obligation &R = Ref[QI].Obligations[OI];
+      E.ReferenceSeconds = R.Stats.Seconds;
+      E.VerdictMatch = O.Result == R.Result;
+      Report.VerdictsMatch = Report.VerdictsMatch && E.VerdictMatch;
+      Report.IncrementalSeconds += E.Seconds;
+      Report.ReferenceSeconds += E.ReferenceSeconds;
+      (IsRef ? Report.RefSeconds : Report.ValueSeconds) += E.Seconds;
+      Report.Entries.push_back(std::move(E));
+    }
+  }
+
+  // The cross-run replay: prove once into a cache, persist it, load it
+  // into a fresh cache, and prove again. The warm pass must discharge
+  // every obligation without a single prover call.
+  {
+    prover::ProverCache Cold;
+    soundness::SoundnessChecker Prime(Set, Incremental, nullptr, &Cold,
+                                      nullptr);
+    Prime.checkAll(1);
+    std::string Path = "BENCH_prover.cache.tmp";
+    if (Cold.save(Path)) {
+      prover::ProverCache Warm;
+      Warm.load(Path);
+      soundness::SoundnessChecker Replay(Set, Incremental, nullptr, &Warm,
+                                         nullptr);
+      Replay.checkAll(1);
+      prover::CacheStats CS = Warm.stats();
+      Report.WarmHitRate = CS.hitRate();
+      Report.WarmProverCalls = CS.Misses;
+      Report.PersistHits = CS.PersistHits;
+      std::remove(Path.c_str());
+    } else {
+      Report.WarmProverCalls = ~uint64_t(0); // Could not measure: fail.
+    }
+  }
+
+  return Report;
+}
+
+inline bool writeProverBench(const ProverBenchReport &R,
+                             const std::string &Path) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  char Buf[64];
+  OS << "{\n  \"schema\": \"stq-bench-prover-v1\",\n  \"entries\": [\n";
+  for (size_t I = 0; I < R.Entries.size(); ++I) {
+    const ObligationEntry &E = R.Entries[I];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", E.Seconds);
+    OS << "    {\n"
+       << "      \"qual\": \"" << benchJsonEscape(E.Qual) << "\",\n"
+       << "      \"kind\": \"" << benchJsonEscape(E.Kind) << "\",\n"
+       << "      \"description\": \"" << benchJsonEscape(E.Description)
+       << "\",\n"
+       << "      \"family\": \"" << (E.IsRef ? "ref" : "value") << "\",\n"
+       << "      \"seconds\": " << Buf << ",\n";
+    std::snprintf(Buf, sizeof(Buf), "%.6f", E.ReferenceSeconds);
+    OS << "      \"reference_seconds\": " << Buf << ",\n"
+       << "      \"propagations\": " << E.Propagations << ",\n"
+       << "      \"instantiations\": " << E.Instantiations << ",\n"
+       << "      \"result\": \"" << E.Result << "\",\n"
+       << "      \"verdict_match\": " << (E.VerdictMatch ? "true" : "false")
+       << "\n    }" << (I + 1 < R.Entries.size() ? "," : "") << "\n";
+  }
+  std::snprintf(Buf, sizeof(Buf), "%.6f", R.IncrementalSeconds);
+  OS << "  ],\n  \"incremental_seconds\": " << Buf << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.6f", R.ReferenceSeconds);
+  OS << "  \"reference_seconds\": " << Buf << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.3f", R.speedup());
+  OS << "  \"speedup\": " << Buf << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.6f", R.ValueSeconds);
+  OS << "  \"value_seconds\": " << Buf << ",\n"
+     << "  \"value_bound_seconds\": " << R.ValueBoundSeconds << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.6f", R.RefSeconds);
+  OS << "  \"ref_seconds\": " << Buf << ",\n"
+     << "  \"ref_bound_seconds\": " << R.RefBoundSeconds << ",\n"
+     << "  \"verdicts_match\": " << (R.VerdictsMatch ? "true" : "false")
+     << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.3f", R.WarmHitRate);
+  OS << "  \"warm_cache_hit_rate\": " << Buf << ",\n"
+     << "  \"warm_prover_calls\": " << R.WarmProverCalls << ",\n"
+     << "  \"persist_hits\": " << R.PersistHits << ",\n"
+     << "  \"all_within_bounds\": " << (R.withinBounds() ? "true" : "false")
+     << "\n}\n";
+  return true;
+}
+
+/// Measures, prints a summary, writes the JSON report, and applies the
+/// STQ_ENFORCE_TIMING_BOUNDS gate. Returns false when enforcement is on
+/// and a bound was blown.
+inline bool reportProverBench() {
+  ProverBenchReport R = measureProverBench();
+  std::printf("=== Prover engine benchmark (incremental vs reference) ===\n");
+  std::printf("obligations: %zu, verdicts %s\n", R.Entries.size(),
+              R.VerdictsMatch ? "identical" : "DIVERGED");
+  std::printf("incremental: %.4fs  reference: %.4fs  speedup: %.2fx\n",
+              R.IncrementalSeconds, R.ReferenceSeconds, R.speedup());
+  std::printf("value qualifiers: %.4fs (gate %.0fs = 10x paper bound)\n",
+              R.ValueSeconds, R.ValueBoundSeconds);
+  std::printf("reference qualifiers: %.4fs (gate %.0fs = 10x paper bound)\n",
+              R.RefSeconds, R.RefBoundSeconds);
+  std::printf("warm cache replay: hit rate %.3f, prover calls %llu, "
+              "persisted hits %llu\n",
+              R.WarmHitRate,
+              static_cast<unsigned long long>(R.WarmProverCalls),
+              static_cast<unsigned long long>(R.PersistHits));
+
+  const char *Out = std::getenv("STQ_PROVER_BENCH_OUT");
+  std::string Path = Out && *Out ? Out : "BENCH_prover.json";
+  if (writeProverBench(R, Path))
+    std::printf("prover bench written to %s\n\n", Path.c_str());
+  else
+    std::printf("could not write %s\n\n", Path.c_str());
+
+  const char *Enforce = std::getenv("STQ_ENFORCE_TIMING_BOUNDS");
+  if (Enforce && *Enforce && std::string(Enforce) != "0" &&
+      !R.withinBounds())
+    return false;
+  return true;
+}
+
+} // namespace stq::benchutil
+
+#endif // STQ_BENCH_PROVERBENCHREPORT_H

@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ProverBenchReport.h"
 #include "prover/Theory.h"
 #include "qual/Builtins.h"
 #include "soundness/Soundness.h"
@@ -125,7 +126,8 @@ BENCHMARK(BM_UniquePreservationObligation)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   printTable();
+  bool BoundsOk = stq::benchutil::reportProverBench();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return BoundsOk ? 0 : 1;
 }

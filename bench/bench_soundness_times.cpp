@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ProverBenchReport.h"
 #include "qual/Builtins.h"
 #include "qual/QualParser.h"
 #include "soundness/Soundness.h"
@@ -118,7 +119,8 @@ BENCHMARK(BM_SoundnessRejectsBogusRule)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   printTable();
+  bool BoundsOk = stq::benchutil::reportProverBench();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return BoundsOk ? 0 : 1;
 }

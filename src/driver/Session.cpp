@@ -125,11 +125,36 @@ Session::CheckOutcome Session::check(const std::string &Source) {
   return Out;
 }
 
+void Session::loadCacheFile() {
+  if (Opts.CacheFile.empty() || CacheFileLoaded)
+    return;
+  CacheFileLoaded = true;
+  // A missing file is the normal cold start; anything else that fails to
+  // load (truncated, corrupt, wrong version header) is ignored with a
+  // warning — a stale cache must never be trusted.
+  std::ifstream Probe(Opts.CacheFile);
+  if (!Probe)
+    return;
+  Probe.close();
+  std::string Error;
+  if (!Cache.load(Opts.CacheFile, &Error))
+    Diags.warning(SourceLoc(), "driver", "prover cache file: " + Error);
+}
+
+void Session::saveCacheFile() {
+  if (Opts.CacheFile.empty())
+    return;
+  std::string Error;
+  if (!Cache.save(Opts.CacheFile, &Error))
+    Diags.warning(SourceLoc(), "driver", "prover cache file: " + Error);
+}
+
 std::vector<soundness::SoundnessReport> Session::prove() {
   if (!loadQualifiers()) {
     publishDiagMetrics();
     return {};
   }
+  loadCacheFile();
   unsigned Jobs = Opts.Jobs;
   if (Opts.WarmProverCache) {
     // A silent first pass: every obligation lands in the cache, so the
@@ -145,6 +170,7 @@ std::vector<soundness::SoundnessReport> Session::prove() {
                                    &Metrics);
     Reports = SC.checkAll(Jobs);
   }
+  saveCacheFile();
   publishProveMetrics(Reports);
   publishDiagMetrics();
   return Reports;
@@ -155,6 +181,7 @@ soundness::SoundnessReport Session::proveQualifier(const std::string &Name) {
     publishDiagMetrics();
     return {};
   }
+  loadCacheFile();
   soundness::SoundnessReport Report;
   {
     stats::ScopedTimer Timer(&Metrics, "phase.prove_seconds");
@@ -162,6 +189,7 @@ soundness::SoundnessReport Session::proveQualifier(const std::string &Name) {
                                    &Metrics);
     Report = SC.checkQualifier(Name, Opts.Jobs);
   }
+  saveCacheFile();
   publishProveMetrics({Report});
   publishDiagMetrics();
   return Report;
@@ -266,6 +294,8 @@ void Session::publishCacheMetrics() {
   Metrics.set("prover.cache.insertions", CS.Insertions);
   Metrics.set("prover.cache.entries", CS.Entries);
   Metrics.set("prover.cache.contended", CS.Contended);
+  Metrics.set("prover.cache.persist_loaded", CS.PersistLoaded);
+  Metrics.set("prover.cache.persist_hits", CS.PersistHits);
   Metrics.setGauge("prover.cache.hit_rate", CS.hitRate());
   Metrics.setGauge("prover.cache.seconds_saved", CS.SecondsSaved);
 }

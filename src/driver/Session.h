@@ -79,6 +79,13 @@ struct SessionOptions {
   /// prove(): run a silent first pass so the reported pass replays
   /// entirely from the prover cache.
   bool WarmProverCache = false;
+  /// When non-empty, prove() and proveQualifier() load the prover cache
+  /// from this file before checking (a missing file is the normal cold
+  /// start; a corrupt or wrong-version file is ignored with a warning,
+  /// never trusted) and save the merged cache back afterwards. Re-checking
+  /// an unchanged qualifier set across processes then skips proving
+  /// entirely.
+  std::string CacheFile;
 };
 
 /// The pipeline driver. Not thread-safe: one Session per thread (the
@@ -165,6 +172,11 @@ private:
   void publishRunMetrics(const interp::RunResult &R);
   void publishCacheMetrics();
   void publishDiagMetrics();
+  /// Loads Opts.CacheFile into the cache (first call only; no-op when the
+  /// option is empty).
+  void loadCacheFile();
+  /// Saves the cache to Opts.CacheFile (no-op when the option is empty).
+  void saveCacheFile();
 
   SessionOptions Opts;
   DiagnosticEngine Diags;
@@ -174,6 +186,7 @@ private:
 
   enum class LoadState { NotLoaded, Ok, Failed };
   LoadState Loaded = LoadState::NotLoaded;
+  bool CacheFileLoaded = false;
 };
 
 } // namespace stq

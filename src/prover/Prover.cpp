@@ -310,46 +310,117 @@ std::vector<MultiPattern> Prover::inferTriggers(
 // Instantiation
 //===----------------------------------------------------------------------===//
 
-void Prover::matchMultiPattern(
-    const Axiom &Ax, const MultiPattern &MP, size_t PatternIdx, Subst &S,
-    const std::map<std::string, std::vector<TermId>> &BySym,
-    std::vector<Subst> &Out) {
+namespace {
+
+/// TermArena::match with a bind trail: every variable this call newly binds
+/// into \p S is recorded in \p Bound, so the caller can roll the shared
+/// substitution back instead of deep-copying the map per candidate.
+bool matchBind(const TermArena &A, TermId Pattern, TermId Ground, Subst &S,
+               std::vector<std::string> &Bound) {
+  const TermData &P = A.get(Pattern);
+  if (P.K == TermData::Kind::Var) {
+    auto [It, Inserted] = S.emplace(P.Sym, Ground);
+    if (Inserted)
+      Bound.push_back(P.Sym);
+    return Inserted || It->second == Ground;
+  }
+  const TermData &G = A.get(Ground);
+  if (P.K != G.K)
+    return false;
+  if (P.K == TermData::Kind::Int)
+    return P.Int == G.Int;
+  if (P.Sym != G.Sym || P.Args.size() != G.Args.size())
+    return false;
+  for (size_t I = 0; I < P.Args.size(); ++I)
+    if (!matchBind(A, P.Args[I], G.Args[I], S, Bound))
+      return false;
+  return true;
+}
+
+} // namespace
+
+void Prover::matchMultiPattern(const MultiPattern &MP, size_t PatternIdx,
+                               size_t DeltaIdx, Subst &S,
+                               std::vector<std::string> &Bound,
+                               std::vector<Subst> &Out) {
   if (PatternIdx == MP.size()) {
     Out.push_back(S);
     return;
   }
   TermId Pattern = MP[PatternIdx];
   const TermData &P = A.get(Pattern);
-  auto Found = BySym.find(P.Sym);
-  if (Found == BySym.end())
+  auto Found = BySymIndex.find(P.Sym);
+  if (Found == BySymIndex.end())
     return;
-  for (TermId Ground : Found->second) {
-    Subst Extended = S;
-    if (A.match(Pattern, Ground, Extended))
-      matchMultiPattern(Ax, MP, PatternIdx + 1, Extended, BySym, Out);
+  const std::vector<TermId> &Candidates = Found->second;
+  size_t OldCount = Candidates.size();
+  if (auto OC = RoundOldCount.find(P.Sym); OC != RoundOldCount.end())
+    OldCount = OC->second;
+  else if (DeltaIdx != ~size_t(0))
+    OldCount = 0; // Symbol first appeared this round: everything is delta.
+  size_t Begin = 0, End = Candidates.size();
+  if (DeltaIdx != ~size_t(0)) {
+    if (PatternIdx < DeltaIdx)
+      End = OldCount; // Strictly pre-round terms.
+    else if (PatternIdx == DeltaIdx)
+      Begin = OldCount; // This round's delta.
+  }
+  for (size_t I = Begin; I < End; ++I) {
+    size_t Mark = Bound.size();
+    if (matchBind(A, Pattern, Candidates[I], S, Bound))
+      matchMultiPattern(MP, PatternIdx + 1, DeltaIdx, S, Bound, Out);
+    while (Bound.size() > Mark) {
+      S.erase(Bound.back());
+      Bound.pop_back();
+    }
   }
 }
 
 unsigned Prover::instantiateRound() {
-  // Snapshot the ground application terms, indexed by head symbol.
-  std::map<std::string, std::vector<TermId>> BySym;
-  uint32_t N = A.size();
-  for (TermId T = 0; T < N; ++T) {
+  // Delta indexing: only terms interned since the previous round are new
+  // match candidates. Terms interned *during* this round's instantiations
+  // are picked up next round, matching the historical snapshot semantics.
+  uint32_t RoundStart = A.size();
+  RoundOldCount.clear();
+  for (const auto &[Sym, Terms] : BySymIndex)
+    RoundOldCount[Sym] = Terms.size();
+  unsigned Delta = 0;
+  for (TermId T = IndexedWatermark; T < RoundStart; ++T) {
     const TermData &D = A.get(T);
     if (D.K != TermData::Kind::App || D.Args.empty())
       continue;
     if (!A.isGround(T))
       continue;
-    BySym[D.Sym].push_back(T);
+    BySymIndex[D.Sym].push_back(T);
+    ++Delta;
   }
+  IndexedWatermark = RoundStart;
+  Stats.DeltaTerms += Delta;
 
   unsigned NewClauses = 0;
   for (unsigned AxIdx = 0; AxIdx < Axioms.size(); ++AxIdx) {
-    const Axiom &Ax = Axioms[AxIdx];
-    for (const MultiPattern &MP : Ax.Triggers) {
+    // Instantiation can append proxy axioms to Axioms (nested positive
+    // foralls), so copy what matching needs instead of holding a reference
+    // across the mutation.
+    bool Fresh = Axioms[AxIdx].FreshForMatch;
+    Axioms[AxIdx].FreshForMatch = false;
+    std::vector<std::string> Vars = Axioms[AxIdx].Vars;
+    std::vector<MultiPattern> Triggers = Axioms[AxIdx].Triggers;
+    FormulaPtr Body = Axioms[AxIdx].Body;
+    for (const MultiPattern &MP : Triggers) {
       std::vector<Subst> Matches;
-      Subst Empty;
-      matchMultiPattern(Ax, MP, 0, Empty, BySym, Matches);
+      Subst Shared;
+      std::vector<std::string> Bound;
+      if (Fresh) {
+        // First participation: catch up against the whole index.
+        matchMultiPattern(MP, 0, ~size_t(0), Shared, Bound, Matches);
+      } else {
+        // One position per choice of DeltaIdx draws from this round's new
+        // terms; all-older combinations were enumerated by earlier rounds
+        // (and would be discarded by InstDedup anyway).
+        for (size_t D = 0; D < MP.size(); ++D)
+          matchMultiPattern(MP, 0, D, Shared, Bound, Matches);
+      }
       for (const Subst &S : Matches) {
         if (Stats.Instantiations >= Options.MaxInstantiations) {
           ResourcesExceeded = true;
@@ -358,13 +429,13 @@ unsigned Prover::instantiateRound() {
         // Require every axiom variable to be bound by the trigger.
         bool Complete = true;
         std::vector<TermId> Binding;
-        for (const std::string &V : Ax.Vars) {
-          auto Found = S.find(V);
-          if (Found == S.end()) {
+        for (const std::string &V : Vars) {
+          auto FoundVar = S.find(V);
+          if (FoundVar == S.end()) {
             Complete = false;
             break;
           }
-          Binding.push_back(Found->second);
+          Binding.push_back(FoundVar->second);
         }
         if (!Complete)
           continue;
@@ -372,9 +443,9 @@ unsigned Prover::instantiateRound() {
           continue;
         ++Stats.Instantiations;
         Subst Restricted;
-        for (size_t I = 0; I < Ax.Vars.size(); ++I)
-          Restricted[Ax.Vars[I]] = Binding[I];
-        FormulaPtr Instance = substFormula(Ax.Body, Restricted);
+        for (size_t I = 0; I < Vars.size(); ++I)
+          Restricted[Vars[I]] = Binding[I];
+        FormulaPtr Instance = substFormula(Body, Restricted);
         size_t Before = GroundClauses.size();
         addClauses(toClauses(Instance, /*Positive=*/true));
         NewClauses += static_cast<unsigned>(GroundClauses.size() - Before);
@@ -385,11 +456,11 @@ unsigned Prover::instantiateRound() {
 }
 
 //===----------------------------------------------------------------------===//
-// DPLL search
+// DPLL search: reference engine (copy-per-node recursion)
 //===----------------------------------------------------------------------===//
 
-bool Prover::refute(std::vector<Lit> Units, std::vector<Clause> Clauses,
-                    unsigned Depth) {
+bool Prover::refuteReference(std::vector<Lit> Units,
+                             std::vector<Clause> Clauses, unsigned Depth) {
   if (Depth > Options.MaxSplitDepth || timedOut()) {
     ResourcesExceeded = true;
     return false;
@@ -465,7 +536,7 @@ bool Prover::refute(std::vector<Lit> Units, std::vector<Clause> Clauses,
     // Later branches may assume earlier literals were false.
     for (size_t J = 0; J < I; ++J)
       BranchUnits.push_back(Chosen[J].negated());
-    if (!refute(BranchUnits, Clauses, Depth + 1))
+    if (!refuteReference(BranchUnits, Clauses, Depth + 1))
       return false;
     if (timedOut()) {
       ResourcesExceeded = true;
@@ -473,6 +544,323 @@ bool Prover::refute(std::vector<Lit> Units, std::vector<Clause> Clauses,
     }
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// DPLL search: incremental trail-based engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The incremental search core. One instance per refutation round: it
+/// encodes the ground clause database once (atoms, two-watched-literal
+/// watch lists), then explores the DPLL tree over a single destructive
+/// assignment trail with a backtrackable TheorySolver, instead of copying
+/// Units/Clauses at every node.
+///
+/// The search replicates the reference engine's shape exactly — split on
+/// the first smallest not-yet-satisfied clause, try its literals in order,
+/// branch i assumes literals 0..i-1 false — so both engines walk the same
+/// tree and return identical verdicts; only the bookkeeping differs.
+class IncrementalSearch {
+public:
+  enum class Outcome { Refuted, Consistent, ResourceOut };
+
+  IncrementalSearch(const TermArena &A, const ProverOptions &Options,
+                    ProverStats &Stats,
+                    std::chrono::steady_clock::time_point Deadline)
+      : A(A), Options(Options), Stats(Stats), Deadline(Deadline), TS(A) {}
+
+  Outcome run(const std::vector<std::vector<Lit>> &Ground) {
+    if (!buildClauses(Ground))
+      return Outcome::Refuted; // Empty clause or contradictory units.
+
+    for (;;) {
+      if (!propagate()) {
+        if (!backtrack())
+          return Outcome::Refuted;
+        continue;
+      }
+      if (timedOut())
+        return Outcome::ResourceOut;
+      ++Stats.TheoryChecks;
+      if (TS.conflictNow()) {
+        if (!backtrack())
+          return Outcome::Refuted;
+        continue;
+      }
+      size_t Chosen = chooseClause();
+      if (Chosen == ~size_t(0)) {
+        buildModel();
+        return Outcome::Consistent;
+      }
+      // The reference engine aborts a node entered at depth > MaxSplitDepth;
+      // entering a branch below this decision is exactly that node.
+      if (Frames.size() + 1 > Options.MaxSplitDepth)
+        return Outcome::ResourceOut;
+      Frame F;
+      F.TrailMark = Trail.size();
+      F.Next = 0;
+      for (unsigned EL : Clauses[Chosen].Lits)
+        if (value(EL) == 0)
+          F.Lits.push_back(EL);
+      Frames.push_back(std::move(F));
+      ++Stats.Splits;
+      enqueue(Frames.back().Lits[0]);
+    }
+  }
+
+  uint64_t theoryPops() const { return TS.pops(); }
+
+private:
+  struct WClause {
+    /// Encoded literals (2*atom + sign); Lits[0] and Lits[1] are watched.
+    std::vector<unsigned> Lits;
+  };
+  struct Frame {
+    std::vector<unsigned> Lits; ///< Branch literals, in clause order.
+    size_t Next;                ///< Branch currently being explored.
+    size_t TrailMark;           ///< Trail size at the decision point.
+  };
+
+  static unsigned negate(unsigned EL) { return EL ^ 1u; }
+
+  unsigned atomOf(const Lit &L) {
+    Lit Pos = L;
+    Pos.Neg = false;
+    auto Key = Pos.key();
+    auto [It, Inserted] = AtomIds.emplace(Key, Atoms.size());
+    if (Inserted) {
+      Atoms.push_back(Pos);
+      Val.push_back(0);
+      Watches.emplace_back();
+      Watches.emplace_back();
+    }
+    return It->second;
+  }
+
+  /// Encoded literal of \p L; bit 0 is the negation flag.
+  unsigned encode(const Lit &L) { return 2 * atomOf(L) + (L.Neg ? 1u : 0u); }
+
+  Lit litOf(unsigned EL) const {
+    return (EL & 1u) ? Atoms[EL / 2].negated() : Atoms[EL / 2];
+  }
+
+  /// -1 false, 0 unassigned, +1 true.
+  int value(unsigned EL) const {
+    int8_t V = Val[EL / 2];
+    if (V == 0)
+      return 0;
+    return (EL & 1u) ? -V : V;
+  }
+
+  /// Asserts \p EL true; returns false on a boolean conflict.
+  bool enqueue(unsigned EL) {
+    int V = value(EL);
+    if (V > 0)
+      return true;
+    if (V < 0)
+      return false;
+    Val[EL / 2] = (EL & 1u) ? -1 : 1;
+    Trail.push_back(EL);
+    if (Trail.size() > Stats.MaxTrailDepth)
+      Stats.MaxTrailDepth = static_cast<unsigned>(Trail.size());
+    return true;
+  }
+
+  /// Encodes the ground clauses, seeds watches and level-0 units. Returns
+  /// false if a clause is empty or the units are contradictory.
+  bool buildClauses(const std::vector<std::vector<Lit>> &Ground) {
+    for (const std::vector<Lit> &C : Ground) {
+      WClause W;
+      for (const Lit &L : C) {
+        unsigned EL = encode(L);
+        if (std::find(W.Lits.begin(), W.Lits.end(), EL) == W.Lits.end())
+          W.Lits.push_back(EL);
+      }
+      if (W.Lits.empty())
+        return false;
+      if (W.Lits.size() == 1) {
+        if (!enqueue(W.Lits[0]))
+          return false;
+        continue;
+      }
+      unsigned Idx = static_cast<unsigned>(Clauses.size());
+      Watches[W.Lits[0]].push_back(Idx);
+      Watches[W.Lits[1]].push_back(Idx);
+      Clauses.push_back(std::move(W));
+    }
+    return true;
+  }
+
+  /// Unit propagation to fixpoint, asserting each trail literal into the
+  /// theory solver as it is consumed. Returns false on any conflict
+  /// (boolean or theory).
+  bool propagate() {
+    while (QHead < Trail.size()) {
+      unsigned L = Trail[QHead++];
+      // Theory first: one push per trail literal keeps theory frames in
+      // lockstep with trail positions for backtracking.
+      TS.push();
+      ++TheoryCount;
+      if (!TS.assertLit(litOf(L)))
+        return false;
+      // Visit clauses watching ~L (now false).
+      unsigned FalseLit = negate(L);
+      std::vector<unsigned> &WL = Watches[FalseLit];
+      size_t Kept = 0;
+      for (size_t I = 0; I < WL.size(); ++I) {
+        unsigned CI = WL[I];
+        WClause &C = Clauses[CI];
+        if (C.Lits[0] == FalseLit)
+          std::swap(C.Lits[0], C.Lits[1]);
+        // Now C.Lits[1] == FalseLit.
+        if (value(C.Lits[0]) > 0) {
+          WL[Kept++] = CI; // Satisfied; keep the watch.
+          continue;
+        }
+        bool Moved = false;
+        for (size_t K = 2; K < C.Lits.size(); ++K) {
+          if (value(C.Lits[K]) >= 0) {
+            std::swap(C.Lits[1], C.Lits[K]);
+            Watches[C.Lits[1]].push_back(CI);
+            Moved = true;
+            break;
+          }
+        }
+        if (Moved)
+          continue; // Watch moved; drop from this list.
+        WL[Kept++] = CI;
+        if (value(C.Lits[0]) < 0) {
+          // All literals false: conflict. Keep the remaining watches.
+          for (size_t J = I + 1; J < WL.size(); ++J)
+            WL[Kept++] = WL[J];
+          WL.resize(Kept);
+          return false;
+        }
+        ++Stats.Propagations;
+        enqueue(C.Lits[0]); // Unit: cannot conflict (value checked above).
+      }
+      WL.resize(Kept);
+    }
+    return true;
+  }
+
+  /// Undoes trail and theory state back to \p Mark.
+  void popTo(size_t Mark) {
+    while (Trail.size() > Mark) {
+      Val[Trail.back() / 2] = 0;
+      Trail.pop_back();
+    }
+    while (TheoryCount > Mark) {
+      TS.pop();
+      --TheoryCount;
+    }
+    QHead = Mark;
+  }
+
+  /// Advances to the next unexplored branch after a refuted subtree.
+  /// Returns false when every branch up the stack is exhausted (the root
+  /// clause set is refuted).
+  bool backtrack() {
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      ++F.Next;
+      if (F.Next >= F.Lits.size()) {
+        popTo(F.TrailMark);
+        Frames.pop_back();
+        continue; // This subtree is refuted; advance the parent.
+      }
+      popTo(F.TrailMark);
+      ++Stats.Splits;
+      // Later branches assume earlier literals were false.
+      bool Ok = true;
+      for (size_t J = 0; J < F.Next && Ok; ++J)
+        Ok = enqueue(negate(F.Lits[J]));
+      if (Ok)
+        Ok = enqueue(F.Lits[F.Next]);
+      if (!Ok)
+        continue; // Branch contradictory on entry; try the next.
+      return true;
+    }
+    return false;
+  }
+
+  /// First smallest not-yet-satisfied clause (by unassigned-literal count),
+  /// mirroring the reference engine's "split on the smallest clause".
+  /// Returns ~0 when every clause is satisfied.
+  size_t chooseClause() {
+    size_t Best = ~size_t(0);
+    size_t BestSize = ~size_t(0);
+    for (size_t I = 0; I < Clauses.size(); ++I) {
+      size_t Unassigned = 0;
+      bool Satisfied = false;
+      for (unsigned EL : Clauses[I].Lits) {
+        int V = value(EL);
+        if (V > 0) {
+          Satisfied = true;
+          break;
+        }
+        if (V == 0)
+          ++Unassigned;
+      }
+      if (Satisfied)
+        continue;
+      if (Unassigned < BestSize) {
+        Best = I;
+        BestSize = Unassigned;
+      }
+    }
+    return Best;
+  }
+
+  void buildModel() {
+    std::string Model;
+    for (unsigned EL : Trail) {
+      if (!Model.empty())
+        Model += " /\\ ";
+      Model += litOf(EL).str(A);
+    }
+    Stats.Model = Model;
+  }
+
+  bool timedOut() const {
+    return std::chrono::steady_clock::now() > Deadline;
+  }
+
+  const TermArena &A;
+  const ProverOptions &Options;
+  ProverStats &Stats;
+  std::chrono::steady_clock::time_point Deadline;
+  TheorySolver TS;
+
+  std::map<std::tuple<bool, Lit::Op, TermId, TermId>, unsigned> AtomIds;
+  std::vector<Lit> Atoms;   ///< Positive literal per atom.
+  std::vector<int8_t> Val;  ///< Per-atom assignment.
+  std::vector<WClause> Clauses;
+  std::vector<std::vector<unsigned>> Watches; ///< Per encoded literal.
+  std::vector<unsigned> Trail;
+  size_t QHead = 0;
+  size_t TheoryCount = 0; ///< Theory frames pushed ( == trail prefix).
+  std::vector<Frame> Frames;
+};
+
+} // namespace
+
+bool Prover::refuteIncremental() {
+  IncrementalSearch Search(A, Options, Stats, Deadline);
+  IncrementalSearch::Outcome Out = Search.run(GroundClauses);
+  Stats.TheoryPops += Search.theoryPops();
+  switch (Out) {
+  case IncrementalSearch::Outcome::Refuted:
+    return true;
+  case IncrementalSearch::Outcome::Consistent:
+    return false;
+  case IncrementalSearch::Outcome::ResourceOut:
+    ResourcesExceeded = true;
+    return false;
+  }
+  return false;
 }
 
 //===----------------------------------------------------------------------===//
@@ -559,7 +947,10 @@ ProofResult Prover::prove(FormulaPtr Goal) {
       break;
     }
     ResourcesExceeded = false;
-    if (refute({}, GroundClauses, 0)) {
+    bool Refuted = Options.Engine == EngineKind::Reference
+                       ? refuteReference({}, GroundClauses, 0)
+                       : refuteIncremental();
+    if (Refuted) {
       Result = ProofResult::Proved;
       break;
     }

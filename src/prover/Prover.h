@@ -30,11 +30,20 @@
 #include "prover/Term.h"
 
 #include <chrono>
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace stq::prover {
+
+/// Which search core prove() runs. Incremental is the trail-based engine
+/// (single destructive assignment stack, two-watched-literal propagation,
+/// backtrackable theory state); Reference is the historical copy-per-node
+/// recursion, kept as the oracle for the differential tests. Both produce
+/// identical verdicts; see docs/ARCHITECTURE.md.
+enum class EngineKind { Incremental, Reference };
 
 struct ProverOptions {
   /// Maximum instantiation rounds before giving up.
@@ -45,6 +54,8 @@ struct ProverOptions {
   unsigned MaxSplitDepth = 64;
   /// Wall-clock budget; exceeded => ResourceOut.
   double TimeoutSeconds = 25.0;
+  /// Search core selection.
+  EngineKind Engine = EngineKind::Incremental;
 };
 
 enum class ProofResult {
@@ -81,6 +92,16 @@ struct ProverStats {
   unsigned Splits = 0;
   unsigned TheoryChecks = 0;
   unsigned Clauses = 0;
+  /// Literals implied by two-watched-literal unit propagation (incremental
+  /// engine only; zero under EngineKind::Reference).
+  uint64_t Propagations = 0;
+  /// Deepest assignment trail reached (incremental engine only).
+  unsigned MaxTrailDepth = 0;
+  /// Backtracking pops of theory-solver state (incremental engine only).
+  uint64_t TheoryPops = 0;
+  /// Ground terms indexed by the delta trigger index across all rounds
+  /// (engine-independent: instantiation is shared by both cores).
+  unsigned DeltaTerms = 0;
   double Seconds = 0.0;
   /// A satisfying literal set from the last failed round (a counterexample
   /// sketch), for diagnostics.
@@ -123,6 +144,9 @@ private:
     std::vector<std::string> Vars;
     std::vector<MultiPattern> Triggers;
     FormulaPtr Body; ///< Quantifier-free over Vars.
+    /// True until the axiom's first instantiation round: a fresh axiom must
+    /// catch up against the whole term index before delta matching applies.
+    bool FreshForMatch = true;
   };
 
   using Clause = std::vector<Lit>;
@@ -142,16 +166,31 @@ private:
   void collectAppTerms(const FormulaPtr &F, std::vector<TermId> &Out);
 
   /// Runs one instantiation round; returns the number of new clauses.
+  /// Indexes only terms interned since the previous round (delta trigger
+  /// indexing); all-older candidate combinations were enumerated by the
+  /// round that first indexed their newest term.
   unsigned instantiateRound();
-  void matchMultiPattern(const Axiom &Ax, const MultiPattern &MP,
-                         size_t PatternIdx, Subst &S,
-                         const std::map<std::string, std::vector<TermId>>
-                             &BySym,
+  /// Matches MP[PatternIdx..] against the round's candidate index, binding
+  /// into one shared substitution with rollback (no per-candidate map
+  /// copies). Position \p DeltaIdx draws from this round's delta terms;
+  /// positions before it draw from strictly older terms and positions after
+  /// it from the full index, so each combination is enumerated exactly once
+  /// across DeltaIdx choices. DeltaIdx == ~size_t(0) matches every position
+  /// against the full index (a fresh axiom catching up).
+  void matchMultiPattern(const MultiPattern &MP, size_t PatternIdx,
+                         size_t DeltaIdx, Subst &S,
+                         std::vector<std::string> &Bound,
                          std::vector<Subst> &Out);
 
-  /// DPLL: returns true if the clause set with \p Units is unsatisfiable.
-  bool refute(std::vector<Lit> Units, std::vector<Clause> Clauses,
-              unsigned Depth);
+  /// Reference DPLL (EngineKind::Reference): returns true if the clause set
+  /// with \p Units is unsatisfiable. Copies Units and Clauses per node; the
+  /// differential tests hold the incremental engine to its verdicts.
+  bool refuteReference(std::vector<Lit> Units, std::vector<Clause> Clauses,
+                       unsigned Depth);
+  /// Incremental trail-based DPLL over GroundClauses (EngineKind::
+  /// Incremental). Same verdict contract as refuteReference({}, GroundClauses,
+  /// 0); sets ResourcesExceeded on depth/time exhaustion.
+  bool refuteIncremental();
 
   bool timedOut() const;
 
@@ -163,6 +202,12 @@ private:
   std::set<std::vector<std::tuple<bool, Lit::Op, TermId, TermId>>>
       ClauseDedup;
   std::set<std::pair<unsigned, std::vector<TermId>>> InstDedup;
+  /// Delta trigger index: every ground application term indexed so far, by
+  /// head symbol; terms with id >= IndexedWatermark are not yet indexed.
+  std::map<std::string, std::vector<TermId>> BySymIndex;
+  /// Per-symbol index sizes before the current round's delta was appended.
+  std::map<std::string, size_t> RoundOldCount;
+  uint32_t IndexedWatermark = 0;
   ProverStats Stats;
   unsigned SkolemCount = 0;
   unsigned ProxyCount = 0;

@@ -4,6 +4,11 @@
 
 #include "support/Trace.h"
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 using namespace stq::prover;
 
 //===----------------------------------------------------------------------===//
@@ -259,6 +264,8 @@ std::optional<CachedAnswer> ProverCache::lookup(const std::string &Key) {
   if (Out) {
     ++Stats.Hits;
     Stats.SecondsSaved += Out->Stats.Seconds;
+    if (Out->FromDisk)
+      ++Stats.PersistHits;
   } else {
     ++Stats.Misses;
   }
@@ -298,4 +305,156 @@ void ProverCache::clear() {
   }
   std::lock_guard<std::mutex> Lock(StatsM);
   Stats = {};
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *persistResultName(ProofResult R) { return resultName(R); }
+
+bool persistResultFromName(const std::string &Name, ProofResult &Out) {
+  if (Name == "proved")
+    Out = ProofResult::Proved;
+  else if (Name == "unknown")
+    Out = ProofResult::Unknown;
+  else if (Name == "resource-out")
+    Out = ProofResult::ResourceOut;
+  else
+    return false;
+  return true;
+}
+
+void setError(std::string *Error, const std::string &Msg) {
+  if (Error)
+    *Error = Msg;
+}
+
+} // namespace
+
+bool ProverCache::save(const std::string &Path, std::string *Error) {
+  // Snapshot under the shard locks, serialize unlocked.
+  std::vector<std::pair<std::string, CachedAnswer>> Entries;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (const auto &[Key, Answer] : S.Map)
+      Entries.emplace_back(Key, Answer);
+  }
+
+  // Unique temp name per call: concurrent saves to the same path must not
+  // interleave writes; the POSIX rename below is atomic, so readers see a
+  // complete file from one save or the other.
+  static std::atomic<uint64_t> SaveSeq{0};
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(SaveSeq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      setError(Error, "cannot open " + Tmp + " for writing");
+      return false;
+    }
+    Out << PersistVersion << '\n' << Entries.size() << '\n';
+    for (const auto &[Key, Answer] : Entries) {
+      // The canonical key contains newlines, so it is length-prefixed.
+      Out << "key " << Key.size() << '\n';
+      Out.write(Key.data(), static_cast<std::streamsize>(Key.size()));
+      Out << '\n';
+      const ProverStats &PS = Answer.Stats;
+      Out << "verdict " << persistResultName(Answer.Result) << ' '
+          << PS.Seconds << ' ' << PS.Rounds << ' ' << PS.Instantiations
+          << ' ' << PS.Splits << ' ' << PS.TheoryChecks << ' ' << PS.Clauses
+          << ' ' << PS.Propagations << ' ' << PS.MaxTrailDepth << ' '
+          << PS.TheoryPops << ' ' << PS.DeltaTerms << '\n';
+    }
+    Out.flush();
+    if (!Out) {
+      setError(Error, "write failed for " + Tmp);
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setError(Error, "cannot rename " + Tmp + " to " + Path);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ProverCache::load(const std::string &Path, std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    setError(Error, "cannot open " + Path);
+    return false;
+  }
+  std::string Line;
+  if (!std::getline(In, Line) || Line != PersistVersion) {
+    setError(Error, "unrecognized cache version header in " + Path +
+                        " (expected " + PersistVersion + "); file ignored");
+    return false;
+  }
+  size_t Count = 0;
+  if (!std::getline(In, Line) ||
+      !(std::istringstream(Line) >> Count)) {
+    setError(Error, "corrupt entry count in " + Path + "; file ignored");
+    return false;
+  }
+
+  // Parse everything into a staging vector first: a corrupt file must be
+  // discarded wholesale, never half-applied.
+  std::vector<std::pair<std::string, CachedAnswer>> Staged;
+  Staged.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    if (!std::getline(In, Line)) {
+      setError(Error, "truncated cache file " + Path + "; file ignored");
+      return false;
+    }
+    std::istringstream KeyHdr(Line);
+    std::string Word;
+    size_t KeyLen = 0;
+    if (!(KeyHdr >> Word >> KeyLen) || Word != "key") {
+      setError(Error, "corrupt key header in " + Path + "; file ignored");
+      return false;
+    }
+    std::string Key(KeyLen, '\0');
+    if (!In.read(Key.data(), static_cast<std::streamsize>(KeyLen)) ||
+        In.get() != '\n') {
+      setError(Error, "truncated key in " + Path + "; file ignored");
+      return false;
+    }
+    if (!std::getline(In, Line)) {
+      setError(Error, "missing verdict line in " + Path + "; file ignored");
+      return false;
+    }
+    std::istringstream Verdict(Line);
+    std::string ResultName;
+    CachedAnswer Answer;
+    Answer.FromDisk = true;
+    ProverStats &PS = Answer.Stats;
+    if (!(Verdict >> Word >> ResultName >> PS.Seconds >> PS.Rounds >>
+          PS.Instantiations >> PS.Splits >> PS.TheoryChecks >> PS.Clauses >>
+          PS.Propagations >> PS.MaxTrailDepth >> PS.TheoryPops >>
+          PS.DeltaTerms) ||
+        Word != "verdict" ||
+        !persistResultFromName(ResultName, Answer.Result)) {
+      setError(Error, "corrupt verdict line in " + Path + "; file ignored");
+      return false;
+    }
+    Staged.emplace_back(std::move(Key), std::move(Answer));
+  }
+
+  // Commit: entries this run already proved win over the file's.
+  uint64_t Fresh = 0;
+  for (auto &[Key, Answer] : Staged) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (S.Map.emplace(std::move(Key), std::move(Answer)).second)
+      ++Fresh;
+  }
+  std::lock_guard<std::mutex> Lock(StatsM);
+  Stats.PersistLoaded += Fresh;
+  Stats.Entries += Fresh;
+  return true;
 }

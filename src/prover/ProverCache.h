@@ -78,6 +78,9 @@ struct CachedAnswer {
   /// The stats of the run that produced the entry (Seconds = what a miss
   /// would have cost).
   ProverStats Stats;
+  /// True when the entry came from load() rather than this process's own
+  /// prover runs; hits on such entries count as cache persistence hits.
+  bool FromDisk = false;
 };
 
 /// Counters for `stqc --metrics` and the scaling benchmark. Hits + Misses
@@ -95,6 +98,11 @@ struct CacheStats {
   /// Sum of the original solve times of every hit: prover latency the
   /// cache avoided.
   double SecondsSaved = 0.0;
+  /// Entries deserialized from a --cache-file by load().
+  uint64_t PersistLoaded = 0;
+  /// Lookup hits served by a disk-loaded entry: proofs skipped entirely
+  /// because an earlier run already discharged them.
+  uint64_t PersistHits = 0;
 
   double hitRate() const {
     return Lookups == 0 ? 0.0 : static_cast<double>(Hits) / Lookups;
@@ -109,6 +117,24 @@ public:
               const ProverStats &Stats);
   CacheStats stats() const;
   void clear();
+
+  /// On-disk format version header. A file that does not start with exactly
+  /// this line is ignored wholesale by load(): a stale or foreign cache must
+  /// never be trusted.
+  static constexpr const char *PersistVersion = "stq-prover-cache-v1";
+
+  /// Serializes every entry to \p Path (version header, then
+  /// length-prefixed canonical keys — keys contain newlines — and verdict
+  /// lines). Written to a temp file and renamed into place, so a concurrent
+  /// load() sees either the old file or the new one, never a torn write.
+  /// Returns false (with \p Error set) on I/O failure.
+  bool save(const std::string &Path, std::string *Error = nullptr);
+  /// Merges entries from \p Path into the cache, marking them FromDisk.
+  /// Entries already present (from this run's proving) win over the file.
+  /// A missing file, wrong version header, or any parse inconsistency
+  /// discards the whole file (never a prefix of it) and returns false with
+  /// \p Error set; the cache is left unchanged in that case.
+  bool load(const std::string &Path, std::string *Error = nullptr);
 
 private:
   static constexpr unsigned NumShards = 16;

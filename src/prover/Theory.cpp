@@ -163,10 +163,12 @@ namespace {
 /// A difference-bound solver over congruence-class representatives. Builds
 /// edges x - y <= c and searches for negative cycles (Floyd-Warshall; the
 /// variable counts here are tiny). Also detects disequalities forced into
-/// equalities.
-class DiffBounds {
+/// equalities. Templated over the closure type so the reference
+/// CongruenceClosure and the backtrackable TheorySolver share the exact
+/// same arithmetic semantics.
+template <class CCT> class DiffBounds {
 public:
-  explicit DiffBounds(CongruenceClosure &CC) : CC(CC) {}
+  explicit DiffBounds(CCT &CC) : CC(CC) {}
 
   /// Index for the class of term \p T, creating it on first use.
   unsigned varOf(TermId T) {
@@ -242,12 +244,34 @@ private:
     int64_t C;
   };
 
-  CongruenceClosure &CC;
+  CCT &CC;
   std::map<TermId, unsigned> VarIndex;
   std::vector<TermId> Vars;
   std::vector<Edge> Edges;
   std::optional<unsigned> Zero;
 };
+
+/// Shared difference-bound pass: translates \p OrderLits into edges over
+/// \p CC's class representatives and reports an arithmetic conflict.
+template <class CCT>
+bool diffBoundsConflict(CCT &CC, const std::vector<Lit> &OrderLits,
+                        const std::vector<std::pair<TermId, TermId>> &NePairs) {
+  DiffBounds<CCT> DB(CC);
+  for (const Lit &L : OrderLits) {
+    unsigned X = DB.varOf(L.L);
+    unsigned Y = DB.varOf(L.R);
+    if (!L.Neg) {
+      // L <= R  ->  L - R <= 0 ;  L < R  ->  L - R <= -1 (integers).
+      DB.addEdge(X, Y, L.O == Lit::Op::Le ? 0 : -1);
+    } else {
+      // !(L <= R) -> R < L -> R - L <= -1 ; !(L < R) -> R - L <= 0.
+      DB.addEdge(Y, X, L.O == Lit::Op::Le ? -1 : 0);
+    }
+  }
+  // Pin every integer-valued class that participates in equalities so that
+  // order literals can see constants merged in via congruence.
+  return DB.conflict(NePairs);
+}
 
 } // namespace
 
@@ -270,19 +294,192 @@ bool stq::prover::theoryConflict(const TermArena &A,
   if (CC.inConflict())
     return true;
 
-  DiffBounds DB(CC);
-  for (const Lit &L : OrderLits) {
-    unsigned X = DB.varOf(L.L);
-    unsigned Y = DB.varOf(L.R);
-    if (!L.Neg) {
-      // L <= R  ->  L - R <= 0 ;  L < R  ->  L - R <= -1 (integers).
-      DB.addEdge(X, Y, L.O == Lit::Op::Le ? 0 : -1);
-    } else {
-      // !(L <= R) -> R < L -> R - L <= -1 ; !(L < R) -> R - L <= 0.
-      DB.addEdge(Y, X, L.O == Lit::Op::Le ? -1 : 0);
+  return diffBoundsConflict(CC, OrderLits, NePairs);
+}
+
+//===----------------------------------------------------------------------===//
+// Backtrackable theory solver
+//===----------------------------------------------------------------------===//
+
+TheorySolver::TheorySolver(const TermArena &A) : Arena(A) {
+  registerAll();
+  // true and false are distinct (level-0 seed, never popped; excluded from
+  // the difference-bound NePairs like the reference path excludes it).
+  Disequalities.emplace_back(A.trueTerm(), A.falseTerm());
+}
+
+void TheorySolver::registerAll() {
+  uint32_t N = Arena.size();
+  Parent.resize(N);
+  Size.assign(N, 1);
+  Uses.resize(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Parent[I] = I;
+  // Arguments are interned before the applications that use them, so a
+  // single id-order pass reproduces CongruenceClosure::ensure's recursive
+  // registration order exactly.
+  for (uint32_t T = 0; T < N; ++T) {
+    const TermData &D = Arena.get(T);
+    if (D.K == TermData::Kind::Var)
+      continue;
+    if (D.K == TermData::Kind::Int)
+      ClassInt[find(T)] = D.Int;
+    for (TermId Arg : D.Args)
+      Uses[find(Arg)].push_back(T);
+    if (D.K == TermData::Kind::App && !D.Args.empty()) {
+      insertSignature(T);
+      while (!PendingMerges.empty()) {
+        auto [X, Y] = PendingMerges.back();
+        PendingMerges.pop_back();
+        merge(X, Y);
+      }
     }
   }
-  // Pin every integer-valued class that participates in equalities so that
-  // order literals can see constants merged in via congruence.
-  return DB.conflict(NePairs);
+}
+
+TermId TheorySolver::find(TermId T) {
+  // No path compression: the parent links are part of the undo trail, and
+  // union-by-size keeps the chains logarithmic.
+  while (Parent[T] != T)
+    T = Parent[T];
+  return T;
+}
+
+std::vector<TermId> TheorySolver::signatureOf(TermId T) {
+  const TermData &D = Arena.get(T);
+  std::vector<TermId> Sig;
+  Sig.reserve(D.Args.size());
+  for (TermId Arg : D.Args)
+    Sig.push_back(find(Arg));
+  return Sig;
+}
+
+void TheorySolver::insertSignature(TermId T) {
+  auto Key = std::make_pair(Arena.get(T).Sym, signatureOf(T));
+  auto [It, Inserted] = Signatures.emplace(Key, T);
+  if (Inserted)
+    SigTrail.push_back(std::move(Key));
+  else if (find(It->second) != find(T))
+    PendingMerges.emplace_back(It->second, T);
+}
+
+void TheorySolver::merge(TermId A, TermId B) {
+  if (Conflict)
+    return;
+  TermId Ra = find(A), Rb = find(B);
+  if (Ra == Rb)
+    return;
+  if (Size[Ra] < Size[Rb])
+    std::swap(Ra, Rb);
+  // Merge Rb into Ra.
+  auto IntA = ClassInt.find(Ra);
+  auto IntB = ClassInt.find(Rb);
+  if (IntA != ClassInt.end() && IntB != ClassInt.end() &&
+      IntA->second != IntB->second) {
+    Conflict = true;
+    return;
+  }
+  MergeRec Rec;
+  Rec.Child = Rb;
+  Rec.Into = Ra;
+  Rec.UsesOldLen = Uses[Ra].size();
+  Rec.WroteInt = IntB != ClassInt.end();
+  Rec.HadInt = IntA != ClassInt.end();
+  Rec.OldInt = Rec.HadInt ? IntA->second : 0;
+  MergeTrail.push_back(Rec);
+
+  Parent[Rb] = Ra;
+  Size[Ra] += Size[Rb];
+  if (IntB != ClassInt.end())
+    ClassInt[Ra] = IntB->second;
+
+  // Recompute signatures of terms that used Rb. Uses[Rb] is left intact
+  // (Rb is no longer a root, so it is never consulted until pop() makes it
+  // one again); Uses[Ra] grows and is truncated back on undo.
+  for (size_t I = 0, E = Uses[Rb].size(); I < E; ++I) {
+    TermId User = Uses[Rb][I];
+    insertSignature(User);
+    Uses[Ra].push_back(User);
+  }
+  while (!PendingMerges.empty()) {
+    auto [X, Y] = PendingMerges.back();
+    PendingMerges.pop_back();
+    merge(X, Y);
+  }
+  if (!checkNeConflicts())
+    Conflict = true;
+}
+
+bool TheorySolver::checkNeConflicts() {
+  for (auto &[A, B] : Disequalities)
+    if (find(A) == find(B))
+      return false;
+  return true;
+}
+
+void TheorySolver::push() {
+  Frames.push_back({MergeTrail.size(), SigTrail.size(), Disequalities.size(),
+                    OrderLits.size(), Conflict});
+}
+
+void TheorySolver::pop() {
+  Frame F = Frames.back();
+  Frames.pop_back();
+  ++Pops;
+  while (MergeTrail.size() > F.Merges) {
+    const MergeRec &R = MergeTrail.back();
+    Parent[R.Child] = R.Child;
+    Size[R.Into] -= Size[R.Child];
+    Uses[R.Into].resize(R.UsesOldLen);
+    if (R.WroteInt) {
+      if (R.HadInt)
+        ClassInt[R.Into] = R.OldInt;
+      else
+        ClassInt.erase(R.Into);
+    }
+    MergeTrail.pop_back();
+  }
+  while (SigTrail.size() > F.Sigs) {
+    Signatures.erase(SigTrail.back());
+    SigTrail.pop_back();
+  }
+  Disequalities.resize(F.Diseqs);
+  OrderLits.resize(F.Orders);
+  Conflict = F.PrevConflict;
+}
+
+bool TheorySolver::assertLit(const Lit &L) {
+  if (Conflict)
+    return false;
+  if (L.O != Lit::Op::Eq) {
+    OrderLits.push_back(L);
+    return true;
+  }
+  if (L.Neg) {
+    if (find(L.L) == find(L.R)) {
+      Conflict = true;
+      return false;
+    }
+    Disequalities.emplace_back(L.L, L.R);
+    return true;
+  }
+  merge(L.L, L.R);
+  return !Conflict;
+}
+
+bool TheorySolver::conflictNow() {
+  if (Conflict)
+    return true;
+  // Disequalities[0] is the true != false seed; the reference path's
+  // NePairs contain only unit-derived pairs, so skip it here too.
+  std::vector<std::pair<TermId, TermId>> NePairs(Disequalities.begin() + 1,
+                                                 Disequalities.end());
+  return diffBoundsConflict(*this, OrderLits, NePairs);
+}
+
+std::optional<int64_t> TheorySolver::classIntValue(TermId T) {
+  auto Found = ClassInt.find(find(T));
+  if (Found == ClassInt.end())
+    return std::nullopt;
+  return Found->second;
 }

@@ -76,7 +76,91 @@ private:
 ///
 /// \returns true if the conjunction is UNSATISFIABLE (a conflict was found),
 /// false if it is consistent as far as the solver can tell.
+///
+/// This is the *reference* path: it rebuilds a CongruenceClosure from the
+/// full literal set on every call. The incremental engine uses TheorySolver
+/// below instead; the differential tests hold the two to identical verdicts.
 bool theoryConflict(const TermArena &A, const std::vector<Lit> &Units);
+
+/// Backtrackable ground theory state for the incremental trail-based DPLL
+/// engine: congruence closure whose union-find, signature table, and
+/// class-int maps carry undo records, so the search asserts one literal per
+/// push() and un-asserts it with pop() instead of rebuilding the closure at
+/// every node.
+///
+/// Construction registers the whole arena (terms are not interned during a
+/// refutation round) and performs the base congruence merges at level 0.
+/// Order literals (Le/Lt) are recorded on the trail and checked by
+/// consistent(), which runs the same difference-bound procedure as the
+/// reference path over the currently asserted set.
+class TheorySolver {
+public:
+  explicit TheorySolver(const TermArena &A);
+
+  /// Opens a backtrack point. Every assertLit() call is made under the
+  /// innermost open point; pop() undoes everything since the matching
+  /// push().
+  void push();
+  /// Undoes all assertions (merges, signatures, disequalities, order
+  /// literals, the conflict flag) since the matching push().
+  void pop();
+  unsigned level() const { return static_cast<unsigned>(Frames.size()); }
+
+  /// Asserts \p L (with its polarity). Equality/disequality literals run
+  /// through the congruence closure eagerly; order literals are recorded
+  /// for consistent(). Returns false if the closure is now in conflict.
+  bool assertLit(const Lit &L);
+  bool inConflict() const { return Conflict; }
+
+  /// Full consistency check of everything asserted so far: the congruence
+  /// state plus the difference-bound procedure over the recorded order
+  /// literals. Returns true if a conflict is detectable (UNSAT).
+  bool conflictNow();
+
+  TermId find(TermId T);
+  std::optional<int64_t> classIntValue(TermId T);
+
+  /// Total pop() calls, for the prover.theory_pops counter.
+  uint64_t pops() const { return Pops; }
+
+private:
+  struct Frame {
+    size_t Merges, Sigs, Diseqs, Orders;
+    bool PrevConflict;
+  };
+  struct MergeRec {
+    TermId Child;      ///< Root merged away (Parent[Child] reset on undo).
+    TermId Into;       ///< Root it was merged into.
+    size_t UsesOldLen; ///< Uses[Into] length before the merge.
+    bool WroteInt;     ///< Whether the merge wrote ClassInt[Into].
+    bool HadInt;       ///< Whether Into's class had an int value before.
+    int64_t OldInt;    ///< That value, when HadInt.
+  };
+  using SigKey = std::pair<std::string, std::vector<TermId>>;
+
+  void registerAll();
+  std::vector<TermId> signatureOf(TermId T);
+  void merge(TermId A, TermId B);
+  bool checkNeConflicts();
+  void insertSignature(TermId T);
+
+  const TermArena &Arena;
+  std::vector<TermId> Parent;
+  std::vector<uint32_t> Size;
+  std::vector<std::vector<TermId>> Uses;
+  std::map<SigKey, TermId> Signatures;
+  std::map<TermId, int64_t> ClassInt;
+  std::vector<std::pair<TermId, TermId>> Disequalities;
+  std::vector<Lit> OrderLits;
+  std::vector<std::pair<TermId, TermId>> PendingMerges;
+  bool Conflict = false;
+
+  // Undo machinery.
+  std::vector<Frame> Frames;
+  std::vector<MergeRec> MergeTrail;
+  std::vector<SigKey> SigTrail;
+  uint64_t Pops = 0;
+};
 
 } // namespace stq::prover
 

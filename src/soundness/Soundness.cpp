@@ -616,6 +616,14 @@ Obligation SoundnessChecker::runObligation(
     if (O.FromCache)
       Metrics->add("prove.obligations_from_cache", 1);
     Metrics->record("prove.obligation_seconds", Seconds);
+    // Incremental-engine work counters (docs/OBSERVABILITY.md). Cache hits
+    // replay the original run's stats, so for a fixed input these totals
+    // are identical for any --jobs value even when the schedule changes
+    // which duplicate obligation populates the cache first.
+    Metrics->add("prover.propagations", O.Stats.Propagations);
+    Metrics->add("prover.theory_pops", O.Stats.TheoryPops);
+    Metrics->add("prover.delta_terms", O.Stats.DeltaTerms);
+    Metrics->record("prover.trail_depth", O.Stats.MaxTrailDepth);
   }
   return O;
 }

@@ -6,9 +6,11 @@
 // A thin command-line layer over stq::Session (driver/Session.h):
 //
 //   stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N] [--warm-cache]
+//               [--cache-file PATH]
 //       verify every loaded qualifier's type rules against its invariant;
 //       obligations fan out over N workers backed by the memoized prover
-//       cache (--warm-cache primes it with a silent first pass)
+//       cache (--warm-cache primes it with a silent first pass;
+//       --cache-file persists it across runs)
 //   stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]
 //               [--flow-sensitive] [--jobs N]
 //       run the extensible typechecker, sharded across N workers; exit
@@ -101,6 +103,13 @@ cli::OptionTable buildOptionTable(CliOptions &Options) {
   Table.flag("--warm-cache", "",
              "prove: prime the prover cache with a silent first pass",
              [&] { Options.Session.WarmProverCache = true; });
+  Table.value("--cache-file", "", "PATH",
+              "prove: persist the prover cache across runs (load before, "
+              "save after; stale or corrupt files are ignored)",
+              [&](const std::string &V, std::string &) {
+                Options.Session.CacheFile = V;
+                return true;
+              });
   Table.optionalValue("--metrics", "FORMAT",
                       "print pipeline metrics (text or json)",
                       [&](const std::string &V, std::string &Error) {
@@ -153,7 +162,7 @@ void usage(const cli::OptionTable &Table) {
   std::printf(
       "usage:\n"
       "  stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N]"
-      " [--warm-cache]\n"
+      " [--warm-cache] [--cache-file PATH]\n"
       "  stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]"
       " [--flow-sensitive] [--jobs N]\n"
       "  stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]\n"

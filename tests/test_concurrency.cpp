@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -227,6 +228,65 @@ TEST(PipelineStress, ConcurrentSoundnessCheckersSharedCache) {
   EXPECT_EQ(Unsound.load(), 0u);
   prover::CacheStats CS = Cache.stats();
   EXPECT_GT(CS.Hits, 0u);
+  EXPECT_EQ(CS.Lookups, CS.Hits + CS.Misses);
+}
+
+TEST(PipelineStress, PersistentCacheSaveLoadRacesParallelChecker) {
+  // The --cache-file path under contention: while parallel soundness
+  // checkers hammer a shared cache, other threads repeatedly save() it to
+  // one path and load() the file back into the same cache. save() renames
+  // a complete temp file into place, so a concurrent load() must always
+  // see a parseable snapshot, and loaded entries must never override
+  // fresher in-memory ones.
+  DiagnosticEngine Setup;
+  qual::QualifierSet Quals;
+  ASSERT_TRUE(qual::loadBuiltinQualifiers({"pos", "neg", "nonzero"}, Quals,
+                                          Setup));
+  const std::string Path = "test_cache_race.stqcache";
+  prover::ProverCache Cache;
+  {
+    // Seed the file so the first load() races a real parse.
+    soundness::SoundnessChecker Seed(Quals, {}, nullptr, &Cache);
+    Seed.checkAll(1);
+    std::string Error;
+    ASSERT_TRUE(Cache.save(Path, &Error)) << Error;
+  }
+
+  std::atomic<unsigned> Unsound{0};
+  std::atomic<unsigned> FailedLoads{0};
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 3; ++T)
+    Threads.emplace_back([&] {
+      soundness::SoundnessChecker SC(Quals, {}, nullptr, &Cache);
+      for (unsigned Round = 0; Round < 4; ++Round)
+        for (const soundness::SoundnessReport &R : SC.checkAll(2))
+          if (!R.sound())
+            Unsound.fetch_add(1, std::memory_order_relaxed);
+    });
+  Threads.emplace_back([&] {
+    std::string Error;
+    while (!Done.load(std::memory_order_relaxed))
+      Cache.save(Path, &Error);
+  });
+  Threads.emplace_back([&] {
+    std::string Error;
+    while (!Done.load(std::memory_order_relaxed))
+      if (!Cache.load(Path, &Error))
+        FailedLoads.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (unsigned T = 0; T < 3; ++T)
+    Threads[T].join();
+  Done.store(true, std::memory_order_relaxed);
+  Threads[3].join();
+  Threads[4].join();
+  std::remove(Path.c_str());
+
+  EXPECT_EQ(Unsound.load(), 0u);
+  // Every load raced a rename of a fully written snapshot: none may have
+  // seen a torn or truncated file.
+  EXPECT_EQ(FailedLoads.load(), 0u);
+  prover::CacheStats CS = Cache.stats();
   EXPECT_EQ(CS.Lookups, CS.Hits + CS.Misses);
 }
 

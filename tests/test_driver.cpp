@@ -318,6 +318,74 @@ TEST(Session, WarmProverCacheReplaysFromCache) {
   EXPECT_GT(S.metrics().counter("prove.obligations_from_cache").get(), 0u);
 }
 
+TEST(Session, CacheFileWarmRerunSkipsAllProving) {
+  const std::string Path = "test_session_cache.stqcache";
+  std::remove(Path.c_str());
+  SessionOptions Options;
+  Options.Builtins = {"pos", "neg", "nonzero"};
+  Options.CacheFile = Path;
+
+  // Cold run: everything proved fresh, cache persisted on exit.
+  {
+    Session S(Options);
+    auto Reports = S.prove();
+    ASSERT_EQ(Reports.size(), 3u);
+    for (const auto &R : Reports)
+      EXPECT_TRUE(R.sound());
+    EXPECT_EQ(S.metrics().counter("prover.cache.persist_hits").get(), 0u);
+    EXPECT_EQ(S.metrics().counter("prove.obligations_from_cache").get(), 0u);
+  }
+  // Warm rerun in a fresh process-equivalent Session: every obligation
+  // discharges from the loaded file with zero prover calls.
+  {
+    Session S(Options);
+    auto Reports = S.prove();
+    ASSERT_EQ(Reports.size(), 3u);
+    for (const auto &R : Reports)
+      EXPECT_TRUE(R.sound());
+    uint64_t Obligations = S.metrics().counter("prove.obligations").get();
+    EXPECT_GT(Obligations, 0u);
+    EXPECT_EQ(S.metrics().counter("prove.obligations_from_cache").get(),
+              Obligations);
+    EXPECT_EQ(S.metrics().counter("prover.cache.persist_hits").get(),
+              Obligations);
+    EXPECT_GT(S.metrics().counter("prover.cache.persist_loaded").get(), 0u);
+    EXPECT_EQ(S.metrics().counter("prover.cache.misses").get(), 0u);
+    EXPECT_FALSE(S.diags().hasErrors());
+    EXPECT_EQ(S.diags().warningCount(), 0u);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Session, CorruptCacheFileIsIgnoredWithWarning) {
+  const std::string Path = "test_session_cache_corrupt.stqcache";
+  {
+    std::ofstream Out(Path);
+    Out << "stq-prover-cache-v0\ngarbage\n";
+  }
+  SessionOptions Options;
+  Options.Builtins = {"pos", "neg"};
+  Options.CacheFile = Path;
+  Session S(Options);
+  auto Reports = S.prove();
+  ASSERT_EQ(Reports.size(), 2u);
+  // The stale file contributed nothing; proving proceeded from scratch.
+  EXPECT_TRUE(Reports[0].sound());
+  EXPECT_EQ(S.metrics().counter("prover.cache.persist_loaded").get(), 0u);
+  EXPECT_EQ(S.metrics().counter("prove.obligations_from_cache").get(), 0u);
+  EXPECT_EQ(S.diags().warningCount(), 1u);
+  // prove() then overwrote it with a valid snapshot for the next run.
+  {
+    Session Rerun(Options);
+    auto Again = Rerun.prove();
+    ASSERT_EQ(Again.size(), 2u);
+    EXPECT_EQ(Rerun.metrics().counter("prove.obligations_from_cache").get(),
+              Rerun.metrics().counter("prove.obligations").get());
+    EXPECT_EQ(Rerun.diags().warningCount(), 0u);
+  }
+  std::remove(Path.c_str());
+}
+
 TEST(Session, InferPublishesMetrics) {
   SessionOptions Options;
   Options.Builtins = {"pos", "neg", "nonneg", "nonzero"};

@@ -1,9 +1,13 @@
 //===- test_prover.cpp - Tests for the automatic theorem prover -----------===//
 
 #include "prover/Prover.h"
+#include "prover/ProverCache.h"
 #include "prover/Theory.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
 
 using namespace stq::prover;
 
@@ -432,6 +436,232 @@ TEST(ProverTest, ModelReportedOnFailure) {
   P.addHypothesis(fPred(A, "p", {X}));
   ASSERT_EQ(P.prove(fPred(A, "q", {X})), ProofResult::Unknown);
   EXPECT_FALSE(P.stats().Model.empty());
+}
+
+TEST(ProverTest, IncrementalEngineStatsArePopulated) {
+  // Both branches of the split die only at the difference-bound check, so
+  // the trail must push decisions, propagate implied units, and pop theory
+  // state on every backtrack.
+  Prover P;
+  TermArena &A = P.arena();
+  TermId X = A.app("x"), Y = A.app("y"), W = A.app("w");
+  P.addHypothesis(fLt(Y, X));
+  P.addHypothesis(fOr({fPred(A, "p", {W}), fPred(A, "q", {W})}));
+  P.addHypothesis(fImplies(fPred(A, "p", {W}), fLt(X, Y)));
+  P.addHypothesis(fImplies(fPred(A, "q", {W}), fLt(X, Y)));
+  ASSERT_EQ(P.prove(fPred(A, "r", {W})), ProofResult::Proved);
+  EXPECT_GT(P.stats().Propagations, 0u);
+  EXPECT_GT(P.stats().MaxTrailDepth, 0u);
+  EXPECT_GT(P.stats().TheoryPops, 0u);
+  EXPECT_GT(P.stats().Splits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// TheorySolver: backtrackable congruence + order state
+//===----------------------------------------------------------------------===//
+
+TEST(TheorySolverTest, PopRestoresEqualityState) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y");
+  TermId Fx = A.app("f", {X}), Fy = A.app("f", {Y});
+  TheorySolver TS(A);
+  EXPECT_FALSE(TS.find(X) == TS.find(Y));
+
+  TS.push();
+  EXPECT_TRUE(TS.assertLit(Lit{false, Lit::Op::Eq, X, Y}));
+  // Congruence: f(x) joins f(y).
+  EXPECT_EQ(TS.find(Fx), TS.find(Fy));
+  TS.pop();
+  EXPECT_NE(TS.find(X), TS.find(Y));
+  EXPECT_NE(TS.find(Fx), TS.find(Fy));
+  EXPECT_EQ(TS.pops(), 1u);
+}
+
+TEST(TheorySolverTest, PopRestoresConflictFlag) {
+  TermArena A;
+  TermId X = A.app("x");
+  TermId One = A.intConst(1), Two = A.intConst(2);
+  TheorySolver TS(A);
+  TS.push();
+  EXPECT_TRUE(TS.assertLit(Lit{false, Lit::Op::Eq, X, One}));
+  TS.push();
+  // x = 1 and x = 2: distinct integer constants clash.
+  EXPECT_FALSE(TS.assertLit(Lit{false, Lit::Op::Eq, X, Two}));
+  EXPECT_TRUE(TS.inConflict());
+  TS.pop();
+  EXPECT_FALSE(TS.inConflict());
+  EXPECT_EQ(TS.classIntValue(X), std::optional<int64_t>(1));
+  TS.pop();
+  EXPECT_FALSE(TS.classIntValue(X).has_value());
+}
+
+TEST(TheorySolverTest, PopRestoresDisequalitiesAndOrderLits) {
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y");
+  TheorySolver TS(A);
+
+  TS.push();
+  // x < y and y < x: a difference-bound cycle.
+  EXPECT_TRUE(TS.assertLit(Lit{false, Lit::Op::Lt, X, Y}));
+  TS.push();
+  EXPECT_TRUE(TS.assertLit(Lit{false, Lit::Op::Lt, Y, X}));
+  EXPECT_TRUE(TS.conflictNow());
+  TS.pop();
+  EXPECT_FALSE(TS.conflictNow());
+
+  TS.push();
+  EXPECT_TRUE(TS.assertLit(Lit{true, Lit::Op::Eq, X, Y}));
+  TS.push();
+  EXPECT_FALSE(TS.assertLit(Lit{false, Lit::Op::Eq, X, Y}));
+  TS.pop();
+  EXPECT_FALSE(TS.inConflict());
+  TS.pop();
+  TS.pop();
+  // Back at level 0: x and y are unconstrained again.
+  EXPECT_TRUE(TS.assertLit(Lit{false, Lit::Op::Eq, X, Y}));
+  EXPECT_FALSE(TS.conflictNow());
+}
+
+TEST(TheorySolverTest, DeepPushPopMirrorsReference) {
+  // Random-ish literal stacks: after any push/pop sequence the solver's
+  // verdict matches a fresh reference theoryConflict over the same prefix.
+  TermArena A;
+  TermId X = A.app("x"), Y = A.app("y"), Z = A.app("z");
+  TermId Fx = A.app("f", {X}), Fz = A.app("f", {Z});
+  std::vector<Lit> Stack = {
+      Lit{false, Lit::Op::Eq, X, Y},  Lit{false, Lit::Op::Le, Y, Z},
+      Lit{true, Lit::Op::Eq, Fx, Fz}, Lit{false, Lit::Op::Le, Z, X},
+  };
+  TheorySolver TS(A);
+  for (unsigned Prefix = 1; Prefix <= Stack.size(); ++Prefix) {
+    for (unsigned Rep = 0; Rep < 2; ++Rep) {
+      unsigned Asserted = 0;
+      bool Ok = true;
+      for (unsigned I = 0; I < Prefix; ++I) {
+        TS.push();
+        ++Asserted;
+        if (!TS.assertLit(Stack[I])) {
+          Ok = false;
+          break;
+        }
+      }
+      bool IncConflict = !Ok || TS.conflictNow();
+      std::vector<Lit> Ref(Stack.begin(), Stack.begin() + Prefix);
+      EXPECT_EQ(IncConflict, theoryConflict(A, Ref))
+          << "prefix " << Prefix << " rep " << Rep;
+      while (Asserted--)
+        TS.pop();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ProverCache persistence
+//===----------------------------------------------------------------------===//
+
+TEST(ProverCachePersist, SaveLoadRoundtrip) {
+  const std::string Path = "test_cache_roundtrip.stqcache";
+  ProverCache Cache;
+  ProverStats Stats;
+  Stats.Seconds = 0.25;
+  Stats.Propagations = 7;
+  Stats.Instantiations = 3;
+  // Keys with embedded newlines, as canonicalTaskKey produces.
+  Cache.insert("axiom:a\ngoal:g1", ProofResult::Proved, Stats);
+  Cache.insert("axiom:a\ngoal:g2", ProofResult::Unknown, Stats);
+  Cache.insert("goal:g3", ProofResult::ResourceOut, Stats);
+  std::string Error;
+  ASSERT_TRUE(Cache.save(Path, &Error)) << Error;
+
+  ProverCache Reloaded;
+  ASSERT_TRUE(Reloaded.load(Path, &Error)) << Error;
+  EXPECT_EQ(Reloaded.stats().PersistLoaded, 3u);
+  auto Hit = Reloaded.lookup("axiom:a\ngoal:g1");
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Result, ProofResult::Proved);
+  EXPECT_TRUE(Hit->FromDisk);
+  EXPECT_EQ(Hit->Stats.Propagations, 7u);
+  EXPECT_DOUBLE_EQ(Hit->Stats.Seconds, 0.25);
+  Hit = Reloaded.lookup("axiom:a\ngoal:g2");
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Result, ProofResult::Unknown);
+  Hit = Reloaded.lookup("goal:g3");
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Result, ProofResult::ResourceOut);
+  EXPECT_EQ(Reloaded.stats().PersistHits, 3u);
+  std::remove(Path.c_str());
+}
+
+TEST(ProverCachePersist, InMemoryEntriesWinOverFile) {
+  const std::string Path = "test_cache_merge.stqcache";
+  ProverStats Stats;
+  {
+    ProverCache Cache;
+    Cache.insert("goal:g", ProofResult::Unknown, Stats);
+    ASSERT_TRUE(Cache.save(Path));
+  }
+  ProverCache Cache;
+  Cache.insert("goal:g", ProofResult::Proved, Stats);
+  ASSERT_TRUE(Cache.load(Path));
+  auto Hit = Cache.lookup("goal:g");
+  ASSERT_TRUE(Hit.has_value());
+  // This run's fresher answer survives the merge.
+  EXPECT_EQ(Hit->Result, ProofResult::Proved);
+  EXPECT_FALSE(Hit->FromDisk);
+  EXPECT_EQ(Cache.stats().PersistLoaded, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ProverCachePersist, WrongVersionHeaderIsIgnored) {
+  const std::string Path = "test_cache_badversion.stqcache";
+  {
+    std::ofstream Out(Path);
+    Out << "stq-prover-cache-v999\n1\nkey 6\ngoal:g\n"
+        << "verdict proved 0.1 1 0 0 1 1 0 0 0 0\n";
+  }
+  ProverCache Cache;
+  std::string Error;
+  EXPECT_FALSE(Cache.load(Path, &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+  EXPECT_FALSE(Cache.lookup("goal:g").has_value());
+  EXPECT_EQ(Cache.stats().PersistLoaded, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ProverCachePersist, CorruptFileIsDiscardedWholesale) {
+  const std::string Path = "test_cache_corrupt.stqcache";
+  ProverStats Stats;
+  {
+    ProverCache Cache;
+    Cache.insert("goal:g1", ProofResult::Proved, Stats);
+    Cache.insert("goal:g2", ProofResult::Proved, Stats);
+    ASSERT_TRUE(Cache.save(Path));
+  }
+  // Truncate the tail: even the entries before the cut must not load.
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::string Contents((std::istreambuf_iterator<char>(In)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Contents.substr(0, Contents.size() - 20);
+  }
+  ProverCache Cache;
+  std::string Error;
+  EXPECT_FALSE(Cache.load(Path, &Error));
+  EXPECT_FALSE(Cache.lookup("goal:g1").has_value());
+  EXPECT_FALSE(Cache.lookup("goal:g2").has_value());
+  EXPECT_EQ(Cache.stats().PersistLoaded, 0u);
+  std::remove(Path.c_str());
+
+  // Garbage verdict text is rejected the same way.
+  {
+    std::ofstream Out(Path);
+    Out << ProverCache::PersistVersion << "\n1\nkey 7\ngoal:gx\n"
+        << "verdict banana 0.1 1 0 0 1 1 0 0 0 0\n";
+  }
+  EXPECT_FALSE(Cache.load(Path, &Error));
+  EXPECT_FALSE(Cache.lookup("goal:gx").has_value());
+  std::remove(Path.c_str());
 }
 
 } // namespace
