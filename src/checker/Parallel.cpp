@@ -49,7 +49,8 @@ CheckResult stq::checker::checkProgramParallel(cminus::Program &Prog,
                                                DiagnosticEngine &Diags,
                                                CheckerOptions Options,
                                                unsigned Jobs,
-                                               ParallelStats *StatsOut) {
+                                               ParallelStats *StatsOut,
+                                               ThreadPool *Pool) {
   trace::Span Span("qualcheck");
   std::vector<cminus::FuncDecl *> Fns;
   for (cminus::FuncDecl *Fn : Prog.Functions)
@@ -82,7 +83,7 @@ CheckResult stq::checker::checkProgramParallel(cminus::Program &Prog,
     QualChecker Checker(Prog, Quals, Runs[I].Diags, Options);
     Runs[I].Result =
         I == 0 ? Checker.runGlobals() : Checker.runFunction(Fns[I - 1]);
-  }, &PoolStats);
+  }, &PoolStats, Pool);
 
   // Merge in unit order: globals first, then functions as declared. This
   // reproduces the sequential checker's diagnostic order exactly, so any

@@ -31,6 +31,10 @@
 
 #include "checker/Checker.h"
 
+namespace stq {
+class ThreadPool;
+}
+
 namespace stq::checker {
 
 /// Counters describing one parallel checking run.
@@ -46,13 +50,16 @@ struct ParallelStats {
 
 /// Checks \p Prog with \p Jobs workers. Jobs <= 1 runs the plain
 /// sequential checker on \p Diags; otherwise units run concurrently and
-/// their diagnostics are merged into \p Diags in program order.
+/// their diagnostics are merged into \p Diags in program order. When
+/// \p Pool is given, units fan out on it (as a task group) instead of a
+/// per-call pool, so concurrent callers share workers.
 CheckResult checkProgramParallel(cminus::Program &Prog,
                                  const qual::QualifierSet &Quals,
                                  DiagnosticEngine &Diags,
                                  CheckerOptions Options = {},
                                  unsigned Jobs = 1,
-                                 ParallelStats *StatsOut = nullptr);
+                                 ParallelStats *StatsOut = nullptr,
+                                 ThreadPool *Pool = nullptr);
 
 /// Convenience entry point mirroring checkSource: full front end, then
 /// parallel checking.

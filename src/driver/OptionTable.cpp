@@ -92,9 +92,16 @@ const Option *OptionTable::find(const std::string &Spelling) const {
 
 bool OptionTable::parse(const std::vector<std::string> &Args,
                         std::string &Error) const {
+  bool OptionsEnded = false;
   for (size_t I = 0; I < Args.size(); ++I) {
     const std::string &Arg = Args[I];
-    if (Arg.empty() || Arg[0] != '-') {
+    if (!OptionsEnded && Arg == "--") {
+      // End-of-options separator: everything after is positional, even
+      // arguments that look like flags.
+      OptionsEnded = true;
+      continue;
+    }
+    if (OptionsEnded || Arg.empty() || Arg[0] != '-') {
       if (!Positional) {
         Error = "unexpected argument '" + Arg + "'";
         return false;

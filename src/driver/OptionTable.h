@@ -12,7 +12,10 @@
 /// an optional value) with handlers; parse() then accepts both
 /// `--name value` and `--name=value` spellings, routes positionals, and
 /// turns unknown flags and malformed values into hard errors with a
-/// message naming the offending argument.
+/// message naming the offending argument. A bare `--` ends option
+/// processing: every later argument is positional, even ones starting
+/// with '-'. Repeated options re-apply their handler in order (so scalar
+/// options are last-wins and list options accumulate).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -27,13 +27,24 @@ bool stq::readFileToString(const std::string &Path, std::string &Out,
   return true;
 }
 
-Session::Session(SessionOptions Options) : Opts(std::move(Options)) {}
+Session::Session(SessionOptions Options) : Opts(std::move(Options)) {
+  if (Opts.SharedQualifiers)
+    QualsView = Opts.SharedQualifiers;
+  if (Opts.SharedCache)
+    CachePtr = Opts.SharedCache;
+}
 
 Session::~Session() = default;
 
 bool Session::loadQualifiers() {
   if (Loaded != LoadState::NotLoaded)
     return Loaded == LoadState::Ok;
+  if (Opts.SharedQualifiers) {
+    // The owner loaded (and well-formed-checked) the set once.
+    Loaded = LoadState::Ok;
+    Metrics.set("qual.loaded", QualsView->all().size());
+    return true;
+  }
   Loaded = LoadState::Failed;
 
   stats::ScopedTimer Timer(&Metrics, "phase.qualload_seconds");
@@ -78,13 +89,13 @@ std::unique_ptr<cminus::Program> Session::frontEnd(const std::string &Source,
   std::unique_ptr<cminus::Program> Prog;
   {
     stats::ScopedTimer Timer(&Metrics, "phase.parse_seconds");
-    Prog = cminus::parseProgram(Source, Quals.names(), Diags);
+    Prog = cminus::parseProgram(Source, QualsView->names(), Diags);
   }
   if (!Prog || Diags.hasErrors())
     return Prog;
   {
     stats::ScopedTimer Timer(&Metrics, "phase.sema_seconds");
-    if (!cminus::runSema(*Prog, Quals.refNames(), Diags))
+    if (!cminus::runSema(*Prog, QualsView->refNames(), Diags))
       return Prog;
   }
   {
@@ -117,8 +128,10 @@ Session::CheckOutcome Session::check(const std::string &Source) {
   Out.Program = frontEnd(Source, Out.FrontEndOk);
   if (Out.FrontEndOk) {
     stats::ScopedTimer Timer(&Metrics, "phase.qualcheck_seconds");
-    Out.Result = checker::checkProgramParallel(
-        *Out.Program, Quals, Diags, Opts.Checker, Opts.Jobs, &Out.Pipeline);
+    Out.Result =
+        checker::checkProgramParallel(*Out.Program, *QualsView, Diags,
+                                      Opts.Checker, Opts.Jobs, &Out.Pipeline,
+                                      Opts.SharedPool);
   }
   publishCheckMetrics(Out);
   publishDiagMetrics();
@@ -137,7 +150,7 @@ void Session::loadCacheFile() {
     return;
   Probe.close();
   std::string Error;
-  if (!Cache.load(Opts.CacheFile, &Error))
+  if (!CachePtr->load(Opts.CacheFile, &Error))
     Diags.warning(SourceLoc(), "driver", "prover cache file: " + Error);
 }
 
@@ -145,8 +158,12 @@ void Session::saveCacheFile() {
   if (Opts.CacheFile.empty())
     return;
   std::string Error;
-  if (!Cache.save(Opts.CacheFile, &Error))
+  if (!CachePtr->save(Opts.CacheFile, &Error) && !CacheSaveWarned) {
+    // Warn once: prove() and proveQualifier() save after every call, and a
+    // persistently unwritable path would otherwise repeat the warning.
+    CacheSaveWarned = true;
     Diags.warning(SourceLoc(), "driver", "prover cache file: " + Error);
+  }
 }
 
 std::vector<soundness::SoundnessReport> Session::prove() {
@@ -159,15 +176,15 @@ std::vector<soundness::SoundnessReport> Session::prove() {
   if (Opts.WarmProverCache) {
     // A silent first pass: every obligation lands in the cache, so the
     // reported pass below replays entirely from it.
-    soundness::SoundnessChecker Warm(Quals, Opts.Prover, nullptr, &Cache,
-                                     &Metrics);
+    soundness::SoundnessChecker Warm(*QualsView, Opts.Prover, nullptr,
+                                     CachePtr, &Metrics, Opts.SharedPool);
     Warm.checkAll(Jobs);
   }
   std::vector<soundness::SoundnessReport> Reports;
   {
     stats::ScopedTimer Timer(&Metrics, "phase.prove_seconds");
-    soundness::SoundnessChecker SC(Quals, Opts.Prover, nullptr, &Cache,
-                                   &Metrics);
+    soundness::SoundnessChecker SC(*QualsView, Opts.Prover, nullptr, CachePtr,
+                                   &Metrics, Opts.SharedPool);
     Reports = SC.checkAll(Jobs);
   }
   saveCacheFile();
@@ -185,8 +202,8 @@ soundness::SoundnessReport Session::proveQualifier(const std::string &Name) {
   soundness::SoundnessReport Report;
   {
     stats::ScopedTimer Timer(&Metrics, "phase.prove_seconds");
-    soundness::SoundnessChecker SC(Quals, Opts.Prover, nullptr, &Cache,
-                                   &Metrics);
+    soundness::SoundnessChecker SC(*QualsView, Opts.Prover, nullptr, CachePtr,
+                                   &Metrics, Opts.SharedPool);
     Report = SC.checkQualifier(Name, Opts.Jobs);
   }
   saveCacheFile();
@@ -205,7 +222,7 @@ Session::RunOutcome Session::run(const std::string &Source) {
   }
   {
     stats::ScopedTimer Timer(&Metrics, "phase.execute_seconds");
-    Out.Run = interp::runProgram(*Out.Check.Program, Quals,
+    Out.Run = interp::runProgram(*Out.Check.Program, *QualsView,
                                  Out.Check.Result.RuntimeChecks, Opts.Interp);
   }
   publishRunMetrics(Out.Run);
@@ -221,7 +238,7 @@ Session::InferOutcome Session::infer(const std::string &Source) {
   Out.Program = frontEnd(Source, Out.FrontEndOk);
   if (Out.FrontEndOk) {
     stats::ScopedTimer Timer(&Metrics, "phase.infer_seconds");
-    Out.Result = checker::inferQualifiers(*Out.Program, Quals);
+    Out.Result = checker::inferQualifiers(*Out.Program, *QualsView);
   }
   if (Out.FrontEndOk) {
     Metrics.set("infer.annotations", Out.Result.totalInferred());
@@ -287,7 +304,7 @@ void Session::publishRunMetrics(const interp::RunResult &R) {
 }
 
 void Session::publishCacheMetrics() {
-  prover::CacheStats CS = Cache.stats();
+  prover::CacheStats CS = CachePtr->stats();
   Metrics.set("prover.cache.lookups", CS.Lookups);
   Metrics.set("prover.cache.hits", CS.Hits);
   Metrics.set("prover.cache.misses", CS.Misses);

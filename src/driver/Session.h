@@ -86,6 +86,22 @@ struct SessionOptions {
   /// an unchanged qualifier set across processes then skips proving
   /// entirely.
   std::string CacheFile;
+
+  /// Process-sharing hooks (the stqd server). Each pointee must outlive
+  /// the Session; all default to the owned, per-session objects.
+  ///
+  /// When set, prove() memoizes into this cache instead of the session's
+  /// own. The owner is responsible for persistence, so CacheFile
+  /// load/save should not be combined with a shared cache.
+  prover::ProverCache *SharedCache = nullptr;
+  /// When set, the qualifier set was loaded (and well-formed-checked)
+  /// once by the owner; Builtins/QualFiles/QualSources are ignored and
+  /// loadQualifiers() is an immediate success.
+  const qual::QualifierSet *SharedQualifiers = nullptr;
+  /// When set, check() and prove() fan their units/obligations onto this
+  /// pool as task groups instead of spawning a per-call pool, so
+  /// concurrent sessions share one set of workers.
+  ThreadPool *SharedPool = nullptr;
 };
 
 /// The pipeline driver. Not thread-safe: one Session per thread (the
@@ -148,13 +164,15 @@ public:
   /// Front end + value-qualifier inference (section 8 future work).
   InferOutcome infer(const std::string &Source);
 
-  /// The loaded qualifier set (empty before loadQualifiers()).
-  const qual::QualifierSet &qualifiers() const { return Quals; }
+  /// The loaded qualifier set (empty before loadQualifiers()); the shared
+  /// set when SessionOptions::SharedQualifiers is set.
+  const qual::QualifierSet &qualifiers() const { return *QualsView; }
   /// Every diagnostic reported so far, across all calls.
   DiagnosticEngine &diags() { return Diags; }
   const DiagnosticEngine &diags() const { return Diags; }
-  /// The session-lifetime memoized prover cache.
-  prover::ProverCache &proverCache() { return Cache; }
+  /// The memoized prover cache: session-lifetime by default, the shared
+  /// cache when SessionOptions::SharedCache is set.
+  prover::ProverCache &proverCache() { return *CachePtr; }
   /// The metrics registry every stage publishes into.
   stats::Registry &metrics() { return Metrics; }
   const SessionOptions &options() const { return Opts; }
@@ -180,13 +198,19 @@ private:
 
   SessionOptions Opts;
   DiagnosticEngine Diags;
+  /// Owned qualifier set; unused when Opts.SharedQualifiers is set.
   qual::QualifierSet Quals;
+  /// Owned prover cache; unused when Opts.SharedCache is set.
   prover::ProverCache Cache;
+  /// The set/cache every stage actually uses (owned or shared).
+  const qual::QualifierSet *QualsView = &Quals;
+  prover::ProverCache *CachePtr = &Cache;
   stats::Registry Metrics;
 
   enum class LoadState { NotLoaded, Ok, Failed };
   LoadState Loaded = LoadState::NotLoaded;
   bool CacheFileLoaded = false;
+  bool CacheSaveWarned = false;
 };
 
 } // namespace stq

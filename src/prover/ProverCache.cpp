@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -341,6 +342,20 @@ bool ProverCache::save(const std::string &Path, std::string *Error) {
     std::lock_guard<std::mutex> Lock(S.M);
     for (const auto &[Key, Answer] : S.Map)
       Entries.emplace_back(Key, Answer);
+  }
+
+  // A --cache-file in a directory that does not exist yet is a valid cold
+  // start (e.g. a per-project .cache/ tree): create the parents instead of
+  // failing the save.
+  std::filesystem::path Parent = std::filesystem::path(Path).parent_path();
+  if (!Parent.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Parent, EC);
+    if (EC) {
+      setError(Error, "cannot create cache directory " + Parent.string() +
+                          ": " + EC.message());
+      return false;
+    }
   }
 
   // Unique temp name per call: concurrent saves to the same path must not

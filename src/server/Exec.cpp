@@ -1,0 +1,195 @@
+//===- Exec.cpp -----------------------------------------------------------===//
+
+#include "server/Exec.h"
+
+#include "support/Trace.h"
+
+#include <mutex>
+#include <sstream>
+
+using namespace stq;
+using namespace stq::server;
+
+namespace {
+
+/// Renders every collected diagnostic through the configured consumer
+/// (text is byte-for-byte the historical stderr output).
+void reportDiagnostics(Session &S, const Invocation &Inv, std::ostream &Err) {
+  if (Inv.JsonDiagnostics) {
+    JsonDiagnosticConsumer C(Err);
+    for (const Diagnostic &D : S.diags().diagnostics())
+      C.handleDiagnostic(D);
+    C.finish();
+    return;
+  }
+  TextDiagnosticConsumer C(Err);
+  for (const Diagnostic &D : S.diags().diagnostics())
+    C.handleDiagnostic(D);
+}
+
+void emitMetrics(Session &S, const Invocation &Inv, std::ostream &Out) {
+  if (Inv.Metrics)
+    S.emitMetrics(Out, Inv.MetricsFormat);
+}
+
+int execProve(Session &S, const Invocation &Inv, std::ostream &Out,
+              std::ostream &Err) {
+  if (!S.loadQualifiers()) {
+    reportDiagnostics(S, Inv, Err);
+    emitMetrics(S, Inv, Out);
+    return 2;
+  }
+  auto Reports = S.prove();
+  Out << soundness::formatReports(Reports);
+  emitMetrics(S, Inv, Out);
+  for (const auto &R : Reports)
+    if (!R.sound())
+      return 1;
+  return 0;
+}
+
+int execCheck(Session &S, const Invocation &Inv, std::ostream &Out,
+              std::ostream &Err) {
+  Session::CheckOutcome OutC = S.check(Inv.Source);
+  reportDiagnostics(S, Inv, Err);
+  if (S.diags().hasErrors()) {
+    emitMetrics(S, Inv, Out);
+    return 2;
+  }
+  Out << "qualifier errors: " << OutC.Result.QualErrors
+      << " (dereference sites " << OutC.Result.Stats.DerefSites
+      << ", assignment checks " << OutC.Result.Stats.AssignChecks
+      << ", run-time checks " << OutC.Result.RuntimeChecks.size() << ")\n";
+  emitMetrics(S, Inv, Out);
+  return OutC.Result.ok() ? 0 : 1;
+}
+
+int execRun(Session &S, const Invocation &Inv, std::ostream &Out,
+            std::ostream &Err) {
+  Session::RunOutcome O = S.run(Inv.Source);
+  reportDiagnostics(S, Inv, Err);
+  const interp::RunResult &R = O.Run;
+  if (!R.Output.empty())
+    Out << R.Output;
+  int Code = 2;
+  switch (R.Status) {
+  case interp::RunStatus::Ok:
+    Out << "[exit " << static_cast<long>(*R.ExitValue) << "]\n";
+    Code = static_cast<int>(*R.ExitValue & 0xff);
+    break;
+  case interp::RunStatus::CheckFailure:
+    for (const auto &F : R.CheckFailures)
+      Err << "fatal: run-time qualifier check failed at " << F.Loc.str()
+          << ": value " << F.ValueStr << " does not satisfy '" << F.Qual
+          << "'\n";
+    Code = 3;
+    break;
+  case interp::RunStatus::Trap:
+    Err << "trap: " << R.TrapMessage << "\n";
+    Code = 4;
+    break;
+  case interp::RunStatus::FuelExhausted:
+    Err << "error: step budget exhausted\n";
+    Code = 5;
+    break;
+  case interp::RunStatus::SetupError:
+    Err << "error: " << R.TrapMessage << "\n";
+    Code = 2;
+    break;
+  }
+  emitMetrics(S, Inv, Out);
+  return Code;
+}
+
+int execInfer(Session &S, const Invocation &Inv, std::ostream &Out,
+              std::ostream &Err) {
+  Session::InferOutcome O = S.infer(Inv.Source);
+  if (!O.FrontEndOk || S.diags().hasErrors()) {
+    reportDiagnostics(S, Inv, Err);
+    emitMetrics(S, Inv, Out);
+    return 2;
+  }
+  for (const auto &[Var, Quals] : O.Result.Inferred) {
+    std::string List;
+    for (const std::string &Q : Quals)
+      List += (List.empty() ? "" : " ") + Q;
+    Out << Var->Loc.str() << ": "
+        << (Var->IsParam ? "parameter"
+                         : (Var->IsGlobal ? "global" : "local"))
+        << " '" << Var->Name << "' may be annotated: " << List << "\n";
+  }
+  Out << "inferred " << O.Result.totalInferred() << " annotation(s) on "
+      << O.Result.Inferred.size() << " variable(s) in "
+      << O.Result.Iterations << " iteration(s)\n";
+  emitMetrics(S, Inv, Out);
+  return 0;
+}
+
+bool needsSource(const std::string &Command) {
+  return Command == "check" || Command == "run" || Command == "infer";
+}
+
+} // namespace
+
+bool stq::server::knownCommand(const std::string &Command) {
+  return Command == "prove" || needsSource(Command);
+}
+
+ExecResult stq::server::executeInvocation(const Invocation &Inv,
+                                          const SharedContext &Shared) {
+  ExecResult R;
+  std::ostringstream Out, Err;
+
+  SessionOptions SOpts = Inv.Session;
+  SOpts.SharedPool = Shared.Pool;
+  if (Shared.Cache) {
+    SOpts.SharedCache = Shared.Cache;
+    // The cache owner persists; a per-request load/save would race it.
+    SOpts.CacheFile.clear();
+  }
+  if (Shared.Qualifiers && SOpts.Builtins.empty() &&
+      SOpts.QualFiles.empty() && SOpts.QualSources.empty())
+    SOpts.SharedQualifiers = Shared.Qualifiers;
+
+  if (!knownCommand(Inv.Command)) {
+    Err << "stqc: unknown command '" << Inv.Command << "'\n";
+    R.Err = Err.str();
+    return R;
+  }
+  if (needsSource(Inv.Command) && !Inv.HasSource) {
+    Err << "stqc: no input (pass FILE or -e SRC)\n";
+    R.Err = Err.str();
+    return R;
+  }
+
+  // The tracer is process-global, so traced invocations serialize: two
+  // concurrent requests must not interleave their spans.
+  static std::mutex TraceM;
+  std::unique_lock<std::mutex> TraceLock;
+  if (Inv.Trace) {
+    TraceLock = std::unique_lock<std::mutex>(TraceM);
+    trace::Tracer::start();
+  }
+
+  {
+    Session S(SOpts);
+    if (Inv.Command == "prove")
+      R.ExitCode = execProve(S, Inv, Out, Err);
+    else if (Inv.Command == "check")
+      R.ExitCode = execCheck(S, Inv, Out, Err);
+    else if (Inv.Command == "run")
+      R.ExitCode = execRun(S, Inv, Out, Err);
+    else
+      R.ExitCode = execInfer(S, Inv, Out, Err);
+  }
+
+  if (Inv.Trace) {
+    std::vector<trace::TraceEvent> Events = trace::Tracer::stop();
+    std::ostringstream TS;
+    metrics::writeChromeTrace(Events, TS);
+    R.TraceJson = TS.str();
+  }
+  R.Out = Out.str();
+  R.Err = Err.str();
+  return R;
+}

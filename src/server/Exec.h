@@ -1,0 +1,79 @@
+//===- Exec.h - The shared stqc invocation executor -------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One parsed `stqc` subcommand, executed to byte buffers. Both front ends
+/// run the same executeInvocation(): the one-shot CLI prints Out/Err
+/// verbatim and the `stqd` worker ships them in the RPC response, so a
+/// request answered by the server is byte-identical to the same command
+/// run locally — the differential test in tests/test_server.cpp and the
+/// CI smoke job both enforce this.
+///
+/// The server passes a SharedContext carrying its warm process-wide state
+/// (prover cache, default qualifier set, worker pool); the one-shot CLI
+/// passes none and the Session owns everything, exactly as before.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SERVER_EXEC_H
+#define STQ_SERVER_EXEC_H
+
+#include "driver/Session.h"
+
+#include <string>
+
+namespace stq::server {
+
+/// One fully-parsed `stqc` invocation: the subcommand plus everything that
+/// configures a Session. Built from argv by stqc and from a decoded
+/// stq-rpc-v1 request by stqd.
+struct Invocation {
+  /// "prove", "check", "run", or "infer".
+  std::string Command;
+  /// Program source text for check/run/infer. Input files are read by the
+  /// *client* (the daemon never touches caller paths).
+  std::string Source;
+  bool HasSource = false;
+  SessionOptions Session;
+  bool Metrics = false;
+  metrics::Format MetricsFormat = metrics::Format::Text;
+  bool JsonDiagnostics = false;
+  /// Capture a Chrome trace of this invocation into ExecResult::TraceJson.
+  bool Trace = false;
+};
+
+/// The daemon's warm process-wide state, shared into each per-request
+/// Session. All-null (the default) means the Session owns everything.
+struct SharedContext {
+  prover::ProverCache *Cache = nullptr;
+  /// Shared only when the invocation does not configure its own qualifier
+  /// set (no builtins/files/sources), so explicit requests still load
+  /// exactly what they asked for.
+  const qual::QualifierSet *Qualifiers = nullptr;
+  ThreadPool *Pool = nullptr;
+};
+
+/// Everything an invocation produced, as bytes plus the exit code.
+struct ExecResult {
+  std::string Out; ///< The stdout payload.
+  std::string Err; ///< The stderr payload (diagnostics).
+  std::string TraceJson; ///< Chrome trace document, when Invocation::Trace.
+  int ExitCode = 2;
+};
+
+/// True for the subcommands executeInvocation() understands.
+bool knownCommand(const std::string &Command);
+
+/// Runs \p Inv against a fresh Session (wired to \p Shared when given).
+/// Thread-safe: concurrent invocations only share what \p Shared shares,
+/// and traced invocations serialize on the process-global tracer.
+ExecResult executeInvocation(const Invocation &Inv,
+                             const SharedContext &Shared = {});
+
+} // namespace stq::server
+
+#endif // STQ_SERVER_EXEC_H

@@ -1,0 +1,217 @@
+//===- Protocol.cpp -------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "prover/ProverCache.h"
+#include "support/Json.h"
+
+using namespace stq;
+using namespace stq::server;
+using namespace stq::server::rpc;
+
+bool stq::server::rpc::isControlCommand(const std::string &Command) {
+  return Command == "status" || Command == "shutdown";
+}
+
+std::string stq::server::rpc::encodeRequest(const Request &R) {
+  json::Value Doc = json::Value::object();
+  Doc.set("v", json::Value::str(Version));
+  if (!R.Id.empty())
+    Doc.set("id", json::Value::str(R.Id));
+  Doc.set("command", json::Value::str(R.Inv.Command));
+  if (R.Inv.HasSource)
+    Doc.set("source", json::Value::str(R.Inv.Source));
+
+  json::Value Opts = json::Value::object();
+  const SessionOptions &S = R.Inv.Session;
+  if (!S.Builtins.empty()) {
+    json::Value A = json::Value::array();
+    for (const std::string &B : S.Builtins)
+      A.push(json::Value::str(B));
+    Opts.set("builtins", std::move(A));
+  }
+  if (!S.QualSources.empty()) {
+    json::Value A = json::Value::array();
+    for (const std::string &Src : S.QualSources)
+      A.push(json::Value::str(Src));
+    Opts.set("qualsources", std::move(A));
+  }
+  if (!S.Interp.EntryPoint.empty())
+    Opts.set("entry", json::Value::str(S.Interp.EntryPoint));
+  if (S.Checker.FlowSensitiveNarrowing)
+    Opts.set("flow_sensitive", json::Value::boolean(true));
+  if (S.Jobs != 1)
+    Opts.set("jobs", json::Value::integer(S.Jobs));
+  if (S.WarmProverCache)
+    Opts.set("warm_cache", json::Value::boolean(true));
+  if (R.Inv.Metrics)
+    Opts.set("metrics", json::Value::str(
+                            R.Inv.MetricsFormat == metrics::Format::Json
+                                ? "json"
+                                : "text"));
+  if (R.Inv.JsonDiagnostics)
+    Opts.set("diagnostics", json::Value::str("json"));
+  if (R.Inv.Trace)
+    Opts.set("trace", json::Value::boolean(true));
+  if (!Opts.members().empty())
+    Doc.set("options", std::move(Opts));
+  return Doc.write();
+}
+
+bool stq::server::rpc::parseRequest(const std::string &Line, Request &Out,
+                                    std::string &Error) {
+  json::Value Doc;
+  if (!json::parse(Line, Doc, Error)) {
+    Error = "malformed request: " + Error;
+    return false;
+  }
+  if (!Doc.isObject()) {
+    Error = "malformed request: expected a JSON object";
+    return false;
+  }
+  std::string V = Doc.getString("v");
+  if (V != Version) {
+    Error = V.empty() ? std::string("missing protocol version tag 'v'")
+                      : "unsupported protocol version '" + V +
+                            "' (this server speaks " + Version + ")";
+    return false;
+  }
+  Out = Request();
+  Out.Id = Doc.getString("id");
+  Out.Inv.Command = Doc.getString("command");
+  if (Out.Inv.Command.empty()) {
+    Error = "missing 'command'";
+    return false;
+  }
+  if (!isControlCommand(Out.Inv.Command) && !knownCommand(Out.Inv.Command)) {
+    Error = "unknown command '" + Out.Inv.Command + "'";
+    return false;
+  }
+  if (const json::Value *Src = Doc.get("source")) {
+    if (!Src->isString()) {
+      Error = "'source' must be a string";
+      return false;
+    }
+    Out.Inv.Source = Src->asString();
+    Out.Inv.HasSource = true;
+  }
+
+  const json::Value *Opts = Doc.get("options");
+  if (!Opts)
+    return true;
+  if (!Opts->isObject()) {
+    Error = "'options' must be an object";
+    return false;
+  }
+  SessionOptions &S = Out.Inv.Session;
+  for (const auto &[Key, Val] : Opts->members()) {
+    if (Key == "builtins" || Key == "qualsources") {
+      if (!Val.isArray()) {
+        Error = "'" + Key + "' must be an array of strings";
+        return false;
+      }
+      for (const json::Value &E : Val.elements()) {
+        if (!E.isString()) {
+          Error = "'" + Key + "' must be an array of strings";
+          return false;
+        }
+        (Key == "builtins" ? S.Builtins : S.QualSources)
+            .push_back(E.asString());
+      }
+    } else if (Key == "entry") {
+      S.Interp.EntryPoint = Val.asString();
+    } else if (Key == "flow_sensitive") {
+      S.Checker.FlowSensitiveNarrowing = Val.asBool();
+    } else if (Key == "jobs") {
+      if (!Val.isNumber() || Val.asInt() < 0) {
+        Error = "'jobs' must be a non-negative integer";
+        return false;
+      }
+      S.Jobs = static_cast<unsigned>(Val.asInt());
+    } else if (Key == "warm_cache") {
+      S.WarmProverCache = Val.asBool();
+    } else if (Key == "metrics") {
+      auto F = metrics::parseFormat(Val.asString());
+      if (!F) {
+        Error = "bad metrics format '" + Val.asString() + "'";
+        return false;
+      }
+      Out.Inv.Metrics = true;
+      Out.Inv.MetricsFormat = *F;
+    } else if (Key == "diagnostics") {
+      if (Val.asString() == "json") {
+        Out.Inv.JsonDiagnostics = true;
+      } else if (Val.asString() != "text") {
+        Error = "bad diagnostics format '" + Val.asString() + "'";
+        return false;
+      }
+    } else if (Key == "trace") {
+      Out.Inv.Trace = Val.asBool();
+    } else {
+      Error = "unknown option '" + Key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string stq::server::rpc::encodeResponse(const Response &R) {
+  json::Value Doc = json::Value::object();
+  Doc.set("v", json::Value::str(Version));
+  if (!R.Id.empty())
+    Doc.set("id", json::Value::str(R.Id));
+  Doc.set("status", json::Value::str(R.Status));
+  Doc.set("exit_code", json::Value::integer(R.ExitCode));
+  Doc.set("stdout", json::Value::str(R.Out));
+  Doc.set("stderr", json::Value::str(R.Err));
+  if (!R.TraceJson.empty())
+    Doc.set("trace", json::Value::str(R.TraceJson));
+  if (!R.Error.empty())
+    Doc.set("error", json::Value::str(R.Error));
+  return Doc.write();
+}
+
+bool stq::server::rpc::parseResponse(const std::string &Line, Response &Out,
+                                     std::string &Error) {
+  json::Value Doc;
+  if (!json::parse(Line, Doc, Error)) {
+    Error = "malformed response: " + Error;
+    return false;
+  }
+  if (!Doc.isObject()) {
+    Error = "malformed response: expected a JSON object";
+    return false;
+  }
+  std::string V = Doc.getString("v");
+  if (V != Version) {
+    Error = "unsupported protocol version '" + V + "'";
+    return false;
+  }
+  Out = Response();
+  Out.Id = Doc.getString("id");
+  Out.Status = Doc.getString("status");
+  if (Out.Status.empty()) {
+    Error = "missing 'status'";
+    return false;
+  }
+  Out.ExitCode = static_cast<int>(Doc.getInt("exit_code", 2));
+  Out.Out = Doc.getString("stdout");
+  Out.Err = Doc.getString("stderr");
+  Out.TraceJson = Doc.getString("trace");
+  Out.Error = Doc.getString("error");
+  return true;
+}
+
+std::string stq::server::rpc::versionText(const std::string &Tool) {
+  // The metrics/diagnostics tags mirror the "schema" fields the emitters
+  // write (support/MetricsEmitter.cpp, support/Diagnostics.cpp).
+  std::string Out = Tool + " (stq: semantic type qualifiers)\n";
+  Out += "  rpc protocol:  ";
+  Out += Version;
+  Out += "\n  metrics:       stq-metrics-v1\n";
+  Out += "  diagnostics:   stq-diagnostics-v1\n";
+  Out += "  prover cache:  ";
+  Out += prover::ProverCache::PersistVersion;
+  Out += "\n";
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- RequestQueue.cpp ---------------------------------------------------===//
+
+#include "server/RequestQueue.h"
+
+using namespace stq;
+using namespace stq::server;
+
+bool RequestQueue::push(UnixStream &&Conn) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Closed || Q.size() >= Capacity)
+      return false;
+    Q.push_back(std::move(Conn));
+  }
+  Cv.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop(UnixStream &Out) {
+  std::unique_lock<std::mutex> Lock(M);
+  Cv.wait(Lock, [this] { return !Q.empty() || Closed; });
+  if (Q.empty())
+    return false;
+  Out = std::move(Q.front());
+  Q.pop_front();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Closed = true;
+  }
+  Cv.notify_all();
+}
+
+size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Q.size();
+}

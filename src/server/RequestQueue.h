@@ -1,0 +1,58 @@
+//===- RequestQueue.h - Bounded connection queue ----------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded handoff between the stqd accept loop and its request
+/// workers. Explicit backpressure: push() on a full queue fails
+/// immediately (the acceptor then answers `busy` and closes) rather than
+/// blocking the accept loop or queueing unboundedly. close() wakes every
+/// waiting worker; queued connections drain first, so a graceful shutdown
+/// still answers everything that was accepted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SERVER_REQUESTQUEUE_H
+#define STQ_SERVER_REQUESTQUEUE_H
+
+#include "support/Socket.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace stq::server {
+
+/// A bounded MPMC queue of accepted connections.
+class RequestQueue {
+public:
+  explicit RequestQueue(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Enqueues \p Conn. False when the queue is at capacity or closed; the
+  /// caller still owns the connection and should answer `busy`.
+  bool push(UnixStream &&Conn);
+
+  /// Blocks for the next connection. False when the queue is closed and
+  /// drained — the worker should exit.
+  bool pop(UnixStream &Out);
+
+  /// Rejects further pushes and wakes every blocked pop(); already-queued
+  /// connections are still handed out.
+  void close();
+
+  size_t depth() const;
+
+private:
+  mutable std::mutex M;
+  std::condition_variable Cv;
+  std::deque<UnixStream> Q;
+  size_t Capacity;
+  bool Closed = false;
+};
+
+} // namespace stq::server
+
+#endif // STQ_SERVER_REQUESTQUEUE_H

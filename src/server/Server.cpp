@@ -1,0 +1,208 @@
+//===- Server.cpp ---------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "support/MetricsEmitter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace stq;
+using namespace stq::server;
+
+Server::Server(ServerOptions Options)
+    : Opts(std::move(Options)), Queue(Opts.QueueCapacity) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+}
+
+Server::~Server() {
+  // serve() normally drains; cover the start()-without-serve() paths.
+  Queue.close();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+bool Server::start(std::string &Error) {
+  // Warm state 1: the default qualifier set, loaded once through a boot
+  // Session and shared read-only with every request that does not ask for
+  // its own set.
+  SessionOptions BootOpts = Opts.Defaults;
+  BootOpts.CacheFile.clear(); // the server owns cache persistence
+  Boot = std::make_unique<Session>(BootOpts);
+  if (!Boot->loadQualifiers()) {
+    std::ostringstream Msg;
+    TextDiagnosticConsumer C(Msg);
+    for (const Diagnostic &D : Boot->diags().diagnostics())
+      C.handleDiagnostic(D);
+    Error = "invalid qualifier configuration:\n" + Msg.str();
+    return false;
+  }
+  DefaultQuals = &Boot->qualifiers();
+
+  // Warm state 2: the persistent prover cache (missing file = cold start;
+  // stale or corrupt files are discarded by load(), never trusted).
+  if (!Opts.Defaults.CacheFile.empty()) {
+    std::ifstream Probe(Opts.Defaults.CacheFile);
+    if (Probe) {
+      Probe.close();
+      std::string CacheError;
+      if (!Cache.load(Opts.Defaults.CacheFile, &CacheError))
+        std::fprintf(stderr, "stqd: prover cache file: %s\n",
+                     CacheError.c_str());
+    }
+  }
+  Metrics.set("server.cache_entries_loaded", Cache.stats().Entries);
+
+  // Warm state 3: the shared checking/proving pool.
+  unsigned PoolThreads =
+      Opts.PoolThreads == 0 ? ThreadPool::defaultJobs() : Opts.PoolThreads;
+  Pool = std::make_unique<ThreadPool>(PoolThreads);
+  Metrics.set("server.pool_threads", PoolThreads);
+  Metrics.set("server.workers", Opts.Workers);
+
+  if (!Listener.listen(Opts.SocketPath, /*Backlog=*/64, Error))
+    return false;
+
+  Workers.reserve(Opts.Workers);
+  for (unsigned I = 0; I < Opts.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  Started = true;
+  return true;
+}
+
+int Server::serve() {
+  // Poll-accept so the loop observes the shutdown flag (set by SIGTERM or
+  // a `shutdown` request) between connections.
+  while (!shutdownRequested()) {
+    std::string Error;
+    UnixStream Conn = Listener.accept(/*TimeoutMs=*/200, Error);
+    if (!Conn.valid()) {
+      if (!Error.empty()) {
+        std::fprintf(stderr, "stqd: accept: %s\n", Error.c_str());
+        Metrics.add("server.errors", 1);
+      }
+      continue;
+    }
+    if (!Queue.push(std::move(Conn))) {
+      // Bounded queue at capacity: explicit backpressure. Conn is still
+      // ours (push only consumes on success).
+      Metrics.add("server.rejected", 1);
+      rpc::Response Busy;
+      Busy.Status = "busy";
+      Busy.ExitCode = 6;
+      Busy.Error = "server at capacity (queue of " +
+                   std::to_string(Opts.QueueCapacity) + " is full); retry";
+      std::string WriteError;
+      Conn.writeAll(rpc::encodeResponse(Busy) + "\n", WriteError);
+      continue;
+    }
+    Metrics.setGauge("server.queue_depth", static_cast<double>(Queue.depth()));
+  }
+
+  // Graceful drain: stop accepting, let queued + in-flight requests
+  // finish, then persist the warm cache atomically.
+  Listener.close();
+  Queue.close();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+
+  int Exit = 0;
+  if (!Opts.Defaults.CacheFile.empty()) {
+    std::string Error;
+    if (!Cache.save(Opts.Defaults.CacheFile, &Error)) {
+      std::fprintf(stderr, "stqd: prover cache file: %s\n", Error.c_str());
+      Exit = 1;
+    }
+  }
+  return Exit;
+}
+
+void Server::workerLoop() {
+  UnixStream Conn;
+  while (Queue.pop(Conn)) {
+    handleConnection(std::move(Conn));
+    Metrics.setGauge("server.queue_depth", static_cast<double>(Queue.depth()));
+  }
+}
+
+void Server::handleConnection(UnixStream Conn) {
+  std::string Line, Error;
+  if (!Conn.readLine(Line, Opts.MaxRequestBytes, Opts.RequestTimeoutMs,
+                     Error)) {
+    // Timed out, oversized, or closed before a full line: answer with a
+    // protocol error when the peer is still there.
+    Metrics.add("server.errors", 1);
+    rpc::Response R;
+    R.Status = "error";
+    R.ExitCode = 6;
+    R.Error = Error.empty() ? "connection closed before a request line"
+                            : Error;
+    std::string WriteError;
+    Conn.writeAll(rpc::encodeResponse(R) + "\n", WriteError);
+    return;
+  }
+
+  rpc::Request Req;
+  rpc::Response Resp;
+  if (!rpc::parseRequest(Line, Req, Error)) {
+    Metrics.add("server.errors", 1);
+    Resp.Status = "error";
+    Resp.ExitCode = 6;
+    Resp.Error = Error;
+  } else {
+    Resp = handleRequest(Req);
+  }
+  std::string WriteError;
+  if (!Conn.writeAll(rpc::encodeResponse(Resp) + "\n", WriteError))
+    Metrics.add("server.errors", 1);
+}
+
+rpc::Response Server::handleRequest(const rpc::Request &Req) {
+  rpc::Response Resp;
+  Resp.Id = Req.Id;
+  Metrics.add("server.requests", 1);
+  stats::ScopedTimer Timer(&Metrics, "server.request_seconds");
+
+  if (Req.Inv.Command == "status") {
+    Resp.Out = statusReport(Req.Inv.Metrics ? Req.Inv.MetricsFormat
+                                            : metrics::Format::Text);
+    return Resp;
+  }
+  if (Req.Inv.Command == "shutdown") {
+    requestShutdown();
+    return Resp;
+  }
+
+  SharedContext Ctx;
+  Ctx.Cache = &Cache;
+  Ctx.Qualifiers = DefaultQuals;
+  Ctx.Pool = Pool.get();
+  ExecResult R = executeInvocation(Req.Inv, Ctx);
+  Resp.ExitCode = R.ExitCode;
+  Resp.Out = std::move(R.Out);
+  Resp.Err = std::move(R.Err);
+  Resp.TraceJson = std::move(R.TraceJson);
+  return Resp;
+}
+
+std::string Server::statusReport(metrics::Format Format) {
+  prover::CacheStats CS = Cache.stats();
+  Metrics.set("prover.cache.lookups", CS.Lookups);
+  Metrics.set("prover.cache.hits", CS.Hits);
+  Metrics.set("prover.cache.misses", CS.Misses);
+  Metrics.set("prover.cache.insertions", CS.Insertions);
+  Metrics.set("prover.cache.entries", CS.Entries);
+  Metrics.set("prover.cache.persist_loaded", CS.PersistLoaded);
+  Metrics.set("prover.cache.persist_hits", CS.PersistHits);
+  Metrics.setGauge("prover.cache.hit_rate", CS.hitRate());
+  Metrics.setGauge("prover.cache.seconds_saved", CS.SecondsSaved);
+  Metrics.set("qual.loaded", DefaultQuals ? DefaultQuals->all().size() : 0);
+  Metrics.setGauge("server.queue_depth", static_cast<double>(Queue.depth()));
+
+  std::ostringstream OS;
+  metrics::MetricsEmitter::create(Format)->emit(Metrics.snapshot(), OS);
+  return OS.str();
+}

@@ -1,0 +1,127 @@
+//===- Server.h - The stqd qualifier-checking daemon ------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived checking server behind the `stqd` tool. One process
+/// holds the expensive state warm across requests — the persistent prover
+/// cache, the default qualifier set, and one worker pool — while every
+/// request still runs in a fresh stq::Session, so requests cannot observe
+/// each other's diagnostics or per-request metrics.
+///
+/// Shape (docs/SERVER.md):
+///
+///   accept loop ──▶ bounded RequestQueue ──▶ N request workers
+///        │ (full: answer `busy`, close)            │
+///        └── shutdown flag ◀── SIGTERM / `shutdown` request
+///
+/// Each connection carries one stq-rpc-v1 request line and receives one
+/// response line. Reads are bounded in bytes and time. Shutdown is a
+/// graceful drain: the acceptor stops, queued and in-flight requests
+/// finish, then the shared cache is saved atomically to --cache-file.
+///
+/// Observability: the server registry tracks `server.*` counters
+/// (requests, rejected, errors, queue_depth, request_seconds) plus the
+/// shared cache's `prover.cache.*` figures; a `status` request returns a
+/// snapshot as an stq-metrics-v1 document.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SERVER_SERVER_H
+#define STQ_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+#include "server/RequestQueue.h"
+#include "support/Socket.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stq::server {
+
+struct ServerOptions {
+  /// The Unix-domain socket path to listen on.
+  std::string SocketPath;
+  /// Request workers: how many requests execute concurrently.
+  unsigned Workers = 2;
+  /// Threads in the shared checking/proving pool that requests with
+  /// jobs > 1 fan out on (0 = hardware concurrency).
+  unsigned PoolThreads = 0;
+  /// Accepted connections waiting for a worker; beyond this the server
+  /// answers `busy` (explicit backpressure, never an unbounded queue).
+  size_t QueueCapacity = 16;
+  /// Inactivity timeout while reading one request line.
+  int RequestTimeoutMs = 10000;
+  /// Hard ceiling on one request line.
+  size_t MaxRequestBytes = 16u << 20;
+  /// Qualifier configuration for the shared default set, plus CacheFile:
+  /// the persistent prover cache loaded at startup and saved on drain.
+  SessionOptions Defaults;
+};
+
+/// The daemon. start() warms the shared state and spawns the workers;
+/// serve() runs the accept loop until a shutdown is requested, then
+/// drains. requestShutdown() is async-signal-safe.
+class Server {
+public:
+  explicit Server(ServerOptions Options);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Loads the default qualifier set and the persistent cache, binds the
+  /// socket, and spawns the request workers. False (with \p Error) when
+  /// the qualifier configuration is invalid or the socket cannot bind.
+  bool start(std::string &Error);
+
+  /// The accept loop. Returns 0 after a clean drain (cache saved), 1 when
+  /// the final cache save failed.
+  int serve();
+
+  /// Flags the accept loop to stop after in-flight work. Callable from a
+  /// signal handler (only touches an atomic).
+  void requestShutdown() { ShutdownFlag.store(true, std::memory_order_relaxed); }
+  bool shutdownRequested() const {
+    return ShutdownFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Answers one already-parsed request (the unit the workers run; public
+  /// so tests can drive it without a socket).
+  rpc::Response handleRequest(const rpc::Request &Req);
+
+  stats::Registry &metrics() { return Metrics; }
+  const qual::QualifierSet *defaultQualifiers() const { return DefaultQuals; }
+  prover::ProverCache &proverCache() { return Cache; }
+
+private:
+  void workerLoop();
+  void handleConnection(UnixStream Conn);
+  std::string statusReport(metrics::Format Format);
+
+  ServerOptions Opts;
+  UnixListener Listener;
+  std::unique_ptr<ThreadPool> Pool;
+  prover::ProverCache Cache;
+  /// A boot Session owns the default qualifier set (loaded once; shared
+  /// read-only into every request that does not configure its own).
+  std::unique_ptr<Session> Boot;
+  const qual::QualifierSet *DefaultQuals = nullptr;
+  stats::Registry Metrics;
+  RequestQueue Queue;
+  std::vector<std::thread> Workers;
+  std::atomic<bool> ShutdownFlag{false};
+  bool Started = false;
+};
+
+} // namespace stq::server
+
+#endif // STQ_SERVER_SERVER_H

@@ -693,7 +693,7 @@ SoundnessReport SoundnessChecker::checkQualifier(const std::string &Name,
   Report.Obligations.resize(Tasks.size());
   parallelFor(Jobs, Tasks.size(), [&](size_t I) {
     Report.Obligations[I] = runObligation(Tasks[I]);
-  });
+  }, nullptr, Pool);
   finalizeReport(Report);
   return Report;
 }
@@ -723,7 +723,7 @@ std::vector<SoundnessReport> SoundnessChecker::checkAll(unsigned Jobs) {
   parallelFor(Jobs, Tasks.size(), [&](size_t I) {
     Out[Slots[I].first].Obligations[Slots[I].second] =
         runObligation(Tasks[I]);
-  });
+  }, nullptr, Pool);
   for (SoundnessReport &R : Out)
     finalizeReport(R);
   return Out;

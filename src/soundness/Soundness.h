@@ -41,6 +41,10 @@
 #include <string>
 #include <vector>
 
+namespace stq {
+class ThreadPool;
+}
+
 namespace stq::soundness {
 
 /// One discharged (or failed) proof obligation.
@@ -92,13 +96,17 @@ public:
   /// \p Metrics, when given, receives per-obligation counters and timing
   /// histograms (`prove.*`, `prover.canon_seconds`); see
   /// docs/OBSERVABILITY.md for the names.
+  /// \p Pool, when given, is a shared worker pool: obligations fan out on
+  /// it as a task group instead of a per-call pool, so concurrent callers
+  /// (e.g. server requests) share workers.
   SoundnessChecker(const qual::QualifierSet &Set,
                    prover::ProverOptions Options = {},
                    DiagnosticEngine *Diags = nullptr,
                    prover::ProverCache *Cache = nullptr,
-                   stats::Registry *Metrics = nullptr)
+                   stats::Registry *Metrics = nullptr,
+                   ThreadPool *Pool = nullptr)
       : Set(Set), Options(Options), Diags(Diags), Cache(Cache),
-        Metrics(Metrics) {}
+        Metrics(Metrics), Pool(Pool) {}
 
   /// Checks one qualifier by name, discharging its obligations across
   /// \p Jobs worker threads (every obligation is an independent prover
@@ -139,6 +147,7 @@ private:
   DiagnosticEngine *Diags;
   prover::ProverCache *Cache;
   stats::Registry *Metrics;
+  ThreadPool *Pool;
 };
 
 /// Renders a human-readable summary of \p Reports.

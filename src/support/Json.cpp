@@ -1,0 +1,499 @@
+//===- Json.cpp -----------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace stq::json;
+
+//===----------------------------------------------------------------------===//
+// Construction and access
+//===----------------------------------------------------------------------===//
+
+Value Value::boolean(bool B) {
+  Value V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+Value Value::integer(int64_t N) {
+  Value V;
+  V.K = Kind::Int;
+  V.I = N;
+  return V;
+}
+
+Value Value::number(double D) {
+  Value V;
+  V.K = Kind::Double;
+  V.D = D;
+  return V;
+}
+
+Value Value::str(std::string S) {
+  Value V;
+  V.K = Kind::String;
+  V.S = std::move(S);
+  return V;
+}
+
+Value Value::array() {
+  Value V;
+  V.K = Kind::Array;
+  return V;
+}
+
+Value Value::object() {
+  Value V;
+  V.K = Kind::Object;
+  return V;
+}
+
+Value Value::raw(std::string Text) {
+  Value V;
+  V.K = Kind::Raw;
+  V.S = std::move(Text);
+  return V;
+}
+
+const Value *Value::get(const std::string &Key) const {
+  for (const auto &[Name, V] : Members)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+void Value::set(std::string Key, Value V) {
+  for (auto &[Name, Existing] : Members)
+    if (Name == Key) {
+      Existing = std::move(V);
+      return;
+    }
+  Members.emplace_back(std::move(Key), std::move(V));
+}
+
+std::string Value::getString(const std::string &Key,
+                             const std::string &Default) const {
+  const Value *V = get(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+int64_t Value::getInt(const std::string &Key, int64_t Default) const {
+  const Value *V = get(Key);
+  return V && V->isNumber() ? V->asInt() : Default;
+}
+
+bool Value::getBool(const std::string &Key, bool Default) const {
+  const Value *V = get(Key);
+  return V && V->isBool() ? V->asBool() : Default;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void escapeInto(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+void Value::writeInto(std::string &Out) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    return;
+  case Kind::Int:
+    Out += std::to_string(I);
+    return;
+  case Kind::Double: {
+    if (std::isfinite(D)) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      Out += Buf;
+    } else {
+      Out += "null";
+    }
+    return;
+  }
+  case Kind::String:
+    escapeInto(S, Out);
+    return;
+  case Kind::Raw:
+    Out += S;
+    return;
+  case Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &E : Elems) {
+      if (!First)
+        Out += ',';
+      First = false;
+      E.writeInto(Out);
+    }
+    Out += ']';
+    return;
+  }
+  case Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[Name, V] : Members) {
+      if (!First)
+        Out += ',';
+      First = false;
+      escapeInto(Name, Out);
+      Out += ':';
+      V.writeInto(Out);
+    }
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Value::write() const {
+  std::string Out;
+  writeInto(Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(std::string("expected '") + Word + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = Value::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = Value::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = Value::boolean(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value::str(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out);
+    case '{':
+      return parseObject(Out);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      if (++Pos >= Text.size())
+        return fail("truncated escape");
+      switch (Text[Pos]) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        if (!parseHex4(Code))
+          return false;
+        // Surrogate pair: decode the low half when present.
+        if (Code >= 0xd800 && Code <= 0xdbff &&
+            Text.compare(Pos + 1, 2, "\\u") == 0) {
+          Pos += 2; // onto the 'u' of the second escape
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return false;
+          if (Low >= 0xdc00 && Low <= 0xdfff)
+            Code = 0x10000 + ((Code - 0xd800) << 10) + (Low - 0xdc00);
+          else
+            return fail("invalid low surrogate");
+        }
+        appendUtf8(Code, Out);
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  /// Parses the 4 hex digits after a \u escape; leaves Pos on the last one.
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 >= Text.size())
+      return fail("truncated \\u escape");
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + 1 + I];
+      Code <<= 4;
+      if (C >= '0' && C <= '9')
+        Code |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Code |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Code |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return fail("bad hex digit in \\u escape");
+    }
+    Pos += 4;
+    return true;
+  }
+
+  static void appendUtf8(unsigned Code, std::string &Out) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xc0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xe0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      Out += static_cast<char>(0xf0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3f));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool Digits = false;
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      ++Pos;
+      Digits = true;
+    }
+    if (!Digits)
+      return fail("expected value");
+    bool IsDouble = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsDouble = true;
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsDouble = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    std::string Num = Text.substr(Start, Pos - Start);
+    if (IsDouble)
+      Out = Value::number(std::strtod(Num.c_str(), nullptr));
+    else
+      Out = Value::integer(std::strtoll(Num.c_str(), nullptr, 10));
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    Out = Value::array();
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      Value Elem;
+      if (!parseValue(Elem))
+        return false;
+      Out.push(std::move(Elem));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        skipWs();
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    Out = Value::object();
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWs();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.set(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool stq::json::parse(const std::string &Text, Value &Out,
+                      std::string &Error) {
+  Parser P(Text, Error);
+  return P.run(Out);
+}

@@ -1,0 +1,212 @@
+//===- Socket.cpp ---------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace stq;
+
+namespace {
+
+std::string errnoString(const std::string &What) {
+  return What + ": " + std::strerror(errno);
+}
+
+/// Fills \p Addr from \p Path; false when the path exceeds sun_path.
+bool makeAddress(const std::string &Path, sockaddr_un &Addr,
+                 std::string &Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + Path;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// UnixStream
+//===----------------------------------------------------------------------===//
+
+UnixStream::~UnixStream() { close(); }
+
+UnixStream::UnixStream(UnixStream &&Other) noexcept
+    : Fd(Other.Fd), Buffered(std::move(Other.Buffered)) {
+  Other.Fd = -1;
+}
+
+UnixStream &UnixStream::operator=(UnixStream &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Buffered = std::move(Other.Buffered);
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void UnixStream::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buffered.clear();
+}
+
+bool UnixStream::connect(const std::string &Path, std::string &Error) {
+  close();
+  sockaddr_un Addr;
+  if (!makeAddress(Path, Addr, Error))
+    return false;
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket");
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = errnoString("cannot connect to '" + Path + "'");
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool UnixStream::writeAll(const std::string &Data, std::string &Error) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("write");
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool UnixStream::readLine(std::string &Out, size_t MaxBytes, int TimeoutMs,
+                          std::string &Error) {
+  Out.clear();
+  Error.clear();
+  for (;;) {
+    size_t Nl = Buffered.find('\n');
+    if (Nl != std::string::npos) {
+      if (Nl > MaxBytes) {
+        Error = "request exceeds byte limit";
+        return false;
+      }
+      Out = Buffered.substr(0, Nl);
+      Buffered.erase(0, Nl + 1);
+      return true;
+    }
+    if (Buffered.size() > MaxBytes) {
+      Error = "request exceeds byte limit";
+      return false;
+    }
+
+    pollfd Pfd{Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, TimeoutMs);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("poll");
+      return false;
+    }
+    if (Ready == 0) {
+      Error = "read timeout";
+      return false;
+    }
+    char Buf[4096];
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("read");
+      return false;
+    }
+    if (N == 0) {
+      // Clean EOF: only an error if it truncated a line in progress.
+      if (!Buffered.empty())
+        Error = "connection closed mid-line";
+      return false;
+    }
+    Buffered.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// UnixListener
+//===----------------------------------------------------------------------===//
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!BoundPath.empty()) {
+    ::unlink(BoundPath.c_str());
+    BoundPath.clear();
+  }
+}
+
+bool UnixListener::listen(const std::string &Path, int Backlog,
+                          std::string &Error) {
+  close();
+  sockaddr_un Addr;
+  if (!makeAddress(Path, Addr, Error))
+    return false;
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket");
+    return false;
+  }
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = errnoString("cannot bind '" + Path + "'");
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Error = errnoString("listen");
+    ::close(Fd);
+    Fd = -1;
+    ::unlink(Path.c_str());
+    return false;
+  }
+  BoundPath = Path;
+  return true;
+}
+
+UnixStream UnixListener::accept(int TimeoutMs, std::string &Error) {
+  Error.clear();
+  pollfd Pfd{Fd, POLLIN, 0};
+  int Ready = ::poll(&Pfd, 1, TimeoutMs);
+  if (Ready < 0) {
+    if (errno != EINTR)
+      Error = errnoString("poll");
+    return UnixStream();
+  }
+  if (Ready == 0)
+    return UnixStream();
+  int Conn = ::accept(Fd, nullptr, nullptr);
+  if (Conn < 0) {
+    if (errno != EINTR && errno != ECONNABORTED)
+      Error = errnoString("accept");
+    return UnixStream();
+  }
+  return UnixStream(Conn);
+}

@@ -1,0 +1,96 @@
+//===- Socket.h - Unix-domain socket transport helpers ----------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small POSIX socket layer under the `stqd` daemon and the
+/// `stqc --server` client (src/server/). Two wrappers:
+///
+///  * UnixListener — bind/listen on a Unix-domain socket path, accept with
+///    a poll timeout so the daemon's accept loop can observe its shutdown
+///    flag between connections;
+///  * UnixStream — one connected byte stream with line-oriented reads
+///    (poll timeout + hard byte limit, the protocol's defense against
+///    slow or oversized requests) and full writes.
+///
+/// Both are move-only RAII owners of their file descriptor. Everything
+/// reports errors via bool + std::string; nothing throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_SUPPORT_SOCKET_H
+#define STQ_SUPPORT_SOCKET_H
+
+#include <string>
+
+namespace stq {
+
+/// One connected Unix-domain byte stream.
+class UnixStream {
+public:
+  UnixStream() = default;
+  explicit UnixStream(int Fd) : Fd(Fd) {}
+  ~UnixStream();
+
+  UnixStream(UnixStream &&Other) noexcept;
+  UnixStream &operator=(UnixStream &&Other) noexcept;
+  UnixStream(const UnixStream &) = delete;
+  UnixStream &operator=(const UnixStream &) = delete;
+
+  /// Connects to the listener at \p Path. False (with \p Error) when the
+  /// socket cannot be created or nothing is listening.
+  bool connect(const std::string &Path, std::string &Error);
+
+  bool valid() const { return Fd >= 0; }
+  void close();
+
+  /// Writes all of \p Data, retrying short writes. SIGPIPE is suppressed
+  /// (MSG_NOSIGNAL); a closed peer returns false.
+  bool writeAll(const std::string &Data, std::string &Error);
+
+  /// Reads one '\n'-terminated line (the newline is consumed, not
+  /// returned). Enforces \p MaxBytes on the line and \p TimeoutMs of
+  /// inactivity between reads; EOF before any byte yields false with an
+  /// empty Error (clean close). TimeoutMs < 0 waits forever.
+  bool readLine(std::string &Out, size_t MaxBytes, int TimeoutMs,
+                std::string &Error);
+
+private:
+  int Fd = -1;
+  std::string Buffered; ///< Bytes read past the previous line.
+};
+
+/// A listening Unix-domain socket. Removes a stale socket file on bind and
+/// unlinks the path again on close.
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener();
+
+  UnixListener(const UnixListener &) = delete;
+  UnixListener &operator=(const UnixListener &) = delete;
+
+  /// Binds and listens on \p Path (backlog \p Backlog). An existing file
+  /// at the path is unlinked first: the daemon owns its socket path.
+  bool listen(const std::string &Path, int Backlog, std::string &Error);
+
+  /// Waits up to \p TimeoutMs for a connection. Returns a valid stream, or
+  /// an invalid one on timeout/interrupt (Error empty) or failure (Error
+  /// set).
+  UnixStream accept(int TimeoutMs, std::string &Error);
+
+  bool valid() const { return Fd >= 0; }
+  const std::string &path() const { return BoundPath; }
+  void close();
+
+private:
+  int Fd = -1;
+  std::string BoundPath;
+};
+
+} // namespace stq
+
+#endif // STQ_SUPPORT_SOCKET_H

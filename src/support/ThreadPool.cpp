@@ -112,9 +112,27 @@ ThreadPool::PoolStats ThreadPool::stats() const {
   return S;
 }
 
+void TaskGroup::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Outstanding;
+  }
+  Pool.submit([this, T = std::move(Task)] {
+    T();
+    std::lock_guard<std::mutex> Lock(M);
+    if (--Outstanding == 0)
+      Cv.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  Cv.wait(Lock, [this] { return Outstanding == 0; });
+}
+
 void stq::parallelFor(unsigned Jobs, size_t N,
                       const std::function<void(size_t)> &Fn,
-                      ThreadPool::PoolStats *StatsOut) {
+                      ThreadPool::PoolStats *StatsOut, ThreadPool *Shared) {
   if (StatsOut)
     *StatsOut = {};
   if (Jobs <= 1 || N <= 1) {
@@ -122,6 +140,15 @@ void stq::parallelFor(unsigned Jobs, size_t N,
       Fn(I);
     if (StatsOut)
       StatsOut->Executed = N;
+    return;
+  }
+  if (Shared) {
+    TaskGroup Group(*Shared);
+    for (size_t I = 0; I < N; ++I)
+      Group.submit([&Fn, I] { Fn(I); });
+    Group.wait();
+    if (StatsOut)
+      StatsOut->Executed = N; // Steals are pool-wide, not per-group.
     return;
   }
   ThreadPool Pool(static_cast<unsigned>(std::min<size_t>(Jobs, N)));

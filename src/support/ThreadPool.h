@@ -89,13 +89,47 @@ private:
   std::atomic<uint64_t> Steals{0};
 };
 
+/// A completion scope over a shared ThreadPool: tracks only the tasks
+/// submitted through it, so several callers (the stqd request workers) can
+/// fan work into one process-wide pool and each wait for just their own
+/// batch. ThreadPool::wait() waits for *everything* pending, which under a
+/// server's sustained load may never drain; a TaskGroup's wait() cannot
+/// starve that way. Tasks submitted through a group must not wait on
+/// another group from inside the pool (no nested fan-out).
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool &Pool) : Pool(Pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  /// Enqueues \p Task on the shared pool, counted against this group.
+  void submit(std::function<void()> Task);
+  /// Blocks until every task submitted through this group has finished.
+  void wait();
+
+private:
+  ThreadPool &Pool;
+  std::mutex M;
+  std::condition_variable Cv;
+  size_t Outstanding = 0;
+};
+
 /// Runs Fn(0) .. Fn(N-1) across \p Jobs workers and returns once all calls
 /// finished. Jobs <= 1 (or N <= 1) runs inline on the caller's thread,
 /// which is the deterministic sequential baseline. \p StatsOut, when
 /// non-null, receives the pool's counters.
+///
+/// When \p Shared is non-null the iterations are fanned into that
+/// long-lived pool through a TaskGroup instead of spawning a fresh pool:
+/// the stqd daemon shares one pool across all requests. Per-call Steals
+/// are not attributable on a shared pool and report as 0; Executed still
+/// reports N.
 void parallelFor(unsigned Jobs, size_t N,
                  const std::function<void(size_t)> &Fn,
-                 ThreadPool::PoolStats *StatsOut = nullptr);
+                 ThreadPool::PoolStats *StatsOut = nullptr,
+                 ThreadPool *Shared = nullptr);
 
 } // namespace stq
 

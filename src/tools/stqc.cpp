@@ -3,7 +3,8 @@
 // Part of the stq project: a reproduction of "Semantic Type Qualifiers"
 // (Chin, Markstrum, Millstein; PLDI 2005).
 //
-// A thin command-line layer over stq::Session (driver/Session.h):
+// A thin command-line layer over the shared invocation executor
+// (server/Exec.h), which itself drives stq::Session:
 //
 //   stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N] [--warm-cache]
 //               [--cache-file PATH]
@@ -21,6 +22,14 @@
 //       infer value-qualifier annotations (section 8 future work)
 //   stqc dump-builtin NAME
 //       print a builtin qualifier's definition in the qualifier DSL
+//   stqc status|shutdown --server SOCKET
+//       query or drain a running stqd daemon
+//
+// `--server SOCKET` sends prove/check/run/infer to a running stqd instead
+// of executing locally; the printed bytes and the exit code are identical
+// (both paths run server::executeInvocation), but the daemon's prover
+// cache stays warm across requests. Input files and qualifier files are
+// read locally and shipped as text — the daemon never sees client paths.
 //
 // Every subcommand also accepts the observability options
 // (docs/OBSERVABILITY.md):
@@ -29,17 +38,21 @@
 //   --trace FILE         write a Chrome trace-event JSON file of the run
 //   --diagnostics FORMAT render diagnostics as text (default) or json
 //
+// Exit codes (also documented in README.md): 0 success; 1 qualifier or
+// soundness failure; 2 usage or front-end error; 3 run-time check
+// failure; 4 trap; 5 fuel exhausted; 6 server unavailable, busy, or
+// protocol error.
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/OptionTable.h"
-#include "driver/Session.h"
 #include "qual/Builtins.h"
+#include "server/Protocol.h"
+#include "support/Socket.h"
 #include "support/ThreadPool.h"
-#include "support/Trace.h"
 
 #include <cstdio>
 #include <fstream>
-#include <iostream>
 #include <string>
 #include <vector>
 
@@ -52,12 +65,14 @@ struct CliOptions {
   std::string File;
   std::string InlineSource;
   std::string DumpName;
+  std::string ServerSocket;
   SessionOptions Session;
   bool Metrics = false;
   metrics::Format MetricsFormat = metrics::Format::Text;
   std::string TraceFile;
   bool JsonDiagnostics = false;
   bool ShowHelp = false;
+  bool ShowVersion = false;
 };
 
 cli::OptionTable buildOptionTable(CliOptions &Options) {
@@ -110,6 +125,12 @@ cli::OptionTable buildOptionTable(CliOptions &Options) {
                 Options.Session.CacheFile = V;
                 return true;
               });
+  Table.value("--server", "", "SOCKET",
+              "send the command to the stqd daemon at this socket",
+              [&](const std::string &V, std::string &) {
+                Options.ServerSocket = V;
+                return true;
+              });
   Table.optionalValue("--metrics", "FORMAT",
                       "print pipeline metrics (text or json)",
                       [&](const std::string &V, std::string &Error) {
@@ -141,6 +162,8 @@ cli::OptionTable buildOptionTable(CliOptions &Options) {
                 }
                 return true;
               });
+  Table.flag("--version", "", "print the protocol versions this build speaks",
+             [&] { Options.ShowVersion = true; });
   Table.flag("--help", "-h", "show this help",
              [&] { Options.ShowHelp = true; });
   Table.positional([&](const std::string &Arg, std::string &Error) {
@@ -168,42 +191,11 @@ void usage(const cli::OptionTable &Table) {
       "  stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]\n"
       "  stqc infer  (FILE | -e SRC) [--builtins ..] [--qualfile F]\n"
       "  stqc dump-builtin NAME\n"
+      "  stqc status|shutdown --server SOCKET\n"
       "options:\n%s"
       "builtin qualifiers: pos neg nonneg nonzero nonnull tainted"
       " untainted unique unaliased\n",
       Table.helpText().c_str());
-}
-
-/// Renders every collected diagnostic to stderr through the configured
-/// DiagnosticConsumer (text is byte-for-byte the historical output).
-void reportDiagnostics(Session &S, const CliOptions &Options) {
-  if (Options.JsonDiagnostics) {
-    JsonDiagnosticConsumer C(std::cerr);
-    for (const Diagnostic &D : S.diags().diagnostics())
-      C.handleDiagnostic(D);
-    C.finish();
-    return;
-  }
-  TextDiagnosticConsumer C(std::cerr);
-  for (const Diagnostic &D : S.diags().diagnostics())
-    C.handleDiagnostic(D);
-}
-
-/// Emits --metrics to stdout and --trace to its file, after the
-/// subcommand's own output.
-void emitObservability(Session &S, const CliOptions &Options) {
-  if (Options.Metrics)
-    S.emitMetrics(std::cout, Options.MetricsFormat);
-  if (!Options.TraceFile.empty()) {
-    std::vector<trace::TraceEvent> Events = trace::Tracer::stop();
-    std::ofstream OS(Options.TraceFile);
-    if (!OS) {
-      std::fprintf(stderr, "stqc: cannot write trace file '%s'\n",
-                   Options.TraceFile.c_str());
-      return;
-    }
-    metrics::writeChromeTrace(Events, OS);
-  }
 }
 
 bool getProgramSource(const CliOptions &Options, std::string &Out) {
@@ -223,109 +215,66 @@ bool getProgramSource(const CliOptions &Options, std::string &Out) {
   return true;
 }
 
-int cmdProve(const CliOptions &Options) {
-  Session S(Options.Session);
-  if (!S.loadQualifiers()) {
-    reportDiagnostics(S, Options);
-    emitObservability(S, Options);
-    return 2;
+void writeTraceFile(const std::string &Path, const std::string &TraceJson) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "stqc: cannot write trace file '%s'\n",
+                 Path.c_str());
+    return;
   }
-  auto Reports = S.prove();
-  std::printf("%s", soundness::formatReports(Reports).c_str());
-  emitObservability(S, Options);
-  for (const auto &R : Reports)
-    if (!R.sound())
-      return 1;
-  return 0;
+  OS << TraceJson;
 }
 
-int cmdCheck(const CliOptions &Options) {
-  std::string Source;
-  if (!getProgramSource(Options, Source))
-    return 2;
-  Session S(Options.Session);
-  Session::CheckOutcome Out = S.check(Source);
-  reportDiagnostics(S, Options);
-  if (S.diags().hasErrors()) {
-    emitObservability(S, Options);
-    return 2;
-  }
-  std::printf("qualifier errors: %u (dereference sites %u, assignment "
-              "checks %u, run-time checks %zu)\n",
-              Out.Result.QualErrors, Out.Result.Stats.DerefSites,
-              Out.Result.Stats.AssignChecks, Out.Result.RuntimeChecks.size());
-  emitObservability(S, Options);
-  return Out.Result.ok() ? 0 : 1;
+/// Prints an ExecResult the way the historical stqc printed directly to
+/// its streams, and materializes the trace file.
+int emitResult(const server::ExecResult &R, const CliOptions &Options) {
+  std::fwrite(R.Out.data(), 1, R.Out.size(), stdout);
+  std::fwrite(R.Err.data(), 1, R.Err.size(), stderr);
+  if (!Options.TraceFile.empty())
+    writeTraceFile(Options.TraceFile, R.TraceJson);
+  return R.ExitCode;
 }
 
-int cmdRun(const CliOptions &Options) {
-  std::string Source;
-  if (!getProgramSource(Options, Source))
-    return 2;
-  Session S(Options.Session);
-  Session::RunOutcome Out = S.run(Source);
-  reportDiagnostics(S, Options);
-  const interp::RunResult &R = Out.Run;
-  if (!R.Output.empty())
-    std::printf("%s", R.Output.c_str());
-  int Code = 2;
-  switch (R.Status) {
-  case interp::RunStatus::Ok:
-    std::printf("[exit %ld]\n", static_cast<long>(*R.ExitValue));
-    Code = static_cast<int>(*R.ExitValue & 0xff);
-    break;
-  case interp::RunStatus::CheckFailure:
-    for (const auto &F : R.CheckFailures)
-      std::fprintf(stderr,
-                   "fatal: run-time qualifier check failed at %s: value %s "
-                   "does not satisfy '%s'\n",
-                   F.Loc.str().c_str(), F.ValueStr.c_str(), F.Qual.c_str());
-    Code = 3;
-    break;
-  case interp::RunStatus::Trap:
-    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
-    Code = 4;
-    break;
-  case interp::RunStatus::FuelExhausted:
-    std::fprintf(stderr, "error: step budget exhausted\n");
-    Code = 5;
-    break;
-  case interp::RunStatus::SetupError:
-    std::fprintf(stderr, "error: %s\n", R.TrapMessage.c_str());
-    Code = 2;
-    break;
+/// Sends one request to the daemon and returns its response. Transport
+/// and protocol failures exit with code 6.
+int runViaServer(const CliOptions &Options, server::rpc::Request Req) {
+  UnixStream Conn;
+  std::string Error;
+  if (!Conn.connect(Options.ServerSocket, Error)) {
+    std::fprintf(stderr, "stqc: cannot reach server: %s\n", Error.c_str());
+    return 6;
   }
-  emitObservability(S, Options);
-  return Code;
-}
-
-int cmdInfer(const CliOptions &Options) {
-  std::string Source;
-  if (!getProgramSource(Options, Source))
-    return 2;
-  Session S(Options.Session);
-  Session::InferOutcome Out = S.infer(Source);
-  if (!Out.FrontEndOk || S.diags().hasErrors()) {
-    reportDiagnostics(S, Options);
-    emitObservability(S, Options);
-    return 2;
+  if (!Conn.writeAll(server::rpc::encodeRequest(Req) + "\n", Error)) {
+    std::fprintf(stderr, "stqc: cannot send request: %s\n", Error.c_str());
+    return 6;
   }
-  for (const auto &[Var, Quals] : Out.Result.Inferred) {
-    std::string List;
-    for (const std::string &Q : Quals)
-      List += (List.empty() ? "" : " ") + Q;
-    std::printf("%s: %s '%s' may be annotated: %s\n",
-                Var->Loc.str().c_str(),
-                Var->IsParam ? "parameter" : (Var->IsGlobal ? "global"
-                                                            : "local"),
-                Var->Name.c_str(), List.c_str());
+  std::string Line;
+  // Generous response budget: a cold `prove --jobs 1` can take a while.
+  if (!Conn.readLine(Line, /*MaxBytes=*/64u << 20, /*TimeoutMs=*/600000,
+                     Error)) {
+    std::fprintf(stderr, "stqc: no response from server%s%s\n",
+                 Error.empty() ? "" : ": ", Error.c_str());
+    return 6;
   }
-  std::printf("inferred %u annotation(s) on %zu variable(s) in %u "
-              "iteration(s)\n",
-              Out.Result.totalInferred(), Out.Result.Inferred.size(),
-              Out.Result.Iterations);
-  emitObservability(S, Options);
-  return 0;
+  server::rpc::Response Resp;
+  if (!server::rpc::parseResponse(Line, Resp, Error)) {
+    std::fprintf(stderr, "stqc: %s\n", Error.c_str());
+    return 6;
+  }
+  if (Resp.Status == "busy") {
+    std::fprintf(stderr, "stqc: server busy: %s\n", Resp.Error.c_str());
+    return 6;
+  }
+  if (Resp.Status != "ok") {
+    std::fprintf(stderr, "stqc: server error: %s\n", Resp.Error.c_str());
+    return 6;
+  }
+  server::ExecResult R;
+  R.Out = std::move(Resp.Out);
+  R.Err = std::move(Resp.Err);
+  R.TraceJson = std::move(Resp.TraceJson);
+  R.ExitCode = Resp.ExitCode;
+  return emitResult(R, Options);
 }
 
 int cmdDumpBuiltin(const CliOptions &Options, const cli::OptionTable &Table) {
@@ -354,28 +303,73 @@ int main(int Argc, char **Argv) {
   }
   Options.Command = Argv[1];
   std::vector<std::string> Args(Argv + 2, Argv + Argc);
+  if (Options.Command == "--version") {
+    std::printf("%s", server::rpc::versionText("stqc").c_str());
+    return 0;
+  }
   std::string Error;
   if (!Table.parse(Args, Error)) {
     std::fprintf(stderr, "stqc: %s\n", Error.c_str());
     usage(Table);
     return 2;
   }
+  if (Options.ShowVersion) {
+    std::printf("%s", server::rpc::versionText("stqc").c_str());
+    return 0;
+  }
   if (Options.ShowHelp) {
     usage(Table);
     return 2;
   }
-  if (!Options.TraceFile.empty())
-    trace::Tracer::start();
-  if (Options.Command == "prove")
-    return cmdProve(Options);
-  if (Options.Command == "check")
-    return cmdCheck(Options);
-  if (Options.Command == "run")
-    return cmdRun(Options);
-  if (Options.Command == "infer")
-    return cmdInfer(Options);
   if (Options.Command == "dump-builtin")
     return cmdDumpBuiltin(Options, Table);
-  usage(Table);
-  return 2;
+
+  bool IsControl = server::rpc::isControlCommand(Options.Command);
+  if (!IsControl && !server::knownCommand(Options.Command)) {
+    usage(Table);
+    return 2;
+  }
+  if (IsControl && Options.ServerSocket.empty()) {
+    std::fprintf(stderr, "stqc: '%s' requires --server SOCKET\n",
+                 Options.Command.c_str());
+    return 2;
+  }
+
+  server::rpc::Request Req;
+  server::Invocation &Inv = Req.Inv;
+  Inv.Command = Options.Command;
+  Inv.Session = Options.Session;
+  Inv.Metrics = Options.Metrics;
+  Inv.MetricsFormat = Options.MetricsFormat;
+  Inv.JsonDiagnostics = Options.JsonDiagnostics;
+  Inv.Trace = !Options.TraceFile.empty();
+
+  bool NeedsSource = Options.Command == "check" || Options.Command == "run" ||
+                     Options.Command == "infer";
+  if (NeedsSource && (!Options.InlineSource.empty() || !Options.File.empty())) {
+    if (!getProgramSource(Options, Inv.Source))
+      return 2;
+    Inv.HasSource = true;
+  }
+
+  if (Options.ServerSocket.empty()) {
+    // One-shot: the exact code path the daemon's workers run.
+    return emitResult(server::executeInvocation(Inv), Options);
+  }
+
+  // Client mode: the daemon never touches caller paths, so qualifier
+  // files are read here and shipped as inline DSL sources (same load
+  // order: builtins, then files-as-sources).
+  for (const std::string &Path : Inv.Session.QualFiles) {
+    std::string Text;
+    if (!readFileToString(Path, Text, Error)) {
+      std::fprintf(stderr, "stqc: %s\n", Error.c_str());
+      return 2;
+    }
+    Inv.Session.QualSources.push_back(std::move(Text));
+  }
+  Inv.Session.QualFiles.clear();
+  // Cache persistence belongs to the daemon (its --cache-file).
+  Inv.Session.CacheFile.clear();
+  return runViaServer(Options, std::move(Req));
 }

@@ -1,0 +1,181 @@
+//===- stqd.cpp - The persistent qualifier-checking daemon ----------------===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+// A long-lived checking server on a Unix-domain socket (docs/SERVER.md):
+//
+//   stqd --socket PATH [--builtins a,b,..] [--qualfile F] [--cache-file P]
+//        [--workers N] [--jobs N] [--queue-capacity N] [--timeout-ms N]
+//        [--max-request-bytes N]
+//
+// Clients (`stqc --server PATH <cmd> ...`, or anything that speaks
+// stq-rpc-v1) get byte-identical output to a one-shot stqc run, but every
+// request after the first reuses the warm prover cache, the preloaded
+// qualifier set, and one shared worker pool. SIGTERM/SIGINT (or a
+// `shutdown` request) drain gracefully: in-flight requests finish and the
+// cache is saved atomically to --cache-file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/OptionTable.h"
+#include "server/Server.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace stq;
+
+namespace {
+
+std::atomic<server::Server *> ActiveServer{nullptr};
+
+void handleSignal(int) {
+  // Only an atomic store: async-signal-safe.
+  if (server::Server *S = ActiveServer.load(std::memory_order_relaxed))
+    S->requestShutdown();
+}
+
+struct DaemonOptions {
+  server::ServerOptions Server;
+  bool ShowHelp = false;
+  bool ShowVersion = false;
+};
+
+cli::OptionTable buildOptionTable(DaemonOptions &Options) {
+  cli::OptionTable Table;
+  Table.value("--socket", "", "PATH",
+              "Unix-domain socket path to listen on (required)",
+              [&](const std::string &V, std::string &) {
+                Options.Server.SocketPath = V;
+                return true;
+              });
+  Table.value("--builtins", "", "a,b,..",
+              "builtin qualifiers for the shared default set",
+              [&](const std::string &V, std::string &) {
+                auto More = cli::splitCommas(V);
+                Options.Server.Defaults.Builtins.insert(
+                    Options.Server.Defaults.Builtins.end(), More.begin(),
+                    More.end());
+                return true;
+              });
+  Table.value("--qualfile", "", "F",
+              "qualifier-DSL file for the shared default set",
+              [&](const std::string &V, std::string &) {
+                Options.Server.Defaults.QualFiles.push_back(V);
+                return true;
+              });
+  Table.value("--cache-file", "", "PATH",
+              "persistent prover cache: loaded at startup, saved on drain",
+              [&](const std::string &V, std::string &) {
+                Options.Server.Defaults.CacheFile = V;
+                return true;
+              });
+  Table.value("--workers", "", "N", "concurrent request workers",
+              [&](const std::string &V, std::string &Error) {
+                unsigned N = 0;
+                if (!cli::parseUnsigned(V, N) || N == 0) {
+                  Error = "bad --workers value '" + V + "'";
+                  return false;
+                }
+                Options.Server.Workers = N;
+                return true;
+              });
+  Table.value("--jobs", "-j", "N",
+              "threads in the shared checking pool (0 = hardware)",
+              [&](const std::string &V, std::string &Error) {
+                unsigned N = 0;
+                if (!cli::parseUnsigned(V, N)) {
+                  Error = "bad --jobs value '" + V + "'";
+                  return false;
+                }
+                Options.Server.PoolThreads = N;
+                return true;
+              });
+  Table.value("--queue-capacity", "", "N",
+              "pending connections before `busy` backpressure",
+              [&](const std::string &V, std::string &Error) {
+                unsigned N = 0;
+                if (!cli::parseUnsigned(V, N) || N == 0) {
+                  Error = "bad --queue-capacity value '" + V + "'";
+                  return false;
+                }
+                Options.Server.QueueCapacity = N;
+                return true;
+              });
+  Table.value("--timeout-ms", "", "N",
+              "per-request read inactivity timeout (milliseconds)",
+              [&](const std::string &V, std::string &Error) {
+                unsigned N = 0;
+                if (!cli::parseUnsigned(V, N)) {
+                  Error = "bad --timeout-ms value '" + V + "'";
+                  return false;
+                }
+                Options.Server.RequestTimeoutMs = static_cast<int>(N);
+                return true;
+              });
+  Table.value("--max-request-bytes", "", "N",
+              "hard ceiling on one request line",
+              [&](const std::string &V, std::string &Error) {
+                unsigned N = 0;
+                if (!cli::parseUnsigned(V, N) || N == 0) {
+                  Error = "bad --max-request-bytes value '" + V + "'";
+                  return false;
+                }
+                Options.Server.MaxRequestBytes = N;
+                return true;
+              });
+  Table.flag("--version", "", "print the protocol versions this build speaks",
+             [&] { Options.ShowVersion = true; });
+  Table.flag("--help", "-h", "show this help",
+             [&] { Options.ShowHelp = true; });
+  return Table;
+}
+
+void usage(const cli::OptionTable &Table) {
+  std::printf("usage:\n"
+              "  stqd --socket PATH [options]\n"
+              "options:\n%s",
+              Table.helpText().c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DaemonOptions Options;
+  cli::OptionTable Table = buildOptionTable(Options);
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  std::string Error;
+  if (!Table.parse(Args, Error)) {
+    std::fprintf(stderr, "stqd: %s\n", Error.c_str());
+    usage(Table);
+    return 2;
+  }
+  if (Options.ShowVersion) {
+    std::printf("%s", server::rpc::versionText("stqd").c_str());
+    return 0;
+  }
+  if (Options.ShowHelp || Options.Server.SocketPath.empty()) {
+    usage(Table);
+    return 2;
+  }
+
+  server::Server S(Options.Server);
+  if (!S.start(Error)) {
+    std::fprintf(stderr, "stqd: %s\n", Error.c_str());
+    return 2;
+  }
+  ActiveServer.store(&S, std::memory_order_relaxed);
+  std::signal(SIGTERM, handleSignal);
+  std::signal(SIGINT, handleSignal);
+  std::fprintf(stderr, "stqd: listening on %s\n",
+               Options.Server.SocketPath.c_str());
+  int Exit = S.serve();
+  ActiveServer.store(nullptr, std::memory_order_relaxed);
+  std::fprintf(stderr, "stqd: drained, exiting\n");
+  return Exit;
+}

@@ -1,0 +1,53 @@
+//===- TestTempDir.h - Per-test scratch directories -------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mkdtemp-backed scratch directory, removed on destruction. Tests that
+/// write files (prover-cache persistence, server sockets) use this instead
+/// of hardcoded relative paths, so concurrent or repeated test runs never
+/// collide on shared state. Socket tests also rely on mkdtemp under /tmp
+/// keeping paths inside sockaddr_un's ~100-byte sun_path limit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_TESTS_TESTTEMPDIR_H
+#define STQ_TESTS_TESTTEMPDIR_H
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace stq::testing {
+
+class TempDir {
+public:
+  TempDir() {
+    std::string Template = "/tmp/stq-test-XXXXXX";
+    if (char *P = ::mkdtemp(Template.data()))
+      Dir = P;
+  }
+  ~TempDir() {
+    if (!Dir.empty()) {
+      std::error_code EC;
+      std::filesystem::remove_all(Dir, EC);
+    }
+  }
+  TempDir(const TempDir &) = delete;
+  TempDir &operator=(const TempDir &) = delete;
+
+  bool valid() const { return !Dir.empty(); }
+  const std::string &str() const { return Dir; }
+  /// A path inside the directory: Dir/Name.
+  std::string path(const std::string &Name) const { return Dir + "/" + Name; }
+
+private:
+  std::string Dir;
+};
+
+} // namespace stq::testing
+
+#endif // STQ_TESTS_TESTTEMPDIR_H

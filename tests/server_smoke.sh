@@ -1,0 +1,152 @@
+#!/bin/sh
+# server_smoke.sh — end-to-end smoke test for the stqd daemon, driven
+# through the real binaries the way a user would run them.
+#
+# Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+# (Chin, Markstrum, Millstein; PLDI 2005).
+#
+# Usage: server_smoke.sh STQD STQC
+#
+# Exercises, with actual processes and a real Unix-domain socket:
+#   1. the daemon starting with a --cache-file in a missing directory;
+#   2. `stqc --server` output being byte-identical to one-shot stqc,
+#      for a passing check, a failing check (exit code 1 preserved),
+#      and JSON diagnostics;
+#   3. eight concurrent clients, every one byte-identical;
+#   4. a warm `prove` replaying entirely from the shared cache;
+#   5. `status` and `shutdown` control requests;
+#   6. SIGTERM: graceful drain, exit 0, cache file persisted.
+set -u
+
+STQD=${1:?usage: server_smoke.sh STQD STQC}
+STQC=${2:?usage: server_smoke.sh STQD STQC}
+
+WORK=$(mktemp -d /tmp/stq-smoke-XXXXXX) || exit 1
+SOCK="$WORK/stqd.sock"
+CACHE="$WORK/cache/warm.stqcache" # parent dir intentionally missing
+DAEMON_PID=
+
+FAILURES=0
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  i=0
+  while [ $i -lt 100 ]; do
+    # The daemon prints "stqd: listening on ..." once the socket is live;
+    # probing with a status request is the portable check.
+    if "$STQC" status --server "$SOCK" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+    i=$((i + 1))
+  done
+  return 1
+}
+
+# --- start the daemon -------------------------------------------------------
+"$STQD" --socket "$SOCK" --cache-file "$CACHE" --workers 4 --jobs 2 \
+  2>"$WORK/stqd.err" &
+DAEMON_PID=$!
+wait_for_socket || { fail "daemon did not come up"; exit 1; }
+
+# --- byte-identity: server output == one-shot output ------------------------
+OK_SRC='int f(int pos a) { int pos b = a * a; return b; }'
+BAD_SRC='int pos x = -1;'
+
+"$STQC" check -e "$OK_SRC" --builtins pos,neg \
+  >"$WORK/ok_local.out" 2>"$WORK/ok_local.err"
+OK_LOCAL_EXIT=$?
+"$STQC" check -e "$OK_SRC" --builtins pos,neg --server "$SOCK" \
+  >"$WORK/ok_server.out" 2>"$WORK/ok_server.err"
+OK_SERVER_EXIT=$?
+[ "$OK_LOCAL_EXIT" = "$OK_SERVER_EXIT" ] || fail "check exit: $OK_LOCAL_EXIT vs $OK_SERVER_EXIT"
+cmp -s "$WORK/ok_local.out" "$WORK/ok_server.out" || fail "check stdout differs"
+cmp -s "$WORK/ok_local.err" "$WORK/ok_server.err" || fail "check stderr differs"
+
+"$STQC" check -e "$BAD_SRC" --builtins pos,neg \
+  >"$WORK/bad_local.out" 2>"$WORK/bad_local.err"
+BAD_LOCAL_EXIT=$?
+"$STQC" check -e "$BAD_SRC" --builtins pos,neg --server "$SOCK" \
+  >"$WORK/bad_server.out" 2>"$WORK/bad_server.err"
+BAD_SERVER_EXIT=$?
+[ "$BAD_LOCAL_EXIT" = 1 ] || fail "failing check: one-shot exit $BAD_LOCAL_EXIT != 1"
+[ "$BAD_SERVER_EXIT" = 1 ] || fail "failing check: server exit $BAD_SERVER_EXIT != 1"
+cmp -s "$WORK/bad_local.out" "$WORK/bad_server.out" || fail "failing check stdout differs"
+cmp -s "$WORK/bad_local.err" "$WORK/bad_server.err" || fail "failing check stderr differs"
+
+"$STQC" check -e "$BAD_SRC" --builtins pos,neg --diagnostics json \
+  >"$WORK/json_local.out" 2>"$WORK/json_local.err"
+"$STQC" check -e "$BAD_SRC" --builtins pos,neg --diagnostics json \
+  --server "$SOCK" >"$WORK/json_server.out" 2>"$WORK/json_server.err"
+cmp -s "$WORK/json_local.err" "$WORK/json_server.err" || fail "json diagnostics differ"
+
+# --- eight concurrent clients, all byte-identical ---------------------------
+i=0
+while [ $i -lt 8 ]; do
+  "$STQC" check -e "$OK_SRC" --builtins pos,neg --server "$SOCK" \
+    >"$WORK/conc_$i.out" 2>"$WORK/conc_$i.err" &
+  eval "CONC_PID_$i=$!"
+  i=$((i + 1))
+done
+i=0
+while [ $i -lt 8 ]; do
+  eval "wait \$CONC_PID_$i" || fail "concurrent client $i exited non-zero"
+  cmp -s "$WORK/ok_local.out" "$WORK/conc_$i.out" || fail "concurrent client $i stdout differs"
+  cmp -s "$WORK/ok_local.err" "$WORK/conc_$i.err" || fail "concurrent client $i stderr differs"
+  i=$((i + 1))
+done
+
+# --- warm shared cache: the second prove never calls the prover -------------
+"$STQC" prove --server "$SOCK" >/dev/null 2>&1 || fail "cold prove failed"
+"$STQC" prove --metrics --server "$SOCK" >"$WORK/warm.out" 2>&1 \
+  || fail "warm prove failed"
+OBLIG=$(sed -n 's/^prove\.obligations = //p' "$WORK/warm.out")
+FROM_CACHE=$(sed -n 's/^prove\.obligations_from_cache = //p' "$WORK/warm.out")
+[ -n "$OBLIG" ] && [ "$OBLIG" -gt 0 ] || fail "warm prove reported no obligations"
+[ "$OBLIG" = "$FROM_CACHE" ] || fail "warm prove proved again: $FROM_CACHE/$OBLIG from cache"
+
+# --- control requests -------------------------------------------------------
+"$STQC" status --server "$SOCK" >"$WORK/status.out" 2>&1 || fail "status failed"
+grep -q '^server\.requests = ' "$WORK/status.out" || fail "status missing server.requests"
+grep -q '^prover\.cache\.entries = ' "$WORK/status.out" || fail "status missing cache entries"
+
+# --- SIGTERM: graceful drain, cache persisted -------------------------------
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_EXIT=$?
+DAEMON_PID=
+[ "$DAEMON_EXIT" = 0 ] || fail "daemon exit after SIGTERM: $DAEMON_EXIT"
+[ -s "$CACHE" ] || fail "cache file not persisted at $CACHE"
+head -1 "$CACHE" | grep -q 'stq-prover-cache-v1' || fail "cache file has wrong header"
+
+# --- a fresh daemon starts warm from the persisted cache --------------------
+"$STQD" --socket "$SOCK" --cache-file "$CACHE" 2>>"$WORK/stqd.err" &
+DAEMON_PID=$!
+wait_for_socket || fail "second daemon did not come up"
+"$STQC" prove --metrics --server "$SOCK" >"$WORK/warm2.out" 2>&1 \
+  || fail "prove against restarted daemon failed"
+grep -q '^prover\.cache\.misses = 0$' "$WORK/warm2.out" \
+  || fail "restarted daemon was not warm"
+"$STQC" shutdown --server "$SOCK" >/dev/null 2>&1 || fail "shutdown request failed"
+wait "$DAEMON_PID"
+DAEMON_EXIT=$?
+DAEMON_PID=
+[ "$DAEMON_EXIT" = 0 ] || fail "daemon exit after shutdown request: $DAEMON_EXIT"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "server_smoke: $FAILURES failure(s)" >&2
+  echo "--- daemon stderr ---" >&2
+  cat "$WORK/stqd.err" >&2
+  exit 1
+fi
+echo "server_smoke: all checks passed"

@@ -15,6 +15,8 @@
 #include "soundness/Soundness.h"
 #include "support/ThreadPool.h"
 
+#include "TestTempDir.h"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -242,7 +244,9 @@ TEST(PipelineStress, PersistentCacheSaveLoadRacesParallelChecker) {
   qual::QualifierSet Quals;
   ASSERT_TRUE(qual::loadBuiltinQualifiers({"pos", "neg", "nonzero"}, Quals,
                                           Setup));
-  const std::string Path = "test_cache_race.stqcache";
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  const std::string Path = Tmp.path("test_cache_race.stqcache");
   prover::ProverCache Cache;
   {
     // Seed the file so the first load() races a real parse.
@@ -280,7 +284,6 @@ TEST(PipelineStress, PersistentCacheSaveLoadRacesParallelChecker) {
   Done.store(true, std::memory_order_relaxed);
   Threads[3].join();
   Threads[4].join();
-  std::remove(Path.c_str());
 
   EXPECT_EQ(Unsound.load(), 0u);
   // Every load raced a rename of a fully written snapshot: none may have

@@ -10,6 +10,8 @@
 #include "driver/Session.h"
 #include "qual/Builtins.h"
 
+#include "TestTempDir.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -127,6 +129,84 @@ TEST(OptionTable, OptionalValueOnlyBindsInline) {
   EXPECT_EQ(Positionals, (std::vector<std::string>{"json"}));
 }
 
+TEST(OptionTable, RepeatedScalarOptionIsLastWins) {
+  // Handlers re-apply in order: a scalar option keeps the last value, and
+  // a list option accumulates (both are how stqc's options behave).
+  std::string Entry;
+  std::vector<std::string> Files;
+  cli::OptionTable T;
+  T.value("--entry", "", "NAME", "", [&](const std::string &V, std::string &) {
+    Entry = V;
+    return true;
+  });
+  T.value("--qualfile", "", "F", "", [&](const std::string &V, std::string &) {
+    Files.push_back(V);
+    return true;
+  });
+  std::string Error;
+  EXPECT_TRUE(T.parse({"--entry", "a", "--qualfile", "f1", "--entry=b",
+                       "--qualfile=f2"},
+                      Error))
+      << Error;
+  EXPECT_EQ(Entry, "b");
+  EXPECT_EQ(Files, (std::vector<std::string>{"f1", "f2"}));
+}
+
+TEST(OptionTable, DoubleDashEndsOptionProcessing) {
+  bool Verbose = false;
+  std::vector<std::string> Positionals;
+  cli::OptionTable T;
+  T.flag("--verbose", "", "", [&] { Verbose = true; });
+  T.positional([&](const std::string &V, std::string &) {
+    Positionals.push_back(V);
+    return true;
+  });
+  std::string Error;
+  // Everything after "--" is positional, even flag-shaped arguments; the
+  // separator itself is not routed anywhere.
+  EXPECT_TRUE(T.parse({"--verbose", "--", "--verbose", "-x", "--"}, Error))
+      << Error;
+  EXPECT_TRUE(Verbose);
+  EXPECT_EQ(Positionals, (std::vector<std::string>{"--verbose", "-x", "--"}));
+
+  // Without the separator the same arguments are hard errors.
+  EXPECT_FALSE(T.parse({"-x"}, Error));
+  EXPECT_EQ(Error, "unknown option '-x'");
+}
+
+TEST(OptionTable, DoubleDashWithoutPositionalHandlerIsError) {
+  cli::OptionTable T;
+  T.flag("--verbose", "", "", [] {});
+  std::string Error;
+  EXPECT_FALSE(T.parse({"--", "file.c"}, Error));
+  EXPECT_EQ(Error, "unexpected argument 'file.c'");
+}
+
+TEST(OptionTable, EmptyStringValues) {
+  // "--name=" binds an explicit empty value; a bare "" argument routes to
+  // the positional handler (argv can legally contain empty strings).
+  std::string Entry = "unset";
+  std::vector<std::string> Positionals;
+  cli::OptionTable T;
+  T.value("--entry", "", "NAME", "", [&](const std::string &V, std::string &) {
+    Entry = V;
+    return true;
+  });
+  T.positional([&](const std::string &V, std::string &) {
+    Positionals.push_back(V);
+    return true;
+  });
+  std::string Error;
+  EXPECT_TRUE(T.parse({"--entry=", ""}, Error)) << Error;
+  EXPECT_EQ(Entry, "");
+  EXPECT_EQ(Positionals, (std::vector<std::string>{""}));
+
+  // The separate-word spelling also accepts an empty value.
+  Entry = "unset";
+  EXPECT_TRUE(T.parse({"--entry", ""}, Error)) << Error;
+  EXPECT_EQ(Entry, "");
+}
+
 TEST(OptionTable, PositionalWithoutHandlerIsError) {
   cli::OptionTable T;
   std::string Error;
@@ -191,7 +271,9 @@ TEST(Session, MissingQualFileFails) {
 }
 
 TEST(Session, QualFileLoads) {
-  std::string Path = "session_test_qualfile.q";
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  std::string Path = Tmp.path("session_test_qualfile.q");
   {
     std::ofstream OS(Path);
     OS << "value qualifier nonneg(int Expr E)\n"
@@ -209,7 +291,6 @@ TEST(Session, QualFileLoads) {
     return OS.str();
   }();
   EXPECT_EQ(S.qualifiers().all().size(), 1u);
-  std::remove(Path.c_str());
 }
 
 TEST(Session, LoadIsIdempotent) {
@@ -319,8 +400,9 @@ TEST(Session, WarmProverCacheReplaysFromCache) {
 }
 
 TEST(Session, CacheFileWarmRerunSkipsAllProving) {
-  const std::string Path = "test_session_cache.stqcache";
-  std::remove(Path.c_str());
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  const std::string Path = Tmp.path("test_session_cache.stqcache");
   SessionOptions Options;
   Options.Builtins = {"pos", "neg", "nonzero"};
   Options.CacheFile = Path;
@@ -354,11 +436,12 @@ TEST(Session, CacheFileWarmRerunSkipsAllProving) {
     EXPECT_FALSE(S.diags().hasErrors());
     EXPECT_EQ(S.diags().warningCount(), 0u);
   }
-  std::remove(Path.c_str());
 }
 
 TEST(Session, CorruptCacheFileIsIgnoredWithWarning) {
-  const std::string Path = "test_session_cache_corrupt.stqcache";
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  const std::string Path = Tmp.path("test_session_cache_corrupt.stqcache");
   {
     std::ofstream Out(Path);
     Out << "stq-prover-cache-v0\ngarbage\n";
@@ -383,7 +466,6 @@ TEST(Session, CorruptCacheFileIsIgnoredWithWarning) {
               Rerun.metrics().counter("prove.obligations").get());
     EXPECT_EQ(Rerun.diags().warningCount(), 0u);
   }
-  std::remove(Path.c_str());
 }
 
 TEST(Session, InferPublishesMetrics) {

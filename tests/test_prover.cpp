@@ -4,6 +4,8 @@
 #include "prover/ProverCache.h"
 #include "prover/Theory.h"
 
+#include "TestTempDir.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -560,7 +562,9 @@ TEST(TheorySolverTest, DeepPushPopMirrorsReference) {
 //===----------------------------------------------------------------------===//
 
 TEST(ProverCachePersist, SaveLoadRoundtrip) {
-  const std::string Path = "test_cache_roundtrip.stqcache";
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  const std::string Path = Tmp.path("test_cache_roundtrip.stqcache");
   ProverCache Cache;
   ProverStats Stats;
   Stats.Seconds = 0.25;
@@ -589,11 +593,44 @@ TEST(ProverCachePersist, SaveLoadRoundtrip) {
   ASSERT_TRUE(Hit.has_value());
   EXPECT_EQ(Hit->Result, ProofResult::ResourceOut);
   EXPECT_EQ(Reloaded.stats().PersistHits, 3u);
-  std::remove(Path.c_str());
+}
+
+TEST(ProverCachePersist, SaveCreatesMissingParentDirectories) {
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  // A --cache-file under a directory that does not exist yet is a normal
+  // cold start (e.g. a per-project .cache/ tree): save() creates it.
+  const std::string Path = Tmp.path("a/b/c/nested.stqcache");
+  ProverCache Cache;
+  ProverStats Stats;
+  Cache.insert("goal:g", ProofResult::Proved, Stats);
+  std::string Error;
+  ASSERT_TRUE(Cache.save(Path, &Error)) << Error;
+
+  ProverCache Reloaded;
+  ASSERT_TRUE(Reloaded.load(Path, &Error)) << Error;
+  EXPECT_TRUE(Reloaded.lookup("goal:g").has_value());
+}
+
+TEST(ProverCachePersist, SaveIntoUnwritableParentFails) {
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  // A *file* where a parent directory is needed: create_directories cannot
+  // succeed, and save() must report rather than crash.
+  const std::string Blocker = Tmp.path("blocker");
+  { std::ofstream Out(Blocker); }
+  ProverCache Cache;
+  ProverStats Stats;
+  Cache.insert("goal:g", ProofResult::Proved, Stats);
+  std::string Error;
+  EXPECT_FALSE(Cache.save(Blocker + "/sub/c.stqcache", &Error));
+  EXPECT_FALSE(Error.empty());
 }
 
 TEST(ProverCachePersist, InMemoryEntriesWinOverFile) {
-  const std::string Path = "test_cache_merge.stqcache";
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  const std::string Path = Tmp.path("test_cache_merge.stqcache");
   ProverStats Stats;
   {
     ProverCache Cache;
@@ -609,11 +646,12 @@ TEST(ProverCachePersist, InMemoryEntriesWinOverFile) {
   EXPECT_EQ(Hit->Result, ProofResult::Proved);
   EXPECT_FALSE(Hit->FromDisk);
   EXPECT_EQ(Cache.stats().PersistLoaded, 0u);
-  std::remove(Path.c_str());
 }
 
 TEST(ProverCachePersist, WrongVersionHeaderIsIgnored) {
-  const std::string Path = "test_cache_badversion.stqcache";
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  const std::string Path = Tmp.path("test_cache_badversion.stqcache");
   {
     std::ofstream Out(Path);
     Out << "stq-prover-cache-v999\n1\nkey 6\ngoal:g\n"
@@ -625,11 +663,12 @@ TEST(ProverCachePersist, WrongVersionHeaderIsIgnored) {
   EXPECT_NE(Error.find("version"), std::string::npos) << Error;
   EXPECT_FALSE(Cache.lookup("goal:g").has_value());
   EXPECT_EQ(Cache.stats().PersistLoaded, 0u);
-  std::remove(Path.c_str());
 }
 
 TEST(ProverCachePersist, CorruptFileIsDiscardedWholesale) {
-  const std::string Path = "test_cache_corrupt.stqcache";
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  const std::string Path = Tmp.path("test_cache_corrupt.stqcache");
   ProverStats Stats;
   {
     ProverCache Cache;
@@ -652,7 +691,6 @@ TEST(ProverCachePersist, CorruptFileIsDiscardedWholesale) {
   EXPECT_FALSE(Cache.lookup("goal:g2").has_value());
   EXPECT_EQ(Cache.stats().PersistLoaded, 0u);
   std::remove(Path.c_str());
-
   // Garbage verdict text is rejected the same way.
   {
     std::ofstream Out(Path);
