@@ -66,6 +66,16 @@ bool Parser::expect(TokenKind K, const char *Context) {
 }
 
 void Parser::error(const std::string &Message) {
+  // Cap the flood: malformed input (fuzzed bytes, deep-nesting recovery)
+  // can otherwise produce one diagnostic per token.
+  ++ErrorCount;
+  if (ErrorCount > MaxParseErrors)
+    return;
+  if (ErrorCount == MaxParseErrors) {
+    Diags.error(peek().Loc, "parse",
+                "too many parse errors; suppressing further diagnostics");
+    return;
+  }
   Diags.error(peek().Loc, "parse", Message);
 }
 
@@ -77,6 +87,28 @@ void Parser::synchronize() {
       return;
     advance();
   }
+}
+
+namespace {
+/// Increments a nesting counter for the lifetime of one recursive parse
+/// call.
+struct DepthScope {
+  unsigned &Depth;
+  explicit DepthScope(unsigned &Depth) : Depth(Depth) { ++Depth; }
+  ~DepthScope() { --Depth; }
+};
+} // namespace
+
+bool Parser::checkDepth() {
+  if (Depth < MaxNestingDepth)
+    return true;
+  if (!DepthErrorReported) {
+    error("nesting too deep: more than " + std::to_string(MaxNestingDepth) +
+          " levels of nested expressions or statements");
+    DepthErrorReported = true;
+  }
+  synchronize();
+  return false;
 }
 
 //===----------------------------------------------------------------------===//
@@ -314,6 +346,9 @@ BlockStmt *Parser::parseBlock() {
 }
 
 Stmt *Parser::parseStmt() {
+  if (!checkDepth())
+    return nullptr;
+  DepthScope Scope(Depth);
   if (check(TokenKind::LBrace))
     return parseBlock();
   if (atTypeStart())
@@ -461,7 +496,12 @@ Expr *Parser::makeErrorExpr(SourceLoc Loc) {
   return Prog->Ctx.createExpr<IntConstExpr>(0, Loc);
 }
 
-Expr *Parser::parseExpr() { return parseLOr(); }
+Expr *Parser::parseExpr() {
+  if (!checkDepth())
+    return makeErrorExpr(peek().Loc);
+  DepthScope Scope(Depth);
+  return parseLOr();
+}
 
 Expr *Parser::parseLOr() {
   Expr *LHS = parseLAnd();
@@ -544,6 +584,11 @@ Expr *Parser::parseMultiplicative() {
 }
 
 Expr *Parser::parseUnary() {
+  // Unary operators and casts recurse directly into parseUnary without
+  // passing through parseExpr, so a `-----...` tower needs its own guard.
+  if (!checkDepth())
+    return makeErrorExpr(peek().Loc);
+  DepthScope Scope(Depth);
   SourceLoc Loc = peek().Loc;
   if (match(TokenKind::Minus)) {
     Expr *Sub = parseUnary();

@@ -111,12 +111,27 @@ private:
   /// Makes a placeholder int expression after an error.
   Expr *makeErrorExpr(SourceLoc Loc);
 
+  /// Hard cap on expression/statement nesting. Recursive descent uses the
+  /// native stack, so an adversarial `((((...` tower would otherwise
+  /// overflow it; past the cap the parser diagnoses once, resynchronizes,
+  /// and keeps going.
+  static constexpr unsigned MaxNestingDepth = 200;
+  /// True when nesting is within bounds; otherwise reports the (one)
+  /// too-deep diagnostic, skips to a statement boundary, and returns false.
+  bool checkDepth();
+
   std::vector<Token> Tokens;
   size_t Pos = 0;
   std::set<std::string> QualifierNames;
   DiagnosticEngine &Diags;
   std::unique_ptr<Program> Prog;
   std::vector<std::map<std::string, VarDecl *>> Scopes;
+  unsigned Depth = 0;
+  bool DepthErrorReported = false;
+  /// Diagnostics cap for pathological input; the last slot reports the
+  /// suppression itself.
+  static constexpr unsigned MaxParseErrors = 64;
+  unsigned ErrorCount = 0;
 };
 
 } // namespace detail

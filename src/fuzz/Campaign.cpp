@@ -1,0 +1,535 @@
+//===- Campaign.cpp -------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "fuzz/Mutator.h"
+#include "fuzz/ProgramGen.h"
+#include "fuzz/ProverSessionGen.h"
+#include "fuzz/QualGen.h"
+#include "fuzz/Shrinker.h"
+#include "server/Exec.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace stq;
+using namespace stq::fuzz;
+
+namespace {
+
+/// Everything a scenario needs to report into. Pool/Cache model the warm
+/// stqd process state for the server-path byte-identity comparison; they
+/// may be null (corpus replay), which skips that comparison.
+struct OracleContext {
+  const CampaignOptions &Opts;
+  stats::Registry &Stats;
+  CampaignResult &Result;
+  std::ostream *Log;
+  ThreadPool *Pool = nullptr;
+  prover::ProverCache *Cache = nullptr;
+};
+
+std::string trunc(const std::string &S, size_t Max = 400) {
+  if (S.size() <= Max)
+    return S;
+  return S.substr(0, Max) + "...[truncated]";
+}
+
+void reportFailure(OracleContext &C, FuzzFailure F) {
+  C.Stats.add("fuzz.oracle." + F.Oracle + "_violations", 1);
+  if (C.Log)
+    *C.Log << "fuzz: " << F.Oracle << " violation (" << F.Kind << ", seed "
+           << F.RunSeed << "): " << F.Detail << "\n";
+  C.Result.Failures.push_back(std::move(F));
+}
+
+/// Shrinks a failing text input, metering predicate evaluations.
+std::string minimized(OracleContext &C, const std::string &Input,
+                      const FailurePredicate &StillFails) {
+  if (!C.Opts.Minimize)
+    return Input;
+  unsigned Evals = 0;
+  std::string Out = shrink(
+      Input,
+      [&](const std::string &Candidate) {
+        ++Evals;
+        return StillFails(Candidate);
+      },
+      500);
+  C.Stats.add("fuzz.shrink.evals", Evals);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// check invocations (the metamorphic oracle's subject)
+//===----------------------------------------------------------------------===//
+
+server::ExecResult checkInvocation(const std::string &Source, unsigned Jobs,
+                                   const server::SharedContext &Shared = {}) {
+  server::Invocation Inv;
+  Inv.Command = "check";
+  Inv.Source = Source;
+  Inv.HasSource = true;
+  Inv.Session.Builtins = programQualifiers();
+  Inv.Session.Jobs = Jobs;
+  return server::executeInvocation(Inv, Shared);
+}
+
+bool sameExec(const server::ExecResult &A, const server::ExecResult &B) {
+  return A.ExitCode == B.ExitCode && A.Out == B.Out && A.Err == B.Err;
+}
+
+std::string describeExecDiff(const server::ExecResult &A,
+                             const server::ExecResult &B, const char *AName,
+                             const char *BName) {
+  std::ostringstream OS;
+  OS << AName << " exit=" << A.ExitCode << " vs " << BName
+     << " exit=" << B.ExitCode;
+  if (A.Out != B.Out)
+    OS << "; stdout differs:\n--- " << AName << "\n" << trunc(A.Out)
+       << "\n--- " << BName << "\n" << trunc(B.Out);
+  if (A.Err != B.Err)
+    OS << "; stderr differs:\n--- " << AName << "\n" << trunc(A.Err)
+       << "\n--- " << BName << "\n" << trunc(B.Err);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// C-minus program oracles
+//===----------------------------------------------------------------------===//
+
+/// Jobs differential + server path + (when accepted) the Theorem 5.1
+/// audit. Shared by generated programs and corpus replays.
+void cmmOracles(const std::string &Source, uint64_t RunSeed,
+                OracleContext &C) {
+  server::ExecResult Seq = checkInvocation(Source, 1);
+  server::ExecResult Par = checkInvocation(Source, C.Opts.Jobs);
+  if (!sameExec(Seq, Par)) {
+    unsigned Jobs = C.Opts.Jobs;
+    FuzzFailure F;
+    F.Oracle = "metamorphic";
+    F.Kind = "jobs-mismatch";
+    F.RunSeed = RunSeed;
+    F.Detail = describeExecDiff(Seq, Par, "jobs=1", "jobs=N");
+    F.Input = minimized(C, Source, [Jobs](const std::string &S) {
+      return !sameExec(checkInvocation(S, 1), checkInvocation(S, Jobs));
+    });
+    reportFailure(C, std::move(F));
+    return;
+  }
+
+  // The stqd execution path: same invocation against warm shared state
+  // must stay byte-identical.
+  if (C.Pool && C.Cache) {
+    server::SharedContext Shared;
+    Shared.Pool = C.Pool;
+    Shared.Cache = C.Cache;
+    server::ExecResult Srv = checkInvocation(Source, C.Opts.Jobs, Shared);
+    if (!sameExec(Par, Srv)) {
+      FuzzFailure F;
+      F.Oracle = "metamorphic";
+      F.Kind = "server-mismatch";
+      F.RunSeed = RunSeed;
+      F.Input = Source;
+      F.Detail = describeExecDiff(Par, Srv, "local", "shared-context");
+      reportFailure(C, std::move(F));
+      return;
+    }
+  }
+
+  if (Seq.ExitCode != 0) {
+    C.Stats.add("fuzz.check.rejected", 1);
+    return;
+  }
+  C.Stats.add("fuzz.check.accepted", 1);
+
+  // Theorem 5.1: the accepted program runs with the invariant audit armed.
+  SessionOptions SO;
+  SO.Builtins = programQualifiers();
+  SO.Interp.AuditQualifiedStores = true;
+  SO.Interp.Fuel = C.Opts.Fuel;
+  Session S(SO);
+  Session::RunOutcome Out = S.run(Source);
+  C.Stats.add("fuzz.exec.runs", 1);
+  C.Stats.add("fuzz.audit.checks", Out.Run.AuditChecks);
+  switch (Out.Run.Status) {
+  case interp::RunStatus::Trap: {
+    // An accepted program has no legal trap, whatever mode generated it:
+    // the nonnull restrict guards every dereference and the nonzero
+    // restrict guards every `/` and `%` divisor. (This oracle caught the
+    // missing `%` restrict; see tests/corpus/rem_zero_divisor.cmm.)
+    FuzzFailure F;
+    F.Oracle = "soundness";
+    F.Kind = "trap";
+    F.RunSeed = RunSeed;
+    F.Input = Source;
+    F.Detail = "accepted program trapped: " + Out.Run.TrapMessage;
+    C.Stats.add("fuzz.exec.traps", 1);
+    reportFailure(C, std::move(F));
+    break;
+  }
+  case interp::RunStatus::FuelExhausted:
+    C.Stats.add("fuzz.exec.fuel_exhausted", 1);
+    break;
+  case interp::RunStatus::CheckFailure:
+    // A failing run-time check at a cast is the paper's sanctioned
+    // dynamic semantics, not a soundness violation.
+    C.Stats.add("fuzz.exec.check_failures", 1);
+    break;
+  default:
+    break;
+  }
+  if (!Out.Run.AuditFailures.empty()) {
+    const interp::CheckFailure &A = Out.Run.AuditFailures.front();
+    uint64_t Fuel = C.Opts.Fuel;
+    FuzzFailure F;
+    F.Oracle = "soundness";
+    F.Kind = "audit-violation";
+    F.RunSeed = RunSeed;
+    F.Detail = "invariant of '" + A.Qual + "' violated by value " +
+               A.ValueStr + " at line " + std::to_string(A.Loc.Line) +
+               " in a checker-accepted program";
+    F.Input = minimized(C, Source, [Fuel](const std::string &Text) {
+      if (checkInvocation(Text, 1).ExitCode != 0)
+        return false;
+      SessionOptions MO;
+      MO.Builtins = programQualifiers();
+      MO.Interp.AuditQualifiedStores = true;
+      MO.Interp.Fuel = Fuel;
+      Session MS(MO);
+      return !MS.run(Text).Run.AuditFailures.empty();
+    });
+    reportFailure(C, std::move(F));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Qualifier-set oracles
+//===----------------------------------------------------------------------===//
+
+bool reportsDiffer(const std::vector<soundness::SoundnessReport> &A,
+                   const std::vector<soundness::SoundnessReport> &B,
+                   std::string &Why) {
+  if (A.size() != B.size()) {
+    Why = "report count " + std::to_string(A.size()) + " vs " +
+          std::to_string(B.size());
+    return true;
+  }
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (A[I].Obligations.size() != B[I].Obligations.size()) {
+      Why = A[I].Qual + ": obligation count differs";
+      return true;
+    }
+    for (size_t J = 0; J < A[I].Obligations.size(); ++J) {
+      const soundness::Obligation &X = A[I].Obligations[J];
+      const soundness::Obligation &Y = B[I].Obligations[J];
+      if (X.Result != Y.Result || X.Description != Y.Description) {
+        Why = X.Qual + ": " + X.Description + " -> " +
+              std::to_string(static_cast<int>(X.Result)) + " vs " +
+              std::to_string(static_cast<int>(Y.Result));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<soundness::SoundnessReport>
+proveQualSource(const std::string &Src, prover::EngineKind Engine,
+                prover::ProverCache *SharedCache = nullptr) {
+  SessionOptions SO;
+  SO.QualSources = {Src};
+  SO.Prover.Engine = Engine;
+  SO.SharedCache = SharedCache;
+  Session S(SO);
+  if (!S.loadQualifiers())
+    return {};
+  return S.prove();
+}
+
+/// Load + engine differential + warm-cache replay; for generated sets that
+/// prove fully sound, the derivable-constant program closes the loop with
+/// an audited execution. \p Set is null for corpus files (which may be
+/// deliberately malformed robustness inputs, so a load failure is fine).
+void qualSetOracles(const std::string &Src, const GeneratedQualSet *Set,
+                    uint64_t RunSeed, OracleContext &C) {
+  SessionOptions SO;
+  SO.QualSources = {Src};
+  Session S(SO);
+  if (!S.loadQualifiers()) {
+    if (Set) {
+      // The generator promises well-formed output; a reject means the
+      // generator or the DSL front end broke its contract.
+      std::ostringstream OS;
+      S.diags().print(OS);
+      FuzzFailure F;
+      F.Oracle = "robustness";
+      F.Kind = "qualgen-reject";
+      F.RunSeed = RunSeed;
+      F.Input = Src;
+      F.Detail = "generated qualifier set failed to load:\n" + trunc(OS.str());
+      reportFailure(C, std::move(F));
+    }
+    return;
+  }
+
+  std::vector<soundness::SoundnessReport> Inc = S.prove();
+  std::vector<soundness::SoundnessReport> Ref =
+      proveQualSource(Src, prover::EngineKind::Reference);
+  std::string Why;
+  if (reportsDiffer(Inc, Ref, Why)) {
+    FuzzFailure F;
+    F.Oracle = "engine-differential";
+    F.Kind = "verdict-mismatch";
+    F.RunSeed = RunSeed;
+    F.Detail = "incremental vs reference: " + Why;
+    F.Input = minimized(C, Src, [](const std::string &Text) {
+      std::vector<soundness::SoundnessReport> A =
+          proveQualSource(Text, prover::EngineKind::Incremental);
+      if (A.empty())
+        return false;
+      std::vector<soundness::SoundnessReport> B =
+          proveQualSource(Text, prover::EngineKind::Reference);
+      std::string W;
+      return reportsDiffer(A, B, W);
+    });
+    reportFailure(C, std::move(F));
+    return;
+  }
+
+  // Warm replay from this session's populated cache: verdicts must match
+  // the cold pass exactly.
+  std::vector<soundness::SoundnessReport> Warm = proveQualSource(
+      Src, prover::EngineKind::Incremental, &S.proverCache());
+  if (reportsDiffer(Inc, Warm, Why)) {
+    FuzzFailure F;
+    F.Oracle = "metamorphic";
+    F.Kind = "warm-cache-mismatch";
+    F.RunSeed = RunSeed;
+    F.Input = Src;
+    F.Detail = "cold vs warm-cache re-proof: " + Why;
+    reportFailure(C, std::move(F));
+    return;
+  }
+
+  if (!Set)
+    return;
+  bool AllSound = !Inc.empty();
+  for (const soundness::SoundnessReport &Report : Inc)
+    AllSound = AllSound && Report.sound();
+  if (!AllSound)
+    return;
+
+  // The prover vouched for the set; Theorem 5.1 now covers programs over
+  // it, so a derivable-constant program must run audit-clean.
+  std::string Prog = "int main() {\n";
+  unsigned Decls = 0;
+  for (const GeneratedQualifier &Q : Set->Quals) {
+    long Const = 0;
+    if (!derivableConst(Q, Const))
+      continue;
+    Prog += "  int " + Q.Name + " x" + std::to_string(Decls++) + " = " +
+            std::to_string(Const) + ";\n";
+  }
+  Prog += "  return 0;\n}\n";
+  if (Decls == 0)
+    return;
+  SessionOptions PO;
+  PO.QualSources = {Src};
+  PO.Interp.AuditQualifiedStores = true;
+  PO.Interp.Fuel = C.Opts.Fuel;
+  Session PS(PO);
+  Session::RunOutcome Out = PS.run(Prog);
+  if (!Out.Check.FrontEndOk || Out.Check.Result.QualErrors > 0) {
+    // Incompleteness (a conservative reject) is not a soundness bug.
+    C.Stats.add("fuzz.check.rejected", 1);
+    return;
+  }
+  C.Stats.add("fuzz.check.accepted", 1);
+  C.Stats.add("fuzz.exec.runs", 1);
+  C.Stats.add("fuzz.audit.checks", Out.Run.AuditChecks);
+  if (!Out.Run.AuditFailures.empty()) {
+    const interp::CheckFailure &A = Out.Run.AuditFailures.front();
+    FuzzFailure F;
+    F.Oracle = "soundness";
+    F.Kind = "audit-violation-proved-set";
+    F.RunSeed = RunSeed;
+    F.Input = Src + "\n// program:\n" + Prog;
+    F.Detail = "prover declared the set sound, yet invariant of '" + A.Qual +
+               "' was violated by value " + A.ValueStr;
+    reportFailure(C, std::move(F));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scenarios
+//===----------------------------------------------------------------------===//
+
+void soundnessScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  ProgramGenOptions GO;
+  GO.MayDiverge = true;
+  std::string Source = generateProgram(R, GO);
+  C.Stats.add("fuzz.gen.programs", 1);
+  cmmOracles(Source, RunSeed, C);
+}
+
+void mixedScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  ProgramGenOptions GO;
+  GO.GenMode = ProgramGenOptions::Mode::Mixed;
+  std::string Source = generateProgram(R, GO);
+  C.Stats.add("fuzz.gen.programs", 1);
+  // Mixed programs mostly carry diagnostics; the jobs differential (and
+  // the audit, on the occasional accepted one) still applies.
+  cmmOracles(Source, RunSeed, C);
+}
+
+void qualgenScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  GeneratedQualSet Set = generateQualSet(R);
+  C.Stats.add("fuzz.gen.qualsets", 1);
+  qualSetOracles(Set.Source, &Set, RunSeed, C);
+}
+
+void proverScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  unsigned SubSeed = static_cast<unsigned>(R.next());
+  C.Stats.add("fuzz.gen.prover_sessions", 1);
+  prover::ProofResult Inc =
+      runProverSession(SubSeed, prover::EngineKind::Incremental);
+  prover::ProofResult Ref =
+      runProverSession(SubSeed, prover::EngineKind::Reference);
+  if (Inc != Ref) {
+    FuzzFailure F;
+    F.Oracle = "engine-differential";
+    F.Kind = "session-mismatch";
+    F.RunSeed = RunSeed;
+    F.Input = "runProverSession(" + std::to_string(SubSeed) + ")";
+    F.Detail = "incremental=" + std::to_string(static_cast<int>(Inc)) +
+               " reference=" + std::to_string(static_cast<int>(Ref));
+    reportFailure(C, std::move(F));
+  }
+}
+
+void robustnessScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  C.Stats.add("fuzz.robustness.inputs", 1);
+  switch (R.pick(4)) {
+  case 0: {
+    // Token soup through the C-minus front end: diagnose, never abort.
+    std::string Soup =
+        tokenSoup(R, Vocab::CMinus, 5 + static_cast<unsigned>(R.pick(60)));
+    SessionOptions SO;
+    SO.Builtins = programQualifiers();
+    Session S(SO);
+    S.frontEnd(Soup);
+    break;
+  }
+  case 1: {
+    std::string Soup =
+        tokenSoup(R, Vocab::QualDsl, 5 + static_cast<unsigned>(R.pick(50)));
+    SessionOptions SO;
+    SO.QualSources = {Soup};
+    Session S(SO);
+    S.loadQualifiers();
+    break;
+  }
+  case 2: {
+    // Byte mutations of a valid program: exercises lexer and parser
+    // recovery near well-formed input; the jobs differential must hold on
+    // the diagnostic output too.
+    std::string Source = mutateBytes(generateProgram(R), R);
+    C.Stats.add("fuzz.mutations", 1);
+    server::ExecResult Seq = checkInvocation(Source, 1);
+    server::ExecResult Par = checkInvocation(Source, C.Opts.Jobs);
+    if (!sameExec(Seq, Par)) {
+      FuzzFailure F;
+      F.Oracle = "metamorphic";
+      F.Kind = "jobs-mismatch-mutated";
+      F.RunSeed = RunSeed;
+      F.Input = Source;
+      F.Detail = describeExecDiff(Seq, Par, "jobs=1", "jobs=N");
+      reportFailure(C, std::move(F));
+    }
+    break;
+  }
+  default: {
+    std::string Src = mutateBytes(generateQualSet(R).Source, R);
+    C.Stats.add("fuzz.mutations", 1);
+    SessionOptions SO;
+    SO.QualSources = {Src};
+    Session S(SO);
+    S.loadQualifiers();
+    break;
+  }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+CampaignResult stq::fuzz::runCampaign(const CampaignOptions &Opts,
+                                      stats::Registry &Stats,
+                                      std::ostream *Log) {
+  CampaignResult Result;
+  ThreadPool Pool(Opts.Jobs);
+  prover::ProverCache Cache;
+  OracleContext C{Opts, Stats, Result, Log, &Pool, &Cache};
+
+  Rng Master(Opts.Seed);
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I < Opts.Runs; ++I) {
+    if (Opts.TimeBudgetSeconds > 0) {
+      auto Elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+      if (Elapsed >= static_cast<long>(Opts.TimeBudgetSeconds)) {
+        if (Log)
+          *Log << "fuzz: time budget exhausted after " << I << " runs\n";
+        break;
+      }
+    }
+    uint64_t RunSeed = Master.next();
+    Rng R(RunSeed);
+    Stats.add("fuzz.runs", 1);
+    uint64_t W = R.pick(100);
+    if (W < 50)
+      soundnessScenario(R, RunSeed, C);
+    else if (W < 65)
+      mixedScenario(R, RunSeed, C);
+    else if (W < 80)
+      qualgenScenario(R, RunSeed, C);
+    else if (W < 90)
+      proverScenario(R, RunSeed, C);
+    else
+      robustnessScenario(R, RunSeed, C);
+    ++Result.RunsExecuted;
+    if (Log && (I + 1) % 100 == 0)
+      *Log << "fuzz: " << (I + 1) << "/" << Opts.Runs << " runs, "
+           << Result.Failures.size() << " failures\n";
+  }
+  return Result;
+}
+
+bool stq::fuzz::replayCorpusFile(const std::string &Path,
+                                 const CampaignOptions &Opts,
+                                 stats::Registry &Stats,
+                                 CampaignResult &Result) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Text = SS.str();
+  Stats.add("fuzz.corpus.replayed", 1);
+  OracleContext C{Opts, Stats, Result, nullptr, nullptr, nullptr};
+  bool IsQual =
+      Path.size() >= 5 && Path.compare(Path.size() - 5, 5, ".qual") == 0;
+  if (IsQual)
+    qualSetOracles(Text, nullptr, 0, C);
+  else
+    cmmOracles(Text, 0, C);
+  return true;
+}

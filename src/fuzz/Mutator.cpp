@@ -1,0 +1,68 @@
+//===- Mutator.cpp --------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+using namespace stq;
+using namespace stq::fuzz;
+
+std::string stq::fuzz::mutateBytes(const std::string &In, Rng &R) {
+  std::string Out = In;
+  unsigned Ops = static_cast<unsigned>(R.range(1, 4));
+  for (unsigned I = 0; I < Ops; ++I) {
+    if (Out.empty()) {
+      Out.push_back(static_cast<char>(R.pick(256)));
+      continue;
+    }
+    size_t At = R.pick(Out.size());
+    switch (R.pick(5)) {
+    case 0: // flip one byte to an arbitrary value
+      Out[At] = static_cast<char>(R.pick(256));
+      break;
+    case 1: // delete a short span
+      Out.erase(At, 1 + R.pick(4));
+      break;
+    case 2: { // duplicate a span elsewhere
+      size_t Len = 1 + R.pick(8);
+      std::string Span = Out.substr(At, Len);
+      Out.insert(R.pick(Out.size() + 1), Span);
+      break;
+    }
+    case 3: // insert an arbitrary byte
+      Out.insert(Out.begin() + static_cast<long>(At),
+                 static_cast<char>(R.pick(256)));
+      break;
+    default: // truncate
+      Out.resize(At);
+      break;
+    }
+  }
+  return Out;
+}
+
+std::string stq::fuzz::tokenSoup(Rng &R, Vocab V, unsigned Len) {
+  static const char *const CMinusFragments[] = {
+      "int",    "char",  "struct", "*",  "(",      ")",    "{",  "}",
+      ";",      ",",     "x",      "y",  "f",      "42",   "+",  "-",
+      "/",      "%",     "==",     "!=", "return", "if",   "else",
+      "while",  "for",   "&",      "&&", "||",     "NULL", "=",  "\"s\"",
+      "pos",    "->",    ".",      "[",  "]",      "!",    "~",  "<",
+      "sizeof", "break", "0x1F",   "'c'"};
+  static const char *const QualFragments[] = {
+      "value",  "ref",  "qualifier", "case",   "of",       "decl",
+      "where",  "(",    ")",         ":",      "|",        "invariant",
+      "forall", "T",    "int",       "Expr",   "Const",    "LValue",
+      "Var",    "E",    "C",         "value",  "location", "*",
+      "&&",     "||",   "=>",        ">",      "0",        "NULL",
+      "assign", "new",  "disallow",  "ondecl", "isHeapLoc"};
+  const char *const *Fragments =
+      V == Vocab::CMinus ? CMinusFragments : QualFragments;
+  size_t Count = V == Vocab::CMinus
+                     ? sizeof(CMinusFragments) / sizeof(char *)
+                     : sizeof(QualFragments) / sizeof(char *);
+  std::string Out;
+  for (unsigned I = 0; I < Len; ++I) {
+    Out += Fragments[R.pick(Count)];
+    Out += ' ';
+  }
+  return Out;
+}

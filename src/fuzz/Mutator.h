@@ -1,0 +1,40 @@
+//===- Mutator.h - Byte and token-level input mutation ----------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Input mutation for the robustness oracle: the front ends must diagnose
+/// malformed input, never abort. Two strategies:
+///
+///  * mutateBytes: classic byte-level ops (flip, delete, duplicate, insert,
+///    truncate) over an existing input — finds lexer/recovery crashes near
+///    valid programs.
+///  * tokenSoup: random sequences of language fragments — finds parser
+///    crashes on structurally wild but token-clean input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_FUZZ_MUTATOR_H
+#define STQ_FUZZ_MUTATOR_H
+
+#include "fuzz/Rng.h"
+
+#include <string>
+
+namespace stq::fuzz {
+
+/// Applies 1-4 random byte-level mutations to \p In.
+std::string mutateBytes(const std::string &In, Rng &R);
+
+/// Which fragment vocabulary tokenSoup draws from.
+enum class Vocab { CMinus, QualDsl };
+
+/// A random space-separated sequence of \p Len fragments.
+std::string tokenSoup(Rng &R, Vocab V, unsigned Len);
+
+} // namespace stq::fuzz
+
+#endif // STQ_FUZZ_MUTATOR_H

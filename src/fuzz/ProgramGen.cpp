@@ -1,0 +1,545 @@
+//===- ProgramGen.cpp -----------------------------------------------------===//
+
+#include "fuzz/ProgramGen.h"
+
+using namespace stq;
+using namespace stq::fuzz;
+
+namespace {
+
+/// The value-qualifier vocabulary the generator reasons about. Derivations
+/// mirror the builtin case rules (see `stqc dump-builtin`): a positive
+/// constant derives Pos, pos*pos derives Pos, a Pos expression coerces to
+/// Nonzero, only constants derive Untainted, everything derives Tainted.
+enum class Q { None, Pos, Neg, Nonzero, Untainted, Tainted };
+
+const char *spec(Q Qual) {
+  switch (Qual) {
+  case Q::None:
+    return "int ";
+  case Q::Pos:
+    return "int pos ";
+  case Q::Neg:
+    return "int neg ";
+  case Q::Nonzero:
+    return "int nonzero ";
+  case Q::Untainted:
+    return "int untainted ";
+  case Q::Tainted:
+    return "int tainted ";
+  }
+  return "int ";
+}
+
+/// An expression with a magnitude bound: |value| <= 9^Lg, always. Bounds
+/// are threaded through every construct (assignment right-hand sides never
+/// exceed the target's declared bound, loop bodies included) so no run of
+/// a Sound-mode program can overflow int64 — an overflowed `pos` value
+/// would wrap negative and fire the invariant audit as a false Theorem 5.1
+/// counterexample.
+struct GenExpr {
+  std::string Text;
+  unsigned Lg = 1;
+};
+
+struct VarInfo {
+  std::string Name;
+  Q Qual = Q::None;
+  /// Magnitude budget: every value this variable ever holds satisfies
+  /// |v| <= 9^Lg.
+  unsigned Lg = 1;
+  /// False for unaliased variables (their ref qualifier disallows `&`).
+  bool CanTakeAddr = true;
+  /// False for unaliased variables (keep their ondecl binding stable).
+  bool CanAssign = true;
+};
+
+struct PtrInfo {
+  std::string Name;
+  Q Pointee = Q::None;
+  unsigned PointeeLg = 1;
+  bool Nonnull = false;
+};
+
+struct FnInfo {
+  std::string Name;
+  Q Ret = Q::None;
+  unsigned RetLg = 1;
+  std::vector<Q> Params;
+};
+
+/// Callers cap argument bounds here; helper bodies assume it of params.
+constexpr unsigned ParamLg = 4;
+/// Ceiling for any declaration's magnitude budget (9^6 is ~5e5).
+constexpr unsigned MaxVarLg = 6;
+
+/// True when reading a variable declared with \p Have derives \p Want.
+bool derives(Q Have, Q Want) {
+  if (Want == Q::None || Want == Q::Tainted)
+    return true;
+  if (Have == Want)
+    return true;
+  // The nonzero coercion case: E1 where pos(E1).
+  return Want == Q::Nonzero && Have == Q::Pos;
+}
+
+class Generator {
+public:
+  Generator(Rng &R, const ProgramGenOptions &Opts)
+      : R(R), Opts(Opts),
+        Mixed(Opts.GenMode == ProgramGenOptions::Mode::Mixed) {}
+
+  std::string run() {
+    std::string Out;
+    unsigned Helpers = static_cast<unsigned>(R.pick(Opts.MaxHelpers + 1));
+    for (unsigned I = 0; I < Helpers; ++I)
+      Out += helper();
+    Out += mainFunction();
+    return Out;
+  }
+
+private:
+  Rng &R;
+  const ProgramGenOptions &Opts;
+  bool Mixed;
+  std::vector<FnInfo> Fns;
+  std::vector<VarInfo> Ints;
+  std::vector<PtrInfo> Ptrs;
+  unsigned NameCounter = 0;
+
+  std::string fresh(const char *Prefix) {
+    return Prefix + std::to_string(NameCounter++);
+  }
+
+  /// Mixed mode plants qualifier errors by answering a qualified request
+  /// with an arbitrary expression.
+  bool sabotage() { return Mixed && R.chance(30); }
+
+  const VarInfo *pickVar(Q Want, unsigned MaxLg) {
+    std::vector<const VarInfo *> Fits;
+    for (const VarInfo &V : Ints)
+      if (derives(V.Qual, Want) && V.Lg <= MaxLg)
+        Fits.push_back(&V);
+    if (Fits.empty())
+      return nullptr;
+    return Fits[R.pick(Fits.size())];
+  }
+
+  const PtrInfo *pickPtr(Q Pointee, bool NeedNonnull) {
+    std::vector<const PtrInfo *> Fits;
+    for (const PtrInfo &P : Ptrs)
+      if (P.Pointee == Pointee && (!NeedNonnull || P.Nonnull))
+        Fits.push_back(&P);
+    if (Fits.empty())
+      return nullptr;
+    return Fits[R.pick(Fits.size())];
+  }
+
+  const FnInfo *pickFn(Q Want, unsigned MaxLg) {
+    std::vector<const FnInfo *> Fits;
+    for (const FnInfo &F : Fns)
+      if (derives(F.Ret, Want) && F.RetLg <= MaxLg)
+        Fits.push_back(&F);
+    if (Fits.empty())
+      return nullptr;
+    return Fits[R.pick(Fits.size())];
+  }
+
+  GenExpr call(const FnInfo &Fn, unsigned Depth) {
+    std::string Out = Fn.Name + "(";
+    for (size_t I = 0; I < Fn.Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += expr(Fn.Params[I], Depth, ParamLg).Text;
+    }
+    return {Out + ")", Fn.RetLg};
+  }
+
+  GenExpr posConst() { return {std::to_string(R.range(1, 9)), 1}; }
+  GenExpr negConst() { return {std::to_string(R.range(-9, -1)), 1}; }
+
+  /// An expression that derives \p Want (in Sound mode; Mixed mode may
+  /// sabotage) with magnitude at most 9^MaxLg. Depth 0 falls back to
+  /// constants and variables.
+  GenExpr expr(Q Want, unsigned Depth, unsigned MaxLg) {
+    if (MaxLg == 0)
+      MaxLg = 1;
+    if (sabotage() && Want != Q::None)
+      return expr(Q::None, Depth, MaxLg);
+    // Products need a splittable budget on top of recursion depth.
+    bool Deep = Depth > 0;
+    bool CanMul = Deep && MaxLg >= 2;
+    switch (Want) {
+    case Q::Pos: {
+      switch (R.pick(Deep ? 5u : 2u)) {
+      case 0:
+        return posConst();
+      case 1:
+        if (const VarInfo *V = pickVar(Q::Pos, MaxLg))
+          return {V->Name, V->Lg};
+        return posConst();
+      case 2: {
+        if (!CanMul)
+          return posConst();
+        GenExpr A = expr(Q::Pos, Depth - 1, MaxLg / 2);
+        GenExpr B = expr(Q::Pos, Depth - 1, MaxLg / 2);
+        return {"(" + A.Text + " * " + B.Text + ")", A.Lg + B.Lg};
+      }
+      case 3: {
+        GenExpr A = expr(Q::Neg, Depth - 1, MaxLg);
+        return {"(- " + A.Text + ")", A.Lg};
+      }
+      default:
+        if (const FnInfo *F = pickFn(Q::Pos, MaxLg))
+          return call(*F, Depth - 1);
+        if (Opts.UseCasts && R.chance(50))
+          return castExpr(Q::Pos, Depth - 1, MaxLg);
+        return posConst();
+      }
+    }
+    case Q::Neg: {
+      switch (R.pick(Deep ? 4u : 2u)) {
+      case 0:
+        return negConst();
+      case 1:
+        if (const VarInfo *V = pickVar(Q::Neg, MaxLg))
+          return {V->Name, V->Lg};
+        return negConst();
+      case 2: {
+        GenExpr A = expr(Q::Pos, Depth - 1, MaxLg);
+        return {"(- " + A.Text + ")", A.Lg};
+      }
+      default: {
+        if (!CanMul)
+          return negConst();
+        bool PosFirst = R.chance(50);
+        GenExpr A = expr(PosFirst ? Q::Pos : Q::Neg, Depth - 1, MaxLg / 2);
+        GenExpr B = expr(PosFirst ? Q::Neg : Q::Pos, Depth - 1, MaxLg / 2);
+        return {"(" + A.Text + " * " + B.Text + ")", A.Lg + B.Lg};
+      }
+      }
+    }
+    case Q::Nonzero: {
+      switch (R.pick(Deep ? 4u : 2u)) {
+      case 0:
+        // Any nonzero constant derives (case C where C != 0).
+        return R.chance(70) ? posConst() : negConst();
+      case 1:
+        if (const VarInfo *V = pickVar(Q::Nonzero, MaxLg))
+          return {V->Name, V->Lg};
+        return posConst();
+      case 2:
+        return expr(Q::Pos, Depth - 1, MaxLg);
+      default: {
+        if (!CanMul)
+          return posConst();
+        GenExpr A = expr(Q::Nonzero, Depth - 1, MaxLg / 2);
+        GenExpr B = expr(Q::Nonzero, Depth - 1, MaxLg / 2);
+        return {"(" + A.Text + " * " + B.Text + ")", A.Lg + B.Lg};
+      }
+      }
+    }
+    case Q::Untainted: {
+      // Only constants (and other untainted values) derive untainted.
+      if (const VarInfo *V = R.chance(40) ? pickVar(Q::Untainted, MaxLg)
+                                          : nullptr)
+        return {V->Name, V->Lg};
+      return {std::to_string(R.range(-9, 81)), 2};
+    }
+    case Q::Tainted:
+      return expr(Q::None, Depth, MaxLg);
+    case Q::None:
+      break;
+    }
+    // Unconstrained integer expression.
+    switch (R.pick(Deep ? 8u : 2u)) {
+    case 0:
+      return {std::to_string(R.range(-9, 9)), 1};
+    case 1: {
+      if (const VarInfo *V = pickVar(Q::None, MaxLg))
+        return {V->Name, V->Lg};
+      return {std::to_string(R.range(0, 9)), 1};
+    }
+    case 2: {
+      if (R.chance(50) && CanMul) {
+        GenExpr A = expr(Q::None, Depth - 1, MaxLg / 2);
+        GenExpr B = expr(Q::None, Depth - 1, MaxLg / 2);
+        return {"(" + A.Text + " * " + B.Text + ")", A.Lg + B.Lg};
+      }
+      // 9^a + 9^b <= 2 * 9^max <= 9^(max+1).
+      unsigned Sub = MaxLg > 1 ? MaxLg - 1 : 1;
+      GenExpr A = expr(Q::None, Depth - 1, Sub);
+      GenExpr B = expr(Q::None, Depth - 1, Sub);
+      const char *Op = R.chance(50) ? " + " : " - ";
+      unsigned Lg = (A.Lg > B.Lg ? A.Lg : B.Lg) + 1;
+      return {"(" + A.Text + Op + B.Text + ")", Lg};
+    }
+    case 3: {
+      // Division: the nonzero restrict applies to every division site, so
+      // Sound mode only divides by derivably-nonzero expressions. Mixed
+      // mode plants restrict violations with arbitrary divisors.
+      Q Divisor = Mixed && R.chance(40) ? Q::None : Q::Nonzero;
+      const char *Op = R.chance(70) ? " / " : " % ";
+      GenExpr A = expr(Q::None, Depth - 1, MaxLg);
+      GenExpr B = expr(Divisor, Depth - 1, MaxLg);
+      return {"(" + A.Text + Op + B.Text + ")", MaxLg};
+    }
+    case 4: {
+      const char *Ops[] = {" < ", " <= ", " > ", " >= ", " == ", " != "};
+      GenExpr A = expr(Q::None, Depth - 1, MaxVarLg);
+      GenExpr B = expr(Q::None, Depth - 1, MaxVarLg);
+      return {"(" + A.Text + Ops[R.pick(6)] + B.Text + ")", 1};
+    }
+    case 5:
+      if (Opts.UsePointers)
+        if (const PtrInfo *P = pickPtr(R.chance(50) ? Q::Pos : Q::None,
+                                       /*NeedNonnull=*/true))
+          if (P->PointeeLg <= MaxLg)
+            return {"*" + P->Name, P->PointeeLg};
+      [[fallthrough]];
+    case 6:
+      if (const FnInfo *F = pickFn(Q::None, MaxLg))
+        return call(*F, Depth - 1);
+      return {std::to_string(R.range(1, 9)), 1};
+    default: {
+      GenExpr A = expr(Q::None, Depth - 1, MaxLg);
+      return {"(- " + A.Text + ")", A.Lg};
+    }
+    }
+  }
+
+  /// A cast to a value-qualified type: the dynamic escape hatch. Mostly
+  /// over operands that satisfy the invariant anyway (the run-time check
+  /// passes; when the operand even statically derives the target the
+  /// checker elides the check), rarely over arbitrary operands (the check
+  /// may fail at run time — a legal outcome the oracle tolerates).
+  GenExpr castExpr(Q Target, unsigned Depth, unsigned MaxLg) {
+    const char *Name = Target == Q::Pos       ? "pos"
+                       : Target == Q::Neg     ? "neg"
+                       : Target == Q::Nonzero ? "nonzero"
+                                              : "pos";
+    Q Operand = R.chance(80) ? Target : Q::None;
+    GenExpr A = expr(Operand, Depth, MaxLg);
+    return {std::string("(int ") + Name + ")(" + A.Text + ")", A.Lg};
+  }
+
+  std::string declStmt(const std::string &Indent) {
+    // Pointer declarations point at an addressable local of matching
+    // qualifier; `&L` derives nonnull.
+    if (Opts.UsePointers && R.chance(18)) {
+      std::vector<const VarInfo *> Targets;
+      for (const VarInfo &V : Ints)
+        if (V.CanTakeAddr && (V.Qual == Q::None || V.Qual == Q::Pos))
+          Targets.push_back(&V);
+      if (!Targets.empty()) {
+        const VarInfo *T = Targets[R.pick(Targets.size())];
+        PtrInfo P;
+        P.Name = fresh("p");
+        P.Pointee = T->Qual;
+        P.PointeeLg = T->Lg;
+        P.Nonnull = !Mixed || R.chance(70);
+        std::string Quals = (P.Pointee == Q::Pos ? "int pos *" : "int*");
+        std::string Line = Indent + Quals + (P.Nonnull ? " nonnull " : " ") +
+                           P.Name + " = &" + T->Name + ";\n";
+        Ptrs.push_back(P);
+        return Line;
+      }
+    }
+    if (Opts.UseRefQuals && R.chance(8)) {
+      // unique: assignable only from NULL or an allocation, never read.
+      std::string Name = fresh("u");
+      std::string Line = Indent + "int* unique " + Name + " = NULL;\n";
+      if (R.chance(50))
+        Line += Indent + Name + " = malloc(sizeof(int));\n";
+      return Line;
+    }
+    if (Opts.UseRefQuals && R.chance(8)) {
+      // unaliased: readable, but its address must never be taken and we
+      // keep the ondecl binding stable.
+      VarInfo V;
+      V.Name = fresh("w");
+      V.Qual = Q::None;
+      V.CanTakeAddr = false;
+      V.CanAssign = false;
+      GenExpr Init = expr(Q::None, Opts.MaxExprDepth, MaxVarLg);
+      V.Lg = Init.Lg;
+      std::string Line =
+          Indent + "int unaliased " + V.Name + " = " + Init.Text + ";\n";
+      Ints.push_back(V);
+      return Line;
+    }
+    static const Q Kinds[] = {Q::None, Q::None,    Q::Pos,       Q::Pos,
+                              Q::Neg,  Q::Nonzero, Q::Untainted, Q::Tainted};
+    VarInfo V;
+    V.Qual = Kinds[R.pick(8)];
+    V.Name = fresh("v");
+    // The declared budget (not the initializer's actual bound) is the
+    // variable's bound for life: later assignments stay within it.
+    V.Lg = static_cast<unsigned>(R.range(2, MaxVarLg));
+    GenExpr Init = expr(V.Qual, Opts.MaxExprDepth, V.Lg);
+    if (Init.Lg > V.Lg)
+      V.Lg = Init.Lg;
+    std::string Line =
+        Indent + spec(V.Qual) + V.Name + " = " + Init.Text + ";\n";
+    Ints.push_back(V);
+    return Line;
+  }
+
+  std::string assignStmt(const std::string &Indent) {
+    // Through a pointer (the l-value's declared type governs the check) or
+    // directly to a variable.
+    if (Opts.UsePointers && R.chance(30) && !Ptrs.empty()) {
+      const PtrInfo &P = Ptrs[R.pick(Ptrs.size())];
+      if (P.Nonnull || Mixed)
+        return Indent + "*" + P.Name + " = " +
+               expr(P.Pointee, Opts.MaxExprDepth, P.PointeeLg).Text + ";\n";
+    }
+    std::vector<const VarInfo *> Targets;
+    for (const VarInfo &V : Ints)
+      if (V.CanAssign)
+        Targets.push_back(&V);
+    if (Targets.empty())
+      return declStmt(Indent);
+    const VarInfo *T = Targets[R.pick(Targets.size())];
+    return Indent + T->Name + " = " +
+           expr(T->Qual, Opts.MaxExprDepth, T->Lg).Text + ";\n";
+  }
+
+  std::string condExpr() {
+    if (R.chance(50))
+      if (const VarInfo *V = pickVar(Q::None, MaxVarLg))
+        return V->Name + " < " + std::to_string(R.range(0, 9));
+    return expr(Q::None, 1, MaxVarLg).Text;
+  }
+
+  std::string block(const std::string &Indent, unsigned Stmts) {
+    // Inner scopes: declarations made here go out of scope at the brace.
+    size_t IntMark = Ints.size(), PtrMark = Ptrs.size();
+    std::string Out = "{\n";
+    for (unsigned I = 0; I < Stmts; ++I)
+      Out += stmt(Indent + "  ");
+    Out += Indent + "}";
+    Ints.resize(IntMark);
+    Ptrs.resize(PtrMark);
+    return Out;
+  }
+
+  std::string stmt(const std::string &Indent) {
+    switch (R.pick(10)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      return declStmt(Indent);
+    case 4:
+    case 5:
+      return assignStmt(Indent);
+    case 6: {
+      std::string Out = Indent + "if (" + condExpr() + ") " +
+                        block(Indent, 1 + static_cast<unsigned>(R.pick(2)));
+      if (R.chance(50))
+        Out += " else " + block(Indent, 1);
+      return Out + "\n";
+    }
+    case 7: {
+      if (!Opts.UseLoops)
+        return declStmt(Indent);
+      if (Opts.MayDiverge && R.chance(2)) {
+        // Terminated only by the interpreter's fuel bound.
+        return Indent + "while (1) { }\n";
+      }
+      if (R.chance(50)) {
+        // Counter-bounded while; the decrement is the last body statement.
+        std::string C = fresh("c");
+        std::string Out = Indent + "int " + C + " = " +
+                          std::to_string(R.range(2, 6)) + ";\n";
+        size_t IntMark = Ints.size(), PtrMark = Ptrs.size();
+        Out += Indent + "while (" + C + " > 0) {\n";
+        Out += stmt(Indent + "  ");
+        Out += Indent + "  " + C + " = " + C + " - 1;\n";
+        Out += Indent + "}\n";
+        Ints.resize(IntMark);
+        Ptrs.resize(PtrMark);
+        return Out;
+      }
+      std::string I2 = fresh("i");
+      return Indent + "for (int " + I2 + " = 0; " + I2 + " < " +
+             std::to_string(R.range(2, 5)) + "; " + I2 + " = " + I2 +
+             " + 1) " + block(Indent, 1 + static_cast<unsigned>(R.pick(2))) +
+             "\n";
+    }
+    case 8: {
+      if (const FnInfo *F = pickFn(Q::None, MaxVarLg))
+        return Indent + call(*F, 1).Text + ";\n";
+      return declStmt(Indent);
+    }
+    default: {
+      if (R.chance(40))
+        if (const VarInfo *V = pickVar(Q::None, MaxVarLg))
+          return Indent + "printf(\"%d\\n\", " + V->Name + ");\n";
+      return declStmt(Indent);
+    }
+    }
+  }
+
+  std::string body(unsigned Stmts, Q RetQual, unsigned RetLg) {
+    std::string Out;
+    for (unsigned I = 0; I < Stmts; ++I)
+      Out += stmt("  ");
+    Out += "  return " + expr(RetQual, Opts.MaxExprDepth, RetLg).Text + ";\n";
+    return Out;
+  }
+
+  std::string helper() {
+    FnInfo Fn;
+    Fn.Name = fresh("f");
+    static const Q Rets[] = {Q::None, Q::Pos, Q::Nonzero};
+    Fn.Ret = Rets[R.pick(3)];
+    Fn.RetLg = MaxVarLg;
+    unsigned Params = static_cast<unsigned>(R.pick(3));
+    Ints.clear();
+    Ptrs.clear();
+    std::string Sig;
+    static const Q ParamQs[] = {Q::None, Q::None, Q::Pos, Q::Untainted};
+    for (unsigned P = 0; P < Params; ++P) {
+      VarInfo V;
+      V.Qual = ParamQs[R.pick(4)];
+      V.Name = fresh("a");
+      // Callers promise |arg| <= 9^ParamLg.
+      V.Lg = ParamLg;
+      if (P)
+        Sig += ", ";
+      Sig += spec(V.Qual) + V.Name;
+      Ints.push_back(V);
+      Fn.Params.push_back(V.Qual);
+    }
+    unsigned Stmts =
+        1 + static_cast<unsigned>(R.pick(Opts.MaxStmtsPerFunction / 2 + 1));
+    std::string Out = spec(Fn.Ret) + Fn.Name + "(" + Sig + ") {\n" +
+                      body(Stmts, Fn.Ret, Fn.RetLg) + "}\n";
+    Fns.push_back(Fn);
+    return Out;
+  }
+
+  std::string mainFunction() {
+    Ints.clear();
+    Ptrs.clear();
+    unsigned Stmts =
+        2 + static_cast<unsigned>(R.pick(Opts.MaxStmtsPerFunction));
+    return "int main() {\n" + body(Stmts, Q::None, MaxVarLg) + "}\n";
+  }
+};
+
+} // namespace
+
+const std::vector<std::string> &stq::fuzz::programQualifiers() {
+  static const std::vector<std::string> Names = {
+      "pos",     "neg",       "nonzero", "nonnull",
+      "tainted", "untainted", "unique",  "unaliased"};
+  return Names;
+}
+
+std::string stq::fuzz::generateProgram(Rng &R, const ProgramGenOptions &Opts) {
+  Generator G(R, Opts);
+  return G.run();
+}

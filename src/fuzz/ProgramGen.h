@@ -1,0 +1,64 @@
+//===- ProgramGen.h - Random qualifier-annotated C-minus programs -*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generation of well-scoped C-minus programs annotated with
+/// the builtin qualifiers. Two modes:
+///
+///  * Sound: every construct is derivable under the builtin rules — the
+///    checker is expected to accept, which arms the Theorem 5.1 oracle
+///    (accepted + executed must never violate a declared invariant).
+///    A small fraction of casts use arbitrary operands, exercising the
+///    dynamic escape hatch (a run-time CheckFailure is a legal outcome).
+///  * Mixed: the expression grammar deliberately mixes derivable and
+///    underivable terms (zero constants, sums, bad divisions), so programs
+///    yield both accepted declarations and qualifier diagnostics — the
+///    input of choice for the sequential-vs-parallel differential oracle.
+///
+/// Both modes promise front-end-clean output: parse, sema, and lowering
+/// always succeed. Only the qualifier checker's verdict varies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_FUZZ_PROGRAMGEN_H
+#define STQ_FUZZ_PROGRAMGEN_H
+
+#include "fuzz/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace stq::fuzz {
+
+struct ProgramGenOptions {
+  enum class Mode { Sound, Mixed };
+  Mode GenMode = Mode::Sound;
+  /// Helper functions generated before main (callable from later code).
+  unsigned MaxHelpers = 3;
+  unsigned MaxStmtsPerFunction = 7;
+  unsigned MaxExprDepth = 3;
+  bool UsePointers = true;
+  bool UseLoops = true;
+  /// Casts to value-qualified types (the paper's dynamic escape hatch).
+  bool UseCasts = true;
+  /// unique / unaliased declarations (reference qualifiers).
+  bool UseRefQuals = true;
+  /// Sound mode: permit rare `while (1) {}` loops, relying on the
+  /// interpreter's fuel bound to terminate the run.
+  bool MayDiverge = false;
+};
+
+/// The builtin qualifiers generated programs reference; load exactly these.
+const std::vector<std::string> &programQualifiers();
+
+/// Generates one program. Consumes only from \p R, so equal seeds yield
+/// byte-identical programs.
+std::string generateProgram(Rng &R, const ProgramGenOptions &Opts = {});
+
+} // namespace stq::fuzz
+
+#endif // STQ_FUZZ_PROGRAMGEN_H

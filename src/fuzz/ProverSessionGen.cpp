@@ -1,0 +1,101 @@
+//===- ProverSessionGen.cpp -----------------------------------------------===//
+
+#include "fuzz/ProverSessionGen.h"
+
+#include <random>
+#include <vector>
+
+using namespace stq;
+
+prover::ProofResult stq::fuzz::runProverSession(unsigned Seed,
+                                                prover::EngineKind Engine) {
+  std::mt19937 Rng(Seed);
+  auto Pick = [&](size_t N) {
+    return static_cast<size_t>(Rng() % static_cast<unsigned>(N));
+  };
+
+  prover::ProverOptions Options;
+  Options.Engine = Engine;
+  prover::Prover P(Options);
+  prover::TermArena &A = P.arena();
+
+  // Ground vocabulary: constants, small ints, and random f/g/h towers.
+  std::vector<prover::TermId> Pool;
+  for (const char *C : {"a", "b", "c"})
+    Pool.push_back(A.app(C));
+  for (int I : {-1, 0, 2})
+    Pool.push_back(A.intConst(I));
+  size_t Grow = 3 + Pick(5);
+  for (size_t I = 0; I < Grow; ++I) {
+    prover::TermId X = Pool[Pick(Pool.size())];
+    prover::TermId Y = Pool[Pick(Pool.size())];
+    switch (Pick(3)) {
+    case 0:
+      Pool.push_back(A.app("f", {X}));
+      break;
+    case 1:
+      Pool.push_back(A.app("g", {X}));
+      break;
+    default:
+      Pool.push_back(A.app("h", {X, Y}));
+      break;
+    }
+  }
+
+  auto RandomLit = [&]() {
+    prover::TermId X = Pool[Pick(Pool.size())];
+    prover::TermId Y = Pool[Pick(Pool.size())];
+    switch (Pick(6)) {
+    case 0:
+      return prover::fEq(X, Y);
+    case 1:
+      return prover::fNe(X, Y);
+    case 2:
+      return prover::fLe(X, Y);
+    case 3:
+      return prover::fLt(X, Y);
+    case 4:
+      return prover::fGe(X, Y);
+    default:
+      return prover::fGt(X, Y);
+    }
+  };
+
+  // Quantified axioms come from fixed templates whose inferred triggers
+  // cover their variables (the generator only randomizes which are on).
+  if (Pick(2)) {
+    prover::TermId V = A.var("x");
+    P.addAxiom("mono",
+               prover::fForall({"x"}, prover::fLe(A.app("f", {V}),
+                                                  A.app("g", {V}))));
+  }
+  if (Pick(2)) {
+    prover::TermId V = A.var("y");
+    P.addAxiom("idem",
+               prover::fForall({"y"},
+                               prover::fEq(A.app("f", {A.app("f", {V})}),
+                                           A.app("f", {V}))));
+  }
+  if (Pick(2))
+    P.addArithmeticSignAxioms();
+
+  size_t Hyps = 1 + Pick(4);
+  for (size_t I = 0; I < Hyps; ++I) {
+    switch (Pick(4)) {
+    case 0:
+      P.addHypothesis(prover::fOr({RandomLit(), RandomLit()}));
+      break;
+    case 1:
+      P.addHypothesis(prover::fImplies(RandomLit(), RandomLit()));
+      break;
+    default:
+      P.addHypothesis(RandomLit());
+      break;
+    }
+  }
+
+  prover::FormulaPtr Goal = Pick(3) == 0
+                                ? prover::fImplies(RandomLit(), RandomLit())
+                                : RandomLit();
+  return P.prove(Goal);
+}

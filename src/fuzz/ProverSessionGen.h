@@ -1,0 +1,33 @@
+//===- ProverSessionGen.h - Randomized prover sessions ----------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays one randomized prover session (quantified axioms from fixed
+/// templates, random ground hypotheses, one goal) under a chosen engine.
+/// The construction is fully determined by the seed, so the incremental and
+/// reference engines see byte-identical sessions; budgets stay far from the
+/// resource limits so a verdict can never flip on a wall-clock edge.
+///
+/// Shared by the engine-differential unit tests and the stq-fuzz campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_FUZZ_PROVERSESSIONGEN_H
+#define STQ_FUZZ_PROVERSESSIONGEN_H
+
+#include "prover/Prover.h"
+
+namespace stq::fuzz {
+
+/// Builds and proves the session determined by \p Seed under \p Engine.
+/// (Uses std::mt19937 internally — its sequence is pinned by the C++
+/// standard, so seeds replay identically across platforms.)
+prover::ProofResult runProverSession(unsigned Seed, prover::EngineKind Engine);
+
+} // namespace stq::fuzz
+
+#endif // STQ_FUZZ_PROVERSESSIONGEN_H

@@ -1,0 +1,123 @@
+//===- QualGen.cpp --------------------------------------------------------===//
+
+#include "fuzz/QualGen.h"
+
+using namespace stq;
+using namespace stq::fuzz;
+
+namespace {
+
+const char *const CmpOps[] = {">", ">=", "<", "<=", "!=", "=="};
+
+std::string valueQualifier(Rng &R, unsigned Index,
+                           const std::vector<GeneratedQualifier> &Earlier,
+                           GeneratedQualifier &Meta) {
+  Meta.Name = "q" + std::to_string(Index);
+  Meta.IsRef = false;
+  Meta.ConstOp = CmpOps[R.pick(6)];
+  Meta.Bound = R.range(-3, 5);
+
+  std::string Out = "value qualifier " + Meta.Name + "(int Expr E)\n";
+  Out += "  case E of\n";
+  Out += "    decl int Const C:\n";
+  Out += "      C, where C " + Meta.ConstOp + " " +
+         std::to_string(Meta.Bound) + "\n";
+  if (R.chance(40)) {
+    const char *BinOp = R.chance(50) ? "+" : "*";
+    Out += "  | decl int Expr E1, E2:\n";
+    Out += "      E1 " + std::string(BinOp) + " E2, where " + Meta.Name +
+           "(E1) && " + Meta.Name + "(E2)\n";
+  }
+  if (R.chance(30)) {
+    Out += "  | decl int Expr E1:\n";
+    Out += "      -E1, where " + Meta.Name + "(E1)\n";
+  }
+  if (!Earlier.empty() && R.chance(30)) {
+    // Coercion from an earlier qualifier in the same set; sound only when
+    // the earlier invariant implies this one — the prover decides.
+    const GeneratedQualifier &Prev = Earlier[R.pick(Earlier.size())];
+    if (!Prev.IsRef) {
+      Out += "  | decl int Expr E1:\n";
+      Out += "      E1, where " + Prev.Name + "(E1)\n";
+    }
+  }
+  if (R.chance(25)) {
+    Out += "  restrict\n";
+    Out += "    decl int Expr E1, E2:\n";
+    Out += "      E1 / E2, where " + Meta.Name + "(E2)\n";
+  }
+  // Usually the invariant restates the const case; sometimes it is
+  // perturbed so the obligation set contains refutable goals.
+  std::string InvOp = Meta.ConstOp;
+  long InvBound = Meta.Bound;
+  Meta.InvariantMatchesConstCase = true;
+  if (R.chance(15)) {
+    Meta.InvariantMatchesConstCase = false;
+    if (R.chance(50))
+      InvOp = CmpOps[R.pick(6)];
+    else
+      InvBound += R.chance(50) ? 1 : -1;
+  }
+  Out += "  invariant value(E) " + InvOp + " " + std::to_string(InvBound) +
+         "\n";
+  return Out;
+}
+
+std::string refQualifier(Rng &R, unsigned Index, GeneratedQualifier &Meta) {
+  Meta.Name = "r" + std::to_string(Index);
+  Meta.IsRef = true;
+  if (R.chance(50)) {
+    // The unique shape: pointer l-values assignable only from NULL or a
+    // fresh allocation, never read.
+    std::string Out = "ref qualifier " + Meta.Name + "(T* LValue L)\n";
+    Out += "  assign L\n";
+    Out += "    NULL\n";
+    Out += "  | new\n";
+    Out += "  disallow L\n";
+    return Out;
+  }
+  // The unaliased shape: established at the declaration, address never
+  // taken afterwards.
+  std::string Out = "ref qualifier " + Meta.Name + "(T Var X)\n";
+  Out += "  ondecl\n";
+  Out += "  disallow &X\n";
+  return Out;
+}
+
+} // namespace
+
+GeneratedQualSet stq::fuzz::generateQualSet(Rng &R) {
+  GeneratedQualSet Set;
+  unsigned Values = static_cast<unsigned>(R.range(1, 3));
+  for (unsigned I = 0; I < Values; ++I) {
+    GeneratedQualifier Meta;
+    Set.Source += valueQualifier(R, I, Set.Quals, Meta);
+    Set.Source += "\n";
+    Set.Quals.push_back(Meta);
+  }
+  if (R.chance(30)) {
+    GeneratedQualifier Meta;
+    Set.Source += refQualifier(R, 0, Meta);
+    Set.Source += "\n";
+    Set.Quals.push_back(Meta);
+  }
+  return Set;
+}
+
+bool stq::fuzz::derivableConst(const GeneratedQualifier &Q, long &Out) {
+  if (Q.IsRef)
+    return false;
+  if (Q.ConstOp == ">")
+    Out = Q.Bound + 1;
+  else if (Q.ConstOp == ">=" || Q.ConstOp == "==")
+    Out = Q.Bound;
+  else if (Q.ConstOp == "<")
+    Out = Q.Bound - 1;
+  else if (Q.ConstOp == "<=")
+    Out = Q.Bound;
+  else if (Q.ConstOp == "!=")
+    Out = Q.Bound + 1;
+  else
+    return false;
+  return true;
+}

@@ -1,0 +1,62 @@
+//===- QualGen.h - Random qualifier-definition files ------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generation of qualifier-DSL files. Each set contains a few
+/// threshold-style value qualifiers (const case plus optional sum/product/
+/// negation/coercion cases, optional division restrict) and occasionally a
+/// reference qualifier mirroring the unique/unaliased shapes, exercising
+/// every block kind: case, restrict, assign, disallow, ondecl.
+///
+/// Output is always well-formed (parses and passes checkWellFormed), but
+/// NOT always sound: a fraction of invariants are deliberately perturbed
+/// away from the const case, so the soundness prover sees both provable
+/// and refutable obligation sets — exactly what the engine-differential
+/// oracle needs. When the prover does declare a set sound, Theorem 5.1
+/// applies and the campaign runs a derivable-constant program under the
+/// interpreter's invariant audit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_FUZZ_QUALGEN_H
+#define STQ_FUZZ_QUALGEN_H
+
+#include "fuzz/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace stq::fuzz {
+
+struct GeneratedQualifier {
+  std::string Name;
+  bool IsRef = false;
+  /// Value qualifiers only: the const case is `C, where C <ConstOp> <Bound>`.
+  std::string ConstOp;
+  long Bound = 0;
+  /// True when the invariant matches the const case (the set's soundness
+  /// still depends on the other cases; only the prover's word is final).
+  bool InvariantMatchesConstCase = false;
+};
+
+struct GeneratedQualSet {
+  /// The full DSL source text.
+  std::string Source;
+  std::vector<GeneratedQualifier> Quals;
+};
+
+/// Generates one qualifier-definition file. Deterministic in \p R.
+GeneratedQualSet generateQualSet(Rng &R);
+
+/// A constant that the qualifier's const case accepts. Returns false for
+/// ref qualifiers. Callers should only execute programs built from these
+/// constants when the prover declared the whole set sound.
+bool derivableConst(const GeneratedQualifier &Q, long &Out);
+
+} // namespace stq::fuzz
+
+#endif // STQ_FUZZ_QUALGEN_H

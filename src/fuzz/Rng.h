@@ -1,0 +1,60 @@
+//===- Rng.h - Deterministic fuzzing RNG ------------------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's random source: splitmix64, fully determined by the seed
+/// and independent of the standard library's distribution implementations,
+/// so `stq-fuzz --seed S` reproduces the same campaign on any platform.
+/// Sub-streams are forked with fork() so structural changes in one
+/// generator do not shift the random choices of another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_FUZZ_RNG_H
+#define STQ_FUZZ_RNG_H
+
+#include <cstdint>
+
+namespace stq::fuzz {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N); 0 when N == 0.
+  uint64_t pick(uint64_t N) { return N == 0 ? 0 : next() % N; }
+
+  /// Uniform in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    if (Hi <= Lo)
+      return Lo;
+    return Lo + static_cast<int64_t>(
+                    pick(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Percent / 100.
+  bool chance(unsigned Percent) { return pick(100) < Percent; }
+
+  /// An independent sub-stream: consuming more numbers from the fork does
+  /// not perturb this stream.
+  Rng fork() { return Rng(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace stq::fuzz
+
+#endif // STQ_FUZZ_RNG_H

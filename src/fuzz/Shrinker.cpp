@@ -1,0 +1,94 @@
+//===- Shrinker.cpp -------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include <vector>
+
+using namespace stq;
+using namespace stq::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &In) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : In) {
+    Cur.push_back(C);
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+std::string joinExcept(const std::vector<std::string> &Units, size_t From,
+                       size_t To) {
+  std::string Out;
+  for (size_t I = 0; I < Units.size(); ++I)
+    if (I < From || I >= To)
+      Out += Units[I];
+  return Out;
+}
+
+/// One ddmin pass over \p Units: tries removing chunks, halving the chunk
+/// size until it reaches 1. Returns the minimized unit list.
+std::vector<std::string> ddmin(std::vector<std::string> Units,
+                               const FailurePredicate &Fails,
+                               unsigned &EvalsLeft) {
+  size_t Chunk = Units.size() / 2;
+  while (Chunk >= 1 && EvalsLeft > 0) {
+    bool Removed = false;
+    for (size_t From = 0; From + Chunk <= Units.size() && EvalsLeft > 0;) {
+      std::string Candidate = joinExcept(Units, From, From + Chunk);
+      --EvalsLeft;
+      if (!Candidate.empty() && Fails(Candidate)) {
+        Units.erase(Units.begin() + static_cast<long>(From),
+                    Units.begin() + static_cast<long>(From + Chunk));
+        Removed = true;
+        // Keep From: the next chunk slid into this position.
+      } else {
+        From += Chunk;
+      }
+    }
+    // Retry the same granularity after progress; halve when a full sweep
+    // removes nothing. Termination: either the vector shrinks or Chunk does.
+    if (!Removed)
+      Chunk /= 2;
+  }
+  return Units;
+}
+
+} // namespace
+
+std::string stq::fuzz::shrink(const std::string &Input,
+                              const FailurePredicate &Fails,
+                              unsigned MaxEvals) {
+  unsigned EvalsLeft = MaxEvals;
+  if (EvalsLeft == 0 || Input.empty())
+    return Input;
+  --EvalsLeft;
+  if (!Fails(Input))
+    return Input;
+
+  // Phase 1: whole lines.
+  std::vector<std::string> Lines = splitLines(Input);
+  Lines = ddmin(std::move(Lines), Fails, EvalsLeft);
+
+  // Phase 2: character chunks within the surviving text.
+  std::string Text;
+  for (const std::string &L : Lines)
+    Text += L;
+  std::vector<std::string> Chars;
+  Chars.reserve(Text.size());
+  for (char C : Text)
+    Chars.push_back(std::string(1, C));
+  Chars = ddmin(std::move(Chars), Fails, EvalsLeft);
+
+  std::string Out;
+  for (const std::string &C : Chars)
+    Out += C;
+  return Out;
+}

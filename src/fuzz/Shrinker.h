@@ -1,0 +1,35 @@
+//===- Shrinker.h - Delta-debugging input minimization ----------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ddmin-style minimization for failing fuzz inputs: repeatedly removes
+/// line chunks, then character chunks, keeping any removal under which the
+/// caller's predicate still reports the failure. The evaluation budget is
+/// bounded so pathological predicates cannot stall a campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_FUZZ_SHRINKER_H
+#define STQ_FUZZ_SHRINKER_H
+
+#include <functional>
+#include <string>
+
+namespace stq::fuzz {
+
+/// True when \p Input still triggers the failure being minimized.
+using FailurePredicate = std::function<bool(const std::string &)>;
+
+/// Returns a (non-strictly) smaller input that still satisfies \p Fails.
+/// \p Fails(Input) is assumed true on entry; if not, \p Input is returned
+/// unchanged. At most \p MaxEvals predicate evaluations are spent.
+std::string shrink(const std::string &Input, const FailurePredicate &Fails,
+                   unsigned MaxEvals = 2000);
+
+} // namespace stq::fuzz
+
+#endif // STQ_FUZZ_SHRINKER_H

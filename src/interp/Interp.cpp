@@ -93,7 +93,7 @@ private:
   std::optional<Location> evalLValue(const LValue *LV, Frame &F);
   Value evalCall(const CallExpr *Call, Frame &F);
   Value callFunction(const FuncDecl *Fn, const std::vector<Value> &Args,
-                     SourceLoc At);
+                     SourceLoc At, bool AuditParams = true);
   Value doPrintf(const CallExpr *Call, const std::vector<Value> &Args);
   std::string readString(Value Ptr, SourceLoc At);
 
@@ -104,7 +104,9 @@ private:
 
   // Execution.
   Flow execStmt(const Stmt *S, Frame &F, Value &RetVal);
-  void execAssignTo(Location Loc, const Expr *RHS, Frame &F, SourceLoc At);
+  void execAssignTo(Location Loc, const Expr *RHS, Frame &F, SourceLoc At,
+                    const TypePtr &AuditTy = nullptr);
+  void auditStore(const TypePtr &DeclTy, const Value &V, SourceLoc At);
 
   const Program &Prog;
   const qual::QualifierSet &Quals;
@@ -648,15 +650,18 @@ Value Interpreter::evalCall(const CallExpr *Call, Frame &F) {
 
 Value Interpreter::callFunction(const FuncDecl *Fn,
                                 const std::vector<Value> &Args,
-                                SourceLoc At) {
+                                SourceLoc At, bool AuditParams) {
   if (!spendFuel())
     return Value::makeInt(0);
   Frame F;
   for (size_t I = 0; I < Fn->Params.size(); ++I) {
     uint32_t Id = allocBlockForType(Fn->Params[I]->DeclaredTy,
                                     /*IsHeap=*/false);
-    if (I < Args.size())
+    if (I < Args.size()) {
       Blocks[Id].Cells[0] = Args[I];
+      if (AuditParams)
+        auditStore(Fn->Params[I]->DeclaredTy, Args[I], At);
+    }
     F[Fn->Params[I]] = Id;
   }
   (void)At;
@@ -670,11 +675,29 @@ Value Interpreter::callFunction(const FuncDecl *Fn,
 //===----------------------------------------------------------------------===//
 
 void Interpreter::execAssignTo(Location Loc, const Expr *RHS, Frame &F,
-                               SourceLoc At) {
+                               SourceLoc At, const TypePtr &AuditTy) {
   Value V = evalExpr(RHS, F);
   if (Halted)
     return;
   writeLoc(Loc, V, At);
+  if (!Halted)
+    auditStore(AuditTy, V, At);
+}
+
+void Interpreter::auditStore(const TypePtr &DeclTy, const Value &V,
+                             SourceLoc At) {
+  if (!Options.AuditQualifiedStores || !DeclTy)
+    return;
+  for (const std::string &QualName : DeclTy->quals()) {
+    const qual::QualifierDef *Q = Quals.find(QualName);
+    // Reference-qualifier invariants quantify over locations; only value
+    // qualifiers state a per-value property the audit can evaluate.
+    if (!Q || Q->IsRef || !Q->Invariant)
+      continue;
+    ++Result.AuditChecks;
+    if (!invariantHolds(*Q->Invariant, V))
+      Result.AuditFailures.push_back({At, QualName, V.str()});
+  }
 }
 
 Flow Interpreter::execStmt(const Stmt *S, Frame &F, Value &RetVal) {
@@ -695,7 +718,8 @@ Flow Interpreter::execStmt(const Stmt *S, Frame &F, Value &RetVal) {
     uint32_t Id = allocBlockForType(Var->DeclaredTy, /*IsHeap=*/false);
     F[Var] = Id;
     if (Var->Init)
-      execAssignTo(Location{Id, 0}, Var->Init, F, Var->Loc);
+      execAssignTo(Location{Id, 0}, Var->Init, F, Var->Loc,
+                   Var->DeclaredTy);
     return Flow::Normal;
   }
   case Stmt::Kind::Assign: {
@@ -703,7 +727,7 @@ Flow Interpreter::execStmt(const Stmt *S, Frame &F, Value &RetVal) {
     auto Loc = evalLValue(Assign->LHS, F);
     if (!Loc)
       return Flow::Normal;
-    execAssignTo(*Loc, Assign->RHS, F, Assign->Loc);
+    execAssignTo(*Loc, Assign->RHS, F, Assign->Loc, Assign->LHS->Ty);
     return Flow::Normal;
   }
   case Stmt::Kind::CallStmt:
@@ -803,7 +827,8 @@ RunResult Interpreter::run() {
   for (const VarDecl *G : Prog.Globals) {
     if (!G->Init)
       continue;
-    execAssignTo(Location{Globals[G], 0}, G->Init, Empty, G->Loc);
+    execAssignTo(Location{Globals[G], 0}, G->Init, Empty, G->Loc,
+                 G->DeclaredTy);
     if (Halted)
       return Result;
   }
@@ -812,7 +837,9 @@ RunResult Interpreter::run() {
   std::vector<Value> Args;
   for (const VarDecl *P : Entry->Params)
     Args.push_back(initialValueFor(P->DeclaredTy));
-  Value Ret = callFunction(Entry, Args, Entry->Loc);
+  // The entry function's arguments are synthesized defaults, not values
+  // the checker vetted, so they are exempt from the audit.
+  Value Ret = callFunction(Entry, Args, Entry->Loc, /*AuditParams=*/false);
   if (!Halted) {
     Result.Status = RunStatus::Ok;
     if (Ret.K == Value::Kind::Int)

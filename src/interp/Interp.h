@@ -101,9 +101,16 @@ struct RunResult {
   std::string TrapMessage;
   std::vector<CheckFailure> CheckFailures;
   std::vector<FormatViolation> FormatViolations;
+  /// Declared value-qualifier invariants that were violated by a store the
+  /// checker accepted (audit mode only). Non-empty means the static checker
+  /// let an invariant-breaking value reach a qualified location: a direct
+  /// counterexample to the paper's Theorem 5.1.
+  std::vector<CheckFailure> AuditFailures;
   uint64_t Steps = 0;
   /// Run-time qualifier checks that executed (pass or fail).
   uint64_t ChecksExecuted = 0;
+  /// Invariant audits that executed in audit mode (pass or fail).
+  uint64_t AuditChecks = 0;
 
   bool ok() const { return Status == RunStatus::Ok; }
 };
@@ -111,6 +118,14 @@ struct RunResult {
 struct InterpOptions {
   std::string EntryPoint = "main";
   uint64_t Fuel = 10'000'000;
+  /// When set, every store to a location whose declared type carries a
+  /// value qualifier with an invariant re-evaluates that invariant against
+  /// the stored value, recording (not trapping on) violations in
+  /// RunResult::AuditFailures. This turns Theorem 5.1 into an executable
+  /// oracle: on checker-accepted programs the audit must never fire.
+  /// Uninitialized declarations and the synthetic entry-point argument
+  /// binding are exempt (the checker does not govern those default values).
+  bool AuditQualifiedStores = false;
 };
 
 /// Executes \p Prog. \p Quals supplies invariant definitions for the

@@ -53,7 +53,10 @@ value qualifier nonneg(int Expr E)
   invariant value(E) >= 0
 )";
 
-// Figure 3. Nonzero integers, with the division restrict rule.
+// Figure 3. Nonzero integers, with the division restrict rule. The rule
+// also covers `%`: the interpreter traps on a zero divisor for both
+// operators, so leaving remainders unrestricted is unsound (found by
+// stq-fuzz; see tests/corpus/rem_zero_divisor.cmm).
 const char *NonzeroSource = R"(
 value qualifier nonzero(int Expr E)
   case E of
@@ -66,6 +69,8 @@ value qualifier nonzero(int Expr E)
   restrict
     decl int Expr E1, E2:
       E1 / E2, where nonzero(E2)
+  | decl int Expr E1, E2:
+      E1 % E2, where nonzero(E2)
   invariant value(E) != 0
 )";
 

@@ -56,9 +56,39 @@ private:
     return false;
   }
   void error(const std::string &Message) {
-    Diags.error(peek().Loc, "qualparse", Message);
     Failed = true;
+    // Cap the flood: fuzzed input can otherwise produce one diagnostic
+    // per token.
+    ++ErrorCount;
+    if (ErrorCount > MaxParseErrors)
+      return;
+    if (ErrorCount == MaxParseErrors) {
+      Diags.error(peek().Loc, "qualparse",
+                  "too many parse errors; suppressing further diagnostics");
+      return;
+    }
+    Diags.error(peek().Loc, "qualparse", Message);
   }
+  /// True when predicate nesting is within bounds; otherwise reports one
+  /// too-deep diagnostic and fails the enclosing clause. Predicates are
+  /// parsed by recursive descent on the native stack, so an adversarial
+  /// `((((...` tower would otherwise overflow it.
+  bool checkDepth() {
+    if (Depth < MaxNestingDepth)
+      return true;
+    if (!DepthErrorReported) {
+      error("predicate nesting too deep: more than " +
+            std::to_string(MaxNestingDepth) + " levels");
+      DepthErrorReported = true;
+    }
+    return false;
+  }
+  /// Increments the nesting counter for one recursive parse call.
+  struct DepthScope {
+    unsigned &Depth;
+    explicit DepthScope(unsigned &Depth) : Depth(Depth) { ++Depth; }
+    ~DepthScope() { --Depth; }
+  };
   /// Skips to the next 'value'/'ref' keyword or EOF.
   void synchronize() {
     while (!check(TokenKind::EndOfFile) && !checkIdent("value") &&
@@ -99,6 +129,11 @@ private:
   QualifierSet &Set;
   DiagnosticEngine &Diags;
   bool Failed = false;
+  static constexpr unsigned MaxNestingDepth = 200;
+  unsigned Depth = 0;
+  bool DepthErrorReported = false;
+  static constexpr unsigned MaxParseErrors = 64;
+  unsigned ErrorCount = 0;
 };
 
 } // namespace
@@ -422,6 +457,9 @@ bool QualParser::parsePredAnd(Pred &Out) {
 }
 
 bool QualParser::parsePredAtom(Pred &Out) {
+  if (!checkDepth())
+    return false;
+  DepthScope Scope(Depth);
   Out.Loc = peek().Loc;
   if (match(TokenKind::LParen)) {
     if (!parsePred(Out))
@@ -550,6 +588,9 @@ bool QualParser::parseInvAnd(InvPred &Out) {
 }
 
 bool QualParser::parseInvAtom(InvPred &Out) {
+  if (!checkDepth())
+    return false;
+  DepthScope Scope(Depth);
   Out.Loc = peek().Loc;
   if (matchIdent("forall")) {
     Out.K = InvPred::Kind::Forall;

@@ -90,6 +90,18 @@ const char *stq::tokenKindName(TokenKind Kind) {
 Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
     : Source(std::move(Source)), Diags(Diags) {}
 
+void Lexer::error(SourceLoc Loc, const std::string &Message) {
+  ++ErrorCount;
+  if (ErrorCount > MaxLexErrors)
+    return;
+  if (ErrorCount == MaxLexErrors) {
+    Diags.error(Loc, "lex",
+                "too many lexical errors; suppressing further diagnostics");
+    return;
+  }
+  Diags.error(Loc, "lex", Message);
+}
+
 char Lexer::peek(unsigned Ahead) const {
   if (Pos + Ahead >= Source.size())
     return '\0';
@@ -226,7 +238,7 @@ void Lexer::lexToken(std::vector<Token> &Out) {
       while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
         advance();
       if (atEnd()) {
-        Diags.error(Start, "lex", "unterminated block comment");
+        error(Start, "unterminated block comment");
         return;
       }
       advance();
@@ -262,8 +274,7 @@ void Lexer::lexToken(std::vector<Token> &Out) {
       lexIdentifier(Out, Start, C);
       return;
     }
-    Diags.error(Start, "lex",
-                std::string("unexpected character '") + C + "'");
+    error(Start, std::string("unexpected character '") + C + "'");
     return;
   }
 }
@@ -282,7 +293,7 @@ void Lexer::lexNumber(std::vector<Token> &Out, SourceLoc Start, char First) {
       AnyDigit = true;
     }
     if (!AnyDigit)
-      Diags.error(Start, "lex", "hex literal requires at least one digit");
+      error(Start, "hex literal requires at least one digit");
   } else {
     Value = First - '0';
     while (std::isdigit(static_cast<unsigned char>(peek())))
@@ -327,8 +338,7 @@ char Lexer::lexEscape() {
   case '"':
     return '"';
   default:
-    Diags.error(loc(), "lex",
-                std::string("unknown escape sequence '\\") + C + "'");
+    error(loc(), std::string("unknown escape sequence '\\") + C + "'");
     return C;
   }
 }
@@ -338,7 +348,7 @@ void Lexer::lexString(std::vector<Token> &Out, SourceLoc Start) {
   while (!atEnd() && peek() != '"') {
     char C = advance();
     if (C == '\n') {
-      Diags.error(Start, "lex", "unterminated string literal");
+      error(Start, "unterminated string literal");
       break;
     }
     Text += (C == '\\') ? lexEscape() : C;
@@ -346,7 +356,7 @@ void Lexer::lexString(std::vector<Token> &Out, SourceLoc Start) {
   if (!atEnd() && peek() == '"')
     advance();
   else if (atEnd())
-    Diags.error(Start, "lex", "unterminated string literal");
+    error(Start, "unterminated string literal");
   Token T;
   T.Kind = TokenKind::StringLiteral;
   T.Loc = Start;
@@ -357,12 +367,12 @@ void Lexer::lexString(std::vector<Token> &Out, SourceLoc Start) {
 void Lexer::lexChar(std::vector<Token> &Out, SourceLoc Start) {
   char Value = '\0';
   if (atEnd()) {
-    Diags.error(Start, "lex", "unterminated character literal");
+    error(Start, "unterminated character literal");
   } else {
     char C = advance();
     Value = (C == '\\') ? lexEscape() : C;
     if (!match('\''))
-      Diags.error(Start, "lex", "unterminated character literal");
+      error(Start, "unterminated character literal");
   }
   Token T;
   T.Kind = TokenKind::CharLiteral;

@@ -110,12 +110,17 @@ private:
   void lexChar(std::vector<Token> &Out, SourceLoc Start);
   /// Decodes one escape sequence after a backslash; returns the character.
   char lexEscape();
+  /// Reports a lexical error, capped so byte garbage cannot flood the
+  /// diagnostic stream with one entry per stray character.
+  void error(SourceLoc Loc, const std::string &Message);
 
   std::string Source;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
   unsigned Line = 1;
   unsigned Col = 1;
+  static constexpr unsigned MaxLexErrors = 64;
+  unsigned ErrorCount = 0;
 };
 
 } // namespace stq

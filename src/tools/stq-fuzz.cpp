@@ -1,0 +1,199 @@
+//===- stq-fuzz.cpp - The soundness fuzzer CLI ----------------------------===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized differential and soundness fuzzing over the whole pipeline
+// (see docs/FUZZING.md). Replays the persisted corpus first when --corpus
+// is given, then executes --runs randomized campaign runs. Exit codes:
+// 0 all oracles held, 1 at least one violation, 2 usage error.
+//
+// `stq-fuzz --seed S` is fully deterministic: two invocations with the
+// same flags produce byte-identical output (wall-clock dependence only
+// enters through the opt-in --time-budget).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace stq;
+
+namespace {
+
+int usage(std::ostream &OS) {
+  OS << "usage:\n"
+        "  stq-fuzz [--seed S] [--runs N] [--time-budget SECONDS]\n"
+        "           [--corpus DIR] [--jobs N] [--fuel N] [--minimize|"
+        "--no-minimize]\n"
+        "           [--failure-dir DIR] [--metrics]\n"
+        "options:\n"
+        "  --seed S            campaign seed (default 1); same seed, same "
+        "campaign\n"
+        "  --runs N            randomized runs after corpus replay "
+        "(default 100)\n"
+        "  --time-budget SECS  stop early after this much wall time "
+        "(default off)\n"
+        "  --corpus DIR        replay every .cmm/.qual file in DIR first\n"
+        "  --jobs N            parallel job count for the metamorphic "
+        "oracle (default 4)\n"
+        "  --fuel N            interpreter step budget per execution\n"
+        "  --minimize          delta-minimize failing inputs (default)\n"
+        "  --no-minimize       report failing inputs unminimized\n"
+        "  --failure-dir DIR   write failing inputs there (default .)\n"
+        "  --metrics           print fuzz.* counters after the campaign\n";
+  return 2;
+}
+
+bool parseUnsigned(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  fuzz::CampaignOptions Opts;
+  std::string CorpusDir;
+  std::string FailureDir = ".";
+  bool Metrics = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](uint64_t &Out) {
+      if (I + 1 >= argc || !parseUnsigned(argv[++I], Out)) {
+        std::cerr << "stq-fuzz: bad or missing value for " << Arg << "\n";
+        return false;
+      }
+      return true;
+    };
+    uint64_t V = 0;
+    if (Arg == "--seed") {
+      if (!Value(V))
+        return usage(std::cerr);
+      Opts.Seed = V;
+    } else if (Arg == "--runs") {
+      if (!Value(V))
+        return usage(std::cerr);
+      Opts.Runs = static_cast<unsigned>(V);
+    } else if (Arg == "--time-budget") {
+      if (!Value(V))
+        return usage(std::cerr);
+      Opts.TimeBudgetSeconds = static_cast<unsigned>(V);
+    } else if (Arg == "--jobs") {
+      if (!Value(V) || V == 0)
+        return usage(std::cerr);
+      Opts.Jobs = static_cast<unsigned>(V);
+    } else if (Arg == "--fuel") {
+      if (!Value(V))
+        return usage(std::cerr);
+      Opts.Fuel = V;
+    } else if (Arg == "--minimize") {
+      Opts.Minimize = true;
+    } else if (Arg == "--no-minimize") {
+      Opts.Minimize = false;
+    } else if (Arg == "--corpus") {
+      if (I + 1 >= argc)
+        return usage(std::cerr);
+      CorpusDir = argv[++I];
+    } else if (Arg == "--failure-dir") {
+      if (I + 1 >= argc)
+        return usage(std::cerr);
+      FailureDir = argv[++I];
+    } else if (Arg == "--metrics") {
+      Metrics = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "stq-fuzz: unknown option '" << Arg << "'\n";
+      return usage(std::cerr);
+    }
+  }
+
+  stats::Registry Stats;
+  fuzz::CampaignResult Result;
+
+  // Corpus replay first: persisted regression inputs must keep passing.
+  unsigned Replayed = 0;
+  if (!CorpusDir.empty()) {
+    std::error_code EC;
+    std::vector<std::string> Files;
+    for (const auto &Entry :
+         std::filesystem::directory_iterator(CorpusDir, EC)) {
+      if (!Entry.is_regular_file())
+        continue;
+      std::string Path = Entry.path().string();
+      if (Path.size() >= 4 &&
+          (Path.compare(Path.size() - 4, 4, ".cmm") == 0 ||
+           (Path.size() >= 5 &&
+            Path.compare(Path.size() - 5, 5, ".qual") == 0)))
+        Files.push_back(Path);
+    }
+    if (EC) {
+      std::cerr << "stq-fuzz: cannot read corpus directory '" << CorpusDir
+                << "': " << EC.message() << "\n";
+      return 2;
+    }
+    std::sort(Files.begin(), Files.end());
+    for (const std::string &Path : Files) {
+      if (!fuzz::replayCorpusFile(Path, Opts, Stats, Result)) {
+        std::cerr << "stq-fuzz: cannot read corpus file '" << Path << "'\n";
+        return 2;
+      }
+      ++Replayed;
+    }
+    std::cout << "stq-fuzz: replayed " << Replayed << " corpus inputs, "
+              << Result.Failures.size() << " failures\n";
+  }
+
+  if (Opts.Runs > 0) {
+    fuzz::CampaignResult Campaign =
+        fuzz::runCampaign(Opts, Stats, &std::cout);
+    Result.RunsExecuted += Campaign.RunsExecuted;
+    for (fuzz::FuzzFailure &F : Campaign.Failures)
+      Result.Failures.push_back(std::move(F));
+  }
+
+  for (size_t I = 0; I < Result.Failures.size(); ++I) {
+    const fuzz::FuzzFailure &F = Result.Failures[I];
+    std::string Path = FailureDir + "/stq-fuzz-failure-" +
+                       std::to_string(I) + ".txt";
+    std::ofstream Out(Path, std::ios::binary);
+    if (Out) {
+      Out << "# oracle: " << F.Oracle << "\n# kind: " << F.Kind
+          << "\n# run-seed: " << F.RunSeed << "\n# detail: " << F.Detail
+          << "\n" << F.Input;
+      std::cout << "stq-fuzz: wrote failing input to " << Path << "\n";
+    }
+    std::cout << "FAILURE[" << I << "] oracle=" << F.Oracle
+              << " kind=" << F.Kind << " seed=" << F.RunSeed << "\n  "
+              << F.Detail << "\n";
+  }
+
+  if (Metrics) {
+    stats::Registry::Snapshot Snap = Stats.snapshot();
+    for (const auto &[Name, Val] : Snap.Counters)
+      std::cout << Name << " = " << Val << "\n";
+  }
+
+  std::cout << "stq-fuzz: " << Result.RunsExecuted << " runs, " << Replayed
+            << " corpus replays, " << Result.Failures.size()
+            << " oracle violations\n";
+  return Result.ok() ? 0 : 1;
+}

@@ -4,12 +4,15 @@
 // count, `stqc check --jobs N` must produce the same diagnostics as the
 // sequential checker, and a prover answer replayed from the memoized cache
 // must match a fresh re-proof of the same obligation. This harness checks
-// both over randomized workloads with fixed seeds.
+// both over randomized workloads with fixed seeds, using the fuzz library's
+// generators (src/fuzz) — the same ones the stq-fuzz campaign drives.
 //
 //===----------------------------------------------------------------------===//
 
 #include "checker/Checker.h"
 #include "checker/Parallel.h"
+#include "fuzz/ProgramGen.h"
+#include "fuzz/ProverSessionGen.h"
 #include "prover/ProverCache.h"
 #include "qual/Builtins.h"
 #include "soundness/Soundness.h"
@@ -17,7 +20,6 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <random>
 #include <string>
 #include <vector>
 
@@ -25,88 +27,15 @@ using namespace stq;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Randomized C-minus program generation
-//===----------------------------------------------------------------------===//
-
-/// Generates a random C-minus program over the pos/neg qualifiers. The
-/// expression grammar mixes derivably-qualified terms (positive constants,
-/// products of pos, negations of neg) with deliberately ill-typed ones
-/// (zero and negative constants, sums, subtractions), so every program
-/// yields a mix of accepted declarations and qualifier diagnostics.
-class ProgramGenerator {
-public:
-  explicit ProgramGenerator(unsigned Seed) : Rng(Seed) {}
-
-  std::string generate() {
-    std::string Out;
-    unsigned Functions = 2 + Rng() % 6;
-    for (unsigned F = 0; F < Functions; ++F)
-      Out += function(F);
-    return Out;
-  }
-
-private:
-  std::mt19937 Rng;
-
-  unsigned pick(unsigned N) { return Rng() % N; }
-
-  std::string qualifier() {
-    switch (pick(3)) {
-    case 0: return "pos ";
-    case 1: return "neg ";
-    default: return "";
-    }
-  }
-
-  /// An expression over the in-scope names \p Vars. Depth-bounded.
-  std::string expr(const std::vector<std::string> &Vars, unsigned Depth) {
-    if (Depth == 0 || pick(3) == 0) {
-      if (!Vars.empty() && pick(2) == 0)
-        return Vars[pick(static_cast<unsigned>(Vars.size()))];
-      // Constants across the sign spectrum: pos-derivable, neg-derivable,
-      // and zero (derivable for neither).
-      static const char *Consts[] = {"3", "7", "1", "0", "-2", "-9"};
-      return Consts[pick(6)];
-    }
-    switch (pick(4)) {
-    case 0:
-      return "(" + expr(Vars, Depth - 1) + " * " + expr(Vars, Depth - 1) +
-             ")";
-    case 1:
-      return "(" + expr(Vars, Depth - 1) + " + " + expr(Vars, Depth - 1) +
-             ")";
-    case 2:
-      return "(" + expr(Vars, Depth - 1) + " - " + expr(Vars, Depth - 1) +
-             ")";
-    default:
-      return "(-" + expr(Vars, Depth - 1) + ")";
-    }
-  }
-
-  std::string function(unsigned Index) {
-    std::string Name = "f" + std::to_string(Index);
-    unsigned Params = pick(3);
-    std::vector<std::string> Vars;
-    std::string Sig;
-    for (unsigned P = 0; P < Params; ++P) {
-      std::string PName = "p" + std::to_string(P);
-      if (P)
-        Sig += ", ";
-      Sig += "int " + qualifier() + PName;
-      Vars.push_back(PName);
-    }
-    std::string Body;
-    unsigned Stmts = 1 + pick(5);
-    for (unsigned S = 0; S < Stmts; ++S) {
-      std::string VName = "v" + std::to_string(S);
-      Body += "  int " + qualifier() + VName + " = " + expr(Vars, 2) + ";\n";
-      Vars.push_back(VName);
-    }
-    Body += "  return " + Vars.back() + ";\n";
-    return "int " + Name + "(" + Sig + ") {\n" + Body + "}\n";
-  }
-};
+/// One Mixed-mode program from the fuzz generator: front-end-clean, with
+/// a deliberate blend of derivable and underivable qualified terms so the
+/// checker produces both accepted declarations and diagnostics.
+std::string mixedProgram(uint64_t Seed) {
+  fuzz::Rng R(Seed);
+  fuzz::ProgramGenOptions Opts;
+  Opts.GenMode = fuzz::ProgramGenOptions::Mode::Mixed;
+  return fuzz::generateProgram(R, Opts);
+}
 
 /// Renders a diagnostic as "line:col:severity:message" for comparison.
 std::string render(const Diagnostic &D) {
@@ -133,7 +62,8 @@ CheckOutcome runCheck(const std::string &Source, unsigned Jobs) {
   CheckOutcome Out;
   DiagnosticEngine Diags;
   qual::QualifierSet Quals;
-  EXPECT_TRUE(qual::loadBuiltinQualifiers({"pos", "neg"}, Quals, Diags));
+  EXPECT_TRUE(
+      qual::loadBuiltinQualifiers(fuzz::programQualifiers(), Quals, Diags));
   std::unique_ptr<cminus::Program> Prog;
   checker::CheckResult Result =
       checker::checkSourceParallel(Source, Quals, Diags, Prog, {}, Jobs);
@@ -151,8 +81,8 @@ CheckOutcome runCheck(const std::string &Source, unsigned Jobs) {
 //===----------------------------------------------------------------------===//
 
 TEST(DifferentialChecker, RandomProgramsParallelMatchesSequential) {
-  for (unsigned Seed = 0; Seed < 25; ++Seed) {
-    std::string Source = ProgramGenerator(Seed).generate();
+  for (uint64_t Seed = 0; Seed < 25; ++Seed) {
+    std::string Source = mixedProgram(Seed);
     CheckOutcome Seq = runCheck(Source, 1);
     CheckOutcome Par = runCheck(Source, 4);
 
@@ -177,7 +107,7 @@ TEST(DifferentialChecker, RandomProgramsParallelMatchesSequential) {
 
 TEST(DifferentialChecker, JobSweepIsInvariant) {
   // One program, every job count: all outputs identical to --jobs 1.
-  std::string Source = ProgramGenerator(12345).generate();
+  std::string Source = mixedProgram(12345);
   CheckOutcome Base = runCheck(Source, 1);
   EXPECT_GT(Base.QualErrors, 0u)
       << "generator should plant qualifier errors; got none:\n" << Source;
@@ -190,11 +120,12 @@ TEST(DifferentialChecker, JobSweepIsInvariant) {
 
 TEST(DifferentialChecker, ParallelEntryMatchesCheckSource) {
   // The parallel front end (parse/sema/lower) must match checkSource's.
-  std::string Source = ProgramGenerator(777).generate();
+  std::string Source = mixedProgram(777);
 
   DiagnosticEngine DiagsA;
   qual::QualifierSet QualsA;
-  ASSERT_TRUE(qual::loadBuiltinQualifiers({"pos", "neg"}, QualsA, DiagsA));
+  ASSERT_TRUE(
+      qual::loadBuiltinQualifiers(fuzz::programQualifiers(), QualsA, DiagsA));
   std::unique_ptr<cminus::Program> ProgA;
   checker::CheckResult A =
       checker::checkSource(Source, QualsA, DiagsA, ProgA);
@@ -286,111 +217,15 @@ TEST(DifferentialProver, CacheIsJobCountInvariant) {
 // Engine differential: incremental trail-based core vs reference recursion
 //===----------------------------------------------------------------------===//
 
-/// Replays one randomized prover session (quantified axioms from fixed
-/// templates, random ground hypotheses, one goal) under \p Engine. The
-/// construction is fully determined by \p Seed, so both engines see
-/// byte-identical sessions; budgets stay far from the resource limits so a
-/// verdict can never flip on a wall-clock edge.
-prover::ProofResult runEngineSession(unsigned Seed,
-                                     prover::EngineKind Engine) {
-  std::mt19937 Rng(Seed);
-  auto Pick = [&](size_t N) {
-    return static_cast<size_t>(Rng() % static_cast<unsigned>(N));
-  };
-
-  prover::ProverOptions Options;
-  Options.Engine = Engine;
-  prover::Prover P(Options);
-  prover::TermArena &A = P.arena();
-
-  // Ground vocabulary: constants, small ints, and random f/g/h towers.
-  std::vector<prover::TermId> Pool;
-  for (const char *C : {"a", "b", "c"})
-    Pool.push_back(A.app(C));
-  for (int I : {-1, 0, 2})
-    Pool.push_back(A.intConst(I));
-  size_t Grow = 3 + Pick(5);
-  for (size_t I = 0; I < Grow; ++I) {
-    prover::TermId X = Pool[Pick(Pool.size())];
-    prover::TermId Y = Pool[Pick(Pool.size())];
-    switch (Pick(3)) {
-    case 0:
-      Pool.push_back(A.app("f", {X}));
-      break;
-    case 1:
-      Pool.push_back(A.app("g", {X}));
-      break;
-    default:
-      Pool.push_back(A.app("h", {X, Y}));
-      break;
-    }
-  }
-
-  auto RandomLit = [&]() {
-    prover::TermId X = Pool[Pick(Pool.size())];
-    prover::TermId Y = Pool[Pick(Pool.size())];
-    switch (Pick(6)) {
-    case 0:
-      return prover::fEq(X, Y);
-    case 1:
-      return prover::fNe(X, Y);
-    case 2:
-      return prover::fLe(X, Y);
-    case 3:
-      return prover::fLt(X, Y);
-    case 4:
-      return prover::fGe(X, Y);
-    default:
-      return prover::fGt(X, Y);
-    }
-  };
-
-  // Quantified axioms come from fixed templates whose inferred triggers
-  // cover their variables (the generator only randomizes which are on).
-  if (Pick(2)) {
-    prover::TermId V = A.var("x");
-    P.addAxiom("mono",
-               prover::fForall({"x"}, prover::fLe(A.app("f", {V}),
-                                                  A.app("g", {V}))));
-  }
-  if (Pick(2)) {
-    prover::TermId V = A.var("y");
-    P.addAxiom("idem",
-               prover::fForall({"y"},
-                               prover::fEq(A.app("f", {A.app("f", {V})}),
-                                           A.app("f", {V}))));
-  }
-  if (Pick(2))
-    P.addArithmeticSignAxioms();
-
-  size_t Hyps = 1 + Pick(4);
-  for (size_t I = 0; I < Hyps; ++I) {
-    switch (Pick(4)) {
-    case 0:
-      P.addHypothesis(prover::fOr({RandomLit(), RandomLit()}));
-      break;
-    case 1:
-      P.addHypothesis(prover::fImplies(RandomLit(), RandomLit()));
-      break;
-    default:
-      P.addHypothesis(RandomLit());
-      break;
-    }
-  }
-
-  prover::FormulaPtr Goal = Pick(3) == 0
-                                ? prover::fImplies(RandomLit(), RandomLit())
-                                : RandomLit();
-  return P.prove(Goal);
-}
-
 TEST(DifferentialProver, EnginesAgreeOnRandomizedSessions) {
+  // fuzz::runProverSession builds the session deterministically from the
+  // seed, so both engines see byte-identical axioms, hypotheses, and goal.
   unsigned Proved = 0, Unknown = 0;
   for (unsigned Seed = 0; Seed < 100; ++Seed) {
     prover::ProofResult Inc =
-        runEngineSession(Seed, prover::EngineKind::Incremental);
+        fuzz::runProverSession(Seed, prover::EngineKind::Incremental);
     prover::ProofResult Ref =
-        runEngineSession(Seed, prover::EngineKind::Reference);
+        fuzz::runProverSession(Seed, prover::EngineKind::Reference);
     EXPECT_EQ(Inc, Ref) << "engines diverged on seed " << Seed;
     Proved += Inc == prover::ProofResult::Proved;
     Unknown += Inc == prover::ProofResult::Unknown;

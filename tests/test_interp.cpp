@@ -3,6 +3,7 @@
 #include "interp/Interp.h"
 
 #include "qual/Builtins.h"
+#include "qual/QualParser.h"
 
 #include <gtest/gtest.h>
 
@@ -521,6 +522,178 @@ TEST(InterpMore, LogicalOperatorsReturnZeroOne) {
                     "}");
   ASSERT_TRUE(R.ok());
   EXPECT_EQ(R.ExitValue, 110);
+}
+
+//===----------------------------------------------------------------------===//
+// Fuel: the bounded-step execution limit
+//===----------------------------------------------------------------------===//
+
+RunResult runWith(const std::string &Source, InterpOptions Options,
+                  const std::vector<std::string> &QualNames = {}) {
+  qual::QualifierSet Set = loadQuals(QualNames);
+  DiagnosticEngine Diags;
+  RunResult R = runSource(Source, Set, Diags, Options);
+  EXPECT_FALSE(Diags.hasErrors());
+  return R;
+}
+
+TEST(InterpFuel, InfiniteLoopExhaustsFuel) {
+  InterpOptions Options;
+  Options.Fuel = 10000;
+  RunResult R = runWith("int main() { while (1) { } return 0; }", Options);
+  EXPECT_EQ(R.Status, RunStatus::FuelExhausted);
+  EXPECT_GT(R.Steps, 0u);
+}
+
+TEST(InterpFuel, InfiniteRecursionExhaustsFuel) {
+  InterpOptions Options;
+  Options.Fuel = 10000;
+  RunResult R = runWith("int spin(int n) { return spin(n + 1); }\n"
+                        "int main() { return spin(0); }",
+                        Options);
+  EXPECT_EQ(R.Status, RunStatus::FuelExhausted);
+}
+
+TEST(InterpFuel, TerminatingProgramIsUnaffected) {
+  InterpOptions Options;
+  Options.Fuel = 100000;
+  RunResult R = runWith("int main() {\n"
+                        "  int s = 0;\n"
+                        "  for (int i = 0; i < 100; i = i + 1) s = s + i;\n"
+                        "  return s;\n"
+                        "}",
+                        Options);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 4950);
+  EXPECT_LT(R.Steps, 100000u);
+}
+
+TEST(InterpFuel, BoundaryIsExact) {
+  // The same program under shrinking budgets: there is a threshold below
+  // which it stops finishing, and the verdict is FuelExhausted, never a
+  // trap or a wrong exit value.
+  const char *Src = "int main() {\n"
+                    "  int s = 0;\n"
+                    "  for (int i = 0; i < 50; i = i + 1) s = s + 1;\n"
+                    "  return s;\n"
+                    "}";
+  InterpOptions Generous;
+  Generous.Fuel = 1000000;
+  RunResult Full = runWith(Src, Generous);
+  ASSERT_TRUE(Full.ok());
+  ASSERT_EQ(Full.ExitValue, 50);
+
+  // Exactly enough fuel succeeds; one unit less must exhaust.
+  InterpOptions Exact;
+  Exact.Fuel = Full.Steps;
+  RunResult AtBoundary = runWith(Src, Exact);
+  EXPECT_TRUE(AtBoundary.ok());
+  EXPECT_EQ(AtBoundary.ExitValue, 50);
+
+  InterpOptions Short;
+  Short.Fuel = Full.Steps - 1;
+  RunResult Starved = runWith(Src, Short);
+  EXPECT_EQ(Starved.Status, RunStatus::FuelExhausted);
+}
+
+//===----------------------------------------------------------------------===//
+// The invariant audit (the executable face of Theorem 5.1)
+//===----------------------------------------------------------------------===//
+
+TEST(InterpAudit, AcceptedStoresAuditCleanly) {
+  InterpOptions Options;
+  Options.AuditQualifiedStores = true;
+  RunResult R = runWith("int main() {\n"
+                        "  int pos x = 5;\n"
+                        "  x = (x * 2);\n"
+                        "  int neg y = (- x);\n"
+                        "  int nonzero z = x;\n"
+                        "  return 0;\n"
+                        "}",
+                        Options, {"pos", "neg", "nonzero"});
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_GE(R.AuditChecks, 4u);
+  EXPECT_TRUE(R.AuditFailures.empty());
+}
+
+TEST(InterpAudit, UnsoundQualifierDefinitionIsCaught) {
+  // A deliberately bogus qualifier: every expression derives it, but the
+  // invariant demands positivity. The checker accepts `int bogus x = 0;`
+  // (the case rule allows anything), the audit must record the violation —
+  // and record it without trapping (Status stays Ok).
+  const char *Defs = "value qualifier bogus(int Expr E)\n"
+                     "  case E of\n"
+                     "    E\n"
+                     "  invariant value(E) > 0\n";
+  qual::QualifierSet Set;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(qual::parseQualifiers(Defs, Set, Diags));
+  ASSERT_TRUE(qual::checkWellFormed(Set, Diags));
+  InterpOptions Options;
+  Options.AuditQualifiedStores = true;
+  RunResult R = runSource("int main() {\n"
+                          "  int bogus x = 0;\n"
+                          "  return 0;\n"
+                          "}",
+                          Set, Diags, Options);
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  ASSERT_EQ(R.AuditFailures.size(), 1u);
+  EXPECT_EQ(R.AuditFailures[0].Qual, "bogus");
+  EXPECT_GE(R.AuditChecks, 1u);
+}
+
+TEST(InterpAudit, OffByDefault) {
+  RunResult R = run("int main() { int pos x = 5; return 0; }", {"pos", "neg"});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.AuditChecks, 0u);
+  EXPECT_TRUE(R.AuditFailures.empty());
+}
+
+TEST(InterpAudit, UninitializedDeclIsExempt) {
+  // `int pos x;` holds the default 0, which violates the invariant — but
+  // the checker never vetted a store there, so the audit must not fire
+  // until the first real assignment.
+  InterpOptions Options;
+  Options.AuditQualifiedStores = true;
+  RunResult R = runWith("int main() {\n"
+                        "  int pos x;\n"
+                        "  x = 3;\n"
+                        "  return 0;\n"
+                        "}",
+                        Options, {"pos", "neg"});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.AuditChecks, 1u);
+  EXPECT_TRUE(R.AuditFailures.empty());
+}
+
+TEST(InterpAudit, EntryParamBindingIsExempt) {
+  // main's parameters are bound to synthesized defaults (0), which the
+  // checker did not vet; the audit must exempt that binding.
+  InterpOptions Options;
+  Options.AuditQualifiedStores = true;
+  RunResult R = runWith("int main(int pos argc) { return 0; }", Options,
+                        {"pos", "neg"});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.AuditChecks, 0u);
+  EXPECT_TRUE(R.AuditFailures.empty());
+}
+
+TEST(InterpAudit, HelperCallArgumentsAreAudited) {
+  // Interior calls ARE vetted by the checker, so their parameter bindings
+  // are audited like any other store.
+  InterpOptions Options;
+  Options.AuditQualifiedStores = true;
+  RunResult R = runWith("int twice(int pos a) { return (a * 2); }\n"
+                        "int main() {\n"
+                        "  int pos x = 4;\n"
+                        "  return twice(x);\n"
+                        "}",
+                        Options, {"pos", "neg"});
+  ASSERT_TRUE(R.ok());
+  // Stores audited: the decl of x and the binding of a.
+  EXPECT_GE(R.AuditChecks, 2u);
+  EXPECT_TRUE(R.AuditFailures.empty());
 }
 
 } // namespace

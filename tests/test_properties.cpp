@@ -19,6 +19,8 @@
 #include "cminus/Parser.h"
 #include "cminus/Printer.h"
 #include "cminus/Sema.h"
+#include "fuzz/Mutator.h"
+#include "fuzz/ProgramGen.h"
 #include "prover/ProverCache.h"
 #include "prover/Theory.h"
 #include "qual/Builtins.h"
@@ -191,21 +193,12 @@ TEST(RoundTrip, WorkloadsSurvivePrintAndReparse) {
 class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ParserFuzz, GarbageNeverCrashes) {
-  std::mt19937_64 Rng(GetParam());
-  const char *Fragments[] = {
-      "int",    "char",  "struct", "*",  "(",      ")",    "{",  "}",
-      ";",      ",",     "x",      "y",  "f",      "42",   "+",  "-",
-      "/",      "%",     "==",     "!=", "return", "if",   "else",
-      "while",  "for",   "&",      "&&", "||",     "NULL", "=",  "\"s\"",
-      "pos",    "->",    ".",      "[",  "]",      "!",    "~",  "<",
-      "sizeof", "break", "0x1F",   "'c'"};
+  // Token soup from the fuzz library's C-minus vocabulary (the same
+  // generator the stq-fuzz robustness oracle drives).
+  fuzz::Rng Rng(GetParam());
   for (unsigned Iter = 0; Iter < 200; ++Iter) {
-    std::string Source;
-    unsigned Len = 5 + static_cast<unsigned>(Rng() % 60);
-    for (unsigned I = 0; I < Len; ++I) {
-      Source += Fragments[Rng() % (sizeof(Fragments) / sizeof(char *))];
-      Source += ' ';
-    }
+    unsigned Len = 5 + static_cast<unsigned>(Rng.pick(60));
+    std::string Source = fuzz::tokenSoup(Rng, fuzz::Vocab::CMinus, Len);
     DiagnosticEngine Diags;
     auto Prog = cminus::parseProgram(Source, {"pos"}, Diags);
     ASSERT_NE(Prog, nullptr);
@@ -221,27 +214,36 @@ TEST_P(ParserFuzz, GarbageNeverCrashes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(7, 77, 777));
 
 TEST(QualParserFuzz, GarbageNeverCrashes) {
-  std::mt19937_64 Rng(99);
-  const char *Fragments[] = {
-      "value", "ref",   "qualifier", "case",      "of",        "decl",
-      "where", "(",     ")",         ":",         "|",         "invariant",
-      "forall", "T",    "int",       "Expr",      "Const",     "LValue",
-      "Var",   "E",     "C",         "value",     "location",  "*",
-      "&&",    "||",    "=>",        ">",         "0",         "NULL",
-      "assign", "new",  "disallow",  "ondecl",    "isHeapLoc"};
+  fuzz::Rng Rng(99);
   for (unsigned Iter = 0; Iter < 200; ++Iter) {
-    std::string Source;
-    unsigned Len = 5 + static_cast<unsigned>(Rng() % 50);
-    for (unsigned I = 0; I < Len; ++I) {
-      Source += Fragments[Rng() % (sizeof(Fragments) / sizeof(char *))];
-      Source += ' ';
-    }
+    unsigned Len = 5 + static_cast<unsigned>(Rng.pick(50));
+    std::string Source = fuzz::tokenSoup(Rng, fuzz::Vocab::QualDsl, Len);
     qual::QualifierSet Set;
     DiagnosticEngine Diags;
     if (qual::parseQualifiers(Source, Set, Diags))
       qual::checkWellFormed(Set, Diags);
   }
   SUCCEED();
+}
+
+TEST(ParserFuzz, MutatedProgramsNeverCrash) {
+  // Byte-level mutations of a valid generated program: exercises lexer and
+  // error recovery near well-formed input rather than in pure soup.
+  fuzz::Rng Rng(4242);
+  for (unsigned Iter = 0; Iter < 100; ++Iter) {
+    fuzz::Rng GenRng(Rng.next());
+    std::string Valid = fuzz::generateProgram(GenRng);
+    std::string Mutated = fuzz::mutateBytes(Valid, Rng);
+    DiagnosticEngine Diags;
+    auto Prog =
+        cminus::parseProgram(Mutated, fuzz::programQualifiers(), Diags);
+    ASSERT_NE(Prog, nullptr);
+    if (!Diags.hasErrors()) {
+      cminus::runSema(*Prog, {"unique", "unaliased"}, Diags);
+      if (!Diags.hasErrors())
+        cminus::lowerProgram(*Prog, Diags);
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

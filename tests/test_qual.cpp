@@ -123,10 +123,15 @@ TEST(QualParser, ParsesFigure3NonzeroWithRestrict) {
   const QualifierDef *NZ = Set.find("nonzero");
   ASSERT_NE(NZ, nullptr);
   EXPECT_EQ(NZ->Cases.size(), 3u);
-  ASSERT_EQ(NZ->Restricts.size(), 1u);
+  // Two restrict clauses: both `/` and `%` trap on a zero divisor, so the
+  // rule must guard both operators.
+  ASSERT_EQ(NZ->Restricts.size(), 2u);
   EXPECT_EQ(NZ->Restricts[0].Pattern.K, ExprPattern::Kind::Binary);
   EXPECT_EQ(NZ->Restricts[0].Pattern.Bop, BinaryOp::Div);
   EXPECT_EQ(NZ->Restricts[0].Where.Qual, "nonzero");
+  EXPECT_EQ(NZ->Restricts[1].Pattern.K, ExprPattern::Kind::Binary);
+  EXPECT_EQ(NZ->Restricts[1].Pattern.Bop, BinaryOp::Rem);
+  EXPECT_EQ(NZ->Restricts[1].Where.Qual, "nonzero");
 }
 
 TEST(QualParser, ParsesFigure12Nonnull) {
