@@ -138,6 +138,32 @@ Session::CheckOutcome Session::check(const std::string &Source) {
   return Out;
 }
 
+checker::incremental::Engine &Session::incrementalEngine() {
+  if (Opts.SharedIncremental)
+    return *Opts.SharedIncremental;
+  if (!OwnedIncremental)
+    OwnedIncremental = std::make_unique<checker::incremental::Engine>();
+  return *OwnedIncremental;
+}
+
+Session::RecheckOutcome Session::recheck(const std::string &Source) {
+  RecheckOutcome Out;
+  if (!loadQualifiers()) {
+    publishDiagMetrics();
+    return Out;
+  }
+  Out.Program = frontEnd(Source, Out.FrontEndOk);
+  if (Out.FrontEndOk) {
+    stats::ScopedTimer Timer(&Metrics, "phase.qualcheck_seconds");
+    Out.Result = incrementalEngine().recheck(
+        Opts.IncrementalUnit, *Out.Program, *QualsView, Diags, Opts.Checker,
+        Opts.Jobs, &Out.Stats, Opts.SharedPool);
+  }
+  publishRecheckMetrics(Out);
+  publishDiagMetrics();
+  return Out;
+}
+
 void Session::loadCacheFile() {
   if (Opts.CacheFile.empty() || CacheFileLoaded)
     return;
@@ -276,6 +302,46 @@ void Session::publishCheckMetrics(const CheckOutcome &Out) {
   Metrics.set("pool.jobs", Out.Pipeline.Jobs);
   Metrics.set("pool.executed", Out.Pipeline.Executed);
   Metrics.set("pool.steals", Out.Pipeline.Steals);
+}
+
+void Session::publishRecheckMetrics(const RecheckOutcome &Out) {
+  if (!Out.FrontEndOk)
+    return;
+  // The check.* counters mirror publishCheckMetrics exactly: a recheck is
+  // the same verdict, so metrics-invariant counters must agree with a cold
+  // check() byte for byte (the edit-replay harness pins this down).
+  const checker::CheckerStats &S = Out.Result.Stats;
+  Metrics.set("check.units", Out.Stats.Units);
+  Metrics.set("check.qual_errors", Out.Result.QualErrors);
+  Metrics.set("check.deref_sites", S.DerefSites);
+  Metrics.set("check.restrict_checks", S.RestrictChecks);
+  Metrics.set("check.restrict_failures", S.RestrictFailures);
+  Metrics.set("check.assign_checks", S.AssignChecks);
+  Metrics.set("check.assign_failures", S.AssignFailures);
+  Metrics.set("check.ref_assign_checks", S.RefAssignChecks);
+  Metrics.set("check.ref_assign_failures", S.RefAssignFailures);
+  Metrics.set("check.disallow_failures", S.DisallowFailures);
+  Metrics.set("check.casts_to_value_qualified", S.CastsToValueQualified);
+  Metrics.set("check.casts_to_ref_qualified", S.CastsToRefQualified);
+  Metrics.set("check.elided_cast_checks", S.ElidedCastChecks);
+  Metrics.set("check.format_string_checks", S.FormatStringChecks);
+  Metrics.set("check.runtime_checks", Out.Result.RuntimeCheckCount);
+  Metrics.set("check.memo.has_qual_queries", S.HasQualQueries);
+  Metrics.set("check.memo.hits", S.MemoHits);
+  Metrics.set("pool.jobs", Out.Stats.Jobs);
+  Metrics.set("pool.executed", Out.Stats.Executed);
+  Metrics.set("pool.steals", Out.Stats.Steals);
+  // incremental.*: how much of the unit the store saved us. Scheduling- and
+  // history-dependent by design, so they sit behind the same metrics
+  // exclusion as pool.* (docs/OBSERVABILITY.md).
+  checker::incremental::Engine &E = incrementalEngine();
+  Metrics.set("incremental.units", Out.Stats.Units);
+  Metrics.set("incremental.hits", Out.Stats.Hits);
+  Metrics.set("incremental.rechecked", Out.Stats.Rechecked);
+  Metrics.set("incremental.sig_dirtied", Out.Stats.SignatureDirtied);
+  Metrics.set("incremental.evictions", Out.Stats.Evictions);
+  Metrics.set("incremental.store.entries", E.entries());
+  Metrics.set("incremental.store.evictions", E.evictions());
 }
 
 void Session::publishProveMetrics(

@@ -34,6 +34,7 @@
 #define STQ_DRIVER_SESSION_H
 
 #include "checker/Checker.h"
+#include "checker/Incremental.h"
 #include "checker/Inference.h"
 #include "checker/Parallel.h"
 #include "interp/Interp.h"
@@ -102,6 +103,15 @@ struct SessionOptions {
   /// pool as task groups instead of spawning a per-call pool, so
   /// concurrent sessions share one set of workers.
   ThreadPool *SharedPool = nullptr;
+  /// When set, recheck() probes and fills this long-lived incremental
+  /// engine (verdict store + signature snapshots) instead of a per-session
+  /// one, so warm edits re-check only what changed across requests.
+  checker::incremental::Engine *SharedIncremental = nullptr;
+
+  /// The snapshot name recheck() uses for signature-change invalidation —
+  /// the server passes the client's `unit` option so edits to one file
+  /// diff against that file's previous version, not another client's.
+  std::string IncrementalUnit;
 };
 
 /// The pipeline driver. Not thread-safe: one Session per thread (the
@@ -129,6 +139,21 @@ public:
   };
   /// Front end + extensible typechecker over `Jobs` workers.
   CheckOutcome check(const std::string &Source);
+
+  /// Result of recheck(): same verdict shape as check(), but record lists
+  /// are counts (cached verdicts cannot hold AST pointers) and the
+  /// pipeline stats say how much of the unit was served from the store.
+  struct RecheckOutcome {
+    bool FrontEndOk = false;
+    checker::incremental::RecheckResult Result;
+    checker::incremental::RecheckStats Stats;
+    std::unique_ptr<cminus::Program> Program;
+  };
+  /// Front end + incremental re-check: items whose content hash is in the
+  /// verdict store replay their cached diagnostics; the rest re-check over
+  /// `Jobs` workers. Diagnostics and verdicts are byte-identical to
+  /// check() on the same source at any job count.
+  RecheckOutcome recheck(const std::string &Source);
 
   /// Result of frontEnd().
   struct FrontEndOutcome {
@@ -186,6 +211,10 @@ private:
   std::unique_ptr<cminus::Program> frontEnd(const std::string &Source,
                                             bool &Ok);
   void publishCheckMetrics(const CheckOutcome &Out);
+  void publishRecheckMetrics(const RecheckOutcome &Out);
+  /// The engine recheck() uses: the shared one when wired, else a lazily
+  /// created session-owned engine.
+  checker::incremental::Engine &incrementalEngine();
   void publishProveMetrics(const std::vector<soundness::SoundnessReport> &);
   void publishRunMetrics(const interp::RunResult &R);
   void publishCacheMetrics();
@@ -206,6 +235,9 @@ private:
   const qual::QualifierSet *QualsView = &Quals;
   prover::ProverCache *CachePtr = &Cache;
   stats::Registry Metrics;
+  /// Owned incremental engine, created on first recheck(); unused when
+  /// Opts.SharedIncremental is set.
+  std::unique_ptr<checker::incremental::Engine> OwnedIncremental;
 
   enum class LoadState { NotLoaded, Ok, Failed };
   LoadState Loaded = LoadState::NotLoaded;

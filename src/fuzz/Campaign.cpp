@@ -2,12 +2,15 @@
 
 #include "fuzz/Campaign.h"
 
+#include "checker/Incremental.h"
+#include "fuzz/EditGen.h"
 #include "fuzz/Mutator.h"
 #include "fuzz/ProgramGen.h"
 #include "fuzz/ProverSessionGen.h"
 #include "fuzz/QualGen.h"
 #include "fuzz/Shrinker.h"
 #include "server/Exec.h"
+#include "support/MetricsEmitter.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -75,6 +78,35 @@ server::ExecResult checkInvocation(const std::string &Source, unsigned Jobs,
   Inv.HasSource = true;
   Inv.Session.Builtins = programQualifiers();
   Inv.Session.Jobs = Jobs;
+  return server::executeInvocation(Inv, Shared);
+}
+
+/// `check` with an explicit builtin set (edit scripts change theirs).
+server::ExecResult checkStep(const EditScript::Step &Step, unsigned Jobs) {
+  server::Invocation Inv;
+  Inv.Command = "check";
+  Inv.Source = Step.Source;
+  Inv.HasSource = true;
+  Inv.Session.Builtins = Step.Builtins;
+  Inv.Session.Jobs = Jobs;
+  return server::executeInvocation(Inv);
+}
+
+/// `recheck` against a warm engine — the incremental side of the
+/// edit-replay differential.
+server::ExecResult recheckStep(const EditScript::Step &Step, unsigned Jobs,
+                               checker::incremental::Engine *Engine,
+                               ThreadPool *Pool) {
+  server::Invocation Inv;
+  Inv.Command = "recheck";
+  Inv.Source = Step.Source;
+  Inv.HasSource = true;
+  Inv.Session.Builtins = Step.Builtins;
+  Inv.Session.Jobs = Jobs;
+  Inv.Session.IncrementalUnit = "fuzz";
+  server::SharedContext Shared;
+  Shared.Incremental = Engine;
+  Shared.Pool = Pool;
   return server::executeInvocation(Inv, Shared);
 }
 
@@ -365,6 +397,104 @@ void qualSetOracles(const std::string &Src, const GeneratedQualSet *Set,
 }
 
 //===----------------------------------------------------------------------===//
+// Edit-replay oracles
+//===----------------------------------------------------------------------===//
+
+/// The session counters that must not depend on *how* a verdict was
+/// produced: the snapshot's counters with scheduling-dependent prefixes
+/// (pool.*, check.memo.*, incremental.*, ...) erased. Zero-valued entries
+/// are dropped too — warm and cold paths may materialize different zero
+/// counters, and 0-vs-absent is presentational, not semantic.
+std::map<std::string, uint64_t>
+invariantCounters(const stats::Registry &Metrics) {
+  std::map<std::string, uint64_t> Counters = Metrics.snapshot().Counters;
+  for (auto It = Counters.begin(); It != Counters.end();) {
+    bool Drop = It->second == 0;
+    for (const std::string &P :
+         metrics::schedulingDependentCounterPrefixes())
+      Drop = Drop || It->first.rfind(P, 0) == 0;
+    It = Drop ? Counters.erase(It) : std::next(It);
+  }
+  return Counters;
+}
+
+std::string describeCounterDiff(const std::map<std::string, uint64_t> &Warm,
+                                const std::map<std::string, uint64_t> &Cold) {
+  for (const auto &KV : Warm) {
+    auto It = Cold.find(KV.first);
+    if (It == Cold.end())
+      return "'" + KV.first + "' only in warm (" +
+             std::to_string(KV.second) + ")";
+    if (It->second != KV.second)
+      return "'" + KV.first + "': warm " + std::to_string(KV.second) +
+             " vs cold " + std::to_string(It->second);
+  }
+  for (const auto &KV : Cold)
+    if (!Warm.count(KV.first))
+      return "'" + KV.first + "' only in cold (" +
+             std::to_string(KV.second) + ")";
+  return "identical";
+}
+
+/// The edit-replay differential: replays \p Text as an edit script, with
+/// every step's warm `recheck` (fresh incremental engine at step 0, warm
+/// thereafter) byte-compared against a cold one-shot `check`, then a
+/// second replay comparing the metrics-invariant session counters the two
+/// paths publish. Returns true and fills \p Kind/\p Why on the first
+/// divergence. \p Pool may be null (shrinking, corpus replay).
+bool editScriptViolation(const std::string &Text, const CampaignOptions &Opts,
+                         ThreadPool *Pool, std::string *Kind,
+                         std::string *Why) {
+  EditScript Script = parseEditScript(Text);
+
+  checker::incremental::Engine Engine;
+  for (size_t I = 0; I < Script.Steps.size(); ++I) {
+    const EditScript::Step &Step = Script.Steps[I];
+    server::ExecResult Warm = recheckStep(Step, Opts.Jobs, &Engine, Pool);
+    server::ExecResult Cold = checkStep(Step, 1);
+    if (!sameExec(Warm, Cold)) {
+      if (Kind)
+        *Kind = "incremental-mismatch";
+      if (Why)
+        *Why = "step " + std::to_string(I) + ": " +
+               describeExecDiff(Warm, Cold, "recheck-warm", "check-cold");
+      return true;
+    }
+  }
+
+  // Second replay at the Session level: the verdict-bearing counters
+  // (check.qual_errors, check.deref_sites, diag.*, ...) must not drift
+  // when part of the answer is served from the verdict store.
+  checker::incremental::Engine Engine2;
+  for (size_t I = 0; I < Script.Steps.size(); ++I) {
+    const EditScript::Step &Step = Script.Steps[I];
+    SessionOptions AO;
+    AO.Builtins = Step.Builtins;
+    AO.Jobs = Opts.Jobs;
+    AO.SharedIncremental = &Engine2;
+    AO.IncrementalUnit = "fuzz";
+    Session A(AO);
+    A.recheck(Step.Source);
+    SessionOptions BO;
+    BO.Builtins = Step.Builtins;
+    BO.Jobs = 1;
+    Session B(BO);
+    B.check(Step.Source);
+    std::map<std::string, uint64_t> MA = invariantCounters(A.metrics());
+    std::map<std::string, uint64_t> MB = invariantCounters(B.metrics());
+    if (MA != MB) {
+      if (Kind)
+        *Kind = "incremental-metrics-mismatch";
+      if (Why)
+        *Why = "step " + std::to_string(I) +
+               ": invariant counters diverge: " + describeCounterDiff(MA, MB);
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
 // Scenarios
 //===----------------------------------------------------------------------===//
 
@@ -409,6 +539,27 @@ void proverScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
                " reference=" + std::to_string(static_cast<int>(Ref));
     reportFailure(C, std::move(F));
   }
+}
+
+void editReplayScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  EditScript Script = generateEditScript(R);
+  C.Stats.add("fuzz.gen.edit_scripts", 1);
+  C.Stats.add("fuzz.gen.edit_steps", Script.Steps.size());
+  std::string Text = renderEditScript(Script);
+  std::string Kind, Why;
+  if (!editScriptViolation(Text, C.Opts, C.Pool, &Kind, &Why))
+    return;
+  FuzzFailure F;
+  F.Oracle = "edit-replay";
+  F.Kind = Kind;
+  F.RunSeed = RunSeed;
+  F.Detail = Why;
+  const CampaignOptions &Opts = C.Opts;
+  F.Input = minimized(C, Text, [&Opts](const std::string &Candidate) {
+    std::string K, W;
+    return editScriptViolation(Candidate, Opts, nullptr, &K, &W);
+  });
+  reportFailure(C, std::move(F));
 }
 
 void robustnessScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
@@ -494,15 +645,20 @@ CampaignResult stq::fuzz::runCampaign(const CampaignOptions &Opts,
     uint64_t RunSeed = Master.next();
     Rng R(RunSeed);
     Stats.add("fuzz.runs", 1);
+    // The weight draw happens even under OnlyScenario so per-run seeds
+    // line up with the mixed campaign for the same master seed.
     uint64_t W = R.pick(100);
-    if (W < 50)
+    const std::string &Only = Opts.OnlyScenario;
+    if (Only == "soundness" || (Only.empty() && W < 45))
       soundnessScenario(R, RunSeed, C);
-    else if (W < 65)
+    else if (Only == "mixed" || (Only.empty() && W < 60))
       mixedScenario(R, RunSeed, C);
-    else if (W < 80)
+    else if (Only == "qualgen" || (Only.empty() && W < 75))
       qualgenScenario(R, RunSeed, C);
-    else if (W < 90)
+    else if (Only == "prover" || (Only.empty() && W < 85))
       proverScenario(R, RunSeed, C);
+    else if (Only == "edit-replay" || (Only.empty() && W < 93))
+      editReplayScenario(R, RunSeed, C);
     else
       robustnessScenario(R, RunSeed, C);
     ++Result.RunsExecuted;
@@ -527,9 +683,22 @@ bool stq::fuzz::replayCorpusFile(const std::string &Path,
   OracleContext C{Opts, Stats, Result, nullptr, nullptr, nullptr};
   bool IsQual =
       Path.size() >= 5 && Path.compare(Path.size() - 5, 5, ".qual") == 0;
-  if (IsQual)
+  bool IsEdits =
+      Path.size() >= 6 && Path.compare(Path.size() - 6, 6, ".edits") == 0;
+  if (IsQual) {
     qualSetOracles(Text, nullptr, 0, C);
-  else
+  } else if (IsEdits) {
+    std::string Kind, Why;
+    if (editScriptViolation(Text, Opts, nullptr, &Kind, &Why)) {
+      FuzzFailure F;
+      F.Oracle = "edit-replay";
+      F.Kind = Kind;
+      F.Input = Text;
+      F.Detail = Why;
+      reportFailure(C, std::move(F));
+    }
+  } else {
     cmmOracles(Text, 0, C);
+  }
   return true;
 }

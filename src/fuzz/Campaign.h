@@ -7,7 +7,7 @@
 ///
 /// \file
 /// Orchestrates randomized fuzzing runs over the whole pipeline, holding
-/// four oracles over every generated input:
+/// five oracles over every generated input:
 ///
 ///  1. Soundness (Theorem 5.1, executable): a program the checker accepts
 ///     must execute with zero invariant-audit failures under
@@ -19,7 +19,13 @@
 ///  3. Metamorphic/concurrency: `check` output is byte-identical across
 ///     job counts and across the shared-context (stqd server) execution
 ///     path, and warm-cache re-proofs replay cold verdicts exactly.
-///  4. Robustness: both front ends diagnose arbitrary malformed input
+///  4. Edit-replay: seeded edit sequences (body tweaks, signature
+///     changes, qualifier-set changes, function add/delete) re-checked
+///     through a warm incremental engine must be byte-identical — output
+///     and metrics-invariant counters — to a cold full check at every
+///     step. Failing scripts ddmin-shrink and replay from tests/corpus/
+///     (`.edits` files).
+///  5. Robustness: both front ends diagnose arbitrary malformed input
 ///     (token soup, byte mutations) without crashing; a crash takes the
 ///     process down and is caught by the harness around the campaign.
 ///
@@ -56,12 +62,18 @@ struct CampaignOptions {
   /// Interpreter step budget per execution; keeps MayDiverge programs and
   /// accidental generator loops bounded.
   uint64_t Fuel = 200000;
+  /// When non-empty, every run executes this one scenario instead of the
+  /// weighted mix: "soundness", "mixed", "qualgen", "prover",
+  /// "edit-replay", or "robustness" (the CI incremental-smoke job pins
+  /// "edit-replay").
+  std::string OnlyScenario;
 };
 
 /// One oracle violation (or front-end crash-adjacent reject) with enough
 /// context to reproduce it.
 struct FuzzFailure {
-  /// "soundness", "engine-differential", "metamorphic", or "robustness".
+  /// "soundness", "engine-differential", "metamorphic", "edit-replay", or
+  /// "robustness".
   std::string Oracle;
   /// The per-run seed that produced the input.
   uint64_t RunSeed = 0;
@@ -87,8 +99,9 @@ CampaignResult runCampaign(const CampaignOptions &Opts,
 
 /// Replays one persisted corpus input through the oracles appropriate to
 /// its kind (`.cmm` → front end, jobs differential, audited execution;
-/// `.qual` → load, engine differential, warm-cache replay). Appends any
-/// violation to \p Result. Returns false when the file cannot be read.
+/// `.qual` → load, engine differential, warm-cache replay; `.edits` →
+/// incremental-vs-cold edit replay). Appends any violation to \p Result.
+/// Returns false when the file cannot be read.
 bool replayCorpusFile(const std::string &Path, const CampaignOptions &Opts,
                       stats::Registry &Stats, CampaignResult &Result);
 

@@ -1,0 +1,263 @@
+//===- EditGen.cpp --------------------------------------------------------===//
+
+#include "fuzz/EditGen.h"
+
+#include "fuzz/ProgramGen.h"
+
+#include <sstream>
+
+using namespace stq;
+using namespace stq::fuzz;
+
+namespace {
+
+constexpr const char *StepSeparator = "//== step";
+constexpr const char *QualsDirective = "//! quals:";
+
+//===----------------------------------------------------------------------===//
+// The program model
+//===----------------------------------------------------------------------===//
+
+/// One modeled function. Signature variants:
+///   0: int fI(int a)           — the baseline
+///   1: int fI(int pos a)       — arity-preserving qualifier flip, so a
+///                                 0<->1 edit is a *pure* signature change
+///                                 (no caller text changes)
+///   2: int fI(int a, int b)    — arity change; callers re-render
+struct FnModel {
+  unsigned Index = 0;
+  unsigned SigVariant = 0;
+  uint64_t BodySeed = 0;
+};
+
+struct ProgramModel {
+  std::vector<FnModel> Fns;
+  /// Active builtin qualifier names for this version.
+  std::vector<std::string> Builtins;
+};
+
+std::string fnName(const FnModel &Fn) {
+  return "f" + std::to_string(Fn.Index);
+}
+
+std::string renderSignature(const FnModel &Fn) {
+  switch (Fn.SigVariant) {
+  case 1:
+    return "int " + fnName(Fn) + "(int pos a)";
+  case 2:
+    return "int " + fnName(Fn) + "(int a, int b)";
+  default:
+    return "int " + fnName(Fn) + "(int a)";
+  }
+}
+
+/// A call to \p Callee with arity matching its current signature variant.
+std::string renderCall(const FnModel &Callee, const std::string &Arg,
+                       uint64_t Seed) {
+  if (Callee.SigVariant == 2)
+    return fnName(Callee) + "(" + Arg + ", " +
+           std::to_string(1 + Seed % 7) + ")";
+  return fnName(Callee) + "(" + Arg + ")";
+}
+
+/// Renders a function body deterministically from its seed. Bodies mix
+/// plain arithmetic, a qualified local (sometimes deliberately violated —
+/// qualifier warnings are part of the byte-compared output), and calls to
+/// lower-indexed functions (acyclic by construction, so signature edits
+/// have a transitive caller chain to dirty).
+std::string renderBody(const FnModel &Fn, const std::vector<FnModel> &Fns) {
+  uint64_t S = Fn.BodySeed;
+  std::ostringstream OS;
+  OS << renderSignature(Fn) << " {\n";
+  OS << "  int x = " << (S % 19) << " + a;\n";
+  if (S % 3 == 0) {
+    // A pos declaration whose initializer may or may not be derivably
+    // positive: half of these carry a qualifier warning.
+    long Init = (S % 2 == 0) ? static_cast<long>(1 + S % 5)
+                             : -static_cast<long>(1 + S % 5);
+    OS << "  int pos p" << (S % 4) << " = " << Init << ";\n";
+  }
+  if (Fn.SigVariant == 2)
+    OS << "  x = x + b;\n";
+  // Up to two calls to lower-indexed functions, chosen by seed bits.
+  unsigned Calls = 0;
+  for (unsigned J = 0; J < Fn.Index && Calls < 2; ++J) {
+    if (((S >> (J % 48)) & 3) == 0) {
+      OS << "  x = x + " << renderCall(Fns[J], "x", S >> 8) << ";\n";
+      ++Calls;
+    }
+  }
+  if (S % 5 == 1)
+    OS << "  if (x > 0) { x = x - 1; }\n";
+  OS << "  return x;\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+/// Renders the whole version: f0..fN-1 in index order, then main() calling
+/// every function (re-rendered from the model, so add/delete and arity
+/// edits keep every version front-end-clean).
+std::string renderProgram(const ProgramModel &M) {
+  std::ostringstream OS;
+  for (const FnModel &Fn : M.Fns)
+    OS << renderBody(Fn, M.Fns) << "\n";
+  OS << "int main() {\n  int r = 0;\n";
+  for (const FnModel &Fn : M.Fns)
+    OS << "  r = r + " << renderCall(Fn, "r", Fn.BodySeed) << ";\n";
+  OS << "  return r;\n}\n";
+  return OS.str();
+}
+
+EditScript::Step renderStep(const ProgramModel &M) {
+  EditScript::Step Step;
+  Step.Source = renderProgram(M);
+  Step.Builtins = M.Builtins;
+  return Step;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Textual form
+//===----------------------------------------------------------------------===//
+
+std::string stq::fuzz::renderEditScript(const EditScript &Script) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Script.Steps.size(); ++I) {
+    if (I > 0)
+      OS << StepSeparator << "\n";
+    const EditScript::Step &Step = Script.Steps[I];
+    if (!Step.Builtins.empty()) {
+      OS << QualsDirective;
+      for (size_t J = 0; J < Step.Builtins.size(); ++J)
+        OS << (J == 0 ? " " : ",") << Step.Builtins[J];
+      OS << "\n";
+    }
+    OS << Step.Source;
+  }
+  return OS.str();
+}
+
+EditScript stq::fuzz::parseEditScript(const std::string &Text) {
+  EditScript Script;
+  EditScript::Step Cur;
+  bool SawContent = false;
+  auto Flush = [&] {
+    // Drop steps with no program text at all (ddmin leftovers).
+    if (SawContent)
+      Script.Steps.push_back(std::move(Cur));
+    Cur = EditScript::Step();
+    SawContent = false;
+  };
+
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind(StepSeparator, 0) == 0) {
+      Flush();
+      continue;
+    }
+    if (Line.rfind(QualsDirective, 0) == 0) {
+      std::string List = Line.substr(std::string(QualsDirective).size());
+      std::string Name;
+      for (char Ch : List) {
+        if (Ch == ',' || Ch == ' ' || Ch == '\t') {
+          if (!Name.empty())
+            Cur.Builtins.push_back(Name);
+          Name.clear();
+        } else {
+          Name += Ch;
+        }
+      }
+      if (!Name.empty())
+        Cur.Builtins.push_back(Name);
+      continue;
+    }
+    Cur.Source += Line;
+    Cur.Source += "\n";
+    if (Line.find_first_not_of(" \t") != std::string::npos)
+      SawContent = true;
+  }
+  Flush();
+  for (EditScript::Step &Step : Script.Steps)
+    if (Step.Builtins.empty())
+      Step.Builtins = programQualifiers();
+  return Script;
+}
+
+//===----------------------------------------------------------------------===//
+// Generation
+//===----------------------------------------------------------------------===//
+
+EditScript stq::fuzz::generateEditScript(Rng &R) {
+  ProgramModel M;
+  const unsigned Fns = 2 + static_cast<unsigned>(R.pick(4)); // 2..5
+  for (unsigned I = 0; I < Fns; ++I) {
+    FnModel Fn;
+    Fn.Index = I;
+    Fn.SigVariant = static_cast<unsigned>(R.pick(3));
+    Fn.BodySeed = R.next();
+    M.Fns.push_back(Fn);
+  }
+  M.Builtins = programQualifiers();
+
+  EditScript Script;
+  Script.Steps.push_back(renderStep(M));
+
+  const unsigned Edits = 2 + static_cast<unsigned>(R.pick(6)); // 2..7
+  for (unsigned E = 0; E < Edits; ++E) {
+    switch (R.pick(5)) {
+    case 0: {
+      // Body tweak: one function's seed changes; everything else must hit.
+      if (!M.Fns.empty())
+        M.Fns[R.pick(M.Fns.size())].BodySeed = R.next();
+      break;
+    }
+    case 1: {
+      // Signature change. Favor the 0<->1 qualifier flip: it is
+      // arity-preserving, so no caller's *text* changes and only the
+      // invalidation policy (transitive-caller dirtying) re-checks them.
+      if (!M.Fns.empty()) {
+        FnModel &Fn = M.Fns[R.pick(M.Fns.size())];
+        if (Fn.SigVariant == 2 || R.chance(75))
+          Fn.SigVariant = Fn.SigVariant == 1 ? 0 : 1;
+        else
+          Fn.SigVariant = 2;
+      }
+      break;
+    }
+    case 2: {
+      // Qualifier-set change: dirties every work item via the env hash.
+      // "pos" always stays in — rendered programs mention it, and every
+      // version must remain front-end-clean.
+      const std::vector<std::string> &All = programQualifiers();
+      std::vector<std::string> Subset;
+      for (const std::string &Q : All)
+        if (Q == "pos" || R.chance(70))
+          Subset.push_back(Q);
+      M.Builtins = std::move(Subset);
+      break;
+    }
+    case 3: {
+      // Function add (bounded so scripts stay small).
+      if (M.Fns.size() < 7) {
+        FnModel Fn;
+        Fn.Index = static_cast<unsigned>(M.Fns.size());
+        Fn.SigVariant = static_cast<unsigned>(R.pick(3));
+        Fn.BodySeed = R.next();
+        M.Fns.push_back(Fn);
+      }
+      break;
+    }
+    default: {
+      // Function delete: only the highest-indexed one, so remaining calls
+      // (always to lower indices) stay resolved; main re-renders.
+      if (M.Fns.size() > 1)
+        M.Fns.pop_back();
+      break;
+    }
+    }
+    Script.Steps.push_back(renderStep(M));
+  }
+  return Script;
+}

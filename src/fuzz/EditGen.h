@@ -1,0 +1,69 @@
+//===- EditGen.h - Seeded edit-sequence generation --------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates seeded edit sequences for the edit-replay oracle: a program
+/// is modeled as a list of functions (name, signature variant, body seed),
+/// rendered to text, then mutated step by step with the edit kinds the
+/// incremental engine must survive — body tweaks, signature changes
+/// (arity-preserving qualifier flips and arity changes with callers
+/// re-rendered from the model), qualifier-set changes, and function
+/// add/delete. Every version is front-end-clean by construction, so the
+/// oracle compares checker verdicts, not parse errors.
+///
+/// Scripts have a line-oriented textual form so failing sequences shrink
+/// with the generic ddmin line shrinker and replay from tests/corpus/:
+///
+///   //! quals: pos,neg
+///   <program version 0>
+///   //== step
+///   //! quals: pos
+///   <program version 1>
+///   ...
+///
+/// A missing `//! quals:` directive means the step uses the standard
+/// program-fuzzing qualifier set. Any line subset still parses (steps
+/// that end up empty are dropped), which keeps ddmin effective.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_FUZZ_EDITGEN_H
+#define STQ_FUZZ_EDITGEN_H
+
+#include "fuzz/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace stq::fuzz {
+
+/// One parsed edit script: program text plus the active builtin qualifier
+/// names, per step.
+struct EditScript {
+  struct Step {
+    std::string Source;
+    std::vector<std::string> Builtins;
+  };
+  std::vector<Step> Steps;
+};
+
+/// Renders \p Script to the textual form above.
+std::string renderEditScript(const EditScript &Script);
+
+/// Parses the textual form. Total: any input yields a (possibly empty)
+/// script — malformed fragments become ordinary program text for the
+/// front end to diagnose, so shrunken scripts always mean something.
+EditScript parseEditScript(const std::string &Text);
+
+/// Generates a seeded edit sequence: an initial rendered program followed
+/// by 2–7 model-level edits (body tweak, signature change, qualifier-set
+/// change, function add/delete). Deterministic in \p R.
+EditScript generateEditScript(Rng &R);
+
+} // namespace stq::fuzz
+
+#endif // STQ_FUZZ_EDITGEN_H

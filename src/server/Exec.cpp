@@ -64,6 +64,24 @@ int execCheck(Session &S, const Invocation &Inv, std::ostream &Out,
   return OutC.Result.ok() ? 0 : 1;
 }
 
+/// Byte-identical to execCheck on the same source: the verdict line prints
+/// the same counters, sourced from the incremental result's counts.
+int execRecheck(Session &S, const Invocation &Inv, std::ostream &Out,
+                std::ostream &Err) {
+  Session::RecheckOutcome OutC = S.recheck(Inv.Source);
+  reportDiagnostics(S, Inv, Err);
+  if (S.diags().hasErrors()) {
+    emitMetrics(S, Inv, Out);
+    return 2;
+  }
+  Out << "qualifier errors: " << OutC.Result.QualErrors
+      << " (dereference sites " << OutC.Result.Stats.DerefSites
+      << ", assignment checks " << OutC.Result.Stats.AssignChecks
+      << ", run-time checks " << OutC.Result.RuntimeCheckCount << ")\n";
+  emitMetrics(S, Inv, Out);
+  return OutC.Result.ok() ? 0 : 1;
+}
+
 int execRun(Session &S, const Invocation &Inv, std::ostream &Out,
             std::ostream &Err) {
   Session::RunOutcome O = S.run(Inv.Source);
@@ -126,7 +144,8 @@ int execInfer(Session &S, const Invocation &Inv, std::ostream &Out,
 }
 
 bool needsSource(const std::string &Command) {
-  return Command == "check" || Command == "run" || Command == "infer";
+  return Command == "check" || Command == "recheck" || Command == "run" ||
+         Command == "infer";
 }
 
 } // namespace
@@ -150,6 +169,8 @@ ExecResult stq::server::executeInvocation(const Invocation &Inv,
   if (Shared.Qualifiers && SOpts.Builtins.empty() &&
       SOpts.QualFiles.empty() && SOpts.QualSources.empty())
     SOpts.SharedQualifiers = Shared.Qualifiers;
+  if (Shared.Incremental)
+    SOpts.SharedIncremental = Shared.Incremental;
 
   if (!knownCommand(Inv.Command)) {
     Err << "stqc: unknown command '" << Inv.Command << "'\n";
@@ -177,6 +198,8 @@ ExecResult stq::server::executeInvocation(const Invocation &Inv,
       R.ExitCode = execProve(S, Inv, Out, Err);
     else if (Inv.Command == "check")
       R.ExitCode = execCheck(S, Inv, Out, Err);
+    else if (Inv.Command == "recheck")
+      R.ExitCode = execRecheck(S, Inv, Out, Err);
     else if (Inv.Command == "run")
       R.ExitCode = execRun(S, Inv, Out, Err);
     else

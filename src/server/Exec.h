@@ -32,10 +32,10 @@ namespace stq::server {
 /// configures a Session. Built from argv by stqc and from a decoded
 /// stq-rpc-v1 request by stqd.
 struct Invocation {
-  /// "prove", "check", "run", or "infer".
+  /// "prove", "check", "recheck", "run", or "infer".
   std::string Command;
-  /// Program source text for check/run/infer. Input files are read by the
-  /// *client* (the daemon never touches caller paths).
+  /// Program source text for check/recheck/run/infer. Input files are read
+  /// by the *client* (the daemon never touches caller paths).
   std::string Source;
   bool HasSource = false;
   SessionOptions Session;
@@ -55,6 +55,12 @@ struct SharedContext {
   /// exactly what they asked for.
   const qual::QualifierSet *Qualifiers = nullptr;
   ThreadPool *Pool = nullptr;
+  /// The long-lived incremental engine for `recheck` (verdict store +
+  /// signature snapshots). Safe to share across arbitrary requests: store
+  /// keys fold the full qualifier environment, so differently-configured
+  /// requests can never serve each other's verdicts. Null: the per-request
+  /// Session owns a cold engine (recheck degrades to a full check).
+  checker::incremental::Engine *Incremental = nullptr;
 };
 
 /// Everything an invocation produced, as bytes plus the exit code.

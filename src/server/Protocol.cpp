@@ -38,6 +38,8 @@ std::string stq::server::rpc::encodeRequest(const Request &R) {
   }
   if (!S.Interp.EntryPoint.empty())
     Opts.set("entry", json::Value::str(S.Interp.EntryPoint));
+  if (!S.IncrementalUnit.empty())
+    Opts.set("unit", json::Value::str(S.IncrementalUnit));
   if (S.Checker.FlowSensitiveNarrowing)
     Opts.set("flow_sensitive", json::Value::boolean(true));
   if (S.Jobs != 1)
@@ -120,6 +122,12 @@ bool stq::server::rpc::parseRequest(const std::string &Line, Request &Out,
       }
     } else if (Key == "entry") {
       S.Interp.EntryPoint = Val.asString();
+    } else if (Key == "unit") {
+      if (!Val.isString()) {
+        Error = "'unit' must be a string";
+        return false;
+      }
+      S.IncrementalUnit = Val.asString();
     } else if (Key == "flow_sensitive") {
       S.Checker.FlowSensitiveNarrowing = Val.asBool();
     } else if (Key == "jobs") {

@@ -180,6 +180,7 @@ rpc::Response Server::handleRequest(const rpc::Request &Req) {
   Ctx.Cache = &Cache;
   Ctx.Qualifiers = DefaultQuals;
   Ctx.Pool = Pool.get();
+  Ctx.Incremental = &Incremental;
   ExecResult R = executeInvocation(Req.Inv, Ctx);
   Resp.ExitCode = R.ExitCode;
   Resp.Out = std::move(R.Out);
@@ -200,6 +201,8 @@ std::string Server::statusReport(metrics::Format Format) {
   Metrics.setGauge("prover.cache.hit_rate", CS.hitRate());
   Metrics.setGauge("prover.cache.seconds_saved", CS.SecondsSaved);
   Metrics.set("qual.loaded", DefaultQuals ? DefaultQuals->all().size() : 0);
+  Metrics.set("incremental.store.entries", Incremental.entries());
+  Metrics.set("incremental.store.evictions", Incremental.evictions());
   Metrics.setGauge("server.queue_depth", static_cast<double>(Queue.depth()));
 
   std::ostringstream OS;

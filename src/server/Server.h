@@ -101,6 +101,7 @@ public:
   stats::Registry &metrics() { return Metrics; }
   const qual::QualifierSet *defaultQualifiers() const { return DefaultQuals; }
   prover::ProverCache &proverCache() { return Cache; }
+  checker::incremental::Engine &incrementalEngine() { return Incremental; }
 
 private:
   void workerLoop();
@@ -111,6 +112,9 @@ private:
   UnixListener Listener;
   std::unique_ptr<ThreadPool> Pool;
   prover::ProverCache Cache;
+  /// Warm state for `recheck`: the function-granular verdict store and
+  /// signature snapshots, alive across requests (docs/SERVER.md).
+  checker::incremental::Engine Incremental;
   /// A boot Session owns the default qualifier set (loaded once; shared
   /// read-only into every request that does not configure its own).
   std::unique_ptr<Session> Boot;

@@ -111,9 +111,10 @@ stq::metrics::schedulingDependentCounterPrefixes() {
   // hasQualifier memo is per-checker-instance, so sharded runs re-derive
   // queries a sequential run memo-hits across unit boundaries (Parallel.h).
   // prover.cache.contended: shard-mutex collisions only exist with
-  // concurrent probes.
+  // concurrent probes. incremental.*: hit/miss/eviction accounting depends
+  // on store history, not on the program being checked.
   static const std::vector<std::string> Prefixes = {
-      "pool.", "check.memo.", "prover.cache.contended"};
+      "pool.", "check.memo.", "prover.cache.contended", "incremental."};
   return Prefixes;
 }
 

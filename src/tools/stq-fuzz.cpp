@@ -35,9 +35,9 @@ namespace {
 int usage(std::ostream &OS) {
   OS << "usage:\n"
         "  stq-fuzz [--seed S] [--runs N] [--time-budget SECONDS]\n"
-        "           [--corpus DIR] [--jobs N] [--fuel N] [--minimize|"
-        "--no-minimize]\n"
-        "           [--failure-dir DIR] [--metrics]\n"
+        "           [--corpus DIR] [--scenario NAME] [--jobs N] [--fuel N]\n"
+        "           [--minimize|--no-minimize] [--failure-dir DIR] "
+        "[--metrics]\n"
         "options:\n"
         "  --seed S            campaign seed (default 1); same seed, same "
         "campaign\n"
@@ -45,7 +45,11 @@ int usage(std::ostream &OS) {
         "(default 100)\n"
         "  --time-budget SECS  stop early after this much wall time "
         "(default off)\n"
-        "  --corpus DIR        replay every .cmm/.qual file in DIR first\n"
+        "  --corpus DIR        replay every .cmm/.qual/.edits file in DIR "
+        "first\n"
+        "  --scenario NAME     pin every run to one scenario: soundness, "
+        "mixed,\n"
+        "                      qualgen, prover, edit-replay, or robustness\n"
         "  --jobs N            parallel job count for the metamorphic "
         "oracle (default 4)\n"
         "  --fuel N            interpreter step budget per execution\n"
@@ -111,6 +115,20 @@ int main(int argc, char **argv) {
       if (I + 1 >= argc)
         return usage(std::cerr);
       CorpusDir = argv[++I];
+    } else if (Arg == "--scenario") {
+      if (I + 1 >= argc)
+        return usage(std::cerr);
+      Opts.OnlyScenario = argv[++I];
+      static const char *Known[] = {"soundness", "mixed",       "qualgen",
+                                    "prover",    "edit-replay", "robustness"};
+      bool Ok = false;
+      for (const char *Name : Known)
+        Ok = Ok || Opts.OnlyScenario == Name;
+      if (!Ok) {
+        std::cerr << "stq-fuzz: unknown scenario '" << Opts.OnlyScenario
+                  << "'\n";
+        return usage(std::cerr);
+      }
     } else if (Arg == "--failure-dir") {
       if (I + 1 >= argc)
         return usage(std::cerr);
@@ -139,10 +157,12 @@ int main(int argc, char **argv) {
       if (!Entry.is_regular_file())
         continue;
       std::string Path = Entry.path().string();
-      if (Path.size() >= 4 &&
-          (Path.compare(Path.size() - 4, 4, ".cmm") == 0 ||
-           (Path.size() >= 5 &&
-            Path.compare(Path.size() - 5, 5, ".qual") == 0)))
+      auto HasExt = [&Path](const char *Ext) {
+        size_t N = std::strlen(Ext);
+        return Path.size() >= N &&
+               Path.compare(Path.size() - N, N, Ext) == 0;
+      };
+      if (HasExt(".cmm") || HasExt(".qual") || HasExt(".edits"))
         Files.push_back(Path);
     }
     if (EC) {

@@ -16,6 +16,11 @@
 //               [--flow-sensitive] [--jobs N]
 //       run the extensible typechecker, sharded across N workers; exit
 //       nonzero on qualifier errors
+//   stqc recheck (FILE | -e SRC) [--builtins ..] [--unit NAME] [--jobs N]
+//       like check, but through the incremental engine: functions whose
+//       content hash is already in the verdict store replay their cached
+//       verdicts. Output is byte-identical to check; against a daemon
+//       (--server) the store stays warm across edits
 //   stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]
 //       typecheck, instrument casts, and execute
 //   stqc infer  (FILE | -e SRC) [--builtins ..]
@@ -93,6 +98,13 @@ cli::OptionTable buildOptionTable(CliOptions &Options) {
   Table.value("--entry", "", "NAME", "entry function for `run`",
               [&](const std::string &V, std::string &) {
                 Options.Session.Interp.EntryPoint = V;
+                return true;
+              });
+  Table.value("--unit", "", "NAME",
+              "recheck: unit name for signature-change invalidation "
+              "(defaults to the empty unit)",
+              [&](const std::string &V, std::string &) {
+                Options.Session.IncrementalUnit = V;
                 return true;
               });
   Table.value("-e", "", "SRC", "inline C-minus source",
@@ -188,6 +200,8 @@ void usage(const cli::OptionTable &Table) {
       " [--warm-cache] [--cache-file PATH]\n"
       "  stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]"
       " [--flow-sensitive] [--jobs N]\n"
+      "  stqc recheck (FILE | -e SRC) [--builtins ..] [--unit NAME]"
+      " [--jobs N]\n"
       "  stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]\n"
       "  stqc infer  (FILE | -e SRC) [--builtins ..] [--qualfile F]\n"
       "  stqc dump-builtin NAME\n"
@@ -344,8 +358,9 @@ int main(int Argc, char **Argv) {
   Inv.JsonDiagnostics = Options.JsonDiagnostics;
   Inv.Trace = !Options.TraceFile.empty();
 
-  bool NeedsSource = Options.Command == "check" || Options.Command == "run" ||
-                     Options.Command == "infer";
+  bool NeedsSource = Options.Command == "check" ||
+                     Options.Command == "recheck" ||
+                     Options.Command == "run" || Options.Command == "infer";
   if (NeedsSource && (!Options.InlineSource.empty() || !Options.File.empty())) {
     if (!getProgramSource(Options, Inv.Source))
       return 2;

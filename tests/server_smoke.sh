@@ -11,8 +11,10 @@
 #   1. the daemon starting with a --cache-file in a missing directory;
 #   2. `stqc --server` output being byte-identical to one-shot stqc,
 #      for a passing check, a failing check (exit code 1 preserved),
-#      and JSON diagnostics;
-#   3. eight concurrent clients, every one byte-identical;
+#      JSON diagnostics, and cold + warm `recheck` against the daemon's
+#      shared incremental engine;
+#   3. eight concurrent clients (check and recheck interleaved), every
+#      one byte-identical;
 #   4. a warm `prove` replaying entirely from the shared cache;
 #   5. `status` and `shutdown` control requests;
 #   6. SIGTERM: graceful drain, exit 0, cache file persisted.
@@ -90,11 +92,31 @@ cmp -s "$WORK/bad_local.err" "$WORK/bad_server.err" || fail "failing check stder
   --server "$SOCK" >"$WORK/json_server.out" 2>"$WORK/json_server.err"
 cmp -s "$WORK/json_local.err" "$WORK/json_server.err" || fail "json diagnostics differ"
 
-# --- eight concurrent clients, all byte-identical ---------------------------
+# --- incremental recheck: byte-identical to one-shot check, warm or cold ----
+"$STQC" recheck -e "$BAD_SRC" --builtins pos,neg --unit smoke \
+  --server "$SOCK" >"$WORK/re_cold.out" 2>"$WORK/re_cold.err"
+RE_COLD_EXIT=$?
+[ "$RE_COLD_EXIT" = "$BAD_LOCAL_EXIT" ] || fail "recheck exit: $RE_COLD_EXIT vs $BAD_LOCAL_EXIT"
+cmp -s "$WORK/bad_local.out" "$WORK/re_cold.out" || fail "cold recheck stdout differs"
+cmp -s "$WORK/bad_local.err" "$WORK/re_cold.err" || fail "cold recheck stderr differs"
+# Second recheck of the same unit replays from the daemon's verdict store.
+"$STQC" recheck -e "$BAD_SRC" --builtins pos,neg --unit smoke \
+  --server "$SOCK" >"$WORK/re_warm.out" 2>"$WORK/re_warm.err"
+RE_WARM_EXIT=$?
+[ "$RE_WARM_EXIT" = "$BAD_LOCAL_EXIT" ] || fail "warm recheck exit: $RE_WARM_EXIT"
+cmp -s "$WORK/bad_local.out" "$WORK/re_warm.out" || fail "warm recheck stdout differs"
+cmp -s "$WORK/bad_local.err" "$WORK/re_warm.err" || fail "warm recheck stderr differs"
+
+# --- eight concurrent clients (check and recheck interleaved) ---------------
 i=0
 while [ $i -lt 8 ]; do
-  "$STQC" check -e "$OK_SRC" --builtins pos,neg --server "$SOCK" \
-    >"$WORK/conc_$i.out" 2>"$WORK/conc_$i.err" &
+  if [ $((i % 2)) = 0 ]; then
+    "$STQC" check -e "$OK_SRC" --builtins pos,neg --server "$SOCK" \
+      >"$WORK/conc_$i.out" 2>"$WORK/conc_$i.err" &
+  else
+    "$STQC" recheck -e "$OK_SRC" --builtins pos,neg --unit "conc" \
+      --server "$SOCK" >"$WORK/conc_$i.out" 2>"$WORK/conc_$i.err" &
+  fi
   eval "CONC_PID_$i=$!"
   i=$((i + 1))
 done

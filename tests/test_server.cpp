@@ -156,6 +156,39 @@ TEST(Protocol, RequestRoundtrip) {
   EXPECT_TRUE(Back.Inv.Trace);
 }
 
+TEST(Protocol, RecheckUnitOptionRoundtrip) {
+  server::rpc::Request Req;
+  Req.Inv.Command = "recheck";
+  Req.Inv.Source = "int main() { return 0; }\n";
+  Req.Inv.HasSource = true;
+  Req.Inv.Session.IncrementalUnit = "editor:main.cmm";
+
+  server::rpc::Request Back;
+  std::string Error;
+  ASSERT_TRUE(
+      server::rpc::parseRequest(server::rpc::encodeRequest(Req), Back, Error))
+      << Error;
+  EXPECT_EQ(Back.Inv.Command, "recheck");
+  EXPECT_EQ(Back.Inv.Session.IncrementalUnit, "editor:main.cmm");
+
+  // Omitted unit parses to the default (one shared snapshot).
+  server::rpc::Request Bare;
+  Bare.Inv.Command = "recheck";
+  Bare.Inv.Source = "int main() { return 0; }\n";
+  Bare.Inv.HasSource = true;
+  ASSERT_TRUE(
+      server::rpc::parseRequest(server::rpc::encodeRequest(Bare), Back, Error))
+      << Error;
+  EXPECT_TRUE(Back.Inv.Session.IncrementalUnit.empty());
+
+  // A non-string unit is a hard protocol error.
+  EXPECT_FALSE(server::rpc::parseRequest(
+      "{\"v\":\"stq-rpc-v1\",\"command\":\"recheck\",\"source\":\"\","
+      "\"options\":{\"unit\":7}}",
+      Back, Error));
+  EXPECT_NE(Error.find("unit"), std::string::npos) << Error;
+}
+
 TEST(Protocol, RequestVersionIsMandatory) {
   server::rpc::Request Req;
   std::string Error;
@@ -331,6 +364,31 @@ TEST(Exec, SharedStateKeepsBytesIdentical) {
     EXPECT_EQ(Shared.Err, OneShot.Err);
     EXPECT_EQ(Shared.ExitCode, OneShot.ExitCode);
   }
+}
+
+TEST(Exec, RecheckWarmEngineMatchesOneShotCheckBytes) {
+  // The incremental differential at the exec layer: a recheck answered
+  // from a warm shared engine must produce exactly the bytes of a cold
+  // one-shot `check` — including on a program with a qualifier warning.
+  const std::string Source = "int pos x = 0 - 1;\n"
+                             "int f(int a) { return a + x; }\n"
+                             "int main() { return f(2); }\n";
+  server::ExecResult OneShot =
+      server::executeInvocation(checkInvocation(Source));
+
+  checker::incremental::Engine Engine;
+  server::SharedContext Ctx;
+  Ctx.Incremental = &Engine;
+  server::Invocation Inv = checkInvocation(Source);
+  Inv.Command = "recheck";
+  Inv.Session.IncrementalUnit = "exec-test";
+  for (int Round = 0; Round < 3; ++Round) {
+    server::ExecResult Warm = server::executeInvocation(Inv, Ctx);
+    EXPECT_EQ(Warm.Out, OneShot.Out) << "round " << Round;
+    EXPECT_EQ(Warm.Err, OneShot.Err) << "round " << Round;
+    EXPECT_EQ(Warm.ExitCode, OneShot.ExitCode) << "round " << Round;
+  }
+  EXPECT_GT(Engine.entries(), 0u);
 }
 
 TEST(Exec, FailingCheckKeepsBytesIdentical) {
@@ -558,6 +616,64 @@ TEST(ServerEndToEnd, EightConcurrentClientsGetIdenticalBytes) {
 
   EXPECT_GE(Fix.server().metrics().counter("server.requests").get(),
             static_cast<uint64_t>(Clients));
+}
+
+TEST(ServerEndToEnd, ConcurrentRecheckAndCheckStayByteIdentical) {
+  // `recheck` requests racing ordinary `check` requests on the daemon's
+  // warm shared engine: every response must match the cold one-shot bytes,
+  // whichever path answered it and however the store interleaves.
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  server::ServerOptions Opts;
+  Opts.SocketPath = Tmp.path("stq.sock");
+  Opts.Workers = 4;
+  Opts.PoolThreads = 2;
+  Opts.QueueCapacity = 64;
+  ServerFixture Fix(Opts);
+  ASSERT_TRUE(Fix.ok());
+
+  const std::string Source =
+      "int pos x = 0 - 1;\n"
+      "int f(int a) { return a + x; }\n"
+      "int main() { return f(2); }\n";
+  server::rpc::Request Check;
+  Check.Inv = checkInvocation(Source);
+  server::rpc::Request Recheck;
+  Recheck.Inv = checkInvocation(Source);
+  Recheck.Inv.Command = "recheck";
+  Recheck.Inv.Session.IncrementalUnit = "e2e";
+  Recheck.Inv.Session.Jobs = 2;
+
+  server::ExecResult OneShot = server::executeInvocation(Check.Inv);
+
+  constexpr int Clients = 8;
+  std::vector<std::thread> Threads;
+  std::vector<std::string> Failures(Clients);
+  for (int I = 0; I < Clients; ++I)
+    Threads.emplace_back([&, I] {
+      const server::rpc::Request &Req = I % 2 == 0 ? Recheck : Check;
+      server::rpc::Response Resp;
+      std::string Error;
+      if (!roundTrip(Opts.SocketPath, Req, Resp, Error, 120000)) {
+        Failures[I] = "transport: " + Error;
+        return;
+      }
+      if (Resp.Status != "ok")
+        Failures[I] = "status " + Resp.Status + ": " + Resp.Error;
+      else if (Resp.ExitCode != OneShot.ExitCode)
+        Failures[I] = "exit code mismatch";
+      else if (Resp.Out != OneShot.Out)
+        Failures[I] = "stdout mismatch";
+      else if (Resp.Err != OneShot.Err)
+        Failures[I] = "stderr mismatch";
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int I = 0; I < Clients; ++I)
+    EXPECT_EQ(Failures[I], "") << "client " << I;
+
+  // The daemon's engine kept the verdicts, and status gauges surface it.
+  EXPECT_GT(Fix.server().incrementalEngine().entries(), 0u);
 }
 
 TEST(ServerEndToEnd, FullQueueAnswersBusy) {
