@@ -1,0 +1,350 @@
+//===- ConstraintGraph.cpp ------------------------------------------------===//
+
+#include "checker/ConstraintGraph.h"
+
+#include "cminus/Lowering.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace stq;
+using namespace stq::checker;
+using namespace stq::cminus;
+
+//===----------------------------------------------------------------------===//
+// Unit-sharded flow collection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects flow edges, the variable roster, and return flows for one unit.
+class UnitCollector {
+public:
+  UnitCollector(UnitFlows &Out, const FuncDecl *Fn) : Out(Out), Fn(Fn) {}
+
+  void walkExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->getKind()) {
+    case Expr::Kind::Call:
+      walkCall(cast<CallExpr>(E));
+      return;
+    case Expr::Kind::Unary:
+      walkExpr(cast<UnaryExpr>(E)->Sub);
+      return;
+    case Expr::Kind::Binary:
+      walkExpr(cast<BinaryExpr>(E)->LHS);
+      walkExpr(cast<BinaryExpr>(E)->RHS);
+      return;
+    case Expr::Kind::Cast:
+      walkExpr(cast<CastExpr>(E)->Sub);
+      return;
+    case Expr::Kind::LValRead:
+      if (cast<LValReadExpr>(E)->LV->isMem())
+        walkExpr(cast<LValReadExpr>(E)->LV->Addr);
+      return;
+    case Expr::Kind::AddrOf: {
+      const LValue *LV = cast<AddrOfExpr>(E)->LV;
+      if (LV->isVar())
+        Out.AddrTaken.push_back(LV->Var);
+      else
+        walkExpr(LV->Addr);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void walkCall(const CallExpr *Call) {
+    for (const Expr *Arg : Call->Args)
+      walkExpr(Arg);
+    if (!Call->Callee)
+      return;
+    for (size_t I = 0;
+         I < Call->Args.size() && I < Call->Callee->Params.size(); ++I)
+      Out.Edges.push_back({Call->Callee->Params[I], Call->Args[I]});
+  }
+
+  void walkStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->Stmts)
+        walkStmt(Sub);
+      return;
+    case Stmt::Kind::Decl: {
+      const VarDecl *Var = cast<DeclStmt>(S)->Var;
+      Out.Vars.push_back(Var);
+      if (Var->Init) {
+        Out.Edges.push_back({Var, Var->Init});
+        walkExpr(Var->Init);
+      }
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *Assign = cast<AssignStmt>(S);
+      if (Assign->LHS->isBareVar())
+        Out.Edges.push_back({Assign->LHS->Var, Assign->RHS});
+      else if (Assign->LHS->isMem())
+        walkExpr(Assign->LHS->Addr);
+      walkExpr(Assign->RHS);
+      return;
+    }
+    case Stmt::Kind::CallStmt:
+      walkCall(cast<CallStmt>(S)->Call);
+      return;
+    case Stmt::Kind::If:
+      walkExpr(cast<IfStmt>(S)->Cond);
+      walkStmt(cast<IfStmt>(S)->Then);
+      walkStmt(cast<IfStmt>(S)->Else);
+      return;
+    case Stmt::Kind::While:
+      walkExpr(cast<WhileStmt>(S)->Cond);
+      walkStmt(cast<WhileStmt>(S)->Body);
+      return;
+    case Stmt::Kind::For: {
+      const auto *For = cast<ForStmt>(S);
+      walkStmt(For->Init);
+      if (For->Cond)
+        walkExpr(For->Cond);
+      walkStmt(For->Step);
+      walkStmt(For->Body);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *Ret = cast<ReturnStmt>(S);
+      walkExpr(Ret->Value);
+      if (Ret->Value && Fn)
+        Out.Returns.push_back({Fn, Ret->Value});
+      return;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      return;
+    }
+  }
+
+private:
+  UnitFlows &Out;
+  const FuncDecl *Fn;
+};
+
+/// Appends every variable whose address is taken inside \p E (used for
+/// global initializers, whose nested expressions are otherwise not
+/// walked).
+void scanAddrTaken(const Expr *E, std::vector<const VarDecl *> &Out) {
+  if (!E)
+    return;
+  switch (E->getKind()) {
+  case Expr::Kind::AddrOf: {
+    const LValue *LV = cast<AddrOfExpr>(E)->LV;
+    if (LV->isVar())
+      Out.push_back(LV->Var);
+    else
+      scanAddrTaken(LV->Addr, Out);
+    return;
+  }
+  case Expr::Kind::LValRead:
+    if (cast<LValReadExpr>(E)->LV->isMem())
+      scanAddrTaken(cast<LValReadExpr>(E)->LV->Addr, Out);
+    return;
+  case Expr::Kind::Unary:
+    scanAddrTaken(cast<UnaryExpr>(E)->Sub, Out);
+    return;
+  case Expr::Kind::Binary:
+    scanAddrTaken(cast<BinaryExpr>(E)->LHS, Out);
+    scanAddrTaken(cast<BinaryExpr>(E)->RHS, Out);
+    return;
+  case Expr::Kind::Cast:
+    scanAddrTaken(cast<CastExpr>(E)->Sub, Out);
+    return;
+  case Expr::Kind::Call:
+    for (const Expr *Arg : cast<CallExpr>(E)->Args)
+      scanAddrTaken(Arg, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+unsigned stq::checker::flowUnitCount(const Program &Prog) {
+  return 1 + static_cast<unsigned>(Prog.Functions.size());
+}
+
+void stq::checker::collectUnitFlows(const Program &Prog, unsigned Unit,
+                                    UnitFlows &Out) {
+  if (Unit == 0) {
+    // Global initializers contribute their direct edge only (no nested
+    // call-argument edges), matching the sequential reference collector.
+    for (const VarDecl *G : Prog.Globals) {
+      Out.Vars.push_back(G);
+      if (G->Init) {
+        Out.Edges.push_back({G, G->Init});
+        scanAddrTaken(G->Init, Out.AddrTaken);
+      }
+    }
+    return;
+  }
+  assert(Unit - 1 < Prog.Functions.size() && "unit out of range");
+  const FuncDecl *Fn = Prog.Functions[Unit - 1];
+  for (const VarDecl *P : Fn->Params)
+    Out.Vars.push_back(P);
+  if (Fn->isDefinition()) {
+    UnitCollector C(Out, Fn);
+    C.walkStmt(Fn->Body);
+  }
+}
+
+UnitFlows stq::checker::collectAllFlows(const Program &Prog) {
+  UnitFlows All;
+  for (unsigned U = 0, N = flowUnitCount(Prog); U < N; ++U) {
+    UnitFlows Unit;
+    collectUnitFlows(Prog, U, Unit);
+    All.Edges.insert(All.Edges.end(), Unit.Edges.begin(), Unit.Edges.end());
+    All.Vars.insert(All.Vars.end(), Unit.Vars.begin(), Unit.Vars.end());
+    All.Returns.insert(All.Returns.end(), Unit.Returns.begin(),
+                       Unit.Returns.end());
+    All.AddrTaken.insert(All.AddrTaken.end(), Unit.AddrTaken.begin(),
+                         Unit.AddrTaken.end());
+  }
+  return All;
+}
+
+void stq::checker::collectReadVars(const Expr *E,
+                                   std::vector<const VarDecl *> &Out) {
+  if (!E)
+    return;
+  switch (E->getKind()) {
+  case Expr::Kind::LValRead: {
+    const LValue *LV = cast<LValReadExpr>(E)->LV;
+    if (LV->isVar())
+      Out.push_back(LV->Var);
+    else
+      collectReadVars(LV->Addr, Out);
+    return;
+  }
+  case Expr::Kind::AddrOf: {
+    const LValue *LV = cast<AddrOfExpr>(E)->LV;
+    if (LV->isVar())
+      Out.push_back(LV->Var);
+    else
+      collectReadVars(LV->Addr, Out);
+    return;
+  }
+  case Expr::Kind::Unary:
+    collectReadVars(cast<UnaryExpr>(E)->Sub, Out);
+    return;
+  case Expr::Kind::Binary:
+    collectReadVars(cast<BinaryExpr>(E)->LHS, Out);
+    collectReadVars(cast<BinaryExpr>(E)->RHS, Out);
+    return;
+  case Expr::Kind::Cast:
+    collectReadVars(cast<CastExpr>(E)->Sub, Out);
+    return;
+  case Expr::Kind::Call:
+    for (const Expr *Arg : cast<CallExpr>(E)->Args)
+      collectReadVars(Arg, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Round-based parallel worklist solve
+//===----------------------------------------------------------------------===//
+
+void ConstraintGraph::addConstraint(const VarDecl *Target, const Expr *RHS) {
+  unsigned Id = static_cast<unsigned>(Constraints.size());
+  Constraints.push_back({Target, RHS});
+  std::vector<const VarDecl *> Reads;
+  collectReadVars(RHS, Reads);
+  std::sort(Reads.begin(), Reads.end());
+  Reads.erase(std::unique(Reads.begin(), Reads.end()), Reads.end());
+  for (const VarDecl *V : Reads)
+    Dependents[V].push_back(Id);
+}
+
+ConstraintGraphStats ConstraintGraph::solve(const EvaluatorFactory &MakeEval,
+                                            unsigned Jobs, ThreadPool *Pool) {
+  ConstraintGraphStats Stats;
+  for (const auto &[Var, Quals] : Assumed)
+    Stats.Atoms += static_cast<unsigned>(Quals.size());
+  Stats.Constraints = static_cast<unsigned>(Constraints.size());
+  if (Jobs == 0)
+    Jobs = 1;
+
+  // Every constraint starts queued.
+  std::vector<unsigned> Worklist(Constraints.size());
+  for (unsigned I = 0; I < Worklist.size(); ++I)
+    Worklist[I] = I;
+  std::vector<char> Queued(Constraints.size(), 1);
+
+  while (!Worklist.empty()) {
+    ++Stats.SolveRounds;
+
+    // Partition the round's worklist into contiguous chunks; each chunk
+    // gets its own evaluator (own QualChecker memo) and a preassigned
+    // result slot, so the merged drop list is chunk-order deterministic
+    // (and the drop *set* is Jobs-independent: assumptions are frozen).
+    size_t Chunks =
+        Jobs <= 1 ? 1
+                  : std::min(Worklist.size(), static_cast<size_t>(Jobs) * 4);
+    size_t PerChunk = (Worklist.size() + Chunks - 1) / Chunks;
+    std::vector<std::vector<std::pair<const VarDecl *, std::string>>> Drops(
+        Chunks);
+    std::vector<uint64_t> Evals(Chunks, 0);
+
+    parallelFor(
+        Jobs, Chunks,
+        [&](size_t C) {
+          Evaluator Eval = MakeEval(Assumed);
+          size_t Begin = C * PerChunk;
+          size_t End = std::min(Begin + PerChunk, Worklist.size());
+          for (size_t I = Begin; I < End; ++I) {
+            const Constraint &Cn = Constraints[Worklist[I]];
+            auto Found = Assumed.find(Cn.Target);
+            if (Found == Assumed.end() || Found->second.empty())
+              continue;
+            for (const std::string &Q : Found->second) {
+              ++Evals[C];
+              if (!Eval(Cn, Q))
+                Drops[C].push_back({Cn.Target, Q});
+            }
+          }
+        },
+        nullptr, Pool);
+
+    for (uint64_t N : Evals)
+      Stats.Evaluations += N;
+
+    // Barrier: apply the round's drops and queue dependents.
+    std::fill(Queued.begin(), Queued.end(), 0);
+    bool AnyDropped = false;
+    for (const auto &Chunk : Drops) {
+      for (const auto &[Var, Q] : Chunk) {
+        auto Found = Assumed.find(Var);
+        if (Found == Assumed.end() || !Found->second.erase(Q))
+          continue; // Another constraint already dropped it this round.
+        ++Stats.Dropped;
+        AnyDropped = true;
+        auto Deps = Dependents.find(Var);
+        if (Deps == Dependents.end())
+          continue;
+        for (unsigned Id : Deps->second)
+          Queued[Id] = 1;
+      }
+    }
+    if (!AnyDropped)
+      break;
+    Worklist.clear();
+    for (unsigned I = 0; I < Queued.size(); ++I)
+      if (Queued[I])
+        Worklist.push_back(I);
+  }
+  return Stats;
+}

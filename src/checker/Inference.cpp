@@ -2,6 +2,7 @@
 
 #include "checker/Inference.h"
 
+#include "checker/ConstraintGraph.h"
 #include "cminus/Lowering.h"
 
 #include <vector>
@@ -9,152 +10,28 @@
 using namespace stq;
 using namespace stq::checker;
 using namespace stq::cminus;
-
-namespace {
-
-/// One flow into a variable: an explicit assignment, an initializer, or a
-/// call argument binding a parameter.
-struct FlowEdge {
-  const VarDecl *Target = nullptr;
-  const Expr *RHS = nullptr;
-};
-
-/// Collects every flow edge and every variable in the program.
-class FlowCollector {
-public:
-  explicit FlowCollector(const Program &Prog) {
-    for (const VarDecl *G : Prog.Globals) {
-      Vars.push_back(G);
-      if (G->Init)
-        Edges.push_back({G, G->Init});
-    }
-    for (const FuncDecl *Fn : Prog.Functions) {
-      for (const VarDecl *P : Fn->Params)
-        Vars.push_back(P);
-      if (Fn->isDefinition())
-        walkStmt(Fn->Body);
-    }
-  }
-
-  std::vector<FlowEdge> Edges;
-  std::vector<const VarDecl *> Vars;
-
-private:
-  void walkExpr(const Expr *E) {
-    if (!E)
-      return;
-    switch (E->getKind()) {
-    case Expr::Kind::Call:
-      walkCall(cast<CallExpr>(E));
-      return;
-    case Expr::Kind::Unary:
-      walkExpr(cast<UnaryExpr>(E)->Sub);
-      return;
-    case Expr::Kind::Binary:
-      walkExpr(cast<BinaryExpr>(E)->LHS);
-      walkExpr(cast<BinaryExpr>(E)->RHS);
-      return;
-    case Expr::Kind::Cast:
-      walkExpr(cast<CastExpr>(E)->Sub);
-      return;
-    case Expr::Kind::LValRead:
-      if (cast<LValReadExpr>(E)->LV->isMem())
-        walkExpr(cast<LValReadExpr>(E)->LV->Addr);
-      return;
-    case Expr::Kind::AddrOf:
-      if (cast<AddrOfExpr>(E)->LV->isMem())
-        walkExpr(cast<AddrOfExpr>(E)->LV->Addr);
-      return;
-    default:
-      return;
-    }
-  }
-
-  void walkCall(const CallExpr *Call) {
-    for (const Expr *Arg : Call->Args)
-      walkExpr(Arg);
-    if (!Call->Callee)
-      return;
-    for (size_t I = 0;
-         I < Call->Args.size() && I < Call->Callee->Params.size(); ++I)
-      Edges.push_back({Call->Callee->Params[I], Call->Args[I]});
-  }
-
-  void walkStmt(const Stmt *S) {
-    if (!S)
-      return;
-    switch (S->getKind()) {
-    case Stmt::Kind::Block:
-      for (const Stmt *Sub : cast<BlockStmt>(S)->Stmts)
-        walkStmt(Sub);
-      return;
-    case Stmt::Kind::Decl: {
-      const VarDecl *Var = cast<DeclStmt>(S)->Var;
-      Vars.push_back(Var);
-      if (Var->Init) {
-        Edges.push_back({Var, Var->Init});
-        walkExpr(Var->Init);
-      }
-      return;
-    }
-    case Stmt::Kind::Assign: {
-      const auto *Assign = cast<AssignStmt>(S);
-      if (Assign->LHS->isBareVar())
-        Edges.push_back({Assign->LHS->Var, Assign->RHS});
-      else if (Assign->LHS->isMem())
-        walkExpr(Assign->LHS->Addr);
-      walkExpr(Assign->RHS);
-      return;
-    }
-    case Stmt::Kind::CallStmt:
-      walkCall(cast<CallStmt>(S)->Call);
-      return;
-    case Stmt::Kind::If:
-      walkExpr(cast<IfStmt>(S)->Cond);
-      walkStmt(cast<IfStmt>(S)->Then);
-      walkStmt(cast<IfStmt>(S)->Else);
-      return;
-    case Stmt::Kind::While:
-      walkExpr(cast<WhileStmt>(S)->Cond);
-      walkStmt(cast<WhileStmt>(S)->Body);
-      return;
-    case Stmt::Kind::For: {
-      const auto *For = cast<ForStmt>(S);
-      walkStmt(For->Init);
-      if (For->Cond)
-        walkExpr(For->Cond);
-      walkStmt(For->Step);
-      walkStmt(For->Body);
-      return;
-    }
-    case Stmt::Kind::Return:
-      walkExpr(cast<ReturnStmt>(S)->Value);
-      return;
-    case Stmt::Kind::Break:
-    case Stmt::Kind::Continue:
-      return;
-    }
-  }
-};
-
-} // namespace
-
 InferenceOutcome stq::checker::inferQualifiers(Program &Prog,
                                                const qual::QualifierSet &Quals,
                                                InferenceOptions Options) {
   InferenceOutcome Out;
-  FlowCollector Flows(Prog);
+  // The shared unit collector (ConstraintGraph.h) merged in unit order
+  // reproduces this engine's historical sequential edge and roster order.
+  UnitFlows Flows = collectAllFlows(Prog);
 
   // Variables with at least one flow edge are inference subjects; a
   // variable nothing ever flows into keeps only its declared qualifiers.
   std::set<const VarDecl *> HasFlow;
   for (const FlowEdge &E : Flows.Edges)
     HasFlow.insert(E.Target);
+  std::set<const VarDecl *> AddrTaken(Flows.AddrTaken.begin(),
+                                      Flows.AddrTaken.end());
 
   // Optimistic start: every applicable value qualifier on every subject.
+  // Address-taken variables are excluded: qualifiers are invariant below
+  // pointers, so a fresh annotation would retype every `&v` use.
   std::map<const VarDecl *, std::set<std::string>> Assumed;
   for (const VarDecl *Var : Flows.Vars) {
-    if (!HasFlow.count(Var))
+    if (!HasFlow.count(Var) || AddrTaken.count(Var))
       continue;
     if (Options.LocalsOnly && Var->IsGlobal)
       continue;

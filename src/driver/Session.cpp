@@ -4,6 +4,7 @@
 
 #include "cminus/Lowering.h"
 #include "cminus/Parser.h"
+#include "cminus/Printer.h"
 #include "cminus/Sema.h"
 #include "qual/Builtins.h"
 #include "qual/QualParser.h"
@@ -255,22 +256,57 @@ Session::RunOutcome Session::run(const std::string &Source) {
   return Out;
 }
 
-Session::InferOutcome Session::infer(const std::string &Source) {
-  InferOutcome Out;
+Session::InferenceReport Session::infer(const std::string &Source) {
+  InferenceReport Out;
   if (!loadQualifiers()) {
     publishDiagMetrics();
     return Out;
   }
+  loadCacheFile();
   Out.Program = frontEnd(Source, Out.FrontEndOk);
   if (Out.FrontEndOk) {
     stats::ScopedTimer Timer(&Metrics, "phase.infer_seconds");
-    Out.Result = checker::inferQualifiers(*Out.Program, *QualsView);
+    checker::ConstraintInferenceOptions CI;
+    CI.Scope = Opts.Infer.Scope;
+    CI.Jobs = Opts.Jobs;
+    CI.Pool = Opts.SharedPool;
+    CI.Prover = Opts.Prover;
+    CI.Cache = CachePtr;
+    // Apply-mode always applies (and reports) the complete minimal set:
+    // a truncated application is not guaranteed to re-check clean.
+    CI.MaxSuggestions = Opts.Infer.Apply ? 0 : Opts.Infer.MaxSuggestions;
+    CI.Checker = Opts.Checker;
+    Out.Report =
+        Opts.Infer.Engine == checker::InferenceEngine::Fixpoint
+            ? checker::fixpointReport(*Out.Program, *QualsView, CI)
+            : checker::inferWithConstraints(*Out.Program, *QualsView, CI);
+    if (Opts.Infer.Apply) {
+      checker::applyReport(*Out.Program, Out.Report);
+      Out.AnnotatedSource = cminus::printProgram(*Out.Program);
+    }
   }
   if (Out.FrontEndOk) {
-    Metrics.set("infer.annotations", Out.Result.totalInferred());
-    Metrics.set("infer.variables", Out.Result.Inferred.size());
-    Metrics.set("infer.iterations", Out.Result.Iterations);
+    const checker::InferenceStats &S = Out.Report.Stats;
+    Metrics.set("infer.units", S.Units);
+    Metrics.set("infer.atoms", S.Atoms);
+    Metrics.set("infer.constraints", S.Constraints);
+    Metrics.set("infer.solve_rounds", S.SolveRounds);
+    Metrics.set("infer.evaluations", S.Evaluations);
+    Metrics.set("infer.dropped", S.Dropped);
+    Metrics.set("infer.variables", S.Variables);
+    Metrics.set("infer.suggestions", S.Suggested);
+    Metrics.set("infer.prover_refinements", S.Implied);
+    Metrics.set("infer.prover_queries", S.ProverQueries);
+    // Warmth-dependent, so it lives here and not in the byte-stable
+    // stq-inference-v1 document.
+    Metrics.set("infer.prover_cache_hits", S.ProverCacheHits);
+    // Historical names, kept for dashboards that predate the constraint
+    // engine: all inferred pairs and the solve's round count.
+    Metrics.set("infer.annotations", Out.Report.totalInferred());
+    Metrics.set("infer.iterations", S.SolveRounds);
   }
+  saveCacheFile();
+  publishCacheMetrics();
   publishDiagMetrics();
   return Out;
 }

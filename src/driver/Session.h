@@ -34,6 +34,7 @@
 #define STQ_DRIVER_SESSION_H
 
 #include "checker/Checker.h"
+#include "checker/ConstraintInference.h"
 #include "checker/Incremental.h"
 #include "checker/Inference.h"
 #include "checker/Parallel.h"
@@ -112,6 +113,24 @@ struct SessionOptions {
   /// the server passes the client's `unit` option so edits to one file
   /// diff against that file's previous version, not another client's.
   std::string IncrementalUnit;
+
+  /// infer() configuration: engine selection, inference scope, suggestion
+  /// budget, and apply-mode. Mirrored one-to-one by `stqc infer --engine
+  /// --scope --max-suggestions --apply` and the stq-rpc-v1 infer params.
+  struct InferenceParams {
+    /// The sharded constraint engine by default; the sequential fixpoint
+    /// engine is retained as the differential reference.
+    checker::InferenceEngine Engine = checker::InferenceEngine::Constraints;
+    checker::InferenceScope Scope = checker::InferenceScope::Program;
+    /// Report at most this many suggestion entries (0 = unlimited).
+    /// Ignored in apply-mode: applying a partial suggestion set is not
+    /// guaranteed to re-check clean.
+    unsigned MaxSuggestions = 0;
+    /// Apply the minimal suggested set to the program and return the
+    /// re-printed annotated source.
+    bool Apply = false;
+  };
+  InferenceParams Infer;
 };
 
 /// The pipeline driver. Not thread-safe: one Session per thread (the
@@ -180,14 +199,25 @@ public:
   /// RunStatus::SetupError.
   RunOutcome run(const std::string &Source);
 
-  /// Result of infer().
-  struct InferOutcome {
+  /// Result of infer(): the first-class inference report (suggestions
+  /// keyed by (unit, function, variable, location), per-qualifier
+  /// provenance, solver stats) behind the engine configured in
+  /// SessionOptions::Infer.
+  struct InferenceReport {
     bool FrontEndOk = false;
-    checker::InferenceOutcome Result;
+    checker::InferenceReport Report;
+    /// Apply-mode only: the program re-printed with the minimal suggested
+    /// set applied to its declared types (empty otherwise). Byte-stable
+    /// across runs and job counts; re-checks clean by construction of the
+    /// greatest fixpoint.
+    std::string AnnotatedSource;
     std::unique_ptr<cminus::Program> Program;
   };
-  /// Front end + value-qualifier inference (section 8 future work).
-  InferOutcome infer(const std::string &Source);
+  /// Front end + whole-program qualifier inference (section 8 future
+  /// work): the sharded constraint engine by default, the sequential
+  /// fixpoint reference via SessionOptions::Infer.Engine. Prover-backed
+  /// suggestion minimization memoizes into proverCache().
+  InferenceReport infer(const std::string &Source);
 
   /// The loaded qualifier set (empty before loadQualifiers()); the shared
   /// set when SessionOptions::SharedQualifiers is set.

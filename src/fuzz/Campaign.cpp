@@ -2,7 +2,9 @@
 
 #include "fuzz/Campaign.h"
 
+#include "checker/ConstraintInference.h"
 #include "checker/Incremental.h"
+#include "cminus/Printer.h"
 #include "fuzz/EditGen.h"
 #include "fuzz/Mutator.h"
 #include "fuzz/ProgramGen.h"
@@ -14,8 +16,10 @@
 #include "support/ThreadPool.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 using namespace stq;
@@ -562,6 +566,135 @@ void editReplayScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
   reportFailure(C, std::move(F));
 }
 
+/// Parses the error count from a `check` verdict line ("qualifier errors:
+/// N (..."). Returns false on a front-end failure (no verdict line).
+bool parseQualErrors(const server::ExecResult &R, unsigned &Out) {
+  const std::string Tag = "qualifier errors: ";
+  size_t At = R.Out.find(Tag);
+  if (R.ExitCode >= 2 || At == std::string::npos)
+    return false;
+  Out = static_cast<unsigned>(
+      std::strtoul(R.Out.c_str() + At + Tag.size(), nullptr, 10));
+  return true;
+}
+
+server::ExecResult inferInvocation(const std::string &Source, unsigned Jobs,
+                                   bool Apply) {
+  server::Invocation Inv;
+  Inv.Command = "infer";
+  Inv.Source = Source;
+  Inv.HasSource = true;
+  Inv.Session.Builtins = programQualifiers();
+  Inv.Session.Jobs = Jobs;
+  Inv.Session.Infer.Apply = Apply;
+  return server::executeInvocation(Inv);
+}
+
+/// The inference oracle: strip every inferable annotation, re-infer with
+/// the constraint engine, apply, and hold the result to three laws —
+/// applying inferred annotations never adds errors (and keeps a clean
+/// program clean, the greatest-fixpoint guarantee), the fixpoint reference
+/// engine's inferred set is contained in the constraint engine's full set,
+/// and the suggestion report is byte-identical across job counts.
+void inferenceScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  std::string Source = generateProgram(R);
+  C.Stats.add("fuzz.gen.programs", 1);
+  C.Stats.add("fuzz.inference.inputs", 1);
+
+  // Strip inferable qualifiers through the front end and re-print.
+  SessionOptions SO;
+  SO.Builtins = programQualifiers();
+  Session Strip(SO);
+  Session::FrontEndOutcome FE = Strip.frontEnd(Source);
+  if (!FE.Ok || Strip.diags().hasErrors())
+    return; // Generator produced a front-end reject; nothing to infer.
+  checker::stripInferableQualifiers(*FE.Program, Strip.qualifiers());
+  std::string Stripped = cminus::printProgram(*FE.Program);
+
+  // Jobs differential: the suggestion report is deterministic by key.
+  server::ExecResult Seq = inferInvocation(Stripped, 1, /*Apply=*/false);
+  server::ExecResult Par =
+      inferInvocation(Stripped, C.Opts.Jobs, /*Apply=*/false);
+  if (!sameExec(Seq, Par)) {
+    FuzzFailure F;
+    F.Oracle = "inference";
+    F.Kind = "jobs-mismatch-infer";
+    F.RunSeed = RunSeed;
+    F.Input = Stripped;
+    F.Detail = describeExecDiff(Seq, Par, "jobs=1", "jobs=N");
+    reportFailure(C, std::move(F));
+    return;
+  }
+
+  // Apply the minimal set: errors must not increase, clean must stay
+  // clean.
+  unsigned StrippedErrors = 0;
+  if (!parseQualErrors(checkInvocation(Stripped, 1), StrippedErrors))
+    return;
+  server::ExecResult Applied = inferInvocation(Stripped, 1, /*Apply=*/true);
+  unsigned AppliedErrors = 0;
+  if (Applied.ExitCode != 0 ||
+      !parseQualErrors(checkInvocation(Applied.Out, 1), AppliedErrors)) {
+    FuzzFailure F;
+    F.Oracle = "inference";
+    F.Kind = "applied-reject";
+    F.RunSeed = RunSeed;
+    F.Input = Stripped;
+    F.Detail = "annotated program no longer passes the front end:\n" +
+               trunc(Applied.Out) + "\n" + trunc(Applied.Err);
+    reportFailure(C, std::move(F));
+    return;
+  }
+  if (AppliedErrors > StrippedErrors) {
+    FuzzFailure F;
+    F.Oracle = "inference";
+    F.Kind = StrippedErrors == 0 ? "apply-not-clean" : "apply-errors-increase";
+    F.RunSeed = RunSeed;
+    F.Input = Stripped;
+    F.Detail = "stripped program has " + std::to_string(StrippedErrors) +
+               " qualifier error(s), applying inferred annotations yields " +
+               std::to_string(AppliedErrors);
+    reportFailure(C, std::move(F));
+    return;
+  }
+
+  // Containment: every (var, qualifier) the reference fixpoint engine
+  // infers appears in the constraint engine's full set (minimal plus
+  // demoted), keyed without AST pointers.
+  Session Infer(SO);
+  Session::FrontEndOutcome FE2 = Infer.frontEnd(Stripped);
+  if (!FE2.Ok || Infer.diags().hasErrors())
+    return;
+  checker::ConstraintInferenceOptions IO;
+  IO.Cache = C.Cache;
+  checker::InferenceReport Cons =
+      checker::inferWithConstraints(*FE2.Program, Infer.qualifiers(), IO);
+  checker::InferenceReport Fix =
+      checker::fixpointReport(*FE2.Program, Infer.qualifiers(), IO);
+  auto pairKey = [](const checker::InferenceSuggestion &S,
+                    const checker::SuggestedQual &Q) {
+    return std::to_string(S.Unit) + ":" + S.Function + ":" + S.Var + ":" +
+           S.Loc.str() + ":" + Q.Qual;
+  };
+  std::set<std::string> ConsPairs;
+  for (const auto &S : Cons.Suggestions)
+    for (const auto &Q : S.Quals)
+      ConsPairs.insert(pairKey(S, Q));
+  for (const auto &S : Fix.Suggestions)
+    for (const auto &Q : S.Quals)
+      if (!ConsPairs.count(pairKey(S, Q))) {
+        FuzzFailure F;
+        F.Oracle = "inference";
+        F.Kind = "fixpoint-containment";
+        F.RunSeed = RunSeed;
+        F.Input = Stripped;
+        F.Detail = "fixpoint engine infers " + pairKey(S, Q) +
+                   " but the constraint engine's full set omits it";
+        reportFailure(C, std::move(F));
+        return;
+      }
+}
+
 void robustnessScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
   C.Stats.add("fuzz.robustness.inputs", 1);
   switch (R.pick(4)) {
@@ -659,6 +792,8 @@ CampaignResult stq::fuzz::runCampaign(const CampaignOptions &Opts,
       proverScenario(R, RunSeed, C);
     else if (Only == "edit-replay" || (Only.empty() && W < 93))
       editReplayScenario(R, RunSeed, C);
+    else if (Only == "inference" || (Only.empty() && W < 96))
+      inferenceScenario(R, RunSeed, C);
     else
       robustnessScenario(R, RunSeed, C);
     ++Result.RunsExecuted;

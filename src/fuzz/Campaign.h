@@ -7,7 +7,7 @@
 ///
 /// \file
 /// Orchestrates randomized fuzzing runs over the whole pipeline, holding
-/// five oracles over every generated input:
+/// six oracles over every generated input:
 ///
 ///  1. Soundness (Theorem 5.1, executable): a program the checker accepts
 ///     must execute with zero invariant-audit failures under
@@ -25,7 +25,14 @@
 ///     and metrics-invariant counters — to a cold full check at every
 ///     step. Failing scripts ddmin-shrink and replay from tests/corpus/
 ///     (`.edits` files).
-///  5. Robustness: both front ends diagnose arbitrary malformed input
+///  5. Inference: strip every inferable annotation from a generated
+///     program, re-infer with the constraint engine, and apply — the
+///     annotated program must not gain qualifier errors (clean stays
+///     clean: the greatest-fixpoint guarantee), the fixpoint reference
+///     engine's inferred set must be contained in the constraint engine's
+///     full set, and the suggestion report must be byte-identical across
+///     job counts.
+///  6. Robustness: both front ends diagnose arbitrary malformed input
 ///     (token soup, byte mutations) without crashing; a crash takes the
 ///     process down and is caught by the harness around the campaign.
 ///
@@ -64,16 +71,16 @@ struct CampaignOptions {
   uint64_t Fuel = 200000;
   /// When non-empty, every run executes this one scenario instead of the
   /// weighted mix: "soundness", "mixed", "qualgen", "prover",
-  /// "edit-replay", or "robustness" (the CI incremental-smoke job pins
-  /// "edit-replay").
+  /// "edit-replay", "inference", or "robustness" (the CI incremental-smoke
+  /// job pins "edit-replay", inference-smoke pins "inference").
   std::string OnlyScenario;
 };
 
 /// One oracle violation (or front-end crash-adjacent reject) with enough
 /// context to reproduce it.
 struct FuzzFailure {
-  /// "soundness", "engine-differential", "metamorphic", "edit-replay", or
-  /// "robustness".
+  /// "soundness", "engine-differential", "metamorphic", "edit-replay",
+  /// "inference", or "robustness".
   std::string Oracle;
   /// The per-run seed that produced the input.
   uint64_t RunSeed = 0;

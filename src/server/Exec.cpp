@@ -2,6 +2,7 @@
 
 #include "server/Exec.h"
 
+#include "support/Json.h"
 #include "support/Trace.h"
 
 #include <mutex>
@@ -119,26 +120,100 @@ int execRun(Session &S, const Invocation &Inv, std::ostream &Out,
   return Code;
 }
 
+/// Renders an inference report as the versioned `stq-inference-v1` JSON
+/// document (one line, deterministic member order — the writer preserves
+/// insertion order and the suggestions are already sorted by key).
+json::Value inferenceReportJson(const Session::InferenceReport &O,
+                                const SessionOptions &Opts) {
+  json::Value Doc = json::Value::object();
+  Doc.set("schema", json::Value::str("stq-inference-v1"));
+  Doc.set("engine",
+          json::Value::str(checker::engineName(O.Report.Engine)));
+  Doc.set("scope", json::Value::str(checker::scopeName(Opts.Infer.Scope)));
+  json::Value Suggestions = json::Value::array();
+  for (const checker::InferenceSuggestion &Sug : O.Report.Suggestions) {
+    json::Value E = json::Value::object();
+    E.set("unit", json::Value::integer(Sug.Unit));
+    E.set("function", json::Value::str(Sug.Function));
+    E.set("var", json::Value::str(Sug.Var));
+    E.set("kind", json::Value::str(Sug.Kind));
+    E.set("line", json::Value::integer(Sug.Loc.Line));
+    E.set("col", json::Value::integer(Sug.Loc.Col));
+    json::Value Quals = json::Value::array();
+    for (const checker::SuggestedQual &Q : Sug.Quals) {
+      json::Value QV = json::Value::object();
+      QV.set("qual", json::Value::str(Q.Qual));
+      QV.set("provenance", json::Value::str(Q.Provenance));
+      QV.set("implied", json::Value::boolean(Q.Implied));
+      Quals.push(std::move(QV));
+    }
+    E.set("quals", std::move(Quals));
+    Suggestions.push(std::move(E));
+  }
+  Doc.set("suggestions", std::move(Suggestions));
+  const checker::InferenceStats &St = O.Report.Stats;
+  json::Value Stats = json::Value::object();
+  Stats.set("units", json::Value::integer(St.Units));
+  Stats.set("atoms", json::Value::integer(St.Atoms));
+  Stats.set("constraints", json::Value::integer(St.Constraints));
+  Stats.set("solve_rounds", json::Value::integer(St.SolveRounds));
+  Stats.set("evaluations",
+            json::Value::integer(static_cast<int64_t>(St.Evaluations)));
+  Stats.set("dropped", json::Value::integer(St.Dropped));
+  Stats.set("variables", json::Value::integer(St.Variables));
+  Stats.set("suggested", json::Value::integer(St.Suggested));
+  Stats.set("implied", json::Value::integer(St.Implied));
+  Stats.set("prover_queries", json::Value::integer(St.ProverQueries));
+  // Cache-hit counts are deliberately absent: they depend on server
+  // warmth, and the document is byte-identical one-shot vs daemon. They
+  // ride in the per-session metrics instead.
+  Stats.set("truncated", json::Value::integer(St.Truncated));
+  Doc.set("stats", std::move(Stats));
+  Doc.set("applied", json::Value::boolean(Opts.Infer.Apply));
+  if (Opts.Infer.Apply)
+    Doc.set("annotated_source", json::Value::str(O.AnnotatedSource));
+  return Doc;
+}
+
 int execInfer(Session &S, const Invocation &Inv, std::ostream &Out,
               std::ostream &Err) {
-  Session::InferOutcome O = S.infer(Inv.Source);
+  Session::InferenceReport O = S.infer(Inv.Source);
   if (!O.FrontEndOk || S.diags().hasErrors()) {
     reportDiagnostics(S, Inv, Err);
     emitMetrics(S, Inv, Out);
     return 2;
   }
-  for (const auto &[Var, Quals] : O.Result.Inferred) {
-    std::string List;
-    for (const std::string &Q : Quals)
-      List += (List.empty() ? "" : " ") + Q;
-    Out << Var->Loc.str() << ": "
-        << (Var->IsParam ? "parameter"
-                         : (Var->IsGlobal ? "global" : "local"))
-        << " '" << Var->Name << "' may be annotated: " << List << "\n";
+  const SessionOptions &Opts = S.options();
+  if (Inv.InferJson) {
+    Out << inferenceReportJson(O, Opts).write() << "\n";
+  } else if (Opts.Infer.Apply) {
+    // Apply-mode text output is the annotated program itself, so the
+    // result can be piped straight back into `stqc check`.
+    Out << O.AnnotatedSource;
+  } else {
+    for (const checker::InferenceSuggestion &Sug : O.Report.Suggestions) {
+      std::string List, Also;
+      for (const checker::SuggestedQual &Q : Sug.Quals) {
+        std::string &Dst = Q.Implied ? Also : List;
+        Dst += (Dst.empty() ? "" : " ") +
+               (Q.Implied ? Q.Qual + " [" + Q.Provenance + "]" : Q.Qual);
+      }
+      Out << Sug.Loc.str() << ": " << Sug.Kind << " '" << Sug.Var
+          << "' may be annotated: " << List;
+      if (!Also.empty())
+        Out << " (also " << Also << ")";
+      Out << "\n";
+    }
+    const checker::InferenceStats &St = O.Report.Stats;
+    Out << "inferred " << O.Report.totalSuggested() << " annotation(s) on "
+        << St.Variables << " variable(s) [engine "
+        << checker::engineName(O.Report.Engine) << ", " << St.Constraints
+        << " constraint(s), " << St.SolveRounds << " round(s), "
+        << St.Implied << " implied";
+    if (St.Truncated)
+      Out << ", " << St.Truncated << " over budget";
+    Out << "]\n";
   }
-  Out << "inferred " << O.Result.totalInferred() << " annotation(s) on "
-      << O.Result.Inferred.size() << " variable(s) in "
-      << O.Result.Iterations << " iteration(s)\n";
   emitMetrics(S, Inv, Out);
   return 0;
 }

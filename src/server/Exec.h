@@ -42,6 +42,10 @@ struct Invocation {
   bool Metrics = false;
   metrics::Format MetricsFormat = metrics::Format::Text;
   bool JsonDiagnostics = false;
+  /// infer: emit the versioned stq-inference-v1 JSON document instead of
+  /// the human-readable text report. Both renderings are produced by this
+  /// executor, so one-shot stqc and the stqd infer RPC are byte-identical.
+  bool InferJson = false;
   /// Capture a Chrome trace of this invocation into ExecResult::TraceJson.
   bool Trace = false;
 };

@@ -53,6 +53,19 @@ std::string stq::server::rpc::encodeRequest(const Request &R) {
                                 : "text"));
   if (R.Inv.JsonDiagnostics)
     Opts.set("diagnostics", json::Value::str("json"));
+  if (S.Infer.Engine != checker::InferenceEngine::Constraints)
+    Opts.set("infer_engine",
+             json::Value::str(checker::engineName(S.Infer.Engine)));
+  if (S.Infer.Scope != checker::InferenceScope::Program)
+    Opts.set("infer_scope",
+             json::Value::str(checker::scopeName(S.Infer.Scope)));
+  if (S.Infer.MaxSuggestions != 0)
+    Opts.set("infer_max_suggestions",
+             json::Value::integer(S.Infer.MaxSuggestions));
+  if (S.Infer.Apply)
+    Opts.set("infer_apply", json::Value::boolean(true));
+  if (R.Inv.InferJson)
+    Opts.set("infer_format", json::Value::str("json"));
   if (R.Inv.Trace)
     Opts.set("trace", json::Value::boolean(true));
   if (!Opts.members().empty())
@@ -153,6 +166,35 @@ bool stq::server::rpc::parseRequest(const std::string &Line, Request &Out,
         Error = "bad diagnostics format '" + Val.asString() + "'";
         return false;
       }
+    } else if (Key == "infer_engine") {
+      if (!Val.isString() ||
+          !checker::parseEngineName(Val.asString(), S.Infer.Engine)) {
+        Error = "bad inference engine '" + Val.asString() +
+                "' (expected fixpoint|constraints)";
+        return false;
+      }
+    } else if (Key == "infer_scope") {
+      if (!Val.isString() ||
+          !checker::parseScopeName(Val.asString(), S.Infer.Scope)) {
+        Error = "bad inference scope '" + Val.asString() +
+                "' (expected program|locals)";
+        return false;
+      }
+    } else if (Key == "infer_max_suggestions") {
+      if (!Val.isNumber() || Val.asInt() < 0) {
+        Error = "'infer_max_suggestions' must be a non-negative integer";
+        return false;
+      }
+      S.Infer.MaxSuggestions = static_cast<unsigned>(Val.asInt());
+    } else if (Key == "infer_apply") {
+      S.Infer.Apply = Val.asBool();
+    } else if (Key == "infer_format") {
+      if (Val.asString() == "json") {
+        Out.Inv.InferJson = true;
+      } else if (Val.asString() != "text") {
+        Error = "bad inference format '" + Val.asString() + "'";
+        return false;
+      }
     } else if (Key == "trace") {
       Out.Inv.Trace = Val.asBool();
     } else {
@@ -218,6 +260,7 @@ std::string stq::server::rpc::versionText(const std::string &Tool) {
   Out += Version;
   Out += "\n  metrics:       stq-metrics-v1\n";
   Out += "  diagnostics:   stq-diagnostics-v1\n";
+  Out += "  inference:     stq-inference-v1\n";
   Out += "  prover cache:  ";
   Out += prover::ProverCache::PersistVersion;
   Out += "\n";

@@ -49,7 +49,8 @@ int usage(std::ostream &OS) {
         "first\n"
         "  --scenario NAME     pin every run to one scenario: soundness, "
         "mixed,\n"
-        "                      qualgen, prover, edit-replay, or robustness\n"
+        "                      qualgen, prover, edit-replay, inference, or\n"
+        "                      robustness (--oracle is an alias)\n"
         "  --jobs N            parallel job count for the metamorphic "
         "oracle (default 4)\n"
         "  --fuel N            interpreter step budget per execution\n"
@@ -115,12 +116,13 @@ int main(int argc, char **argv) {
       if (I + 1 >= argc)
         return usage(std::cerr);
       CorpusDir = argv[++I];
-    } else if (Arg == "--scenario") {
+    } else if (Arg == "--scenario" || Arg == "--oracle") {
       if (I + 1 >= argc)
         return usage(std::cerr);
       Opts.OnlyScenario = argv[++I];
-      static const char *Known[] = {"soundness", "mixed",       "qualgen",
-                                    "prover",    "edit-replay", "robustness"};
+      static const char *Known[] = {"soundness",   "mixed",     "qualgen",
+                                    "prover",      "edit-replay",
+                                    "inference",   "robustness"};
       bool Ok = false;
       for (const char *Name : Known)
         Ok = Ok || Opts.OnlyScenario == Name;

@@ -23,8 +23,13 @@
 //       (--server) the store stays warm across edits
 //   stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]
 //       typecheck, instrument casts, and execute
-//   stqc infer  (FILE | -e SRC) [--builtins ..]
-//       infer value-qualifier annotations (section 8 future work)
+//   stqc infer  (FILE | -e SRC) [--builtins ..] [--engine E] [--scope S]
+//               [--max-suggestions N] [--apply] [--format text|json] [-j N]
+//       infer value-qualifier annotations (section 8 future work): the
+//       sharded constraint engine by default (--engine fixpoint selects
+//       the sequential reference), with prover-minimized suggestions;
+//       --apply prints the annotated program, --format json emits the
+//       stq-inference-v1 document
 //   stqc dump-builtin NAME
 //       print a builtin qualifier's definition in the qualifier DSL
 //   stqc status|shutdown --server SOCKET
@@ -76,6 +81,7 @@ struct CliOptions {
   metrics::Format MetricsFormat = metrics::Format::Text;
   std::string TraceFile;
   bool JsonDiagnostics = false;
+  bool InferJson = false;
   bool ShowHelp = false;
   bool ShowVersion = false;
 };
@@ -125,6 +131,54 @@ cli::OptionTable buildOptionTable(CliOptions &Options) {
                   return false;
                 }
                 Options.Session.Jobs = N == 0 ? ThreadPool::defaultJobs() : N;
+                return true;
+              });
+  Table.value("--engine", "", "NAME",
+              "infer: inference engine (constraints or fixpoint)",
+              [&](const std::string &V, std::string &Error) {
+                if (!checker::parseEngineName(V, Options.Session.Infer.Engine)) {
+                  Error = "bad --engine value '" + V +
+                          "' (expected fixpoint or constraints)";
+                  return false;
+                }
+                return true;
+              });
+  Table.value("--scope", "", "NAME",
+              "infer: inference scope (program or locals)",
+              [&](const std::string &V, std::string &Error) {
+                if (!checker::parseScopeName(V, Options.Session.Infer.Scope)) {
+                  Error = "bad --scope value '" + V +
+                          "' (expected program or locals)";
+                  return false;
+                }
+                return true;
+              });
+  Table.value("--max-suggestions", "", "N",
+              "infer: report at most N suggestion entries (0 = unlimited; "
+              "ignored with --apply)",
+              [&](const std::string &V, std::string &Error) {
+                unsigned N = 0;
+                if (!cli::parseUnsigned(V, N)) {
+                  Error = "bad --max-suggestions value '" + V + "'";
+                  return false;
+                }
+                Options.Session.Infer.MaxSuggestions = N;
+                return true;
+              });
+  Table.flag("--apply", "",
+             "infer: apply the minimal suggested set and print the "
+             "annotated program",
+             [&] { Options.Session.Infer.Apply = true; });
+  Table.value("--format", "", "FORMAT",
+              "infer: report rendering (text or json = stq-inference-v1)",
+              [&](const std::string &V, std::string &Error) {
+                if (V == "json") {
+                  Options.InferJson = true;
+                } else if (V != "text") {
+                  Error = "bad --format value '" + V +
+                          "' (expected text or json)";
+                  return false;
+                }
                 return true;
               });
   Table.flag("--warm-cache", "",
@@ -203,7 +257,10 @@ void usage(const cli::OptionTable &Table) {
       "  stqc recheck (FILE | -e SRC) [--builtins ..] [--unit NAME]"
       " [--jobs N]\n"
       "  stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]\n"
-      "  stqc infer  (FILE | -e SRC) [--builtins ..] [--qualfile F]\n"
+      "  stqc infer  (FILE | -e SRC) [--builtins ..] [--qualfile F]"
+      " [--engine E] [--scope S]\n"
+      "              [--max-suggestions N] [--apply] [--format text|json]"
+      " [--jobs N]\n"
       "  stqc dump-builtin NAME\n"
       "  stqc status|shutdown --server SOCKET\n"
       "options:\n%s"
@@ -356,6 +413,7 @@ int main(int Argc, char **Argv) {
   Inv.Metrics = Options.Metrics;
   Inv.MetricsFormat = Options.MetricsFormat;
   Inv.JsonDiagnostics = Options.JsonDiagnostics;
+  Inv.InferJson = Options.InferJson;
   Inv.Trace = !Options.TraceFile.empty();
 
   bool NeedsSource = Options.Command == "check" ||

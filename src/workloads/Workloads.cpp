@@ -492,3 +492,40 @@ GeneratedWorkload stq::workloads::makeIdentd() {
   W.PrintfCalls = Calls;
   return W;
 }
+
+GeneratedWorkload stq::workloads::makeInferenceFarm(unsigned Functions) {
+  if (Functions == 0)
+    Functions = 1;
+  std::ostringstream OS;
+  // Every local is deliberately unannotated; the bodies keep stable
+  // sign/zero facts (p,q,r positive; n,m negative) so the value-qualifier
+  // engines have a large fixpoint to find, and the call chain feeds
+  // positive arguments into the previous function's parameters so
+  // constraints cross generation-unit boundaries.
+  for (unsigned I = 0; I < Functions; ++I) {
+    OS << "int farm" << I << "(int a, int b) {\n"
+       << "  int p = " << (I % 9 + 1) << ";\n"
+       << "  int q = p * " << (I % 5 + 2) << ";\n"
+       << "  int r = q + p;\n"
+       << "  int n = 0 - " << (I % 7 + 1) << ";\n"
+       << "  int m = n - r;\n"
+       << "  int z = a - b;\n"
+       << "  p = r;\n"
+       << "  q = q * r;\n"
+       << "  m = m + n;\n";
+    if (I > 0)
+      OS << "  z = z + farm" << (I - 1) << "(p, q);\n";
+    OS << "  return z + m;\n"
+       << "}\n";
+  }
+  OS << "int main() {\n"
+     << "  int acc = farm" << (Functions - 1) << "(3, 4);\n"
+     << "  return acc % 2;\n"
+     << "}\n";
+
+  GeneratedWorkload W;
+  W.Name = "inference-farm";
+  W.Source = OS.str();
+  W.Lines = countLines(W.Source);
+  return W;
+}

@@ -59,6 +59,12 @@ GeneratedWorkload makeBftpd();
 GeneratedWorkload makeMingetty();
 GeneratedWorkload makeIdentd();
 
+/// An unannotated many-function arithmetic program for the whole-program
+/// inference benchmark: \p Functions function bodies full of locals with
+/// inferable value qualifiers (pos/neg/nonzero-class), chained by calls so
+/// parameter constraints cross function (and solve-unit) boundaries.
+GeneratedWorkload makeInferenceFarm(unsigned Functions = 120);
+
 /// Counts non-blank lines (the measure used by the paper's tables).
 unsigned countLines(const std::string &Source);
 

@@ -472,15 +472,17 @@ TEST(Session, InferPublishesMetrics) {
   SessionOptions Options;
   Options.Builtins = {"pos", "neg", "nonneg", "nonzero"};
   Session S(Options);
-  Session::InferOutcome Out = S.infer("int f() {\n"
-                                      "  int step = 3;\n"
-                                      "  int twice = step * 2;\n"
-                                      "  return twice;\n"
-                                      "}\n");
+  Session::InferenceReport Out = S.infer("int f() {\n"
+                                         "  int step = 3;\n"
+                                         "  int twice = step * 2;\n"
+                                         "  return twice;\n"
+                                         "}\n");
   ASSERT_TRUE(Out.FrontEndOk);
-  EXPECT_GT(Out.Result.totalInferred(), 0u);
+  EXPECT_GT(Out.Report.totalInferred(), 0u);
   EXPECT_EQ(S.metrics().counter("infer.annotations").get(),
-            Out.Result.totalInferred());
+            Out.Report.totalInferred());
+  EXPECT_EQ(S.metrics().counter("infer.suggestions").get(),
+            Out.Report.Stats.Suggested);
 }
 
 TEST(Session, EmitMetricsJsonIsWellFormed) {

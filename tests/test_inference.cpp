@@ -6,14 +6,21 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "checker/ConstraintInference.h"
 #include "checker/Inference.h"
 
 #include "cminus/Lowering.h"
 #include "cminus/Parser.h"
+#include "cminus/Printer.h"
 #include "cminus/Sema.h"
+#include "cqual/Cqual.h"
 #include "qual/Builtins.h"
+#include "server/Exec.h"
+#include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 using namespace stq;
 using namespace stq::checker;
@@ -245,6 +252,278 @@ TEST(Inference, ConvergesQuickly) {
                  "}");
   EXPECT_LE(S->Outcome.Iterations, 6u);
   EXPECT_TRUE(inferred(*S, "d", "pos"));
+}
+
+//===----------------------------------------------------------------------===//
+// The sharded constraint engine (ConstraintInference.h)
+//===----------------------------------------------------------------------===//
+
+/// Front end only: parse, Sema, lower — for tests that run the constraint
+/// engine themselves.
+struct Front {
+  qual::QualifierSet Quals;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog;
+};
+
+std::unique_ptr<Front> frontEnd(const std::vector<std::string> &QualNames,
+                                const std::string &Source) {
+  auto F = std::make_unique<Front>();
+  EXPECT_TRUE(qual::loadBuiltinQualifiers(QualNames, F->Quals, F->Diags));
+  F->Prog = parseProgram(Source, F->Quals.names(), F->Diags);
+  EXPECT_FALSE(F->Diags.hasErrors());
+  EXPECT_TRUE(runSema(*F->Prog, F->Quals.refNames(), F->Diags));
+  EXPECT_TRUE(lowerProgram(*F->Prog, F->Diags));
+  return F;
+}
+
+/// Every (unit, function, var, loc, qualifier) pair in a report — the full
+/// inferred set when \p MinimalOnly is false, the suggestion set otherwise.
+std::set<std::string> pairKeys(const InferenceReport &R,
+                               bool MinimalOnly = false) {
+  std::set<std::string> Keys;
+  for (const InferenceSuggestion &S : R.Suggestions)
+    for (const SuggestedQual &Q : S.Quals) {
+      if (MinimalOnly && Q.Implied)
+        continue;
+      Keys.insert(std::to_string(S.Unit) + ":" + S.Function + ":" + S.Var +
+                  ":" + S.Loc.str() + ":" + Q.Qual);
+    }
+  return Keys;
+}
+
+const InferenceSuggestion *findSuggestion(const InferenceReport &R,
+                                          const std::string &Var) {
+  for (const InferenceSuggestion &S : R.Suggestions)
+    if (S.Var == Var)
+      return &S;
+  return nullptr;
+}
+
+TEST(ConstraintInference, FullSetMatchesFixpointReference) {
+  // Both engines compute the same greatest fixpoint; the constraint
+  // engine's minimization only re-labels pairs, never removes them.
+  const char *Source = "int g = 7;\n"
+                       "int scale(int v) { return v * 2; }\n"
+                       "int f(int c) {\n"
+                       "  int x = 3;\n"
+                       "  int y = x;\n"
+                       "  x = y;\n"
+                       "  int z = scale(x) + scale(g);\n"
+                       "  if (c) z = -1;\n"
+                       "  return z;\n"
+                       "}\n";
+  auto F = frontEnd({"pos", "neg", "nonneg", "nonzero"}, Source);
+  ConstraintInferenceOptions Options;
+  InferenceReport Cons = inferWithConstraints(*F->Prog, F->Quals, Options);
+  InferenceReport Fix = fixpointReport(*F->Prog, F->Quals, Options);
+  EXPECT_EQ(pairKeys(Cons), pairKeys(Fix));
+  EXPECT_GT(Cons.totalInferred(), 0u);
+  EXPECT_EQ(Cons.totalInferred(), Fix.totalInferred());
+}
+
+TEST(ConstraintInference, FullSetMatchesFixpointOnWorkloadFarm) {
+  workloads::GeneratedWorkload Farm = workloads::makeInferenceFarm(8);
+  auto F = frontEnd({"pos", "neg", "nonneg", "nonzero"}, Farm.Source);
+  ConstraintInferenceOptions Options;
+  Options.Jobs = 4;
+  InferenceReport Cons = inferWithConstraints(*F->Prog, F->Quals, Options);
+  InferenceReport Fix = fixpointReport(*F->Prog, F->Quals, Options);
+  EXPECT_EQ(pairKeys(Cons), pairKeys(Fix));
+  EXPECT_GT(Cons.Stats.Constraints, 0u);
+}
+
+TEST(ConstraintInference, MinimizationDemotesProverImpliedQualifiers) {
+  // x = 3 infers pos, nonneg, and nonzero; nonneg and nonzero both carry
+  // a `E1, where pos(E1)` derivation clause and their invariants follow
+  // from value > 0, so the minimal suggestion is pos alone.
+  auto F = frontEnd({"pos", "neg", "nonneg", "nonzero"},
+                    "int f() { int x = 3; return x; }");
+  InferenceReport R =
+      inferWithConstraints(*F->Prog, F->Quals, ConstraintInferenceOptions{});
+  const InferenceSuggestion *S = findSuggestion(R, "x");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->Quals.size(), 3u); // sorted: nonneg, nonzero, pos
+  EXPECT_EQ(S->Quals[0].Qual, "nonneg");
+  EXPECT_TRUE(S->Quals[0].Implied);
+  EXPECT_EQ(S->Quals[0].Provenance, "implied:pos");
+  EXPECT_EQ(S->Quals[1].Qual, "nonzero");
+  EXPECT_TRUE(S->Quals[1].Implied);
+  EXPECT_EQ(S->Quals[1].Provenance, "implied:pos");
+  EXPECT_EQ(S->Quals[2].Qual, "pos");
+  EXPECT_FALSE(S->Quals[2].Implied);
+  EXPECT_EQ(S->Quals[2].Provenance, "solver");
+  EXPECT_EQ(R.Stats.Suggested, 1u);
+  EXPECT_EQ(R.Stats.Implied, 2u);
+  EXPECT_GT(R.Stats.ProverQueries, 0u);
+
+  // With refinement off, all three are plain suggestions.
+  ConstraintInferenceOptions NoRefine;
+  NoRefine.ProverRefinement = false;
+  InferenceReport Full = inferWithConstraints(*F->Prog, F->Quals, NoRefine);
+  EXPECT_EQ(Full.Stats.Suggested, 3u);
+  EXPECT_EQ(Full.Stats.Implied, 0u);
+  EXPECT_EQ(pairKeys(R), pairKeys(Full)); // same full set either way
+}
+
+TEST(ConstraintInference, AddressTakenVariablesAreNotSuggested) {
+  // Regression (found by the inference fuzz oracle): qualifiers are
+  // invariant below pointers, so inferring pos on an address-taken `a`
+  // would retype every `&a` and break re-checking.
+  const char *Source = "int deref(int* nonnull q) { return *q; }\n"
+                       "int f() {\n"
+                       "  int a = 3;\n"
+                       "  int* p = &a;\n"
+                       "  return deref(p) + a;\n"
+                       "}\n";
+  auto F = frontEnd({"pos", "neg", "nonnull"}, Source);
+  InferenceReport R =
+      inferWithConstraints(*F->Prog, F->Quals, ConstraintInferenceOptions{});
+  EXPECT_EQ(findSuggestion(R, "a"), nullptr);
+  const InferenceSuggestion *P = findSuggestion(R, "p");
+  ASSERT_NE(P, nullptr); // p itself is not address-taken
+  EXPECT_EQ(P->Quals.size(), 1u);
+  EXPECT_EQ(P->Quals[0].Qual, "nonnull");
+}
+
+TEST(ConstraintInference, SuggestionBudgetTruncatesReportOnly) {
+  auto F = frontEnd({"pos", "neg"},
+                    "int f() {\n"
+                    "  int a = 1; int b = a; int c = b;\n"
+                    "  return c;\n"
+                    "}");
+  ConstraintInferenceOptions Options;
+  Options.MaxSuggestions = 1;
+  InferenceReport R = inferWithConstraints(*F->Prog, F->Quals, Options);
+  EXPECT_EQ(R.Suggestions.size(), 1u);
+  EXPECT_EQ(R.Stats.Truncated, 2u);
+  // The keeper is the deterministically smallest key.
+  EXPECT_EQ(R.Suggestions[0].Var, "a");
+}
+
+TEST(ConstraintInference, LocalsOnlyScopeSkipsGlobals) {
+  auto F = frontEnd({"pos", "neg"},
+                    "int g = 5;\nint f() { int x = g; return x; }");
+  ConstraintInferenceOptions Options;
+  Options.Scope = InferenceScope::LocalsOnly;
+  InferenceReport R = inferWithConstraints(*F->Prog, F->Quals, Options);
+  EXPECT_EQ(findSuggestion(R, "g"), nullptr);
+  // x still gets nothing here (its flow reads the unannotated global),
+  // but under Program scope both are suggested.
+  ConstraintInferenceOptions Program;
+  InferenceReport Full = inferWithConstraints(*F->Prog, F->Quals, Program);
+  ASSERT_NE(findSuggestion(Full, "g"), nullptr);
+  ASSERT_NE(findSuggestion(Full, "x"), nullptr);
+}
+
+TEST(ConstraintInference, SuggestionsCarryStableKeys) {
+  const char *Source = "int g = 2;\n"
+                       "int f(int v) { int x = v * g; return g; }\n"
+                       "int main() { return f(4); }\n";
+  auto F = frontEnd({"pos", "neg"}, Source);
+  InferenceReport R =
+      inferWithConstraints(*F->Prog, F->Quals, ConstraintInferenceOptions{});
+  const InferenceSuggestion *G = findSuggestion(R, "g");
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->Unit, 0u);
+  EXPECT_EQ(G->Function, "");
+  EXPECT_EQ(G->Kind, "global");
+  const InferenceSuggestion *V = findSuggestion(R, "v");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->Unit, 1u); // f is the first function
+  EXPECT_EQ(V->Function, "f");
+  EXPECT_EQ(V->Kind, "parameter");
+  const InferenceSuggestion *X = findSuggestion(R, "x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->Function, "f");
+  EXPECT_EQ(X->Kind, "local");
+  EXPECT_GT(X->Loc.Line, 0u);
+}
+
+/// Runs `stqc infer` semantics through the shared executor.
+server::ExecResult runInfer(const std::string &Source, unsigned Jobs,
+                            bool Apply, bool Json = false) {
+  server::Invocation Inv;
+  Inv.Command = "infer";
+  Inv.Source = Source;
+  Inv.HasSource = true;
+  Inv.Session.Builtins = {"pos", "neg", "nonneg", "nonzero", "nonnull"};
+  Inv.Session.Jobs = Jobs;
+  Inv.Session.Infer.Apply = Apply;
+  Inv.InferJson = Json;
+  return server::executeInvocation(Inv);
+}
+
+server::ExecResult runCheck(const std::string &Source) {
+  server::Invocation Inv;
+  Inv.Command = "check";
+  Inv.Source = Source;
+  Inv.HasSource = true;
+  Inv.Session.Builtins = {"pos", "neg", "nonneg", "nonzero", "nonnull"};
+  return server::executeInvocation(Inv);
+}
+
+TEST(ConstraintInference, ApplyRecheckesCleanAndByteStableAcrossJobs) {
+  // The PR's differential acceptance, in-process: for every program,
+  // the suggestion report is byte-identical at --jobs 1 and 4, and the
+  // applied annotations re-check with zero qualifier errors.
+  const std::vector<std::string> Programs = {
+      "int f() { int x = 3; int y = x; return y; }\n",
+      "int g(int v) { return v; }\nint f() { return g(4) + g(9); }\n",
+      "int deref(int* nonnull q) { return *q; }\n"
+      "int f() { int a = 1; int* p = &a; return deref(p); }\n",
+      workloads::makeInferenceFarm(10).Source,
+  };
+  for (const std::string &Source : Programs) {
+    server::ExecResult R1 = runInfer(Source, 1, /*Apply=*/false);
+    server::ExecResult R4 = runInfer(Source, 4, /*Apply=*/false);
+    EXPECT_EQ(R1.Out, R4.Out) << Source;
+    EXPECT_EQ(R1.Err, R4.Err) << Source;
+    EXPECT_EQ(R1.ExitCode, R4.ExitCode) << Source;
+
+    server::ExecResult Applied = runInfer(Source, 1, /*Apply=*/true);
+    ASSERT_EQ(Applied.ExitCode, 0) << Source;
+    server::ExecResult Recheck = runCheck(Applied.Out);
+    EXPECT_EQ(Recheck.ExitCode, 0) << "annotated program must re-check "
+                                      "clean:\n"
+                                   << Applied.Out;
+
+    // Applying is idempotent up to bytes: re-inferring the annotated
+    // program has nothing new to suggest.
+    server::ExecResult Again = runInfer(Applied.Out, 1, /*Apply=*/true);
+    EXPECT_EQ(Again.Out, Applied.Out) << Source;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Two-point taint lattice: agreement with the CQUAL baseline
+//===----------------------------------------------------------------------===//
+
+TEST(TaintFlows, VerdictAgreesWithCqualBaseline) {
+  struct Case {
+    const char *Source;
+    bool Clean;
+  };
+  const Case Cases[] = {
+      {"int f(int tainted t) { int untainted u = 3; return t + u; }\n", true},
+      {"int f(int tainted t) { int untainted u = t; return u; }\n", false},
+      {"int id(int v) { return v; }\n"
+       "int f(int tainted t) { int untainted u = id(t); return u; }\n",
+       false},
+      {"int untainted sink(int untainted v) { return v; }\n"
+       "int f() { int x = 4; return sink(x); }\n",
+       true},
+  };
+  for (const Case &C : Cases) {
+    auto F = frontEnd({"tainted", "untainted"}, C.Source);
+    std::vector<TaintFinding> Ours = checkTaintFlows(*F->Prog);
+    cqual::InferenceResult Base = cqual::runInference(*F->Prog);
+    EXPECT_EQ(Ours.empty(), C.Clean) << C.Source;
+    EXPECT_EQ(Base.clean(), C.Clean) << C.Source;
+    EXPECT_EQ(Ours.empty(), Base.clean())
+        << "engines disagree on:\n"
+        << C.Source;
+  }
 }
 
 } // namespace

@@ -189,6 +189,57 @@ TEST(Protocol, RecheckUnitOptionRoundtrip) {
   EXPECT_NE(Error.find("unit"), std::string::npos) << Error;
 }
 
+TEST(Protocol, InferOptionsRoundtrip) {
+  server::rpc::Request Req;
+  Req.Inv.Command = "infer";
+  Req.Inv.Source = "int f() { int x = 3; return x; }\n";
+  Req.Inv.HasSource = true;
+  Req.Inv.Session.Infer.Engine = checker::InferenceEngine::Fixpoint;
+  Req.Inv.Session.Infer.Scope = checker::InferenceScope::LocalsOnly;
+  Req.Inv.Session.Infer.MaxSuggestions = 9;
+  Req.Inv.Session.Infer.Apply = true;
+  Req.Inv.InferJson = true;
+
+  server::rpc::Request Back;
+  std::string Error;
+  ASSERT_TRUE(
+      server::rpc::parseRequest(server::rpc::encodeRequest(Req), Back, Error))
+      << Error;
+  EXPECT_EQ(Back.Inv.Command, "infer");
+  EXPECT_EQ(Back.Inv.Session.Infer.Engine, checker::InferenceEngine::Fixpoint);
+  EXPECT_EQ(Back.Inv.Session.Infer.Scope, checker::InferenceScope::LocalsOnly);
+  EXPECT_EQ(Back.Inv.Session.Infer.MaxSuggestions, 9u);
+  EXPECT_TRUE(Back.Inv.Session.Infer.Apply);
+  EXPECT_TRUE(Back.Inv.InferJson);
+
+  // Defaults encode to no infer_* keys at all and parse back to defaults.
+  server::rpc::Request Bare;
+  Bare.Inv.Command = "infer";
+  Bare.Inv.Source = "int x = 1;\n";
+  Bare.Inv.HasSource = true;
+  std::string Line = server::rpc::encodeRequest(Bare);
+  EXPECT_EQ(Line.find("infer_"), std::string::npos) << Line;
+  ASSERT_TRUE(server::rpc::parseRequest(Line, Back, Error)) << Error;
+  EXPECT_EQ(Back.Inv.Session.Infer.Engine,
+            checker::InferenceEngine::Constraints);
+  EXPECT_EQ(Back.Inv.Session.Infer.Scope, checker::InferenceScope::Program);
+  EXPECT_EQ(Back.Inv.Session.Infer.MaxSuggestions, 0u);
+  EXPECT_FALSE(Back.Inv.Session.Infer.Apply);
+  EXPECT_FALSE(Back.Inv.InferJson);
+
+  // Unknown engine / scope names are hard protocol errors.
+  EXPECT_FALSE(server::rpc::parseRequest(
+      "{\"v\":\"stq-rpc-v1\",\"command\":\"infer\",\"source\":\"\","
+      "\"options\":{\"infer_engine\":\"magic\"}}",
+      Back, Error));
+  EXPECT_NE(Error.find("magic"), std::string::npos) << Error;
+  EXPECT_FALSE(server::rpc::parseRequest(
+      "{\"v\":\"stq-rpc-v1\",\"command\":\"infer\",\"source\":\"\","
+      "\"options\":{\"infer_scope\":\"galaxy\"}}",
+      Back, Error));
+  EXPECT_NE(Error.find("galaxy"), std::string::npos) << Error;
+}
+
 TEST(Protocol, RequestVersionIsMandatory) {
   server::rpc::Request Req;
   std::string Error;
@@ -243,6 +294,7 @@ TEST(Protocol, VersionTextNamesEveryFormat) {
   EXPECT_NE(V.find("stq-metrics-v1"), std::string::npos);
   EXPECT_NE(V.find("stq-diagnostics-v1"), std::string::npos);
   EXPECT_NE(V.find("stq-prover-cache-v1"), std::string::npos);
+  EXPECT_NE(V.find("stq-inference-v1"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -432,6 +484,68 @@ TEST(Exec, ProveSharedCacheMatchesVerdictsAndDiagnostics) {
   EXPECT_GT(Cache.stats().Hits, 0u);
 }
 
+TEST(Exec, InferSharedStateKeepsBytesIdentical) {
+  // infer answered with the daemon's warm shared state (prover cache +
+  // pool) must produce exactly the one-shot bytes, in both renderings.
+  server::Invocation Inv;
+  Inv.Command = "infer";
+  Inv.Source = "int f() { int x = 3; int y = x; return y; }\n";
+  Inv.HasSource = true;
+  Inv.Session.Builtins = {"pos", "neg", "nonneg", "nonzero"};
+
+  Session Boot{SessionOptions{}};
+  ASSERT_TRUE(Boot.loadQualifiers());
+  prover::ProverCache Cache;
+  ThreadPool Pool(2);
+  server::SharedContext Ctx;
+  Ctx.Cache = &Cache;
+  Ctx.Qualifiers = &Boot.qualifiers();
+  Ctx.Pool = &Pool;
+
+  for (bool Json : {false, true}) {
+    Inv.InferJson = Json;
+    server::ExecResult OneShot = server::executeInvocation(Inv);
+    EXPECT_EQ(OneShot.ExitCode, 0);
+    for (int Round = 0; Round < 2; ++Round) {
+      server::ExecResult Shared = server::executeInvocation(Inv, Ctx);
+      EXPECT_EQ(Shared.Out, OneShot.Out) << "json=" << Json;
+      EXPECT_EQ(Shared.Err, OneShot.Err) << "json=" << Json;
+      EXPECT_EQ(Shared.ExitCode, OneShot.ExitCode) << "json=" << Json;
+    }
+  }
+}
+
+TEST(Exec, InferJsonIsOneParseableSchemaDocument) {
+  server::Invocation Inv;
+  Inv.Command = "infer";
+  Inv.Source = "int f() { int x = 3; return x; }\n";
+  Inv.HasSource = true;
+  Inv.Session.Builtins = {"pos", "neg", "nonneg", "nonzero"};
+  Inv.InferJson = true;
+  server::ExecResult R = server::executeInvocation(Inv);
+  ASSERT_EQ(R.ExitCode, 0) << R.Err;
+
+  // One line: the RPC framing is one document per line.
+  ASSERT_FALSE(R.Out.empty());
+  EXPECT_EQ(R.Out.find('\n'), R.Out.size() - 1) << R.Out;
+
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(R.Out.substr(0, R.Out.size() - 1), Doc, Error))
+      << Error;
+  EXPECT_EQ(Doc.getString("schema"), "stq-inference-v1");
+  EXPECT_EQ(Doc.getString("engine"), "constraints");
+  EXPECT_EQ(Doc.getString("scope"), "program");
+  ASSERT_NE(Doc.get("suggestions"), nullptr);
+  ASSERT_FALSE(Doc.get("suggestions")->elements().empty());
+  const json::Value &First = Doc.get("suggestions")->elements()[0];
+  EXPECT_EQ(First.getString("var"), "x");
+  EXPECT_EQ(First.getString("function"), "f");
+  ASSERT_NE(Doc.get("stats"), nullptr);
+  EXPECT_GT(Doc.get("stats")->getInt("constraints"), 0);
+  EXPECT_FALSE(Doc.getBool("applied", true));
+}
+
 TEST(Exec, UnknownCommandAndMissingSource) {
   server::Invocation Inv;
   Inv.Command = "explode";
@@ -521,6 +635,48 @@ TEST(ServerEndToEnd, CheckMatchesOneShotBytes) {
     EXPECT_EQ(Resp.Out, OneShot.Out);
     EXPECT_EQ(Resp.Err, OneShot.Err);
     EXPECT_EQ(Resp.ExitCode, OneShot.ExitCode);
+  }
+}
+
+TEST(ServerEndToEnd, InferMatchesOneShotBytesTextAndJson) {
+  // The satellite contract: `stqc infer` one-shot and the same request
+  // answered by a (warm) daemon produce byte-identical output, in the
+  // text rendering, the stq-inference-v1 rendering, and apply-mode.
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  server::ServerOptions Opts;
+  Opts.SocketPath = Tmp.path("stq.sock");
+  Opts.Workers = 2;
+  Opts.PoolThreads = 2;
+  ServerFixture Fix(Opts);
+  ASSERT_TRUE(Fix.ok());
+
+  server::rpc::Request Req;
+  Req.Inv.Command = "infer";
+  Req.Inv.Source = "int g(int v) { return v; }\n"
+                   "int f() { int x = 3; int y = x; return g(y); }\n";
+  Req.Inv.HasSource = true;
+
+  struct Variant {
+    bool Json;
+    bool Apply;
+  };
+  for (Variant V : {Variant{false, false}, Variant{true, false},
+                    Variant{false, true}}) {
+    Req.Inv.InferJson = V.Json;
+    Req.Inv.Session.Infer.Apply = V.Apply;
+    server::ExecResult OneShot = server::executeInvocation(Req.Inv);
+    ASSERT_EQ(OneShot.ExitCode, 0) << OneShot.Err;
+    for (int Round = 0; Round < 2; ++Round) {
+      server::rpc::Response Resp;
+      std::string Error;
+      ASSERT_TRUE(roundTrip(Opts.SocketPath, Req, Resp, Error)) << Error;
+      EXPECT_EQ(Resp.Status, "ok");
+      EXPECT_EQ(Resp.Out, OneShot.Out)
+          << "json=" << V.Json << " apply=" << V.Apply;
+      EXPECT_EQ(Resp.Err, OneShot.Err);
+      EXPECT_EQ(Resp.ExitCode, OneShot.ExitCode);
+    }
   }
 }
 
