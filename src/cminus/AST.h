@@ -22,6 +22,7 @@
 #include "support/Casting.h"
 #include "support/SourceLoc.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -130,8 +131,8 @@ public:
 // Expressions
 //===----------------------------------------------------------------------===//
 
-enum class UnaryOp { Neg, Not, BitNot };
-enum class BinaryOp {
+enum class UnaryOp : uint8_t { Neg, Not, BitNot };
+enum class BinaryOp : uint8_t {
   Add,
   Sub,
   Mul,

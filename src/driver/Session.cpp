@@ -8,6 +8,7 @@
 #include "cminus/Sema.h"
 #include "qual/Builtins.h"
 #include "qual/QualParser.h"
+#include "vm/VM.h"
 
 #include <fstream>
 #include <ostream>
@@ -249,8 +250,22 @@ Session::RunOutcome Session::run(const std::string &Source) {
   }
   {
     stats::ScopedTimer Timer(&Metrics, "phase.execute_seconds");
-    Out.Run = interp::runProgram(*Out.Check.Program, *QualsView,
-                                 Out.Check.Result.RuntimeChecks, Opts.Interp);
+    if (Opts.Backend == SessionOptions::ExecBackend::Vm) {
+      vm::VmOptions VO;
+      VO.Interp = Opts.Interp;
+      VO.ElideChecks = Opts.VmElideChecks;
+      // Elision hypotheses come from static qualifier types, which only
+      // mean something on a program the checker accepted (Theorem 5.1).
+      VO.ProgramCheckedClean = Out.Check.Result.ok();
+      VO.Prover = Opts.Prover;
+      VO.Cache = CachePtr;
+      VO.Metrics = &Metrics;
+      Out.Run = vm::runProgram(*Out.Check.Program, *QualsView,
+                               Out.Check.Result.RuntimeChecks, VO);
+    } else {
+      Out.Run = interp::runProgram(*Out.Check.Program, *QualsView,
+                                   Out.Check.Result.RuntimeChecks, Opts.Interp);
+    }
   }
   publishRunMetrics(Out.Run);
   return Out;

@@ -75,6 +75,19 @@ struct SessionOptions {
   interp::InterpOptions Interp;
   prover::ProverOptions Prover;
 
+  /// Which engine run() executes the instrumented program on. Both are
+  /// byte-identical in observable behavior (traps, checks, audits,
+  /// output, fuel); the VM compiles to register bytecode first and is
+  /// several times faster in the run phase, so it is the default. The
+  /// tree-walking interpreter remains the differential oracle.
+  enum class ExecBackend { Interp, Vm };
+  ExecBackend Backend = ExecBackend::Vm;
+  /// VM only: run the prover-driven guard-elision pass, discharging
+  /// run-time qualifier checks the static context already entails.
+  /// Elision never changes observable behavior (only the executed-check
+  /// counter drops).
+  bool VmElideChecks = true;
+
   /// Worker threads for check() and prove(); <= 1 is the sequential
   /// baseline (byte-identical diagnostics for any value).
   unsigned Jobs = 1;

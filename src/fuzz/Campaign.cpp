@@ -134,6 +134,122 @@ std::string describeExecDiff(const server::ExecResult &A,
 }
 
 //===----------------------------------------------------------------------===//
+// VM differential oracle
+//===----------------------------------------------------------------------===//
+
+/// The complete observable surface of one execution, rendered for byte
+/// comparison. \p IncludeCheckCount is dropped when comparing elision
+/// on/off: discharged guards legitimately stop counting as executed
+/// checks; everything else must still match exactly.
+std::string formatRunResult(const interp::RunResult &R,
+                            bool IncludeCheckCount) {
+  std::ostringstream OS;
+  OS << "status=" << static_cast<int>(R.Status) << "\n";
+  if (R.ExitValue)
+    OS << "exit=" << *R.ExitValue << "\n";
+  OS << "output=[" << R.Output << "]\n";
+  OS << "trap=[" << R.TrapMessage << "]\n";
+  for (const interp::CheckFailure &F : R.CheckFailures)
+    OS << "check-failure " << F.Loc.str() << " '" << F.Qual << "' "
+       << F.ValueStr << "\n";
+  for (const interp::FormatViolation &V : R.FormatViolations)
+    OS << "format-violation " << V.Loc.str() << " [" << V.Format << "] "
+       << V.Supplied << "/" << V.Consumed << "\n";
+  for (const interp::CheckFailure &F : R.AuditFailures)
+    OS << "audit-failure " << F.Loc.str() << " '" << F.Qual << "' "
+       << F.ValueStr << "\n";
+  OS << "steps=" << R.Steps << "\n";
+  OS << "audit-checks=" << R.AuditChecks << "\n";
+  if (IncludeCheckCount)
+    OS << "checks-executed=" << R.ChecksExecuted << "\n";
+  return OS.str();
+}
+
+/// One execution through the Session pipeline on the given backend.
+/// Returns false (no dump) when the front end rejects the program.
+bool backendRunDump(const std::string &Source, uint64_t Fuel,
+                    SessionOptions::ExecBackend Backend, bool Elide,
+                    bool IncludeCheckCount, std::string &Dump) {
+  SessionOptions SO;
+  SO.Builtins = programQualifiers();
+  SO.Interp.AuditQualifiedStores = true;
+  SO.Interp.Fuel = Fuel;
+  SO.Backend = Backend;
+  SO.VmElideChecks = Elide;
+  Session S(SO);
+  Session::RunOutcome Out = S.run(Source);
+  if (!Out.Check.FrontEndOk)
+    return false;
+  Dump = formatRunResult(Out.Run, IncludeCheckCount);
+  return true;
+}
+
+bool vmDifferentialViolation(const std::string &Source, uint64_t Fuel,
+                             std::string *Kind, std::string *Why) {
+  std::string Interp, VmOff, VmOn;
+  if (!backendRunDump(Source, Fuel, SessionOptions::ExecBackend::Interp,
+                      /*Elide=*/false, /*IncludeCheckCount=*/true, Interp))
+    return false;
+  if (!backendRunDump(Source, Fuel, SessionOptions::ExecBackend::Vm,
+                      /*Elide=*/false, /*IncludeCheckCount=*/true, VmOff)) {
+    if (Kind)
+      *Kind = "vm-frontend-divergence";
+    if (Why)
+      *Why = "front end accepted for interp but not for vm";
+    return true;
+  }
+  // Interpreter vs VM without elision: everything matches, including the
+  // executed-check count.
+  if (Interp != VmOff) {
+    if (Kind)
+      *Kind = "backend-mismatch";
+    if (Why)
+      *Why = "interp vs vm (elision off):\n--- interp\n" + trunc(Interp) +
+             "\n--- vm\n" + trunc(VmOff);
+    return true;
+  }
+  // Elision on vs off: observable behavior identical (check count aside).
+  std::string VmOffNoCount, VmOnNoCount;
+  backendRunDump(Source, Fuel, SessionOptions::ExecBackend::Vm,
+                 /*Elide=*/false, /*IncludeCheckCount=*/false, VmOffNoCount);
+  if (!backendRunDump(Source, Fuel, SessionOptions::ExecBackend::Vm,
+                      /*Elide=*/true, /*IncludeCheckCount=*/false,
+                      VmOnNoCount))
+    return false;
+  if (VmOffNoCount != VmOnNoCount) {
+    if (Kind)
+      *Kind = "elision-mismatch";
+    if (Why)
+      *Why = "vm elision off vs on:\n--- off\n" + trunc(VmOffNoCount) +
+             "\n--- on\n" + trunc(VmOnNoCount);
+    return true;
+  }
+  return false;
+}
+
+/// The seventh oracle: the bytecode VM against the tree-walking
+/// interpreter on the identical program, byte for byte, then the VM
+/// against itself with check elision enabled.
+void vmOracle(const std::string &Source, uint64_t RunSeed, OracleContext &C) {
+  C.Stats.add("fuzz.vm.runs", 1);
+  std::string Kind, Why;
+  if (!vmDifferentialViolation(Source, C.Opts.Fuel, &Kind, &Why))
+    return;
+  C.Stats.add("fuzz.vm.mismatches", 1);
+  uint64_t Fuel = C.Opts.Fuel;
+  FuzzFailure F;
+  F.Oracle = "vm";
+  F.Kind = Kind;
+  F.RunSeed = RunSeed;
+  F.Detail = Why;
+  F.Input = minimized(C, Source, [Fuel](const std::string &Text) {
+    std::string K, W;
+    return vmDifferentialViolation(Text, Fuel, &K, &W);
+  });
+  reportFailure(C, std::move(F));
+}
+
+//===----------------------------------------------------------------------===//
 // C-minus program oracles
 //===----------------------------------------------------------------------===//
 
@@ -181,6 +297,10 @@ void cmmOracles(const std::string &Source, uint64_t RunSeed,
     return;
   }
   C.Stats.add("fuzz.check.accepted", 1);
+
+  // Accepted programs also feed the VM differential: both back ends (and
+  // elision on/off) must agree byte for byte before the audit runs.
+  vmOracle(Source, RunSeed, C);
 
   // Theorem 5.1: the accepted program runs with the invariant audit armed.
   SessionOptions SO;
@@ -695,6 +815,17 @@ void inferenceScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
       }
 }
 
+/// Dedicated VM-differential runs: divergence-capable programs (checker
+/// verdict irrelevant — rejected programs still execute) through
+/// interp-vs-vm and elision-on/off byte comparison.
+void vmScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  ProgramGenOptions GO;
+  GO.MayDiverge = true;
+  std::string Source = generateProgram(R, GO);
+  C.Stats.add("fuzz.gen.programs", 1);
+  vmOracle(Source, RunSeed, C);
+}
+
 void robustnessScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
   C.Stats.add("fuzz.robustness.inputs", 1);
   switch (R.pick(4)) {
@@ -794,6 +925,8 @@ CampaignResult stq::fuzz::runCampaign(const CampaignOptions &Opts,
       editReplayScenario(R, RunSeed, C);
     else if (Only == "inference" || (Only.empty() && W < 96))
       inferenceScenario(R, RunSeed, C);
+    else if (Only == "vm" || (Only.empty() && W < 98))
+      vmScenario(R, RunSeed, C);
     else
       robustnessScenario(R, RunSeed, C);
     ++Result.RunsExecuted;

@@ -7,7 +7,7 @@
 ///
 /// \file
 /// Orchestrates randomized fuzzing runs over the whole pipeline, holding
-/// six oracles over every generated input:
+/// seven oracles over every generated input:
 ///
 ///  1. Soundness (Theorem 5.1, executable): a program the checker accepts
 ///     must execute with zero invariant-audit failures under
@@ -35,6 +35,13 @@
 ///  6. Robustness: both front ends diagnose arbitrary malformed input
 ///     (token soup, byte mutations) without crashing; a crash takes the
 ///     process down and is caught by the harness around the campaign.
+///  7. VM differential: the register-bytecode VM and the tree-walking
+///     interpreter must produce byte-identical runs (status, exit value,
+///     output, traps, fired checks, audits, format violations, steps),
+///     and the VM with prover-driven check elision enabled must match
+///     itself with elision disabled on everything but the executed-check
+///     count. Runs on every checker-accepted program, on dedicated
+///     `vm`-scenario draws, and on replayed `.cmm` corpus files.
 ///
 /// Failures carry the offending input, delta-minimized when
 /// CampaignOptions::Minimize is set. Every run is derived from the

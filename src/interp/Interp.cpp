@@ -288,37 +288,7 @@ std::optional<Location> Interpreter::evalLValue(const LValue *LV, Frame &F) {
 }
 
 bool Interpreter::compareValues(BinaryOp Op, const Value &A, const Value &B) {
-  auto AsTuple = [](const Value &V) {
-    // Total order: ints before pointers; NULL is the zero pointer.
-    int Rank = V.K == Value::Kind::Int ? 0 : 1;
-    int64_t Primary = V.K == Value::Kind::Int ? V.Int
-                      : V.K == Value::Kind::Null ? 0
-                                                 : static_cast<int64_t>(
-                                                       V.Block);
-    int64_t Secondary = V.K == Value::Kind::Ptr ? V.Off : 0;
-    return std::make_tuple(Rank, Primary, Secondary);
-  };
-  bool Equal;
-  if (A.K == Value::Kind::Int && B.K == Value::Kind::Int)
-    Equal = A.Int == B.Int;
-  else
-    Equal = AsTuple(A) == AsTuple(B);
-  switch (Op) {
-  case BinaryOp::Eq:
-    return Equal;
-  case BinaryOp::Ne:
-    return !Equal;
-  case BinaryOp::Lt:
-    return AsTuple(A) < AsTuple(B);
-  case BinaryOp::Le:
-    return AsTuple(A) <= AsTuple(B);
-  case BinaryOp::Gt:
-    return AsTuple(A) > AsTuple(B);
-  case BinaryOp::Ge:
-    return AsTuple(A) >= AsTuple(B);
-  default:
-    return false;
-  }
+  return interp::compareValues(Op, A, B);
 }
 
 Value Interpreter::evalExpr(const Expr *E, Frame &F) {
@@ -465,40 +435,9 @@ Value Interpreter::evalExpr(const Expr *E, Frame &F) {
 //===----------------------------------------------------------------------===//
 
 bool Interpreter::invariantHolds(const qual::InvPred &Inv, const Value &V) {
-  using qual::InvPred;
-  using qual::InvTerm;
-  auto TermValue = [&](const InvTerm &T) -> Value {
-    switch (T.K) {
-    case InvTerm::Kind::ValueOf:
-      return V;
-    case InvTerm::Kind::Int:
-      return Value::makeInt(T.Int);
-    case InvTerm::Kind::Null:
-      return Value::makeNull();
-    default:
-      // location/deref/quantified: only reference qualifiers use these,
-      // and reference-qualifier casts are never instrumented.
-      return Value::makeInt(0);
-    }
-  };
-  switch (Inv.K) {
-  case InvPred::Kind::Compare:
-    return compareValues(Inv.CmpOp, TermValue(Inv.A), TermValue(Inv.B));
-  case InvPred::Kind::IsHeapLoc: {
-    Value T = TermValue(Inv.A);
-    return T.K == Value::Kind::Ptr && T.Block < Blocks.size() &&
-           Blocks[T.Block].IsHeap;
-  }
-  case InvPred::Kind::And:
-    return invariantHolds(*Inv.LHS, V) && invariantHolds(*Inv.RHS, V);
-  case InvPred::Kind::Or:
-    return invariantHolds(*Inv.LHS, V) || invariantHolds(*Inv.RHS, V);
-  case InvPred::Kind::Implies:
-    return !invariantHolds(*Inv.LHS, V) || invariantHolds(*Inv.RHS, V);
-  case InvPred::Kind::Forall:
-    return true; // Not instrumented (reference qualifiers only).
-  }
-  return true;
+  return interp::invariantHolds(Inv, V, [this](uint32_t Block) {
+    return Block < Blocks.size() && Blocks[Block].IsHeap;
+  });
 }
 
 void Interpreter::runCastChecks(const CastExpr *Cast, const Value &V) {
@@ -851,6 +790,81 @@ RunResult Interpreter::run() {
 }
 
 } // namespace
+
+bool stq::interp::compareValues(BinaryOp Op, const Value &A, const Value &B) {
+  auto AsTuple = [](const Value &V) {
+    // Total order: ints before pointers; NULL is the zero pointer.
+    int Rank = V.K == Value::Kind::Int ? 0 : 1;
+    int64_t Primary = V.K == Value::Kind::Int ? V.Int
+                      : V.K == Value::Kind::Null ? 0
+                                                 : static_cast<int64_t>(
+                                                       V.Block);
+    int64_t Secondary = V.K == Value::Kind::Ptr ? V.Off : 0;
+    return std::make_tuple(Rank, Primary, Secondary);
+  };
+  bool Equal;
+  if (A.K == Value::Kind::Int && B.K == Value::Kind::Int)
+    Equal = A.Int == B.Int;
+  else
+    Equal = AsTuple(A) == AsTuple(B);
+  switch (Op) {
+  case BinaryOp::Eq:
+    return Equal;
+  case BinaryOp::Ne:
+    return !Equal;
+  case BinaryOp::Lt:
+    return AsTuple(A) < AsTuple(B);
+  case BinaryOp::Le:
+    return AsTuple(A) <= AsTuple(B);
+  case BinaryOp::Gt:
+    return AsTuple(A) > AsTuple(B);
+  case BinaryOp::Ge:
+    return AsTuple(A) >= AsTuple(B);
+  default:
+    return false;
+  }
+}
+
+bool stq::interp::invariantHolds(
+    const qual::InvPred &Inv, const Value &V,
+    const std::function<bool(uint32_t)> &IsHeapBlock) {
+  using qual::InvPred;
+  using qual::InvTerm;
+  auto TermValue = [&](const InvTerm &T) -> Value {
+    switch (T.K) {
+    case InvTerm::Kind::ValueOf:
+      return V;
+    case InvTerm::Kind::Int:
+      return Value::makeInt(T.Int);
+    case InvTerm::Kind::Null:
+      return Value::makeNull();
+    default:
+      // location/deref/quantified: only reference qualifiers use these,
+      // and reference-qualifier casts are never instrumented.
+      return Value::makeInt(0);
+    }
+  };
+  switch (Inv.K) {
+  case InvPred::Kind::Compare:
+    return compareValues(Inv.CmpOp, TermValue(Inv.A), TermValue(Inv.B));
+  case InvPred::Kind::IsHeapLoc: {
+    Value T = TermValue(Inv.A);
+    return T.K == Value::Kind::Ptr && IsHeapBlock(T.Block);
+  }
+  case InvPred::Kind::And:
+    return invariantHolds(*Inv.LHS, V, IsHeapBlock) &&
+           invariantHolds(*Inv.RHS, V, IsHeapBlock);
+  case InvPred::Kind::Or:
+    return invariantHolds(*Inv.LHS, V, IsHeapBlock) ||
+           invariantHolds(*Inv.RHS, V, IsHeapBlock);
+  case InvPred::Kind::Implies:
+    return !invariantHolds(*Inv.LHS, V, IsHeapBlock) ||
+           invariantHolds(*Inv.RHS, V, IsHeapBlock);
+  case InvPred::Kind::Forall:
+    return true; // Not instrumented (reference qualifiers only).
+  }
+  return true;
+}
 
 RunResult stq::interp::runProgram(
     const Program &Prog, const qual::QualifierSet &Quals,

@@ -29,6 +29,7 @@
 #include "support/Diagnostics.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -127,6 +128,19 @@ struct InterpOptions {
   /// binding are exempt (the checker does not govern those default values).
   bool AuditQualifiedStores = false;
 };
+
+/// The interpreter's total-order comparison semantics over run-time values:
+/// integers sort before pointers, NULL is the zero pointer of the invalid
+/// block, pointers compare by (block, offset). Shared with the bytecode VM
+/// (src/vm) so both engines agree on comparisons by construction.
+bool compareValues(cminus::BinaryOp Op, const Value &L, const Value &R);
+
+/// Evaluates a value-qualifier invariant against a concrete value \p V.
+/// \p IsHeapBlock answers whether a block id names a heap allocation (the
+/// `isheap value(E)` predicate); it is only consulted for pointer values.
+/// Shared with the bytecode VM so guard/audit outcomes are bit-identical.
+bool invariantHolds(const qual::InvPred &Inv, const Value &V,
+                    const std::function<bool(uint32_t)> &IsHeapBlock);
 
 /// Executes \p Prog. \p Quals supplies invariant definitions for the
 /// run-time checks listed in \p Checks (produced by the extensible

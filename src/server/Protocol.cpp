@@ -38,6 +38,10 @@ std::string stq::server::rpc::encodeRequest(const Request &R) {
   }
   if (!S.Interp.EntryPoint.empty())
     Opts.set("entry", json::Value::str(S.Interp.EntryPoint));
+  if (S.Backend != SessionOptions::ExecBackend::Vm)
+    Opts.set("backend", json::Value::str("interp"));
+  if (!S.VmElideChecks)
+    Opts.set("elide_checks", json::Value::boolean(false));
   if (!S.IncrementalUnit.empty())
     Opts.set("unit", json::Value::str(S.IncrementalUnit));
   if (S.Checker.FlowSensitiveNarrowing)
@@ -135,6 +139,17 @@ bool stq::server::rpc::parseRequest(const std::string &Line, Request &Out,
       }
     } else if (Key == "entry") {
       S.Interp.EntryPoint = Val.asString();
+    } else if (Key == "backend") {
+      if (Val.asString() == "vm") {
+        S.Backend = SessionOptions::ExecBackend::Vm;
+      } else if (Val.asString() == "interp") {
+        S.Backend = SessionOptions::ExecBackend::Interp;
+      } else {
+        Error = "bad backend '" + Val.asString() + "' (expected vm|interp)";
+        return false;
+      }
+    } else if (Key == "elide_checks") {
+      S.VmElideChecks = Val.asBool();
     } else if (Key == "unit") {
       if (!Val.isString()) {
         Error = "'unit' must be a string";

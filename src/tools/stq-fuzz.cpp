@@ -49,7 +49,8 @@ int usage(std::ostream &OS) {
         "first\n"
         "  --scenario NAME     pin every run to one scenario: soundness, "
         "mixed,\n"
-        "                      qualgen, prover, edit-replay, inference, or\n"
+        "                      qualgen, prover, edit-replay, inference, "
+        "vm, or\n"
         "                      robustness (--oracle is an alias)\n"
         "  --jobs N            parallel job count for the metamorphic "
         "oracle (default 4)\n"
@@ -122,7 +123,7 @@ int main(int argc, char **argv) {
       Opts.OnlyScenario = argv[++I];
       static const char *Known[] = {"soundness",   "mixed",     "qualgen",
                                     "prover",      "edit-replay",
-                                    "inference",   "robustness"};
+                                    "inference",   "vm",        "robustness"};
       bool Ok = false;
       for (const char *Name : Known)
         Ok = Ok || Opts.OnlyScenario == Name;

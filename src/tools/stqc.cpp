@@ -106,6 +106,26 @@ cli::OptionTable buildOptionTable(CliOptions &Options) {
                 Options.Session.Interp.EntryPoint = V;
                 return true;
               });
+  Table.value("--backend", "", "ENGINE",
+              "run: execution engine (vm or interp; default vm)",
+              [&](const std::string &V, std::string &Error) {
+                if (V == "vm") {
+                  Options.Session.Backend =
+                      SessionOptions::ExecBackend::Vm;
+                } else if (V == "interp") {
+                  Options.Session.Backend =
+                      SessionOptions::ExecBackend::Interp;
+                } else {
+                  Error = "bad --backend value '" + V +
+                          "' (expected vm or interp)";
+                  return false;
+                }
+                return true;
+              });
+  Table.flag("--no-elide-checks", "",
+             "run: keep every run-time qualifier check (vm backend only; "
+             "disables prover-driven check elision)",
+             [&] { Options.Session.VmElideChecks = false; });
   Table.value("--unit", "", "NAME",
               "recheck: unit name for signature-change invalidation "
               "(defaults to the empty unit)",

@@ -1,0 +1,213 @@
+//===- Bytecode.h - Register bytecode for lowered C-minus -------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled form the VM executes: each function becomes a flat stream
+/// of instructions over virtual registers. Memory stays block-based and
+/// identical to the interpreter's (block, offset) model, so traps, audits,
+/// fired checks and output are bit-for-bit comparable across engines.
+///
+/// Fuel is made engine-independent by construction: every instruction
+/// carries the number of interpreter spend points (expression/lvalue/
+/// statement/call entries) it stands for, charged one unit at a time
+/// before the instruction executes. The compiler accumulates pending fuel
+/// across emission and flushes it with explicit `Tick` instructions at
+/// control-flow join points, so `FuelExhausted` fires after exactly the
+/// same step count on both engines.
+///
+/// Instrumented qualifier casts lower to `Guard` instructions referencing
+/// a GuardSite; the elision pass (Elide.cpp) may mark individual qualifiers
+/// of a site as statically discharged, or rewrite the whole instruction to
+/// `Nop` when every qualifier is discharged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_VM_BYTECODE_H
+#define STQ_VM_BYTECODE_H
+
+#include "cminus/AST.h"
+#include "interp/Interp.h"
+#include "qual/QualAST.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stq::vm {
+
+using interp::Value;
+
+enum class Op : uint8_t {
+  Nop,       ///< Nothing (still charges its Fuel). Elided guards end here.
+  Tick,      ///< Fuel-only instruction flushed at control-flow joins.
+  Imm,       ///< R[A] = Consts[Extra].
+  StrPtr,    ///< R[A] = pointer to interned string Strings[Extra] (lazy).
+  VarAddr,   ///< R[A] = address of a variable (+ static field offset Off).
+  DerefBase, ///< R[A] = R[B] interpreted as a base pointer, + Off. Traps.
+  Load,      ///< R[A] = memory at R[B] (an address value). Traps.
+  LoadVar,   ///< R[A] = a variable's cell at static offset Off (the fused
+             ///< VarAddr+Load form of a plain variable read; Mode/Extra
+             ///< as VarAddr). Traps exactly like the unfused pair.
+  LoadInd,   ///< R[A] = memory at (R[B] + Off) — the fused DerefBase+Load
+             ///< form of a pointer-based read. Traps exactly like the pair.
+  BinaryImm, ///< R[A] = R[B] BOp Consts[Extra] (a constant right operand
+             ///< folded into the operation). Traps per interpreter rules.
+  Store,     ///< memory at R[A] = R[B]; optional audit Audits[Extra]. Traps.
+  StoreVar,  ///< a variable's cell at static offset Off = R[B] — the fused
+             ///< VarAddr+Store form of a plain-variable assignment
+             ///< (Mode/Extra as VarAddr; audit site in Target, -1 = none).
+             ///< The address has no observable effect, so the value is
+             ///< computed first; traps exactly like the unfused pair.
+  StoreSlot, ///< cell 0 of Slots[B]'s block = R[A]; audit Audits[Extra].
+  NewBlock,  ///< Slots[B] = fresh block from Templates[Extra] (a decl).
+  Unary,     ///< R[A] = UOp R[B]. Traps on non-integer negation/bitnot.
+  Binary,    ///< R[A] = R[B] BOp R[C]. Traps per interpreter rules.
+  Truthy,    ///< R[A] = R[B] is truthy ? 1 : 0 (short-circuit results).
+  Jmp,       ///< PC = Target.
+  JmpIfFalse,///< if !R[A].isTruthy() PC = Target.
+  JmpIfTrue, ///< if R[A].isTruthy() PC = Target.
+  BinaryJmp, ///< R[A] = R[B] BOp R[C]; then if !R[A].isTruthy()
+             ///< PC = Target — the fused compare-and-branch form of a
+             ///< condition (if/while/for). Traps exactly like Binary.
+  BinaryImmJmp, ///< As BinaryJmp with a constant right operand
+             ///< (Consts[Extra]), the fused BinaryImm+JmpIfFalse.
+  Guard,     ///< Run residual qualifier checks Guards[Extra] against R[A].
+  GuardFast, ///< Specialized Guard: the site has exactly one qualifier,
+             ///< residual, with a CmpInt fast form whose immediate fits
+             ///< Off — R[A].Int BOp Off checked inline; non-integer
+             ///< operands and failures replay the generic site walk.
+  SetRet,    ///< Frame return value = R[A] (a discarded `return`).
+  Ret,       ///< Return R[A] (or the frame return value when A == NoReg).
+  Call,      ///< R[A] = call Fns[Extra](R[B..B+C-1]). Mode=1 audits params.
+  CallAlloc, ///< R[A] = malloc(R[B..]) — fresh heap block.
+  CallFree,  ///< R[A] = 0; marks R[B]'s block dead when it is a pointer.
+  CallPrintf,///< R[A] = printf(R[B..B+C-1]) — appends to RunResult::Output.
+  TrapMsg,   ///< Halt with Msgs[Extra] at At (statically known trap).
+};
+
+/// VarAddr addressing modes.
+enum AddrMode : uint8_t {
+  AddrLocal = 0,  ///< Extra = local slot index; slot 0-block means unbound.
+  AddrGlobal = 1, ///< Extra = global index.
+  AddrUnbound = 2,///< Always traps "unbound variable" (no binding exists).
+};
+
+constexpr uint16_t NoReg = 0xFFFF;
+constexpr uint32_t NoIndex = 0xFFFFFFFFu;
+
+/// Kept deliberately small (36 bytes): large compiled programs must fit in
+/// cache for the dispatch loop to pay off. Constants live in the module's
+/// constant pool (Imm/BinaryImm reference it via Extra) and the variable
+/// decls needed for unbound-variable traps live in FnCode::SlotVars /
+/// ModuleCode::Globals.
+struct Instr {
+  Op K = Op::Nop;
+  uint8_t Mode = 0;       ///< AddrMode (VarAddr) / audit-params flag (Call).
+  cminus::UnaryOp UOp = cminus::UnaryOp::Neg;
+  cminus::BinaryOp BOp = cminus::BinaryOp::Add;
+  uint16_t A = NoReg;     ///< Destination / first operand register.
+  uint16_t B = NoReg;     ///< Second operand register or slot index.
+  uint16_t C = NoReg;     ///< Third operand register or argument count.
+  /// Interpreter spend points charged before this instruction executes.
+  uint32_t Fuel = 0;
+  uint32_t Extra = NoIndex; ///< Side-table index (fn/guard/audit/const/...).
+  int32_t Target = -1;    ///< Jump target (instruction index).
+  int32_t Off = 0;        ///< Statically resolved field offset.
+  SourceLoc At;           ///< Source location for traps/checks/audits.
+};
+
+/// Compiled fast form of a simple invariant: `value(E) cmp <literal>`.
+/// Residual guards with a fast form are checked by a couple of native
+/// compares in the dispatch loop instead of walking the predicate AST;
+/// the semantics replicate interp::compareValues exactly, so results
+/// stay bit-for-bit identical to the interpreter.
+enum class FastInv : uint8_t {
+  None,    ///< No fast form; fall back to interp::invariantHolds.
+  CmpInt,  ///< value(E) FastOp FastImm (integer literal comparison).
+  CmpNull, ///< value(E) ==/!= NULL.
+};
+
+/// One qualifier of an instrumented cast. Elided=true means the elision
+/// pass proved the invariant from the static context; the VM then skips
+/// the dynamic evaluation (and does not count it as an executed check).
+struct GuardQual {
+  std::string Name;
+  const qual::InvPred *Inv = nullptr;
+  bool Elided = false;
+  FastInv Fast = FastInv::None;
+  cminus::BinaryOp FastOp = cminus::BinaryOp::Eq;
+  int64_t FastImm = 0;
+};
+
+/// One instrumented cast site (a `Guard` instruction's payload).
+struct GuardSite {
+  const cminus::CastExpr *Cast = nullptr;
+  SourceLoc Loc;
+  std::vector<GuardQual> Quals;
+};
+
+/// Invariants audited on a store to a qualified location (audit mode).
+struct AuditSite {
+  std::vector<std::pair<std::string, const qual::InvPred *>> Quals;
+};
+
+/// One compiled function.
+struct FnCode {
+  const cminus::FuncDecl *Fn = nullptr;
+  std::vector<Instr> Code;
+  uint32_t NumRegs = 0;
+  uint32_t NumSlots = 0;
+  /// Slot index -> declaration, for unbound-variable trap messages.
+  std::vector<const cminus::VarDecl *> SlotVars;
+  /// Slot index for each parameter, in declaration order.
+  std::vector<uint16_t> ParamSlots;
+  /// Block template for each parameter's declared type.
+  std::vector<uint32_t> ParamTemplates;
+  /// Audit site per parameter (NoIndex when no audited qualifiers).
+  std::vector<uint32_t> ParamAudits;
+};
+
+/// A whole compiled program plus its side tables. AST and qualifier-set
+/// pointers reference the cminus::Program and qual::QualifierSet the
+/// module was compiled from; both must outlive the module.
+struct ModuleCode {
+  /// Fns[0] is the synthetic startup function: it runs global
+  /// initializers in declaration order, then calls the entry point with
+  /// default argument values and returns its result.
+  std::vector<FnCode> Fns;
+  /// Initial cell images for block allocations, precomputed per site.
+  std::vector<std::vector<Value>> Templates;
+  /// Deduplicated constant pool; Imm and BinaryImm index it via Extra.
+  std::vector<Value> Consts;
+  /// Lazily interned string literals (one block per StrConst AST node,
+  /// allocated at first execution, exactly like the interpreter).
+  std::vector<const cminus::StrConstExpr *> Strings;
+  std::vector<GuardSite> Guards;
+  std::vector<AuditSite> Audits;
+  /// Statically known trap messages (without the location prefix).
+  std::vector<std::string> Msgs;
+  /// Globals in declaration order (block ids are assigned host-side in
+  /// this order before startup runs, matching the interpreter).
+  std::vector<const cminus::VarDecl *> Globals;
+  std::vector<uint32_t> GlobalTemplates;
+  /// Set when the entry point is missing or has no body; execution then
+  /// reports SetupError without running, like the interpreter.
+  bool EntryMissing = false;
+  std::string EntryName;
+
+  uint64_t instructionCount() const {
+    uint64_t N = 0;
+    for (const FnCode &F : Fns)
+      N += F.Code.size();
+    return N;
+  }
+};
+
+} // namespace stq::vm
+
+#endif // STQ_VM_BYTECODE_H

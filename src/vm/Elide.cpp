@@ -1,0 +1,353 @@
+//===- Elide.cpp - Prover-driven guard elision ----------------------------===//
+//
+// Rewrites statically discharged guard checks to no-ops, the qualifier
+// analogue of erasing range checks a refinement already proves redundant.
+// Two discharge routes, both conservative:
+//
+//  1. Concrete: the cast operand is an integer or NULL literal, so the
+//     invariant can be evaluated outright. Holds -> elide; fails -> keep
+//     (the guard must still fire at run time).
+//
+//  2. Entailment: the operand's static type carries qualifiers whose
+//     invariants — by the paper's Theorem 5.1 — hold for its run-time
+//     value. The pass asks the prover whether those hypotheses entail the
+//     guarded qualifier's invariant over one shared value term, through
+//     the shared ProverCache so identical queries are answered once.
+//
+// The entailment route is gated twice. It runs only when the checker
+// accepted the program with zero qualifier errors (static types mean
+// nothing on a program the checker rejected), and each hypothesis
+// qualifier must itself pass the soundness checker — the fuzzer
+// deliberately pushes unsound qualifiers through here, and assuming an
+// unsound invariant would change observable behavior. Elision must never
+// do that: the differential oracle compares elision on/off byte for byte.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cminus/Type.h"
+#include "soundness/Axioms.h"
+#include "soundness/Soundness.h"
+#include "support/Casting.h"
+#include "support/Trace.h"
+#include "vm/VM.h"
+
+#include <map>
+
+using namespace stq;
+using namespace stq::vm;
+using namespace stq::prover;
+using qual::InvPred;
+using qual::InvTerm;
+
+namespace {
+
+/// Invariants over terms the run-time evaluator models exactly: value(E),
+/// integer and NULL literals. Location vocabulary (deref, quantifiers)
+/// belongs to reference qualifiers, whose casts are never instrumented;
+/// bail out rather than guess.
+bool termSupported(const InvTerm &T) {
+  switch (T.K) {
+  case InvTerm::Kind::ValueOf:
+  case InvTerm::Kind::Int:
+  case InvTerm::Kind::Null:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool invSupported(const InvPred &Inv) {
+  switch (Inv.K) {
+  case InvPred::Kind::Compare:
+    return termSupported(Inv.A) && termSupported(Inv.B);
+  case InvPred::Kind::IsHeapLoc:
+    return termSupported(Inv.A);
+  case InvPred::Kind::And:
+  case InvPred::Kind::Or:
+  case InvPred::Kind::Implies:
+    return invSupported(*Inv.LHS) && invSupported(*Inv.RHS);
+  case InvPred::Kind::Forall:
+    return false;
+  }
+  return false;
+}
+
+/// Translates an invariant over a single value term, mirroring the
+/// soundness checker's encoding so prover axioms and cache entries line
+/// up. Callers must have verified invSupported().
+class InvTranslator {
+public:
+  InvTranslator(TermArena &A, TermId ValueTerm)
+      : A(A), V(A), ValueTerm(ValueTerm) {}
+
+  FormulaPtr translate(const InvPred &Inv) {
+    switch (Inv.K) {
+    case InvPred::Kind::Compare: {
+      TermId L = term(Inv.A), R = term(Inv.B);
+      switch (Inv.CmpOp) {
+      case cminus::BinaryOp::Eq:
+        return fEq(L, R);
+      case cminus::BinaryOp::Ne:
+        return fNe(L, R);
+      case cminus::BinaryOp::Lt:
+        return fLt(L, R);
+      case cminus::BinaryOp::Le:
+        return fLe(L, R);
+      case cminus::BinaryOp::Gt:
+        return fGt(L, R);
+      case cminus::BinaryOp::Ge:
+        return fGe(L, R);
+      default:
+        return fTrue();
+      }
+    }
+    case InvPred::Kind::IsHeapLoc:
+      return V.isHeapLoc(term(Inv.A));
+    case InvPred::Kind::And:
+      return fAnd({translate(*Inv.LHS), translate(*Inv.RHS)});
+    case InvPred::Kind::Or:
+      return fOr({translate(*Inv.LHS), translate(*Inv.RHS)});
+    case InvPred::Kind::Implies:
+      return fImplies(translate(*Inv.LHS), translate(*Inv.RHS));
+    case InvPred::Kind::Forall:
+      return fTrue(); // Unreachable behind invSupported().
+    }
+    return fTrue();
+  }
+
+private:
+  TermId term(const InvTerm &T) {
+    switch (T.K) {
+    case InvTerm::Kind::ValueOf:
+      return ValueTerm;
+    case InvTerm::Kind::Int:
+      return A.intConst(T.Int);
+    case InvTerm::Kind::Null:
+      return A.nullTerm();
+    default:
+      return ValueTerm; // Unreachable behind termSupported().
+    }
+  }
+
+  TermArena &A;
+  soundness::Vocab V;
+  TermId ValueTerm;
+};
+
+class Elider {
+public:
+  Elider(CompiledProgram &CP, const qual::QualifierSet &Quals,
+         const VmOptions &Options)
+      : CP(CP), Quals(Quals), Options(Options) {}
+
+  void run() {
+    ElisionStats &S = CP.Elision;
+    for (GuardSite &Site : CP.M.Guards) {
+      ++S.GuardSites;
+      const cminus::Expr *Sub = Site.Cast ? Site.Cast->Sub : nullptr;
+      for (GuardQual &Q : Site.Quals) {
+        ++S.GuardQuals;
+        if (!Sub || !invSupported(*Q.Inv))
+          continue;
+        if (elideConcrete(Sub, Q) || elideByEntailment(Sub, Q)) {
+          Q.Elided = true;
+          ++S.Elided;
+        }
+      }
+    }
+    rewriteDischargedGuards();
+  }
+
+private:
+  CompiledProgram &CP;
+  const qual::QualifierSet &Quals;
+  const VmOptions &Options;
+  /// Soundness verdict per hypothesis qualifier (obligations memoize in
+  /// the shared ProverCache; this memoizes the verdict per pass).
+  std::map<std::string, bool> SoundVerdict;
+  /// Entailment verdict per (sorted hypothesis set, goal) within a pass;
+  /// across passes the ProverCache answers by canonical task key.
+  std::map<std::string, bool> QueryMemo;
+
+  /// Literal operands evaluate outright with the engines' own semantics.
+  bool elideConcrete(const cminus::Expr *Sub, const GuardQual &Q) {
+    Value V;
+    if (Sub->getKind() == cminus::Expr::Kind::IntConst)
+      V = Value::makeInt(cast<cminus::IntConstExpr>(Sub)->Value);
+    else if (Sub->getKind() == cminus::Expr::Kind::NullConst)
+      V = Value::makeNull();
+    else
+      return false;
+    ++CP.Elision.ConcreteElided;
+    bool Holds = interp::invariantHolds(*Q.Inv, V,
+                                        [](uint32_t) { return false; });
+    if (!Holds)
+      --CP.Elision.ConcreteElided;
+    return Holds;
+  }
+
+  bool qualifierSound(const std::string &Name) {
+    auto [It, Inserted] = SoundVerdict.emplace(Name, false);
+    if (Inserted) {
+      soundness::SoundnessChecker Checker(Quals, Options.Prover,
+                                          /*Diags=*/nullptr, Options.Cache,
+                                          Options.Metrics);
+      It->second = Checker.checkQualifier(Name).sound();
+    }
+    return It->second;
+  }
+
+  /// Sound, invariant-bearing value qualifiers on the operand's static
+  /// type: the hypotheses Theorem 5.1 lets us assume about its value.
+  std::vector<const qual::QualifierDef *>
+  hypothesisQuals(const cminus::Expr *Sub) {
+    std::vector<const qual::QualifierDef *> Hyps;
+    if (!Options.ProgramCheckedClean || !Sub->Ty)
+      return Hyps;
+    for (const std::string &Name : Sub->Ty->quals()) {
+      const qual::QualifierDef *Q = Quals.find(Name);
+      if (!Q || Q->IsRef || !Q->Invariant || !invSupported(*Q->Invariant))
+        continue;
+      if (qualifierSound(Name))
+        Hyps.push_back(Q);
+    }
+    return Hyps;
+  }
+
+  bool elideByEntailment(const cminus::Expr *Sub, const GuardQual &Q) {
+    std::vector<const qual::QualifierDef *> Hyps = hypothesisQuals(Sub);
+    if (Hyps.empty())
+      return false;
+    // Trivial entailment: the operand's type already carries the guarded
+    // qualifier (and it is sound).
+    for (const qual::QualifierDef *H : Hyps)
+      if (H->Name == Q.Name)
+        return true;
+    std::string Memo;
+    for (const qual::QualifierDef *H : Hyps)
+      Memo += H->Name + ",";
+    Memo += "=>" + Q.Name;
+    auto Found = QueryMemo.find(Memo);
+    if (Found != QueryMemo.end())
+      return Found->second;
+    bool Proved = proveEntailment(Hyps, Q);
+    QueryMemo[Memo] = Proved;
+    return Proved;
+  }
+
+  bool proveEntailment(const std::vector<const qual::QualifierDef *> &Hyps,
+                       const GuardQual &Q) {
+    ++CP.Elision.ProverQueries;
+    if (Options.Metrics)
+      Options.Metrics->add("vm.elide.queries", 1);
+    Prover P(Options.Prover);
+    soundness::addSemanticAxioms(P);
+    TermArena &A = P.arena();
+    InvTranslator T(A, A.app("$guardval"));
+    for (const qual::QualifierDef *H : Hyps)
+      P.addHypothesis(T.translate(*H->Invariant));
+    FormulaPtr Goal = T.translate(*Q.Inv);
+    if (Options.Cache) {
+      std::string Key = canonicalTaskKey(A, P.inputs(), Goal);
+      if (auto Hit = Options.Cache->lookup(Key)) {
+        ++CP.Elision.CacheHits;
+        if (Options.Metrics)
+          Options.Metrics->add("vm.elide.cache_hits", 1);
+        return Hit->Result == ProofResult::Proved;
+      }
+      ProofResult R = P.prove(Goal);
+      Options.Cache->insert(Key, R, P.stats());
+      return R == ProofResult::Proved;
+    }
+    return P.prove(Goal) == ProofResult::Proved;
+  }
+
+  /// A guard whose every qualifier is discharged costs nothing at all.
+  void rewriteDischargedGuards() {
+    for (FnCode &Fn : CP.M.Fns)
+      for (Instr &I : Fn.Code) {
+        if (I.K != Op::Guard)
+          continue;
+        const GuardSite &Site = CP.M.Guards[I.Extra];
+        bool All = true;
+        for (const GuardQual &Q : Site.Quals)
+          All = All && Q.Elided;
+        if (All)
+          I.K = Op::Nop; // Fuel is preserved; the check work vanishes.
+      }
+  }
+};
+
+} // namespace
+
+void stq::vm::elideGuards(CompiledProgram &CP,
+                          const qual::QualifierSet &Quals,
+                          const VmOptions &Options) {
+  trace::Span Span("vm.elide");
+  Elider(CP, Quals, Options).run();
+  if (Options.Metrics) {
+    const ElisionStats &S = CP.Elision;
+    Options.Metrics->add("vm.guards_total", S.GuardQuals);
+    Options.Metrics->add("vm.guards_elided", S.Elided);
+    Options.Metrics->add("vm.guards_residual", S.residual());
+  }
+}
+
+/// Post-elision peephole: a Guard whose site carries exactly one
+/// qualifier, still residual, with an integer-compare fast form whose
+/// immediate fits the instruction, specializes to GuardFast — the
+/// dispatch loop then never touches the side table on the passing path.
+/// Sites with elided qualifiers keep the generic form so the elided-hit
+/// accounting stays exact.
+static void specializeFastGuards(ModuleCode &M) {
+  for (FnCode &Fn : M.Fns)
+    for (Instr &I : Fn.Code) {
+      if (I.K != Op::Guard)
+        continue;
+      const GuardSite &Site = M.Guards[I.Extra];
+      if (Site.Quals.size() != 1)
+        continue;
+      const GuardQual &Q = Site.Quals.front();
+      if (Q.Elided || Q.Fast != FastInv::CmpInt ||
+          Q.FastImm < INT32_MIN || Q.FastImm > INT32_MAX)
+        continue;
+      I.K = Op::GuardFast;
+      I.BOp = Q.FastOp;
+      I.Off = static_cast<int32_t>(Q.FastImm);
+    }
+}
+
+std::unique_ptr<CompiledProgram>
+stq::vm::compileProgram(const cminus::Program &Prog,
+                        const qual::QualifierSet &Quals,
+                        const std::vector<checker::RuntimeCastCheck> &Checks,
+                        const VmOptions &Options) {
+  auto CP = std::make_unique<CompiledProgram>();
+  {
+    trace::Span Span("vm.compile");
+    compileModule(Prog, Quals, Checks, Options.Interp.EntryPoint, CP->M);
+  }
+  if (Options.Metrics) {
+    Options.Metrics->add("vm.compilations", 1);
+    Options.Metrics->add("vm.functions", CP->M.Fns.size());
+    Options.Metrics->add("vm.instructions", CP->M.instructionCount());
+  }
+  if (Options.ElideChecks)
+    elideGuards(*CP, Quals, Options);
+  else
+    for (const GuardSite &Site : CP->M.Guards) {
+      ++CP->Elision.GuardSites;
+      CP->Elision.GuardQuals += Site.Quals.size();
+    }
+  specializeFastGuards(CP->M);
+  return CP;
+}
+
+interp::RunResult
+stq::vm::runProgram(const cminus::Program &Prog,
+                    const qual::QualifierSet &Quals,
+                    const std::vector<checker::RuntimeCastCheck> &Checks,
+                    const VmOptions &Options) {
+  auto CP = compileProgram(Prog, Quals, Checks, Options);
+  return execute(*CP, Options.Interp, Options.Metrics);
+}

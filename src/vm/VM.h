@@ -1,0 +1,119 @@
+//===- VM.h - Bytecode back end for lowered C-minus -------------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-bytecode execution engine. It plays the same role as
+/// src/interp — gcc + hardware for the paper's instrumented programs —
+/// but compiles each function once to a flat instruction stream and then
+/// runs a tight dispatch loop, which makes the run phase several times
+/// faster. The interpreter remains the differential oracle: for any
+/// program, `vm::runProgram` and `interp::runProgram` must produce
+/// byte-identical RunResults (modulo ChecksExecuted when elision is on).
+///
+/// On top of compilation sits prover-driven check elision: per guard
+/// site, the pass asks the existing prover (through the shared
+/// ProverCache) whether the target qualifier's invariant is entailed by
+/// the qualifiers already on the operand's static type, and marks
+/// discharged guards as elided. This is the qualifier-world analogue of
+/// the paper's observation that residual run-time checks are cheap
+/// (§6): most of them can be erased outright.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_VM_VM_H
+#define STQ_VM_VM_H
+
+#include "checker/Checker.h"
+#include "interp/Interp.h"
+#include "prover/Prover.h"
+#include "prover/ProverCache.h"
+#include "support/Stats.h"
+#include "vm/Bytecode.h"
+
+#include <memory>
+
+namespace stq::vm {
+
+struct VmOptions {
+  interp::InterpOptions Interp;
+
+  /// Run the prover-driven guard-elision pass after compilation.
+  bool ElideChecks = true;
+
+  /// Elision hypotheses ("the operand's static qualifiers hold for its
+  /// run-time value") are only valid on programs the checker accepted
+  /// with zero qualifier errors — that is exactly Theorem 5.1. The
+  /// caller asserts that here; when false the elision pass still elides
+  /// guards on constant operands whose invariants hold concretely, but
+  /// never consults static types. Additionally, each hypothesis
+  /// qualifier must itself pass the soundness checker (the fuzzer
+  /// deliberately feeds unsound qualifiers through this path).
+  bool ProgramCheckedClean = false;
+
+  /// Prover configuration + shared memoization cache for elision
+  /// queries (and the soundness verdicts gating them).
+  prover::ProverOptions Prover;
+  prover::ProverCache *Cache = nullptr;
+  stats::Registry *Metrics = nullptr;
+};
+
+/// What the elision pass did (also exported as vm.* counters).
+struct ElisionStats {
+  uint64_t GuardSites = 0;     ///< Instrumented cast sites compiled.
+  uint64_t GuardQuals = 0;     ///< Individual qualifier checks compiled.
+  uint64_t Elided = 0;         ///< Qualifier checks discharged statically.
+  uint64_t ConcreteElided = 0; ///< ... of which on constant operands.
+  uint64_t ProverQueries = 0;  ///< Entailment goals sent to the prover.
+  uint64_t CacheHits = 0;      ///< ... answered from the ProverCache.
+
+  uint64_t residual() const { return GuardQuals - Elided; }
+};
+
+/// A compiled program. Holds pointers into the cminus::Program and
+/// qual::QualifierSet it was compiled from; both must outlive it.
+struct CompiledProgram {
+  ModuleCode M;
+  ElisionStats Elision;
+};
+
+/// Compiles (and, per \p Options, elides guards of) \p Prog. Never fails:
+/// setup problems (missing entry point) are recorded in the module and
+/// surface as SetupError at execution, matching the interpreter.
+std::unique_ptr<CompiledProgram>
+compileProgram(const cminus::Program &Prog, const qual::QualifierSet &Quals,
+               const std::vector<checker::RuntimeCastCheck> &Checks,
+               const VmOptions &Options = {});
+
+/// Executes a compiled program. Repeatable: each call starts from a
+/// fresh machine state.
+interp::RunResult execute(const CompiledProgram &CP,
+                          const interp::InterpOptions &Options,
+                          stats::Registry *Metrics = nullptr);
+
+/// Convenience: compile + elide + execute, the drop-in replacement for
+/// interp::runProgram.
+interp::RunResult runProgram(const cminus::Program &Prog,
+                             const qual::QualifierSet &Quals,
+                             const std::vector<checker::RuntimeCastCheck> &Checks,
+                             const VmOptions &Options = {});
+
+// Internal pipeline stages, exposed for tests and benchmarks.
+
+/// Bytecode generation (Compiler.cpp).
+void compileModule(const cminus::Program &Prog,
+                   const qual::QualifierSet &Quals,
+                   const std::vector<checker::RuntimeCastCheck> &Checks,
+                   const std::string &EntryPoint, ModuleCode &M);
+
+/// Prover-driven guard elision (Elide.cpp); fills \p CP.Elision and marks
+/// discharged GuardQuals, rewriting fully-discharged Guards to Nop.
+void elideGuards(CompiledProgram &CP, const qual::QualifierSet &Quals,
+                 const VmOptions &Options);
+
+} // namespace stq::vm
+
+#endif // STQ_VM_VM_H

@@ -59,6 +59,14 @@ GeneratedWorkload makeBftpd();
 GeneratedWorkload makeMingetty();
 GeneratedWorkload makeIdentd();
 
+/// A compute-bound qualifier-instrumented kernel for run-phase execution
+/// benchmarks: \p Rounds outer rounds of an \p N-iteration accumulation
+/// loop whose body performs value-qualifier casts (pos/nonzero) that stay
+/// as residual runtime guards. The daemons above are setup-dominated when
+/// executed; this member makes the farm representative of the run phase
+/// (the grep inner-matcher shape) for engine comparisons.
+GeneratedWorkload makeChecksumKernel(unsigned Rounds = 200, unsigned N = 500);
+
 /// An unannotated many-function arithmetic program for the whole-program
 /// inference benchmark: \p Functions function bodies full of locals with
 /// inferable value qualifiers (pos/neg/nonzero-class), chained by calls so
