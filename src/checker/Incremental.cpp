@@ -398,7 +398,7 @@ RecheckResult Engine::recheck(const std::string &Unit, cminus::Program &Prog,
                               const qual::QualifierSet &Quals,
                               DiagnosticEngine &Diags, CheckerOptions Options,
                               unsigned Jobs, RecheckStats *StatsOut,
-                              ThreadPool *Pool) {
+                              ThreadPool *Pool, const Hash128 *EnvSeed) {
   trace::Span Span("recheck");
 
   std::vector<cminus::FuncDecl *> Fns;
@@ -424,7 +424,15 @@ RecheckResult Engine::recheck(const std::string &Unit, cminus::Program &Prog,
   for (const cminus::FuncDecl *Fn : Prog.Functions)
     Sigs[Fn->Name] = hashSignature(*Fn);
 
-  const Hash128 Env = hashEnv(Quals, Options, Prog);
+  Hash128 Env = hashEnv(Quals, Options, Prog);
+  if (EnvSeed) {
+    // The front end's seed (the TU's post-preprocess stream hash) re-keys
+    // the whole unit: a header edit dirties every includer.
+    Hasher H;
+    H.hash(Env);
+    H.hash(*EnvSeed);
+    Env = H.get();
+  }
 
   // Full content hash + direct-callee list per work item.
   std::vector<Hash128> Keys(Units);
@@ -552,7 +560,7 @@ RecheckResult Engine::recheck(const std::string &Unit, cminus::Program &Prog,
   RecheckResult Result;
   for (size_t I = 0; I < Units; ++I) {
     for (const Diagnostic &D : Verdicts[I].Diags)
-      Diags.report(D.Severity, D.Loc, D.Phase, D.Message);
+      Diags.report(D);
     mergeVerdict(Result, Verdicts[I]);
   }
   return Result;

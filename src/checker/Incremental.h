@@ -170,11 +170,18 @@ public:
   /// When Options carry AssumedCasts/AssumedVarQuals (annotation/inference
   /// drivers), the store is bypassed entirely: those runs are not keyed by
   /// program content alone.
+  ///
+  /// \p EnvSeed, when non-null, is folded into every work item's content
+  /// hash. The multi-TU front end passes the TU's post-preprocess token
+  /// stream hash here, so editing a header re-keys (and therefore
+  /// re-checks) every translation unit that includes it — even when the
+  /// edit does not change the lowered AST of a particular function.
   RecheckResult recheck(const std::string &Unit, cminus::Program &Prog,
                         const qual::QualifierSet &Quals,
                         DiagnosticEngine &Diags, CheckerOptions Options,
                         unsigned Jobs, RecheckStats *StatsOut = nullptr,
-                        ThreadPool *Pool = nullptr);
+                        ThreadPool *Pool = nullptr,
+                        const Hash128 *EnvSeed = nullptr);
 
   /// Current verdict-store size / lifetime eviction count, for gauges.
   size_t entries() const;

@@ -91,7 +91,7 @@ CheckResult stq::checker::checkProgramParallel(cminus::Program &Prog,
   CheckResult Merged;
   for (UnitRun &Run : Runs) {
     for (const Diagnostic &D : Run.Diags.diagnostics())
-      Diags.report(D.Severity, D.Loc, D.Phase, D.Message);
+      Diags.report(D);
     mergeResult(Merged, Run.Result);
   }
   if (StatsOut) {

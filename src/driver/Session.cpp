@@ -8,8 +8,10 @@
 #include "cminus/Sema.h"
 #include "qual/Builtins.h"
 #include "qual/QualParser.h"
+#include "support/ThreadPool.h"
 #include "vm/VM.h"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -135,7 +137,180 @@ Session::CheckOutcome Session::check(const std::string &Source) {
                                       Opts.Checker, Opts.Jobs, &Out.Pipeline,
                                       Opts.SharedPool);
   }
-  publishCheckMetrics(Out);
+  publishCheckMetrics(Out.FrontEndOk, Out.Result, Out.Pipeline);
+  publishDiagMetrics();
+  return Out;
+}
+
+namespace {
+
+/// Adds \p B's counters into \p A (the multi-TU merge; mirrors the
+/// parallel checker's own per-shard merge, so a multi-TU verdict sums the
+/// way a single flattened TU would count).
+void mergeCheckerStats(checker::CheckerStats &A, const checker::CheckerStats &B) {
+  A.DerefSites += B.DerefSites;
+  A.RestrictChecks += B.RestrictChecks;
+  A.RestrictFailures += B.RestrictFailures;
+  A.AssignChecks += B.AssignChecks;
+  A.AssignFailures += B.AssignFailures;
+  A.RefAssignChecks += B.RefAssignChecks;
+  A.RefAssignFailures += B.RefAssignFailures;
+  A.DisallowFailures += B.DisallowFailures;
+  A.CastsToValueQualified += B.CastsToValueQualified;
+  A.CastsToRefQualified += B.CastsToRefQualified;
+  A.ElidedCastChecks += B.ElidedCastChecks;
+  A.HasQualQueries += B.HasQualQueries;
+  A.MemoHits += B.MemoHits;
+  A.FormatStringChecks += B.FormatStringChecks;
+}
+
+void mergePipelineStats(checker::ParallelStats &A,
+                        const checker::ParallelStats &B) {
+  A.Units += B.Units;
+  A.Jobs = std::max(A.Jobs, B.Jobs);
+  A.Executed += B.Executed;
+  A.Steals += B.Steals;
+}
+
+} // namespace
+
+frontend::CompileOptions Session::compileOptions() const {
+  frontend::CompileOptions CO;
+  CO.Pp.IncludeDirs = Opts.IncludeDirs;
+  CO.Pp.Defines = Opts.Defines;
+  CO.Files = Opts.ShippedFiles;
+  CO.QualNames = QualsView->names();
+  CO.RefQualNames = QualsView->refNames();
+  return CO;
+}
+
+void Session::reportUnitDiags(DiagnosticEngine &Unit,
+                              const frontend::TUnit &U) {
+  std::vector<Diagnostic> Ds = Unit.diagnostics();
+  frontend::remapDiagnostics(Ds, 0, U.Name, U.Pp.Map);
+  for (Diagnostic &D : Ds)
+    Diags.report(std::move(D));
+}
+
+Session::LoadOutcome
+Session::load(const std::vector<frontend::InputFile> &Inputs) {
+  LoadOutcome Out;
+  if (!loadQualifiers()) {
+    publishDiagMetrics();
+    return Out;
+  }
+  const frontend::CompileOptions CO = compileOptions();
+  const size_t N = Inputs.size();
+  Out.Units.resize(N);
+  std::vector<DiagnosticEngine> UnitDiags(N);
+  {
+    // Each TU compiles against its own diagnostic engine on the pool;
+    // the ordered merge below restores input-order output, so the fan-out
+    // is invisible in the rendered diagnostics at any job count.
+    stats::ScopedTimer Timer(&Metrics, "phase.frontend_seconds");
+    parallelFor(
+        Opts.Jobs, N,
+        [&](size_t I) {
+          Out.Units[I] = frontend::compileUnit(Inputs[I].Name, Inputs[I].Text,
+                                               CO, UnitDiags[I]);
+        },
+        nullptr, Opts.SharedPool);
+  }
+  Out.FrontEndOk = N > 0;
+  pp::PpStats Pp;
+  for (size_t I = 0; I < N; ++I) {
+    const frontend::TUnit &U = Out.Units[I];
+    reportUnitDiags(UnitDiags[I], U);
+    Out.FrontEndOk = Out.FrontEndOk && U.FrontEndOk;
+    Pp.Files += U.Pp.Stats.Files;
+    Pp.Includes += U.Pp.Stats.Includes;
+    Pp.MacrosDefined += U.Pp.Stats.MacrosDefined;
+    Pp.Expansions += U.Pp.Stats.Expansions;
+    Pp.Conditionals += U.Pp.Stats.Conditionals;
+    Pp.LinesIn += U.Pp.Stats.LinesIn;
+    Pp.LinesOut += U.Pp.Stats.LinesOut;
+  }
+  // Link even when a TU failed its front end: linkUnits skips unparsed
+  // units, and partial-program link errors are still worth reporting.
+  Out.LinkOk = frontend::linkUnits(Out.Units, Diags);
+  publishFrontendMetrics(Out, Pp);
+  publishDiagMetrics();
+  return Out;
+}
+
+Session::CheckFilesOutcome
+Session::checkFiles(const std::vector<frontend::InputFile> &Inputs) {
+  CheckFilesOutcome Out;
+  Out.Load = load(Inputs);
+  if (!Out.Load.ok())
+    return Out;
+  {
+    stats::ScopedTimer Timer(&Metrics, "phase.qualcheck_seconds");
+    for (const frontend::TUnit &U : Out.Load.Units) {
+      DiagnosticEngine UnitDiags;
+      checker::ParallelStats PS;
+      checker::CheckResult R = checker::checkProgramParallel(
+          *U.Program, *QualsView, UnitDiags, Opts.Checker, Opts.Jobs, &PS,
+          Opts.SharedPool);
+      reportUnitDiags(UnitDiags, U);
+      Out.Result.QualErrors += R.QualErrors;
+      mergeCheckerStats(Out.Result.Stats, R.Stats);
+      Out.Result.RuntimeChecks.insert(
+          Out.Result.RuntimeChecks.end(),
+          std::make_move_iterator(R.RuntimeChecks.begin()),
+          std::make_move_iterator(R.RuntimeChecks.end()));
+      Out.Result.Failures.insert(Out.Result.Failures.end(),
+                                 std::make_move_iterator(R.Failures.begin()),
+                                 std::make_move_iterator(R.Failures.end()));
+      mergePipelineStats(Out.Pipeline, PS);
+    }
+  }
+  publishCheckMetrics(true, Out.Result, Out.Pipeline);
+  publishDiagMetrics();
+  return Out;
+}
+
+Session::RecheckFilesOutcome
+Session::recheckFiles(const std::vector<frontend::InputFile> &Inputs) {
+  RecheckFilesOutcome Out;
+  Out.Load = load(Inputs);
+  if (!Out.Load.ok())
+    return Out;
+  {
+    stats::ScopedTimer Timer(&Metrics, "phase.qualcheck_seconds");
+    checker::incremental::Engine &Engine = incrementalEngine();
+    for (const frontend::TUnit &U : Out.Load.Units) {
+      DiagnosticEngine UnitDiags;
+      checker::incremental::RecheckStats RS;
+      // The TU's post-preprocess stream hash re-keys every work item in
+      // the unit: a header edit dirties every includer.
+      checker::incremental::Hash128 Seed;
+      Seed.A = U.Pp.StreamHashA;
+      Seed.B = U.Pp.StreamHashB;
+      // Snapshots are per TU: signature-change invalidation must diff a
+      // TU against its own previous version, not a sibling's.
+      std::string Unit = Opts.IncrementalUnit.empty()
+                             ? U.Name
+                             : Opts.IncrementalUnit + "/" + U.Name;
+      checker::incremental::RecheckResult R =
+          Engine.recheck(Unit, *U.Program, *QualsView, UnitDiags,
+                         Opts.Checker, Opts.Jobs, &RS, Opts.SharedPool, &Seed);
+      reportUnitDiags(UnitDiags, U);
+      Out.Result.QualErrors += R.QualErrors;
+      mergeCheckerStats(Out.Result.Stats, R.Stats);
+      Out.Result.RuntimeCheckCount += R.RuntimeCheckCount;
+      Out.Result.FailureCount += R.FailureCount;
+      Out.Stats.Units += RS.Units;
+      Out.Stats.Hits += RS.Hits;
+      Out.Stats.Rechecked += RS.Rechecked;
+      Out.Stats.SignatureDirtied += RS.SignatureDirtied;
+      Out.Stats.Evictions += RS.Evictions;
+      Out.Stats.Jobs = std::max(Out.Stats.Jobs, RS.Jobs);
+      Out.Stats.Executed += RS.Executed;
+      Out.Stats.Steals += RS.Steals;
+    }
+  }
+  publishRecheckMetrics(true, Out.Result, Out.Stats);
   publishDiagMetrics();
   return Out;
 }
@@ -161,7 +336,7 @@ Session::RecheckOutcome Session::recheck(const std::string &Source) {
         Opts.IncrementalUnit, *Out.Program, *QualsView, Diags, Opts.Checker,
         Opts.Jobs, &Out.Stats, Opts.SharedPool);
   }
-  publishRecheckMetrics(Out);
+  publishRecheckMetrics(Out.FrontEndOk, Out.Result, Out.Stats);
   publishDiagMetrics();
   return Out;
 }
@@ -326,12 +501,14 @@ Session::InferenceReport Session::infer(const std::string &Source) {
   return Out;
 }
 
-void Session::publishCheckMetrics(const CheckOutcome &Out) {
-  if (!Out.FrontEndOk)
+void Session::publishCheckMetrics(bool FrontEndOk,
+                                  const checker::CheckResult &Result,
+                                  const checker::ParallelStats &Pipeline) {
+  if (!FrontEndOk)
     return;
-  const checker::CheckerStats &S = Out.Result.Stats;
-  Metrics.set("check.units", Out.Pipeline.Units);
-  Metrics.set("check.qual_errors", Out.Result.QualErrors);
+  const checker::CheckerStats &S = Result.Stats;
+  Metrics.set("check.units", Pipeline.Units);
+  Metrics.set("check.qual_errors", Result.QualErrors);
   Metrics.set("check.deref_sites", S.DerefSites);
   Metrics.set("check.restrict_checks", S.RestrictChecks);
   Metrics.set("check.restrict_failures", S.RestrictFailures);
@@ -344,26 +521,28 @@ void Session::publishCheckMetrics(const CheckOutcome &Out) {
   Metrics.set("check.casts_to_ref_qualified", S.CastsToRefQualified);
   Metrics.set("check.elided_cast_checks", S.ElidedCastChecks);
   Metrics.set("check.format_string_checks", S.FormatStringChecks);
-  Metrics.set("check.runtime_checks", Out.Result.RuntimeChecks.size());
+  Metrics.set("check.runtime_checks", Result.RuntimeChecks.size());
   // Scheduling-dependent counters (see docs/OBSERVABILITY.md): the
   // hasQualifier memo is per checker instance, and pool accounting
   // depends on the job count by definition.
   Metrics.set("check.memo.has_qual_queries", S.HasQualQueries);
   Metrics.set("check.memo.hits", S.MemoHits);
-  Metrics.set("pool.jobs", Out.Pipeline.Jobs);
-  Metrics.set("pool.executed", Out.Pipeline.Executed);
-  Metrics.set("pool.steals", Out.Pipeline.Steals);
+  Metrics.set("pool.jobs", Pipeline.Jobs);
+  Metrics.set("pool.executed", Pipeline.Executed);
+  Metrics.set("pool.steals", Pipeline.Steals);
 }
 
-void Session::publishRecheckMetrics(const RecheckOutcome &Out) {
-  if (!Out.FrontEndOk)
+void Session::publishRecheckMetrics(
+    bool FrontEndOk, const checker::incremental::RecheckResult &Result,
+    const checker::incremental::RecheckStats &Stats) {
+  if (!FrontEndOk)
     return;
   // The check.* counters mirror publishCheckMetrics exactly: a recheck is
   // the same verdict, so metrics-invariant counters must agree with a cold
   // check() byte for byte (the edit-replay harness pins this down).
-  const checker::CheckerStats &S = Out.Result.Stats;
-  Metrics.set("check.units", Out.Stats.Units);
-  Metrics.set("check.qual_errors", Out.Result.QualErrors);
+  const checker::CheckerStats &S = Result.Stats;
+  Metrics.set("check.units", Stats.Units);
+  Metrics.set("check.qual_errors", Result.QualErrors);
   Metrics.set("check.deref_sites", S.DerefSites);
   Metrics.set("check.restrict_checks", S.RestrictChecks);
   Metrics.set("check.restrict_failures", S.RestrictFailures);
@@ -376,23 +555,40 @@ void Session::publishRecheckMetrics(const RecheckOutcome &Out) {
   Metrics.set("check.casts_to_ref_qualified", S.CastsToRefQualified);
   Metrics.set("check.elided_cast_checks", S.ElidedCastChecks);
   Metrics.set("check.format_string_checks", S.FormatStringChecks);
-  Metrics.set("check.runtime_checks", Out.Result.RuntimeCheckCount);
+  Metrics.set("check.runtime_checks", Result.RuntimeCheckCount);
   Metrics.set("check.memo.has_qual_queries", S.HasQualQueries);
   Metrics.set("check.memo.hits", S.MemoHits);
-  Metrics.set("pool.jobs", Out.Stats.Jobs);
-  Metrics.set("pool.executed", Out.Stats.Executed);
-  Metrics.set("pool.steals", Out.Stats.Steals);
+  Metrics.set("pool.jobs", Stats.Jobs);
+  Metrics.set("pool.executed", Stats.Executed);
+  Metrics.set("pool.steals", Stats.Steals);
   // incremental.*: how much of the unit the store saved us. Scheduling- and
   // history-dependent by design, so they sit behind the same metrics
   // exclusion as pool.* (docs/OBSERVABILITY.md).
   checker::incremental::Engine &E = incrementalEngine();
-  Metrics.set("incremental.units", Out.Stats.Units);
-  Metrics.set("incremental.hits", Out.Stats.Hits);
-  Metrics.set("incremental.rechecked", Out.Stats.Rechecked);
-  Metrics.set("incremental.sig_dirtied", Out.Stats.SignatureDirtied);
-  Metrics.set("incremental.evictions", Out.Stats.Evictions);
+  Metrics.set("incremental.units", Stats.Units);
+  Metrics.set("incremental.hits", Stats.Hits);
+  Metrics.set("incremental.rechecked", Stats.Rechecked);
+  Metrics.set("incremental.sig_dirtied", Stats.SignatureDirtied);
+  Metrics.set("incremental.evictions", Stats.Evictions);
   Metrics.set("incremental.store.entries", E.entries());
   Metrics.set("incremental.store.evictions", E.evictions());
+}
+
+void Session::publishFrontendMetrics(const LoadOutcome &Out,
+                                     const pp::PpStats &Pp) {
+  Metrics.set("pp.files", Pp.Files);
+  Metrics.set("pp.includes", Pp.Includes);
+  Metrics.set("pp.macros_defined", Pp.MacrosDefined);
+  Metrics.set("pp.expansions", Pp.Expansions);
+  Metrics.set("pp.conditionals", Pp.Conditionals);
+  Metrics.set("pp.lines_in", Pp.LinesIn);
+  Metrics.set("pp.lines_out", Pp.LinesOut);
+  uint64_t Ok = 0;
+  for (const frontend::TUnit &U : Out.Units)
+    Ok += U.FrontEndOk;
+  Metrics.set("frontend.units", Out.Units.size());
+  Metrics.set("frontend.units_ok", Ok);
+  Metrics.set("frontend.link_errors", Diags.countInPhase("link"));
 }
 
 void Session::publishProveMetrics(

@@ -38,6 +38,7 @@
 #include "checker/Incremental.h"
 #include "checker/Inference.h"
 #include "checker/Parallel.h"
+#include "frontend/Frontend.h"
 #include "interp/Interp.h"
 #include "prover/Prover.h"
 #include "prover/ProverCache.h"
@@ -101,6 +102,18 @@ struct SessionOptions {
   /// an unchanged qualifier set across processes then skips proving
   /// entirely.
   std::string CacheFile;
+
+  /// Multi-input front end (load/checkFiles/recheckFiles): `-I` include
+  /// search directories and `-D` predefines ("NAME" or "NAME=VALUE"), in
+  /// command-line order.
+  std::vector<std::string> IncludeDirs;
+  std::vector<std::string> Defines;
+  /// When non-null, `#include` resolution for the multi-input entry
+  /// points reads this shipped include closure instead of the filesystem
+  /// — the daemon path: `stqc --server` collects the closure client-side
+  /// (pp::collectIncludeClosure) and ships it in the request. Must
+  /// outlive the Session.
+  const pp::FileMap *ShippedFiles = nullptr;
 
   /// Process-sharing hooks (the stqd server). Each pointee must outlive
   /// the Session; all default to the owned, per-session objects.
@@ -187,6 +200,50 @@ public:
   /// check() on the same source at any job count.
   RecheckOutcome recheck(const std::string &Source);
 
+  /// Result of load(): every input compiled as its own translation unit,
+  /// plus the cross-TU link step's verdict.
+  struct LoadOutcome {
+    /// Every TU preprocessed/parsed/sema'd/lowered/verified clean.
+    bool FrontEndOk = false;
+    /// The cross-TU symbol resolution found no conflicts.
+    bool LinkOk = false;
+    bool ok() const { return FrontEndOk && LinkOk; }
+    std::vector<frontend::TUnit> Units;
+  };
+  /// The real-C multi-TU front end: each input is preprocessed
+  /// (SessionOptions::IncludeDirs/Defines), parsed, sema-checked, and
+  /// lowered as an independent TU, fanned over `Jobs` workers; per-TU
+  /// diagnostics are remapped to file-attributed user coordinates and
+  /// merged in input order (byte-identical at any job count), and
+  /// frontend::linkUnits then unifies the per-TU symbol tables.
+  LoadOutcome load(const std::vector<frontend::InputFile> &Inputs);
+
+  /// Result of checkFiles(): the multi-TU load plus the typechecker's
+  /// verdict merged over every TU in input order.
+  struct CheckFilesOutcome {
+    LoadOutcome Load;
+    checker::CheckResult Result;
+    checker::ParallelStats Pipeline;
+    bool ok() const { return Load.ok() && Result.ok(); }
+  };
+  /// Multi-TU front end + extensible typechecker over every unit (TUs in
+  /// input order, each sharded over `Jobs` workers).
+  CheckFilesOutcome checkFiles(const std::vector<frontend::InputFile> &Inputs);
+
+  /// Result of recheckFiles(): as checkFiles(), but through the
+  /// incremental engine (record lists are counts).
+  struct RecheckFilesOutcome {
+    LoadOutcome Load;
+    checker::incremental::RecheckResult Result;
+    checker::incremental::RecheckStats Stats;
+    bool ok() const { return Load.ok() && Result.ok(); }
+  };
+  /// Multi-TU front end + incremental re-check. Every work item's content
+  /// hash folds in its TU's post-preprocess stream hash, so editing a
+  /// header re-checks every translation unit that includes it.
+  RecheckFilesOutcome
+  recheckFiles(const std::vector<frontend::InputFile> &Inputs);
+
   /// Result of frontEnd().
   struct FrontEndOutcome {
     bool Ok = false;
@@ -253,8 +310,17 @@ private:
   /// parse + sema + lower + verify, recording phase.*_seconds.
   std::unique_ptr<cminus::Program> frontEnd(const std::string &Source,
                                             bool &Ok);
-  void publishCheckMetrics(const CheckOutcome &Out);
-  void publishRecheckMetrics(const RecheckOutcome &Out);
+  /// The shared per-TU compile configuration for load().
+  frontend::CompileOptions compileOptions() const;
+  /// Remaps \p Unit's diagnostics through \p U's line map and re-reports
+  /// them into the session engine.
+  void reportUnitDiags(DiagnosticEngine &Unit, const frontend::TUnit &U);
+  void publishCheckMetrics(bool FrontEndOk, const checker::CheckResult &Result,
+                           const checker::ParallelStats &Pipeline);
+  void publishRecheckMetrics(bool FrontEndOk,
+                             const checker::incremental::RecheckResult &Result,
+                             const checker::incremental::RecheckStats &Stats);
+  void publishFrontendMetrics(const LoadOutcome &Out, const pp::PpStats &Pp);
   /// The engine recheck() uses: the shared one when wired, else a lazily
   /// created session-owned engine.
   checker::incremental::Engine &incrementalEngine();

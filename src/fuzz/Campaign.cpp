@@ -14,6 +14,7 @@
 #include "server/Exec.h"
 #include "support/MetricsEmitter.h"
 #include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
 
 #include <chrono>
 #include <cstdlib>
@@ -826,6 +827,84 @@ void vmScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
   vmOracle(Source, RunSeed, C);
 }
 
+/// `check` over the multi-TU front end: the units ship as `inputs`, the
+/// headers as an in-memory `files` map, exactly like a client talking to
+/// stqd.
+server::ExecResult multiTuInvocation(const workloads::MultiTuProgram &P,
+                                     unsigned Jobs) {
+  server::Invocation Inv;
+  Inv.Command = "check";
+  for (const workloads::MultiTuProgram::File &U : P.Units)
+    Inv.Inputs.push_back({U.Name, U.Text});
+  for (const workloads::MultiTuProgram::File &H : P.Headers)
+    Inv.Files[H.Name] = H.Text;
+  Inv.HasFiles = true;
+  Inv.Session.Builtins = {"pos", "neg"};
+  Inv.Session.Jobs = Jobs;
+  return server::executeInvocation(Inv);
+}
+
+/// The same program pre-expanded into one translation unit, still fed
+/// through the preprocessing front end (the flattening keeps the #define
+/// and #ifndef lines, only #includes are gone).
+server::ExecResult flattenedInvocation(const workloads::MultiTuProgram &P) {
+  server::Invocation Inv;
+  Inv.Command = "check";
+  Inv.Inputs.push_back({"flattened.c", P.Flattened});
+  Inv.HasFiles = true; // Empty map: the flattening resolves no includes.
+  Inv.Session.Builtins = {"pos", "neg"};
+  Inv.Session.Jobs = 1;
+  return server::executeInvocation(Inv);
+}
+
+/// The `qualifier errors: ...` verdict line, the location-independent tail
+/// of a check's stdout (multi-TU and flattened runs place diagnostics at
+/// different files/lines, so only the counters are comparable).
+std::string verdictLine(const std::string &Out) {
+  size_t Pos = Out.rfind("qualifier errors:");
+  return Pos == std::string::npos ? std::string() : Out.substr(Pos);
+}
+
+/// The frontend oracle: preprocess-then-check on a generated multi-TU
+/// program must be byte-identical across job counts, and its verdict
+/// counters must equal checking the pre-expanded single-TU flattening of
+/// the same program.
+void frontendScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  unsigned Units = 2 + static_cast<unsigned>(R.pick(6));
+  unsigned Fns = 1 + static_cast<unsigned>(R.pick(4));
+  unsigned Seed = 1 + static_cast<unsigned>(R.pick(63));
+  workloads::MultiTuProgram P = workloads::makeMultiTuFarm(Units, Fns, Seed);
+  C.Stats.add("fuzz.frontend.inputs", 1);
+
+  server::ExecResult Seq = multiTuInvocation(P, 1);
+  server::ExecResult Par = multiTuInvocation(P, C.Opts.Jobs);
+  if (!sameExec(Seq, Par)) {
+    FuzzFailure F;
+    F.Oracle = "frontend";
+    F.Kind = "jobs-mismatch-multitu";
+    F.RunSeed = RunSeed;
+    F.Input = P.Flattened;
+    F.Detail = describeExecDiff(Seq, Par, "jobs=1", "jobs=N");
+    reportFailure(C, std::move(F));
+    return;
+  }
+
+  server::ExecResult Flat = flattenedInvocation(P);
+  if (Seq.ExitCode != Flat.ExitCode ||
+      verdictLine(Seq.Out) != verdictLine(Flat.Out)) {
+    FuzzFailure F;
+    F.Oracle = "frontend";
+    F.Kind = "flatten-mismatch";
+    F.RunSeed = RunSeed;
+    F.Input = P.Flattened;
+    F.Detail = "multi-TU (" + std::to_string(P.Units.size()) +
+               " units, farm seed " + std::to_string(Seed) + ") vs " +
+               "flattened single TU: " +
+               describeExecDiff(Seq, Flat, "multi-tu", "flattened");
+    reportFailure(C, std::move(F));
+  }
+}
+
 void robustnessScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
   C.Stats.add("fuzz.robustness.inputs", 1);
   switch (R.pick(4)) {
@@ -925,8 +1004,10 @@ CampaignResult stq::fuzz::runCampaign(const CampaignOptions &Opts,
       editReplayScenario(R, RunSeed, C);
     else if (Only == "inference" || (Only.empty() && W < 96))
       inferenceScenario(R, RunSeed, C);
-    else if (Only == "vm" || (Only.empty() && W < 98))
+    else if (Only == "vm" || (Only.empty() && W < 97))
       vmScenario(R, RunSeed, C);
+    else if (Only == "frontend" || (Only.empty() && W < 99))
+      frontendScenario(R, RunSeed, C);
     else
       robustnessScenario(R, RunSeed, C);
     ++Result.RunsExecuted;

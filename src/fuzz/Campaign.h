@@ -7,7 +7,7 @@
 ///
 /// \file
 /// Orchestrates randomized fuzzing runs over the whole pipeline, holding
-/// seven oracles over every generated input:
+/// eight oracles over every generated input:
 ///
 ///  1. Soundness (Theorem 5.1, executable): a program the checker accepts
 ///     must execute with zero invariant-audit failures under
@@ -42,6 +42,11 @@
 ///     itself with elision disabled on everything but the executed-check
 ///     count. Runs on every checker-accepted program, on dedicated
 ///     `vm`-scenario draws, and on replayed `.cmm` corpus files.
+///  8. Front-end flattening: preprocess-then-check on a generated
+///     multi-translation-unit program (shared headers, macros, cross-TU
+///     prototypes) must be byte-identical across job counts, and its
+///     verdict counters must equal checking the pre-expanded single-TU
+///     flattening of the same program.
 ///
 /// Failures carry the offending input, delta-minimized when
 /// CampaignOptions::Minimize is set. Every run is derived from the
@@ -78,8 +83,9 @@ struct CampaignOptions {
   uint64_t Fuel = 200000;
   /// When non-empty, every run executes this one scenario instead of the
   /// weighted mix: "soundness", "mixed", "qualgen", "prover",
-  /// "edit-replay", "inference", or "robustness" (the CI incremental-smoke
-  /// job pins "edit-replay", inference-smoke pins "inference").
+  /// "edit-replay", "inference", "vm", "frontend", or "robustness" (the
+  /// CI incremental-smoke job pins "edit-replay", inference-smoke pins
+  /// "inference", frontend-smoke pins "frontend").
   std::string OnlyScenario;
 };
 
@@ -87,7 +93,7 @@ struct CampaignOptions {
 /// context to reproduce it.
 struct FuzzFailure {
   /// "soundness", "engine-differential", "metamorphic", "edit-replay",
-  /// "inference", or "robustness".
+  /// "inference", "vm", "frontend", or "robustness".
   std::string Oracle;
   /// The per-run seed that produced the input.
   uint64_t RunSeed = 0;

@@ -1,0 +1,1166 @@
+//===- Preprocessor.cpp ---------------------------------------------------===//
+
+#include "pp/Preprocessor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+using namespace stq;
+using namespace stq::pp;
+
+FileResolver::~FileResolver() = default;
+
+bool DiskResolver::read(const std::string &Path, std::string &Text) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Text = SS.str();
+  if (Record)
+    (*Record)[Path] = Text;
+  return true;
+}
+
+bool MemoryResolver::read(const std::string &Path, std::string &Text) {
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return false;
+  Text = It->second;
+  return true;
+}
+
+std::string stq::pp::dirName(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return "";
+  return Path.substr(0, Slash);
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Comment stripping (phase preserving line/column coordinates)
+//===----------------------------------------------------------------------===//
+
+/// Replaces comment bytes with spaces so every surviving token keeps its
+/// physical (line, col); newlines inside block comments are preserved so
+/// line numbers stay aligned. String and char literals are respected.
+std::string stripComments(const std::string &In) {
+  std::string Out = In;
+  enum { Code, Str, Chr, Line, Block } State = Code;
+  for (size_t I = 0; I < Out.size(); ++I) {
+    char C = Out[I];
+    char N = I + 1 < Out.size() ? Out[I + 1] : '\0';
+    switch (State) {
+    case Code:
+      if (C == '"')
+        State = Str;
+      else if (C == '\'')
+        State = Chr;
+      else if (C == '/' && N == '/') {
+        State = Line;
+        Out[I] = ' ';
+      } else if (C == '/' && N == '*') {
+        State = Block;
+        Out[I] = ' ';
+      }
+      break;
+    case Str:
+      if (C == '\\' && N != '\0')
+        ++I;
+      else if (C == '"' || C == '\n')
+        State = Code;
+      break;
+    case Chr:
+      if (C == '\\' && N != '\0')
+        ++I;
+      else if (C == '\'' || C == '\n')
+        State = Code;
+      break;
+    case Line:
+      if (C == '\n')
+        State = Code;
+      else
+        Out[I] = ' ';
+      break;
+    case Block:
+      if (C == '*' && N == '/') {
+        Out[I] = ' ';
+        Out[I + 1] = ' ';
+        ++I;
+        State = Code;
+      } else if (C != '\n') {
+        Out[I] = ' ';
+      }
+      break;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Pp tokens
+//===----------------------------------------------------------------------===//
+
+/// One preprocessing token: the raw spelling plus the hide set that
+/// implements the C99 no-reexpansion rule (a macro name already expanded
+/// on this token's derivation path never expands again).
+struct PTok {
+  std::string Text;
+  std::vector<std::string> Hide;
+
+  bool hidden(const std::string &Name) const {
+    return std::find(Hide.begin(), Hide.end(), Name) != Hide.end();
+  }
+};
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentToken(const std::string &T) {
+  return !T.empty() && isIdentStart(T[0]);
+}
+
+/// Splits one logical line into preprocessing tokens (spellings only;
+/// whitespace dropped). Strings/chars are single tokens; punctuation is
+/// matched greedily so `->`, `==`, `...` survive re-rendering.
+std::vector<PTok> scanTokens(const std::string &Line) {
+  std::vector<PTok> Out;
+  size_t I = 0;
+  const size_t N = Line.size();
+  auto take = [&](size_t Len) {
+    Out.push_back({Line.substr(I, Len), {}});
+    I += Len;
+  };
+  while (I < N) {
+    char C = Line[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t J = I + 1;
+      while (J < N && isIdentChar(Line[J]))
+        ++J;
+      take(J - I);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      // A pp-number: digits, letters, underscores, dots (covers hex).
+      size_t J = I + 1;
+      while (J < N && (isIdentChar(Line[J]) || Line[J] == '.'))
+        ++J;
+      take(J - I);
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      size_t J = I + 1;
+      while (J < N && Line[J] != C) {
+        if (Line[J] == '\\' && J + 1 < N)
+          ++J;
+        ++J;
+      }
+      take(std::min(J + 1, N) - I);
+      continue;
+    }
+    // Punctuation, longest match first.
+    static const char *Three[] = {"..."};
+    static const char *Two[] = {"->", "==", "!=", "<=", ">=",
+                                "&&", "||", "=>", "<<", ">>"};
+    bool Matched = false;
+    for (const char *P : Three)
+      if (Line.compare(I, 3, P) == 0) {
+        take(3);
+        Matched = true;
+        break;
+      }
+    if (Matched)
+      continue;
+    for (const char *P : Two)
+      if (Line.compare(I, 2, P) == 0) {
+        take(2);
+        Matched = true;
+        break;
+      }
+    if (Matched)
+      continue;
+    take(1);
+  }
+  return Out;
+}
+
+std::string renderTokens(const std::vector<PTok> &Toks) {
+  std::string Out;
+  for (const PTok &T : Toks) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += T.Text;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Macros
+//===----------------------------------------------------------------------===//
+
+struct Macro {
+  std::string Name;
+  bool FunctionLike = false;
+  std::vector<std::string> Params;
+  std::vector<PTok> Body;
+};
+
+//===----------------------------------------------------------------------===//
+// The preprocessor state machine
+//===----------------------------------------------------------------------===//
+
+/// FNV-1a over two independent 64-bit streams (the incremental layer's
+/// Hash128 shape, computed locally so pp stays dependency-light).
+struct StreamHasher {
+  uint64_t A = 0xcbf29ce484222325ULL;
+  uint64_t B = 0x9e3779b97f4a7c15ULL;
+  void bytes(const std::string &S) {
+    u64(S.size());
+    for (char C : S)
+      byte(static_cast<uint8_t>(C));
+  }
+  void byte(uint8_t X) {
+    A = (A ^ X) * 0x100000001b3ULL;
+    B = (B ^ X) * 0xff51afd7ed558ccdULL;
+  }
+  void u64(uint64_t X) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<uint8_t>(X >> (I * 8)));
+  }
+};
+
+/// One #if/#ifdef level.
+struct Cond {
+  bool ParentActive = true;
+  /// The branch currently selected at this level.
+  bool ThisActive = false;
+  /// Some branch at this level has already been taken (gates #elif/#else).
+  bool Taken = false;
+  bool SeenElse = false;
+  unsigned Line = 0; ///< Where the #if sits, for unterminated diagnostics.
+};
+
+class Pp {
+public:
+  Pp(FileResolver &Resolver, const PpOptions &Options,
+     DiagnosticEngine &Diags)
+      : Resolver(Resolver), Opts(Options), Diags(Diags) {
+    Result.Map.Stacks.emplace_back(); // Stacks[0] = the empty chain.
+  }
+
+  PpResult run(const std::string &MainName, const std::string &MainText) {
+    for (const std::string &D : Opts.Defines)
+      predefine(D);
+    processFile(MainName, MainText);
+    StreamHasher H;
+    H.bytes(Result.Text);
+    for (const std::string &F : ClosureNames)
+      H.bytes(F);
+    Result.StreamHashA = H.A;
+    Result.StreamHashB = H.B;
+    Result.Ok = ErrorCount == 0;
+    return std::move(Result);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Diagnostics
+  //===--------------------------------------------------------------------===//
+
+  void error(const std::string &File, unsigned Line, const std::string &Msg) {
+    ++ErrorCount;
+    if (ErrorCount > Opts.MaxErrors)
+      return;
+    if (ErrorCount == Opts.MaxErrors) {
+      Diags.error(SourceLoc(), "pp",
+                  "too many preprocessor errors; suppressing the rest");
+      return;
+    }
+    Diagnostic D;
+    D.Severity = DiagSeverity::Error;
+    D.File = File;
+    D.Loc = SourceLoc(Line, 1);
+    D.Phase = "pp";
+    D.Message = Msg;
+    Diags.report(std::move(D));
+    noteIncludeChain();
+  }
+
+  /// Emits one "in file included from ..." note per active include frame,
+  /// innermost includer first — the rendering the multi-TU front end also
+  /// uses for parse/sema/check diagnostics on included lines.
+  void noteIncludeChain() {
+    for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+      Diags.note(SourceLoc(), "pp",
+                 "in file included from " + It->File + ":" +
+                     std::to_string(It->Line));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Output
+  //===--------------------------------------------------------------------===//
+
+  uint32_t fileId(const std::string &Name) {
+    for (uint32_t I = 0; I < Result.Map.Files.size(); ++I)
+      if (Result.Map.Files[I] == Name)
+        return I;
+    Result.Map.Files.push_back(Name);
+    return static_cast<uint32_t>(Result.Map.Files.size() - 1);
+  }
+
+  uint32_t stackId() {
+    if (Stack.empty())
+      return 0;
+    // Linear intern: include chains are few and shallow.
+    for (uint32_t I = 1; I < Result.Map.Stacks.size(); ++I) {
+      const auto &S = Result.Map.Stacks[I];
+      if (S.size() == Stack.size() &&
+          std::equal(S.begin(), S.end(), Stack.begin(),
+                     [](const IncludeFrame &A, const IncludeFrame &B) {
+                       return A.File == B.File && A.Line == B.Line;
+                     }))
+        return I;
+    }
+    Result.Map.Stacks.push_back(Stack);
+    return static_cast<uint32_t>(Result.Map.Stacks.size() - 1);
+  }
+
+  void emitLine(const std::string &Text, const std::string &File,
+                unsigned PhysLine, const std::string &Macro) {
+    Result.Text += Text;
+    Result.Text += '\n';
+    LineInfo Info;
+    Info.FileId = fileId(File);
+    Info.PhysLine = PhysLine;
+    Info.StackId = stackId();
+    Info.Macro = Macro;
+    Result.Map.Lines.push_back(std::move(Info));
+    ++Result.Stats.LinesOut;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Macro table
+  //===--------------------------------------------------------------------===//
+
+  const Macro *findMacro(const std::string &Name) const {
+    auto It = Macros.find(Name);
+    return It == Macros.end() ? nullptr : &It->second;
+  }
+
+  void predefine(const std::string &Spec) {
+    size_t Eq = Spec.find('=');
+    Macro M;
+    M.Name = Eq == std::string::npos ? Spec : Spec.substr(0, Eq);
+    std::string Value = Eq == std::string::npos ? "1" : Spec.substr(Eq + 1);
+    M.Body = scanTokens(Value);
+    if (M.Name.empty() || !isIdentToken(M.Name)) {
+      error("<command line>", 0, "bad -D macro name '" + M.Name + "'");
+      return;
+    }
+    ++Result.Stats.MacrosDefined;
+    Macros[M.Name] = std::move(M);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // One file
+  //===--------------------------------------------------------------------===//
+
+  /// Splits \p Text into logical lines (backslash-newline spliced),
+  /// remembering each logical line's first physical line number.
+  static void splitLogicalLines(const std::string &Text,
+                                std::vector<std::string> &Lines,
+                                std::vector<unsigned> &PhysLines,
+                                uint64_t &PhysCount) {
+    std::string Cur;
+    unsigned Phys = 1, Start = 1;
+    bool Open = false;
+    auto flush = [&]() {
+      Lines.push_back(Cur);
+      PhysLines.push_back(Start);
+      Cur.clear();
+      Open = false;
+    };
+    for (size_t I = 0; I < Text.size(); ++I) {
+      char C = Text[I];
+      if (C == '\n') {
+        ++PhysCount;
+        if (!Cur.empty() && Cur.back() == '\\') {
+          Cur.pop_back();
+          Open = true;
+          ++Phys;
+          continue;
+        }
+        flush();
+        ++Phys;
+        Start = Phys;
+        continue;
+      }
+      if (!Open && Cur.empty())
+        Start = Phys;
+      Open = true;
+      Cur += C;
+    }
+    if (Open || !Cur.empty()) {
+      ++PhysCount;
+      flush();
+    }
+  }
+
+  void processFile(const std::string &Name, const std::string &RawText) {
+    ++Result.Stats.Files;
+    ClosureNames.push_back(Name);
+    ActiveFiles.push_back(Name);
+    std::string Text = stripComments(RawText);
+    std::vector<std::string> Lines;
+    std::vector<unsigned> PhysLines;
+    splitLogicalLines(Text, Lines, PhysLines, Result.Stats.LinesIn);
+
+    std::vector<Cond> Conds;
+    size_t CondBase = 0; // Conds is per-file by construction.
+    (void)CondBase;
+
+    for (size_t Idx = 0; Idx < Lines.size(); ++Idx) {
+      const std::string &Line = Lines[Idx];
+      unsigned Phys = PhysLines[Idx];
+      size_t NonWs = Line.find_first_not_of(" \t");
+      bool Active = true;
+      for (const Cond &C : Conds)
+        Active = Active && C.ParentActive && C.ThisActive;
+
+      if (NonWs != std::string::npos && Line[NonWs] == '#') {
+        handleDirective(Name, Line.substr(NonWs + 1), Phys, Conds, Active);
+        continue;
+      }
+      if (!Active)
+        continue;
+      processTextLine(Name, Line, Phys, Lines, Idx);
+    }
+
+    for (const Cond &C : Conds)
+      error(Name, C.Line, "unterminated conditional directive");
+    ActiveFiles.pop_back();
+  }
+
+  /// Emits one in-conditional source line, expanding macros when any are
+  /// invoked on it. Function-like invocations may consume following lines
+  /// (arguments spanning lines); \p Idx advances past them.
+  void processTextLine(const std::string &File, const std::string &Line,
+                       unsigned Phys, const std::vector<std::string> &Lines,
+                       size_t &Idx) {
+    std::vector<PTok> Toks = scanTokens(Line);
+    // Fast path: no expandable macro on the line — emit verbatim, keeping
+    // the user's exact columns.
+    bool NeedsExpansion = false;
+    for (size_t I = 0; I < Toks.size(); ++I) {
+      if (!isIdentToken(Toks[I].Text))
+        continue;
+      const Macro *M = findMacro(Toks[I].Text);
+      if (!M)
+        continue;
+      if (!M->FunctionLike ||
+          (I + 1 < Toks.size() && Toks[I + 1].Text == "(") ||
+          I + 1 == Toks.size()) {
+        NeedsExpansion = true;
+        break;
+      }
+    }
+    if (!NeedsExpansion) {
+      emitLine(Line, File, Phys, "");
+      return;
+    }
+
+    unsigned Budget = Opts.MaxExpansionsPerLine;
+    std::string FirstMacro;
+    RefillFn Refill = [&](std::vector<PTok> &More) {
+      // Pull the next logical line into the token buffer (a function-like
+      // invocation whose arguments span lines). Directives inside an
+      // invocation are not supported.
+      if (Idx + 1 >= Lines.size())
+        return false;
+      const std::string &Next = Lines[Idx + 1];
+      size_t NonWs = Next.find_first_not_of(" \t");
+      if (NonWs != std::string::npos && Next[NonWs] == '#')
+        return false;
+      ++Idx;
+      More = scanTokens(Next);
+      return true;
+    };
+    std::vector<PTok> Expanded =
+        expandTokens(std::move(Toks), File, Phys, Budget, &FirstMacro,
+                     &Refill);
+    emitLine(renderTokens(Expanded), File, Phys, FirstMacro);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Macro expansion
+  //===--------------------------------------------------------------------===//
+
+  using RefillFn = std::function<bool(std::vector<PTok> &)>;
+
+  /// Rewrites \p Toks until no expandable macro remains (hide sets
+  /// guarantee termination; \p Budget caps pathological growth).
+  std::vector<PTok> expandTokens(std::vector<PTok> Toks,
+                                 const std::string &File, unsigned Phys,
+                                 unsigned &Budget, std::string *FirstMacro,
+                                 const RefillFn *Refill) {
+    std::vector<PTok> Out;
+    size_t I = 0;
+    bool BudgetDiagnosed = false;
+    while (I < Toks.size()) {
+      PTok &T = Toks[I];
+      const Macro *M =
+          isIdentToken(T.Text) && !T.hidden(T.Text) ? findMacro(T.Text)
+                                                    : nullptr;
+      if (!M) {
+        Out.push_back(std::move(T));
+        ++I;
+        continue;
+      }
+      if (Budget == 0) {
+        if (!BudgetDiagnosed) {
+          BudgetDiagnosed = true;
+          error(File, Phys, "macro expansion limit exceeded on this line");
+        }
+        Out.push_back(std::move(T));
+        ++I;
+        continue;
+      }
+
+      if (!M->FunctionLike) {
+        --Budget;
+        ++Result.Stats.Expansions;
+        if (FirstMacro && FirstMacro->empty())
+          *FirstMacro = M->Name;
+        std::vector<PTok> Body = M->Body;
+        for (PTok &B : Body) {
+          B.Hide = T.Hide;
+          B.Hide.push_back(M->Name);
+        }
+        Toks.erase(Toks.begin() + static_cast<long>(I));
+        Toks.insert(Toks.begin() + static_cast<long>(I), Body.begin(),
+                    Body.end());
+        continue; // Rescan from the spliced tokens.
+      }
+
+      // Function-like: require '(' (possibly on a following line).
+      if (I + 1 >= Toks.size() && Refill) {
+        std::vector<PTok> More;
+        if ((*Refill)(More))
+          Toks.insert(Toks.end(), More.begin(), More.end());
+      }
+      if (I + 1 >= Toks.size() || Toks[I + 1].Text != "(") {
+        Out.push_back(std::move(T));
+        ++I;
+        continue;
+      }
+
+      // Collect arguments, balancing parentheses.
+      std::vector<std::vector<PTok>> Args;
+      Args.emplace_back();
+      size_t J = I + 2;
+      int Depth = 1;
+      bool Closed = false;
+      while (true) {
+        if (J >= Toks.size()) {
+          std::vector<PTok> More;
+          if (Refill && (*Refill)(More)) {
+            Toks.insert(Toks.end(), More.begin(), More.end());
+            continue;
+          }
+          break;
+        }
+        const std::string &S = Toks[J].Text;
+        if (S == "(")
+          ++Depth;
+        else if (S == ")") {
+          --Depth;
+          if (Depth == 0) {
+            Closed = true;
+            ++J;
+            break;
+          }
+        } else if (S == "," && Depth == 1) {
+          Args.emplace_back();
+          ++J;
+          continue;
+        }
+        Args.back().push_back(Toks[J]);
+        ++J;
+      }
+      if (!Closed) {
+        error(File, Phys,
+              "unterminated invocation of macro '" + M->Name + "'");
+        Out.push_back(std::move(T));
+        ++I;
+        continue;
+      }
+      // `M()` with one empty argument means zero arguments.
+      if (Args.size() == 1 && Args[0].empty() && M->Params.empty())
+        Args.clear();
+      if (Args.size() != M->Params.size()) {
+        error(File, Phys,
+              "macro '" + M->Name + "' expects " +
+                  std::to_string(M->Params.size()) + " argument(s), got " +
+                  std::to_string(Args.size()));
+        Out.push_back(std::move(T));
+        ++I;
+        continue;
+      }
+
+      --Budget;
+      ++Result.Stats.Expansions;
+      if (FirstMacro && FirstMacro->empty())
+        *FirstMacro = M->Name;
+
+      // Arguments are fully expanded before substitution (C99 6.10.3.1).
+      std::vector<std::vector<PTok>> ExpArgs;
+      ExpArgs.reserve(Args.size());
+      for (std::vector<PTok> &A : Args)
+        ExpArgs.push_back(
+            expandTokens(std::move(A), File, Phys, Budget, nullptr, nullptr));
+
+      std::vector<PTok> Body;
+      for (const PTok &B : M->Body) {
+        auto P = std::find(M->Params.begin(), M->Params.end(), B.Text);
+        if (isIdentToken(B.Text) && P != M->Params.end()) {
+          const auto &Arg = ExpArgs[static_cast<size_t>(
+              P - M->Params.begin())];
+          for (PTok A : Arg) {
+            A.Hide.insert(A.Hide.end(), T.Hide.begin(), T.Hide.end());
+            A.Hide.push_back(M->Name);
+            Body.push_back(std::move(A));
+          }
+          continue;
+        }
+        PTok Copy = B;
+        Copy.Hide = T.Hide;
+        Copy.Hide.push_back(M->Name);
+        Body.push_back(std::move(Copy));
+      }
+      Toks.erase(Toks.begin() + static_cast<long>(I),
+                 Toks.begin() + static_cast<long>(J));
+      Toks.insert(Toks.begin() + static_cast<long>(I), Body.begin(),
+                  Body.end());
+      // Rescan from the spliced tokens.
+    }
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Directives
+  //===--------------------------------------------------------------------===//
+
+  void handleDirective(const std::string &File, const std::string &Tail,
+                       unsigned Phys, std::vector<Cond> &Conds,
+                       bool Active) {
+    std::vector<PTok> Toks = scanTokens(Tail);
+    if (Toks.empty())
+      return; // The null directive (`#`) is legal and ignored.
+    const std::string &Name = Toks[0].Text;
+
+    // Conditional-flow directives act even in skipped regions.
+    if (Name == "if" || Name == "ifdef" || Name == "ifndef") {
+      if (Conds.size() >= Opts.MaxConditionalDepth) {
+        error(File, Phys, "conditional nesting too deep (max " +
+                              std::to_string(Opts.MaxConditionalDepth) + ")");
+        // Keep the stack balanced so the matching #endif pops cleanly.
+      }
+      Cond C;
+      C.ParentActive = Active && Conds.size() < Opts.MaxConditionalDepth;
+      C.Line = Phys;
+      if (C.ParentActive) {
+        ++Result.Stats.Conditionals;
+        bool V = false;
+        if (Name == "if") {
+          V = evalCondition(File, Phys,
+                            std::vector<PTok>(Toks.begin() + 1, Toks.end()));
+        } else {
+          if (Toks.size() < 2 || !isIdentToken(Toks[1].Text))
+            error(File, Phys, "expected macro name after #" + Name);
+          else
+            V = findMacro(Toks[1].Text) != nullptr;
+          if (Name == "ifndef")
+            V = !V;
+        }
+        C.ThisActive = V;
+        C.Taken = V;
+      }
+      Conds.push_back(C);
+      return;
+    }
+    if (Name == "elif") {
+      if (Conds.empty() || Conds.back().SeenElse) {
+        error(File, Phys, "#elif without matching #if");
+        return;
+      }
+      Cond &C = Conds.back();
+      if (!C.ParentActive)
+        return;
+      if (C.Taken) {
+        C.ThisActive = false;
+        return;
+      }
+      bool V = evalCondition(File, Phys,
+                             std::vector<PTok>(Toks.begin() + 1, Toks.end()));
+      C.ThisActive = V;
+      C.Taken = V;
+      return;
+    }
+    if (Name == "else") {
+      if (Conds.empty() || Conds.back().SeenElse) {
+        error(File, Phys, "#else without matching #if");
+        return;
+      }
+      Cond &C = Conds.back();
+      C.SeenElse = true;
+      if (!C.ParentActive)
+        return;
+      C.ThisActive = !C.Taken;
+      C.Taken = true;
+      return;
+    }
+    if (Name == "endif") {
+      if (Conds.empty()) {
+        error(File, Phys, "#endif without matching #if");
+        return;
+      }
+      Conds.pop_back();
+      return;
+    }
+
+    if (!Active)
+      return; // Everything below is skipped in a false branch.
+
+    if (Name == "include") {
+      handleInclude(File, Tail, Phys);
+      return;
+    }
+    if (Name == "define") {
+      handleDefine(File, Tail, Phys, Toks);
+      return;
+    }
+    if (Name == "undef") {
+      if (Toks.size() < 2 || !isIdentToken(Toks[1].Text)) {
+        error(File, Phys, "expected macro name after #undef");
+        return;
+      }
+      Macros.erase(Toks[1].Text);
+      return;
+    }
+    if (Name == "error") {
+      std::string Msg = Tail.substr(Tail.find("error") + 5);
+      size_t S = Msg.find_first_not_of(" \t");
+      error(File, Phys,
+            "#error" + (S == std::string::npos ? std::string()
+                                               : ": " + Msg.substr(S)));
+      return;
+    }
+    if (Name == "pragma")
+      return; // Accepted and ignored.
+    error(File, Phys, "unknown preprocessor directive '#" + Name + "'");
+  }
+
+  void handleDefine(const std::string &File, const std::string &Tail,
+                    unsigned Phys, const std::vector<PTok> &Toks) {
+    if (Toks.size() < 2 || !isIdentToken(Toks[1].Text)) {
+      error(File, Phys, "expected macro name after #define");
+      return;
+    }
+    Macro M;
+    M.Name = Toks[1].Text;
+    size_t BodyStart = 2;
+    // Function-like iff '(' immediately follows the name (no whitespace):
+    // find the name in the raw tail and inspect the next character.
+    size_t NamePos = Tail.find(M.Name, Tail.find("define") + 6);
+    bool FnLike = NamePos != std::string::npos &&
+                  NamePos + M.Name.size() < Tail.size() &&
+                  Tail[NamePos + M.Name.size()] == '(';
+    if (FnLike) {
+      M.FunctionLike = true;
+      size_t I = 2;
+      if (I >= Toks.size() || Toks[I].Text != "(") {
+        error(File, Phys, "malformed macro parameter list");
+        return;
+      }
+      ++I;
+      if (I < Toks.size() && Toks[I].Text == ")") {
+        ++I;
+      } else {
+        while (true) {
+          if (I >= Toks.size()) {
+            error(File, Phys, "unterminated macro parameter list");
+            return;
+          }
+          if (Toks[I].Text == "...") {
+            error(File, Phys, "variadic macros are not supported");
+            return;
+          }
+          if (!isIdentToken(Toks[I].Text)) {
+            error(File, Phys,
+                  "expected parameter name in macro parameter list");
+            return;
+          }
+          if (std::find(M.Params.begin(), M.Params.end(), Toks[I].Text) !=
+              M.Params.end())
+            error(File, Phys, "duplicate macro parameter '" + Toks[I].Text +
+                                  "'");
+          M.Params.push_back(Toks[I].Text);
+          ++I;
+          if (I < Toks.size() && Toks[I].Text == ",") {
+            ++I;
+            continue;
+          }
+          if (I < Toks.size() && Toks[I].Text == ")") {
+            ++I;
+            break;
+          }
+          error(File, Phys, "expected ',' or ')' in macro parameter list");
+          return;
+        }
+      }
+      BodyStart = I;
+    }
+    for (size_t I = BodyStart; I < Toks.size(); ++I) {
+      if (Toks[I].Text == "#" || Toks[I].Text == "##")
+        error(File, Phys,
+              "'" + Toks[I].Text +
+                  "' (stringize/paste) is not supported in macro bodies");
+      M.Body.push_back(Toks[I]);
+    }
+    auto It = Macros.find(M.Name);
+    if (It != Macros.end())
+      Diags.warning(SourceLoc(Phys, 1), "pp",
+                    "macro '" + M.Name + "' redefined");
+    ++Result.Stats.MacrosDefined;
+    Macros[M.Name] = std::move(M);
+  }
+
+  void handleInclude(const std::string &File, const std::string &Tail,
+                     unsigned Phys) {
+    // Parse `"name"` or `<name>` from the raw tail (the token scanner
+    // would split <a/b.h> at punctuation).
+    size_t Pos = Tail.find("include") + 7;
+    while (Pos < Tail.size() &&
+           std::isspace(static_cast<unsigned char>(Tail[Pos])))
+      ++Pos;
+    if (Pos >= Tail.size() || (Tail[Pos] != '"' && Tail[Pos] != '<')) {
+      error(File, Phys, "expected \"file\" or <file> after #include");
+      return;
+    }
+    bool Angled = Tail[Pos] == '<';
+    char Close = Angled ? '>' : '"';
+    size_t End = Tail.find(Close, Pos + 1);
+    if (End == std::string::npos) {
+      error(File, Phys, "unterminated #include file name");
+      return;
+    }
+    std::string Name = Tail.substr(Pos + 1, End - Pos - 1);
+    if (Name.empty()) {
+      error(File, Phys, "empty #include file name");
+      return;
+    }
+
+    if (Stack.size() >= Opts.MaxIncludeDepth) {
+      error(File, Phys,
+            "include depth exceeds " + std::to_string(Opts.MaxIncludeDepth) +
+                " (possible include cycle) while including '" + Name + "'");
+      return;
+    }
+
+    std::vector<std::string> Candidates;
+    if (!Name.empty() && Name[0] == '/') {
+      Candidates.push_back(Name);
+    } else {
+      if (!Angled) {
+        std::string Dir = dirName(File);
+        Candidates.push_back(Dir.empty() ? Name : Dir + "/" + Name);
+      }
+      for (const std::string &D : Opts.IncludeDirs)
+        Candidates.push_back(D.empty() ? Name : D + "/" + Name);
+    }
+
+    std::string Text, Resolved;
+    for (const std::string &C : Candidates)
+      if (Resolver.read(C, Text)) {
+        Resolved = C;
+        break;
+      }
+    if (Resolved.empty()) {
+      std::string Tried;
+      for (const std::string &C : Candidates)
+        Tried += (Tried.empty() ? "" : ", ") + C;
+      error(File, Phys,
+            Angled ? "<" + Name + ">: no such header (searched: " + Tried +
+                         ")"
+                   : "\"" + Name + "\": no such header (searched: " + Tried +
+                         ")");
+      return;
+    }
+    for (const std::string &A : ActiveFiles)
+      if (A == Resolved) {
+        error(File, Phys, "circular include of '" + Resolved + "'");
+        return;
+      }
+
+    ++Result.Stats.Includes;
+    Stack.push_back({File, Phys});
+    processFile(Resolved, Text);
+    Stack.pop_back();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // #if constant expressions
+  //===--------------------------------------------------------------------===//
+
+  /// `defined X` / `defined(X)` replacement, then macro expansion, then
+  /// the constant-expression parser. Unknown identifiers evaluate to 0
+  /// (the C semantics).
+  bool evalCondition(const std::string &File, unsigned Phys,
+                     std::vector<PTok> Toks) {
+    std::vector<PTok> Replaced;
+    for (size_t I = 0; I < Toks.size(); ++I) {
+      if (Toks[I].Text != "defined") {
+        Replaced.push_back(std::move(Toks[I]));
+        continue;
+      }
+      std::string Target;
+      if (I + 1 < Toks.size() && isIdentToken(Toks[I + 1].Text)) {
+        Target = Toks[I + 1].Text;
+        I += 1;
+      } else if (I + 3 < Toks.size() && Toks[I + 1].Text == "(" &&
+                 isIdentToken(Toks[I + 2].Text) && Toks[I + 3].Text == ")") {
+        Target = Toks[I + 2].Text;
+        I += 3;
+      } else {
+        error(File, Phys, "expected macro name after 'defined'");
+        return false;
+      }
+      PTok T;
+      T.Text = findMacro(Target) ? "1" : "0";
+      Replaced.push_back(std::move(T));
+    }
+    unsigned Budget = Opts.MaxExpansionsPerLine;
+    std::vector<PTok> Expanded = expandTokens(std::move(Replaced), File,
+                                              Phys, Budget, nullptr, nullptr);
+    CondParser P{Expanded, 0, File, Phys, this};
+    int64_t V = P.parseTernary();
+    if (P.Pos != Expanded.size())
+      error(File, Phys, "trailing tokens in #if expression");
+    return V != 0;
+  }
+
+  struct CondParser {
+    const std::vector<PTok> &Toks;
+    size_t Pos;
+    const std::string &File;
+    unsigned Phys;
+    Pp *Owner;
+    static constexpr unsigned MaxDepth = 200;
+    unsigned Depth = 0;
+
+    const std::string &peek() {
+      static const std::string Empty;
+      return Pos < Toks.size() ? Toks[Pos].Text : Empty;
+    }
+    bool eat(const char *S) {
+      if (peek() == S) {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+    void err(const std::string &M) { Owner->error(File, Phys, M); }
+
+    int64_t parseTernary() {
+      int64_t C = parseLOr();
+      if (eat("?")) {
+        int64_t A = parseTernary();
+        if (!eat(":"))
+          err("expected ':' in #if expression");
+        int64_t B = parseTernary();
+        return C ? A : B;
+      }
+      return C;
+    }
+    int64_t parseLOr() {
+      int64_t V = parseLAnd();
+      while (eat("||"))
+        V = (V != 0) | (parseLAnd() != 0);
+      return V;
+    }
+    int64_t parseLAnd() {
+      int64_t V = parseEq();
+      while (eat("&&"))
+        V = (V != 0) & (parseEq() != 0);
+      return V;
+    }
+    int64_t parseEq() {
+      int64_t V = parseRel();
+      while (true) {
+        if (eat("=="))
+          V = V == parseRel();
+        else if (eat("!="))
+          V = V != parseRel();
+        else
+          return V;
+      }
+    }
+    int64_t parseRel() {
+      int64_t V = parseAdd();
+      while (true) {
+        if (eat("<"))
+          V = V < parseAdd();
+        else if (eat(">"))
+          V = V > parseAdd();
+        else if (eat("<="))
+          V = V <= parseAdd();
+        else if (eat(">="))
+          V = V >= parseAdd();
+        else
+          return V;
+      }
+    }
+    int64_t parseAdd() {
+      int64_t V = parseMul();
+      while (true) {
+        if (eat("+"))
+          V = V + parseMul();
+        else if (eat("-"))
+          V = V - parseMul();
+        else
+          return V;
+      }
+    }
+    int64_t parseMul() {
+      int64_t V = parseUnary();
+      while (true) {
+        if (eat("*")) {
+          V = V * parseUnary();
+        } else if (eat("/")) {
+          int64_t R = parseUnary();
+          if (R == 0) {
+            err("division by zero in #if expression");
+            V = 0;
+          } else {
+            V = V / R;
+          }
+        } else if (eat("%")) {
+          int64_t R = parseUnary();
+          if (R == 0) {
+            err("remainder by zero in #if expression");
+            V = 0;
+          } else {
+            V = V % R;
+          }
+        } else {
+          return V;
+        }
+      }
+    }
+    int64_t parseUnary() {
+      if (Depth >= MaxDepth) {
+        err("#if expression too deeply nested");
+        Pos = Toks.size();
+        return 0;
+      }
+      ++Depth;
+      int64_t V;
+      if (eat("!"))
+        V = parseUnary() == 0;
+      else if (eat("-"))
+        V = -parseUnary();
+      else if (eat("~"))
+        V = ~parseUnary();
+      else if (eat("+"))
+        V = parseUnary();
+      else
+        V = parsePrimary();
+      --Depth;
+      return V;
+    }
+    int64_t parsePrimary() {
+      if (eat("(")) {
+        int64_t V = parseTernary();
+        if (!eat(")"))
+          err("expected ')' in #if expression");
+        return V;
+      }
+      const std::string &T = peek();
+      if (T.empty()) {
+        err("unexpected end of #if expression");
+        return 0;
+      }
+      ++Pos;
+      if (std::isdigit(static_cast<unsigned char>(T[0]))) {
+        // Decimal or hex; trailing u/U/l/L suffixes tolerated.
+        size_t End = T.size();
+        while (End > 0 && (T[End - 1] == 'u' || T[End - 1] == 'U' ||
+                           T[End - 1] == 'l' || T[End - 1] == 'L'))
+          --End;
+        errno = 0;
+        char *Stop = nullptr;
+        std::string Num = T.substr(0, End);
+        long long V = std::strtoll(Num.c_str(), &Stop, 0);
+        if (Stop != Num.c_str() + Num.size())
+          err("bad integer literal '" + T + "' in #if expression");
+        return V;
+      }
+      if (T.size() >= 3 && T[0] == '\'')
+        return static_cast<int64_t>(
+            T[1] == '\\' && T.size() >= 4 ? T[2] : T[1]);
+      if (isIdentToken(T))
+        return 0; // Undefined identifiers are 0 in #if.
+      err("unexpected token '" + T + "' in #if expression");
+      return 0;
+    }
+  };
+
+  FileResolver &Resolver;
+  const PpOptions &Opts;
+  DiagnosticEngine &Diags;
+  PpResult Result;
+  std::map<std::string, Macro> Macros;
+  /// Active include chain (frames: includer file + line).
+  std::vector<IncludeFrame> Stack;
+  /// Resolved paths currently being processed (cycle detection).
+  std::vector<std::string> ActiveFiles;
+  /// Every file entered, in inclusion order (folded into the stream hash).
+  std::vector<std::string> ClosureNames;
+  unsigned ErrorCount = 0;
+};
+
+} // namespace
+
+PpResult stq::pp::preprocess(const std::string &MainName,
+                             const std::string &MainText,
+                             FileResolver &Resolver, const PpOptions &Options,
+                             DiagnosticEngine &Diags) {
+  Pp P(Resolver, Options, Diags);
+  return P.run(MainName, MainText);
+}
+
+FileMap stq::pp::collectIncludeClosure(
+    const std::vector<std::pair<std::string, std::string>> &Inputs,
+    const PpOptions &Options) {
+  FileMap Out;
+  for (const auto &[Name, Text] : Inputs) {
+    DiskResolver Resolver(&Out);
+    DiagnosticEngine Scratch; // Real diagnostics come from the real run.
+    preprocess(Name, Text, Resolver, Options, Scratch);
+  }
+  return Out;
+}

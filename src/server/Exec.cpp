@@ -83,6 +83,42 @@ int execRecheck(Session &S, const Invocation &Inv, std::ostream &Out,
   return OutC.Result.ok() ? 0 : 1;
 }
 
+/// The multi-TU variants print the same verdict line as execCheck /
+/// execRecheck, with counters merged over every TU in input order — the
+/// fuzz campaign's frontend oracle compares it byte-for-byte against the
+/// flattened single-TU run.
+int execCheckFiles(Session &S, const Invocation &Inv, std::ostream &Out,
+                   std::ostream &Err) {
+  Session::CheckFilesOutcome OutC = S.checkFiles(Inv.Inputs);
+  reportDiagnostics(S, Inv, Err);
+  if (S.diags().hasErrors()) {
+    emitMetrics(S, Inv, Out);
+    return 2;
+  }
+  Out << "qualifier errors: " << OutC.Result.QualErrors
+      << " (dereference sites " << OutC.Result.Stats.DerefSites
+      << ", assignment checks " << OutC.Result.Stats.AssignChecks
+      << ", run-time checks " << OutC.Result.RuntimeChecks.size() << ")\n";
+  emitMetrics(S, Inv, Out);
+  return OutC.Result.ok() ? 0 : 1;
+}
+
+int execRecheckFiles(Session &S, const Invocation &Inv, std::ostream &Out,
+                     std::ostream &Err) {
+  Session::RecheckFilesOutcome OutC = S.recheckFiles(Inv.Inputs);
+  reportDiagnostics(S, Inv, Err);
+  if (S.diags().hasErrors()) {
+    emitMetrics(S, Inv, Out);
+    return 2;
+  }
+  Out << "qualifier errors: " << OutC.Result.QualErrors
+      << " (dereference sites " << OutC.Result.Stats.DerefSites
+      << ", assignment checks " << OutC.Result.Stats.AssignChecks
+      << ", run-time checks " << OutC.Result.RuntimeCheckCount << ")\n";
+  emitMetrics(S, Inv, Out);
+  return OutC.Result.ok() ? 0 : 1;
+}
+
 int execRun(Session &S, const Invocation &Inv, std::ostream &Out,
             std::ostream &Err) {
   Session::RunOutcome O = S.run(Inv.Source);
@@ -252,10 +288,23 @@ ExecResult stq::server::executeInvocation(const Invocation &Inv,
     R.Err = Err.str();
     return R;
   }
-  if (needsSource(Inv.Command) && !Inv.HasSource) {
+  const bool MultiInput = !Inv.Inputs.empty();
+  if (needsSource(Inv.Command) && !Inv.HasSource && !MultiInput) {
     Err << "stqc: no input (pass FILE or -e SRC)\n";
     R.Err = Err.str();
     return R;
+  }
+  if (MultiInput) {
+    if (Inv.Command != "check" && Inv.Command != "recheck") {
+      Err << "stqc: multiple input files are only supported by check and "
+             "recheck\n";
+      R.Err = Err.str();
+      return R;
+    }
+    // The shipped closure (daemon requests) wins over the filesystem, so
+    // the server never touches client paths.
+    if (Inv.HasFiles)
+      SOpts.ShippedFiles = &Inv.Files;
   }
 
   // The tracer is process-global, so traced invocations serialize: two
@@ -272,9 +321,11 @@ ExecResult stq::server::executeInvocation(const Invocation &Inv,
     if (Inv.Command == "prove")
       R.ExitCode = execProve(S, Inv, Out, Err);
     else if (Inv.Command == "check")
-      R.ExitCode = execCheck(S, Inv, Out, Err);
+      R.ExitCode = MultiInput ? execCheckFiles(S, Inv, Out, Err)
+                              : execCheck(S, Inv, Out, Err);
     else if (Inv.Command == "recheck")
-      R.ExitCode = execRecheck(S, Inv, Out, Err);
+      R.ExitCode = MultiInput ? execRecheckFiles(S, Inv, Out, Err)
+                              : execRecheck(S, Inv, Out, Err);
     else if (Inv.Command == "run")
       R.ExitCode = execRun(S, Inv, Out, Err);
     else

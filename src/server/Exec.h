@@ -38,6 +38,16 @@ struct Invocation {
   /// by the *client* (the daemon never touches caller paths).
   std::string Source;
   bool HasSource = false;
+  /// Multi-input mode (check/recheck): the translation units, read by the
+  /// client in command-line order. Non-empty selects the multi-TU front
+  /// end (preprocess + parse + link per Session::checkFiles); Source is
+  /// then unused.
+  std::vector<frontend::InputFile> Inputs;
+  /// Multi-input mode: the shipped include closure. When HasFiles is set,
+  /// `#include` resolution reads this map instead of the filesystem — the
+  /// daemon path; the one-shot CLI resolves from disk.
+  pp::FileMap Files;
+  bool HasFiles = false;
   SessionOptions Session;
   bool Metrics = false;
   metrics::Format MetricsFormat = metrics::Format::Text;

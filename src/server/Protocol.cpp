@@ -21,6 +21,24 @@ std::string stq::server::rpc::encodeRequest(const Request &R) {
   Doc.set("command", json::Value::str(R.Inv.Command));
   if (R.Inv.HasSource)
     Doc.set("source", json::Value::str(R.Inv.Source));
+  if (!R.Inv.Inputs.empty()) {
+    json::Value A = json::Value::array();
+    for (const frontend::InputFile &In : R.Inv.Inputs) {
+      json::Value E = json::Value::object();
+      E.set("name", json::Value::str(In.Name));
+      E.set("text", json::Value::str(In.Text));
+      A.push(std::move(E));
+    }
+    Doc.set("inputs", std::move(A));
+  }
+  if (R.Inv.HasFiles) {
+    // The client-collected include closure: the daemon resolves #include
+    // from this map and never touches client paths.
+    json::Value F = json::Value::object();
+    for (const auto &[Path, Text] : R.Inv.Files)
+      F.set(Path, json::Value::str(Text));
+    Doc.set("files", std::move(F));
+  }
 
   json::Value Opts = json::Value::object();
   const SessionOptions &S = R.Inv.Session;
@@ -44,6 +62,18 @@ std::string stq::server::rpc::encodeRequest(const Request &R) {
     Opts.set("elide_checks", json::Value::boolean(false));
   if (!S.IncrementalUnit.empty())
     Opts.set("unit", json::Value::str(S.IncrementalUnit));
+  if (!S.IncludeDirs.empty()) {
+    json::Value A = json::Value::array();
+    for (const std::string &D : S.IncludeDirs)
+      A.push(json::Value::str(D));
+    Opts.set("include_dirs", std::move(A));
+  }
+  if (!S.Defines.empty()) {
+    json::Value A = json::Value::array();
+    for (const std::string &D : S.Defines)
+      A.push(json::Value::str(D));
+    Opts.set("defines", std::move(A));
+  }
   if (S.Checker.FlowSensitiveNarrowing)
     Opts.set("flow_sensitive", json::Value::boolean(true));
   if (S.Jobs != 1)
@@ -114,6 +144,35 @@ bool stq::server::rpc::parseRequest(const std::string &Line, Request &Out,
     Out.Inv.Source = Src->asString();
     Out.Inv.HasSource = true;
   }
+  if (const json::Value *Inputs = Doc.get("inputs")) {
+    if (!Inputs->isArray()) {
+      Error = "'inputs' must be an array";
+      return false;
+    }
+    for (const json::Value &E : Inputs->elements()) {
+      const json::Value *Name = E.isObject() ? E.get("name") : nullptr;
+      const json::Value *Text = E.isObject() ? E.get("text") : nullptr;
+      if (!Name || !Name->isString() || !Text || !Text->isString()) {
+        Error = "'inputs' entries must be {\"name\":string,\"text\":string}";
+        return false;
+      }
+      Out.Inv.Inputs.push_back({Name->asString(), Text->asString()});
+    }
+  }
+  if (const json::Value *Files = Doc.get("files")) {
+    if (!Files->isObject()) {
+      Error = "'files' must be an object of path -> contents";
+      return false;
+    }
+    for (const auto &[Path, Text] : Files->members()) {
+      if (!Text.isString()) {
+        Error = "'files' must be an object of path -> contents";
+        return false;
+      }
+      Out.Inv.Files[Path] = Text.asString();
+    }
+    Out.Inv.HasFiles = true;
+  }
 
   const json::Value *Opts = Doc.get("options");
   if (!Opts)
@@ -156,6 +215,19 @@ bool stq::server::rpc::parseRequest(const std::string &Line, Request &Out,
         return false;
       }
       S.IncrementalUnit = Val.asString();
+    } else if (Key == "include_dirs" || Key == "defines") {
+      if (!Val.isArray()) {
+        Error = "'" + Key + "' must be an array of strings";
+        return false;
+      }
+      for (const json::Value &E : Val.elements()) {
+        if (!E.isString()) {
+          Error = "'" + Key + "' must be an array of strings";
+          return false;
+        }
+        (Key == "include_dirs" ? S.IncludeDirs : S.Defines)
+            .push_back(E.asString());
+      }
     } else if (Key == "flow_sensitive") {
       S.Checker.FlowSensitiveNarrowing = Val.asBool();
     } else if (Key == "jobs") {

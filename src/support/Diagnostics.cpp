@@ -43,6 +43,8 @@ void JsonDiagnosticConsumer::finish() {
     First = false;
     OS << "    {\"severity\": \"" << severityName(D.Severity)
        << "\", \"phase\": \"" << metrics::jsonEscape(D.Phase) << "\", ";
+    if (!D.File.empty())
+      OS << "\"file\": \"" << metrics::jsonEscape(D.File) << "\", ";
     if (D.Loc.isValid())
       OS << "\"line\": " << D.Loc.Line << ", \"col\": " << D.Loc.Col << ", ";
     OS << "\"message\": \"" << metrics::jsonEscape(D.Message) << "\"}";
@@ -53,6 +55,14 @@ void JsonDiagnosticConsumer::finish() {
 
 std::string Diagnostic::str() const {
   std::string Out;
+  if (!File.empty()) {
+    Out += File;
+    Out += ":";
+    // A file-attributed diagnostic always renders a position slot, so
+    // "a.c:3:7: ..." and file-level messages stay visually aligned.
+    if (!Loc.isValid())
+      Out += " ";
+  }
   if (Loc.isValid()) {
     Out += Loc.str();
     Out += ": ";
@@ -74,7 +84,18 @@ void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
     ++NumErrors;
   else if (Severity == DiagSeverity::Warning)
     ++NumWarnings;
-  Diags.push_back({Severity, Loc, std::move(Phase), std::move(Message)});
+  Diags.push_back({Severity, Loc, /*File=*/{}, std::move(Phase),
+                   std::move(Message)});
+  if (Consumer)
+    Consumer->handleDiagnostic(Diags.back());
+}
+
+void DiagnosticEngine::report(Diagnostic D) {
+  if (D.Severity == DiagSeverity::Error)
+    ++NumErrors;
+  else if (D.Severity == DiagSeverity::Warning)
+    ++NumWarnings;
+  Diags.push_back(std::move(D));
   if (Consumer)
     Consumer->handleDiagnostic(Diags.back());
 }

@@ -30,6 +30,11 @@ enum class DiagSeverity { Note, Warning, Error };
 struct Diagnostic {
   DiagSeverity Severity = DiagSeverity::Error;
   SourceLoc Loc;
+  /// Optional file attribution, set by the multi-TU front end (the
+  /// preprocessor's line map resolves post-expansion locations back to
+  /// the including file). Empty for the classic single-input pipeline,
+  /// which renders exactly as it always has.
+  std::string File;
   std::string Phase;
   std::string Message;
 
@@ -84,6 +89,9 @@ class DiagnosticEngine {
 public:
   void report(DiagSeverity Severity, SourceLoc Loc, std::string Phase,
               std::string Message);
+  /// Reports a fully-built diagnostic (the multi-TU front end remaps
+  /// per-unit diagnostics and re-reports them here with File set).
+  void report(Diagnostic D);
 
   /// Forwards every subsequent report to \p C (also still collected in the
   /// diagnostics() vector). Pass nullptr to detach. The engine does not own

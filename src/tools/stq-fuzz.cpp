@@ -50,8 +50,9 @@ int usage(std::ostream &OS) {
         "  --scenario NAME     pin every run to one scenario: soundness, "
         "mixed,\n"
         "                      qualgen, prover, edit-replay, inference, "
-        "vm, or\n"
-        "                      robustness (--oracle is an alias)\n"
+        "vm,\n"
+        "                      frontend, or robustness (--oracle is an "
+        "alias)\n"
         "  --jobs N            parallel job count for the metamorphic "
         "oracle (default 4)\n"
         "  --fuel N            interpreter step budget per execution\n"
@@ -121,9 +122,10 @@ int main(int argc, char **argv) {
       if (I + 1 >= argc)
         return usage(std::cerr);
       Opts.OnlyScenario = argv[++I];
-      static const char *Known[] = {"soundness",   "mixed",     "qualgen",
+      static const char *Known[] = {"soundness",   "mixed",    "qualgen",
                                     "prover",      "edit-replay",
-                                    "inference",   "vm",        "robustness"};
+                                    "inference",   "vm",       "frontend",
+                                    "robustness"};
       bool Ok = false;
       for (const char *Name : Known)
         Ok = Ok || Opts.OnlyScenario == Name;

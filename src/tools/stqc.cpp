@@ -12,11 +12,15 @@
 //       obligations fan out over N workers backed by the memoized prover
 //       cache (--warm-cache primes it with a silent first pass;
 //       --cache-file persists it across runs)
-//   stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]
-//               [--flow-sensitive] [--jobs N]
+//   stqc check  (FILE... | -e SRC) [-I DIR] [-D NAME[=V]] [--builtins ..]
+//               [--qualfile F] [--flow-sensitive] [--jobs N]
 //       run the extensible typechecker, sharded across N workers; exit
-//       nonzero on qualifier errors
-//   stqc recheck (FILE | -e SRC) [--builtins ..] [--unit NAME] [--jobs N]
+//       nonzero on qualifier errors. Several FILEs (or any -I/-D) select
+//       the real-C front end: each file is preprocessed (#include,
+//       macros, conditionals) and compiled as its own translation unit in
+//       parallel, then link-checked across TUs
+//   stqc recheck (FILE... | -e SRC) [-I DIR] [-D NAME[=V]] [--builtins ..]
+//               [--unit NAME] [--jobs N]
 //       like check, but through the incremental engine: functions whose
 //       content hash is already in the verdict store replay their cached
 //       verdicts. Output is byte-identical to check; against a daemon
@@ -72,7 +76,9 @@ namespace {
 
 struct CliOptions {
   std::string Command;
-  std::string File;
+  /// Positional input files, in command-line order. check/recheck accept
+  /// several (the multi-TU front end); the other subcommands take one.
+  std::vector<std::string> Files;
   std::string InlineSource;
   std::string DumpName;
   std::string ServerSocket;
@@ -131,6 +137,20 @@ cli::OptionTable buildOptionTable(CliOptions &Options) {
               "(defaults to the empty unit)",
               [&](const std::string &V, std::string &) {
                 Options.Session.IncrementalUnit = V;
+                return true;
+              });
+  Table.value("-I", "", "DIR",
+              "check/recheck: add DIR to the #include search path "
+              "(selects the preprocessing front end)",
+              [&](const std::string &V, std::string &) {
+                Options.Session.IncludeDirs.push_back(V);
+                return true;
+              });
+  Table.value("-D", "", "NAME[=V]",
+              "check/recheck: predefine a macro (V defaults to 1; selects "
+              "the preprocessing front end)",
+              [&](const std::string &V, std::string &) {
+                Options.Session.Defines.push_back(V);
                 return true;
               });
   Table.value("-e", "", "SRC", "inline C-minus source",
@@ -257,8 +277,10 @@ cli::OptionTable buildOptionTable(CliOptions &Options) {
       Options.DumpName = Arg;
       return true;
     }
-    if (Options.File.empty()) {
-      Options.File = Arg;
+    bool MultiOk =
+        Options.Command == "check" || Options.Command == "recheck";
+    if (Options.Files.empty() || MultiOk) {
+      Options.Files.push_back(Arg);
       return true;
     }
     Error = "unexpected argument '" + Arg + "'";
@@ -272,10 +294,12 @@ void usage(const cli::OptionTable &Table) {
       "usage:\n"
       "  stqc prove  [--builtins a,b,..] [--qualfile F] [--jobs N]"
       " [--warm-cache] [--cache-file PATH]\n"
-      "  stqc check  (FILE | -e SRC) [--builtins ..] [--qualfile F]"
-      " [--flow-sensitive] [--jobs N]\n"
-      "  stqc recheck (FILE | -e SRC) [--builtins ..] [--unit NAME]"
-      " [--jobs N]\n"
+      "  stqc check  (FILE... | -e SRC) [-I DIR] [-D NAME[=V]]"
+      " [--builtins ..] [--qualfile F]\n"
+      "              [--flow-sensitive] [--jobs N]\n"
+      "  stqc recheck (FILE... | -e SRC) [-I DIR] [-D NAME[=V]]"
+      " [--builtins ..] [--unit NAME]\n"
+      "              [--jobs N]\n"
       "  stqc run    (FILE | -e SRC) [--builtins ..] [--entry NAME]\n"
       "  stqc infer  (FILE | -e SRC) [--builtins ..] [--qualfile F]"
       " [--engine E] [--scope S]\n"
@@ -294,12 +318,12 @@ bool getProgramSource(const CliOptions &Options, std::string &Out) {
     Out = Options.InlineSource;
     return true;
   }
-  if (Options.File.empty()) {
+  if (Options.Files.empty()) {
     std::fprintf(stderr, "stqc: no input (pass FILE or -e SRC)\n");
     return false;
   }
   std::string Error;
-  if (!readFileToString(Options.File, Out, Error)) {
+  if (!readFileToString(Options.Files.front(), Out, Error)) {
     std::fprintf(stderr, "stqc: %s\n", Error.c_str());
     return false;
   }
@@ -439,7 +463,30 @@ int main(int Argc, char **Argv) {
   bool NeedsSource = Options.Command == "check" ||
                      Options.Command == "recheck" ||
                      Options.Command == "run" || Options.Command == "infer";
-  if (NeedsSource && (!Options.InlineSource.empty() || !Options.File.empty())) {
+  // Several input files, or any -I/-D, select the preprocessing multi-TU
+  // front end. A single bare file keeps the classic C-minus pipeline (and
+  // its byte-identical diagnostic rendering).
+  bool MultiInput =
+      (Options.Command == "check" || Options.Command == "recheck") &&
+      Options.InlineSource.empty() &&
+      (Options.Files.size() > 1 || !Options.Session.IncludeDirs.empty() ||
+       !Options.Session.Defines.empty());
+  if (MultiInput) {
+    for (const std::string &Path : Options.Files) {
+      frontend::InputFile In;
+      In.Name = Path;
+      if (!readFileToString(Path, In.Text, Error)) {
+        std::fprintf(stderr, "stqc: %s\n", Error.c_str());
+        return 2;
+      }
+      Inv.Inputs.push_back(std::move(In));
+    }
+    if (Inv.Inputs.empty()) {
+      std::fprintf(stderr, "stqc: no input (pass FILE or -e SRC)\n");
+      return 2;
+    }
+  } else if (NeedsSource &&
+             (!Options.InlineSource.empty() || !Options.Files.empty())) {
     if (!getProgramSource(Options, Inv.Source))
       return 2;
     Inv.HasSource = true;
@@ -464,5 +511,17 @@ int main(int Argc, char **Argv) {
   Inv.Session.QualFiles.clear();
   // Cache persistence belongs to the daemon (its --cache-file).
   Inv.Session.CacheFile.clear();
+  if (!Inv.Inputs.empty()) {
+    // Ship the include closure collected here, so the daemon resolves the
+    // same #include bytes without ever touching client paths.
+    std::vector<std::pair<std::string, std::string>> ClosureInputs;
+    for (const frontend::InputFile &In : Inv.Inputs)
+      ClosureInputs.emplace_back(In.Name, In.Text);
+    pp::PpOptions PO;
+    PO.IncludeDirs = Inv.Session.IncludeDirs;
+    PO.Defines = Inv.Session.Defines;
+    Inv.Files = pp::collectIncludeClosure(ClosureInputs, PO);
+    Inv.HasFiles = true;
+  }
   return runViaServer(Options, std::move(Req));
 }

@@ -568,3 +568,97 @@ GeneratedWorkload stq::workloads::makeInferenceFarm(unsigned Functions) {
   W.Lines = countLines(W.Source);
   return W;
 }
+
+//===----------------------------------------------------------------------===//
+// Multi-TU farm (real-C front-end workload)
+//===----------------------------------------------------------------------===//
+
+MultiTuProgram stq::workloads::makeMultiTuFarm(unsigned Units,
+                                               unsigned FnsPerUnit,
+                                               unsigned Seed) {
+  if (Units == 0)
+    Units = 1;
+  if (FnsPerUnit == 0)
+    FnsPerUnit = 1;
+  MultiTuProgram P;
+
+  // The shared header: an include guard and a macro the bodies use (so
+  // every TU exercises conditionals and expansion), plus the cross-TU
+  // prototypes the roots call through.
+  std::ostringstream H;
+  H << "#ifndef FARM_H\n#define FARM_H\n"
+    << "#define FARM_BIAS " << (Seed % 7 + 1) << "\n"
+    << "#define FARM_SQ(x) ((x) * (x))\n";
+  for (unsigned U = 0; U < Units; ++U)
+    H << "int pos u" << U << "_root(int pos a);\n";
+  H << "#endif\n";
+  P.Headers.push_back({"farm.h", H.str()});
+
+  // One chain of qualifier-heavy functions per unit; the root feeds the
+  // previous unit's root so link-time prototypes are load-bearing.
+  for (unsigned U = 0; U < Units; ++U) {
+    std::ostringstream OS;
+    OS << "#include \"farm.h\"\n";
+    bool Plant = Seed % 3 == 0 && U == Seed % Units;
+    for (unsigned F = 0; F < FnsPerUnit; ++F) {
+      unsigned K = (Seed + U * 131 + F * 17) % 1000 + 1;
+      OS << "int pos u" << U << "_f" << F << "(int pos a) {\n"
+         << "  int pos p = " << K << " + FARM_BIAS;\n"
+         << "  int pos q = FARM_SQ(p) + a;\n"
+         << "  int pos r = q * p + " << (K % 9 + 1) << ";\n";
+      if (Plant && F == FnsPerUnit / 2)
+        // An initialization the checker cannot derive: the planted
+        // diagnostic differential runs must agree on.
+        OS << "  int neg bad = r;\n"
+           << "  int keep = bad + 0;\n";
+      if (F > 0)
+        OS << "  return u" << U << "_f" << (F - 1) << "(r) + p;\n";
+      else
+        OS << "  return r + p;\n";
+      OS << "}\n";
+    }
+    OS << "int pos u" << U << "_root(int pos a) {\n"
+       << "  int pos t = u" << U << "_f" << (FnsPerUnit - 1) << "(a);\n";
+    if (U > 0)
+      OS << "  return u" << (U - 1) << "_root(t);\n";
+    else
+      OS << "  return t;\n";
+    OS << "}\n";
+    P.Units.push_back({"u" + std::to_string(U) + ".c", OS.str()});
+    if (Plant)
+      ++P.PlantedWarnings;
+  }
+
+  std::ostringstream M;
+  M << "#include \"farm.h\"\n"
+    << "int main() {\n"
+    << "  int pos seed = " << (Seed % 11 + 1) << ";\n"
+    << "  int pos acc = u" << (Units - 1) << "_root(seed);\n"
+    << "  return acc % 2;\n"
+    << "}\n";
+  P.Units.push_back({"main.c", M.str()});
+
+  // Flatten: header text once, then each unit minus its #include lines.
+  // The split program and this single TU must check to identical verdict
+  // counters (the frontend oracle's invariant).
+  std::ostringstream Flat;
+  for (const MultiTuProgram::File &Hdr : P.Headers)
+    Flat << Hdr.Text;
+  for (const MultiTuProgram::File &U : P.Units) {
+    std::istringstream In(U.Text);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      size_t At = Line.find_first_not_of(" \t");
+      if (At != std::string::npos && Line.compare(At, 8, "#include") == 0)
+        continue;
+      Flat << Line << "\n";
+    }
+  }
+  P.Flattened = Flat.str();
+
+  for (const MultiTuProgram::File &Hdr : P.Headers)
+    P.Lines += countLines(Hdr.Text);
+  for (const MultiTuProgram::File &U : P.Units)
+    P.Lines += countLines(U.Text);
+  return P;
+}

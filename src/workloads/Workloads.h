@@ -25,6 +25,7 @@
 #define STQ_WORKLOADS_WORKLOADS_H
 
 #include <string>
+#include <vector>
 
 namespace stq::workloads {
 
@@ -72,6 +73,38 @@ GeneratedWorkload makeChecksumKernel(unsigned Rounds = 200, unsigned N = 500);
 /// inferable value qualifiers (pos/neg/nonzero-class), chained by calls so
 /// parameter constraints cross function (and solve-unit) boundaries.
 GeneratedWorkload makeInferenceFarm(unsigned Functions = 120);
+
+/// A generated multi-translation-unit program for the real-C front end:
+/// shared headers (macros, struct, cross-TU prototypes) plus N `.c`
+/// units, each defining a chain of qualifier-heavy functions whose root
+/// calls the previous unit's root through the header prototype.
+struct MultiTuProgram {
+  struct File {
+    std::string Name;
+    std::string Text;
+  };
+  /// The shared headers (resolved by name through -I or a shipped map).
+  std::vector<File> Headers;
+  /// The translation units, in check order; the last one holds main().
+  std::vector<File> Units;
+  /// The semantically equivalent single translation unit: every header's
+  /// text once, then every unit's text with its #include lines removed.
+  /// Checking it must produce the same verdict counters as checking the
+  /// split units and merging — the fuzz campaign's frontend oracle.
+  std::string Flattened;
+  /// Non-blank source lines across headers and units.
+  unsigned Lines = 0;
+  /// Qualifier warnings deliberately planted (via Seed).
+  unsigned PlantedWarnings = 0;
+};
+
+/// Builds a farm of \p Units translation units with \p FnsPerUnit function
+/// definitions each (plus a main TU). \p Seed varies the constants and,
+/// when Seed % 3 == 0, plants one un-derivable qualifier initialization in
+/// unit Seed % Units so differential runs see diagnostics too. Scales to
+/// ~1M LOC (Units * FnsPerUnit * ~7 lines) for the front-end benchmark.
+MultiTuProgram makeMultiTuFarm(unsigned Units, unsigned FnsPerUnit = 8,
+                               unsigned Seed = 1);
 
 /// Counts non-blank lines (the measure used by the paper's tables).
 unsigned countLines(const std::string &Source);

@@ -1,0 +1,14 @@
+// alpha.c — the first unit: a clean chain of pos-preserving helpers.
+// Figure 1's pos typerule derives positive constants, products of pos,
+// and negation of neg — so the bodies stay inside products.
+#include "shared.h"
+
+int pos alpha_step(int pos a) {
+  int pos r = SQUARE(a) * SCALE;
+  return r;
+}
+
+int pos alpha_root(int pos a) {
+  int pos r = alpha_step(a) * alpha_step(a * SCALE);
+  return r;
+}

@@ -1,0 +1,10 @@
+// beta.c — the second unit: calls alpha.c's root through shared.h and
+// plants one diagnostic whose offending expression comes from the FLIP
+// macro, so the golden output pins the macro-expansion backtrace.
+#include "shared.h"
+
+int pos beta_root(int pos b) {
+  int pos r = alpha_root(b) * SCALE;
+  int pos flipped = FLIP(r);
+  return r * SQUARE(SCALE) * flipped;
+}

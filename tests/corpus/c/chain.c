@@ -1,0 +1,8 @@
+// chain.c — pins the include-chain rendering: the planted warning lives
+// two includes deep (chain.c -> outer.h -> inner.h), so its diagnostic
+// must carry both "in file included from" notes, innermost first.
+#include "outer.h"
+
+int main() {
+  return leaky() % 2;
+}

@@ -1,0 +1,36 @@
+// dfa.c — the analyzer bodies for dfa.h. The analyzers dereference the
+// always-valid tables freely; the lazily-built tables are read behind
+// NULL guards, the flow-insensitivity idiom the paper reports as grep's
+// main source of casts. The one unguarded read of a nullable table below
+// is the planted Table-1-style diagnostic the golden file expects.
+#include "dfa.h"
+
+int dfa_analyze(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = d->nstates + d->ntokens;
+  int limit = n;
+  if (limit > NOTCHAR) {
+    limit = NOTCHAR;
+  }
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  acc = acc + d->charclasses[0];
+  return acc % TABSIZE(2);
+}
+
+int dfa_lookup(struct dfa* nonnull d, int idx) {
+  int* t;
+  int acc = d->nstates;
+  t = d->trans;
+  if (t != NULL) {
+    // The guard defeats the flow-insensitive checker; the paper's
+    // annotators put sanctioned run-time casts exactly here.
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[idx];
+    acc = acc - tt[0];
+  }
+  // Planted: reading fails without a guard cannot be proven nonnull.
+  acc = acc + d->fails[idx];
+  return acc;
+}

@@ -1,0 +1,23 @@
+// dfa.h — shared header for the grep-2.5 dfa analogue (section 6,
+// Table 1). Shape mirrors the real dfa.h: configuration macros, the dfa
+// struct with always-valid and lazily-built (nullable) tables, and the
+// analyzer prototypes its includers link against.
+#ifndef DFA_H
+#define DFA_H
+
+#define NOTCHAR 256
+#define CHARBITS 8
+#define TABSIZE(n) ((n) * NOTCHAR)
+
+struct dfa {
+  int nstates;
+  int ntokens;
+  int* nonnull charclasses;
+  int* trans;
+  int* fails;
+};
+
+int dfa_analyze(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_lookup(struct dfa* nonnull d, int idx);
+
+#endif

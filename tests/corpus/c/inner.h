@@ -1,0 +1,11 @@
+// inner.h — innermost link: the planted warning (0 - 1 is not pos)
+// anchors here, so the renderer must walk the full include stack.
+#ifndef INNER_H
+#define INNER_H
+
+int pos leaky() {
+  int pos x = 0 - 1;
+  return x;
+}
+
+#endif

@@ -1,0 +1,10 @@
+// main.c — the third unit: drives both roots through the header
+// prototypes and prints the combined result.
+#include "shared.h"
+
+int main() {
+  int pos a = alpha_root(SCALE);
+  int pos b = beta_root(a);
+  printf("%d\n", a + b);
+  return 0;
+}

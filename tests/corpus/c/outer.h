@@ -1,0 +1,5 @@
+// outer.h — middle link of the include chain; only forwards to inner.h.
+#ifndef OUTER_H
+#define OUTER_H
+#include "inner.h"
+#endif

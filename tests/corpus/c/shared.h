@@ -1,0 +1,17 @@
+// shared.h — the cross-TU contract for the three-unit program: scaling
+// macros and the prototypes alpha.c and beta.c export. main.c reaches
+// both roots only through these declarations; the link step checks every
+// TU's definition against them qualifier-for-qualifier.
+#ifndef SHARED_H
+#define SHARED_H
+
+#define SCALE 3
+#define SQUARE(x) ((x) * (x))
+// Deliberately yields a negative value: the macro-expansion backtrace in
+// beta.c's planted diagnostic points back through this definition.
+#define FLIP(x) (0 - (x))
+
+int pos alpha_root(int pos a);
+int pos beta_root(int pos b);
+
+#endif
