@@ -1,0 +1,103 @@
+//===- PaperEval.h - Table 1/Table 2 replication harness --------*- C++ -*-===//
+//
+// Part of the stq project: a reproduction of "Semantic Type Qualifiers"
+// (Chin, Markstrum, Millstein; PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper-fidelity evaluation harness: checks a §6 corpus program (a
+/// real header+TU layout under tests/corpus/c/) through the multi-TU
+/// front end and derives the paper's table columns from the result —
+/// annotation and qualifier-cast counts from the linked ASTs (library
+/// headers under lib/ excluded, exactly as the paper excludes its
+/// alternate library headers), printf-family call sites, and the
+/// checker's own dereference/check/error counters from the verdict.
+///
+/// Everything here is deterministic and timing-free except
+/// EvalRow::Seconds, which never enters a rendered table unless the
+/// caller opts in — that is what lets stq-eval's output be diffed
+/// against golden .expected files and lets the one-shot tool and the
+/// stqd `eval` command produce byte-identical documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STQ_EVAL_PAPEREVAL_H
+#define STQ_EVAL_PAPEREVAL_H
+
+#include "driver/Session.h"
+#include "workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace stq::eval {
+
+/// One evaluatable corpus program: the unit list (check order), every
+/// corpus file keyed by its corpus-relative name (units and headers; the
+/// daemon ships exactly this map), and the qualifier-DSL source.
+struct ProgramSpec {
+  std::string Name;
+  std::string Kind; ///< "table1" (nonnull) or "table2" (untainted).
+  std::vector<std::string> Units;
+  pp::FileMap Files;
+  std::vector<std::string> IncludeDirs = {"include", "lib"};
+  std::string QualFileText;
+  unsigned ExpectedErrors = 0;
+};
+
+/// Builds the spec for a generated corpus (the generator is the source of
+/// truth; the checked-in tree must match it byte-for-byte).
+ProgramSpec specFromCorpus(const workloads::CorpusProgram &C);
+
+/// One row of the replicated tables plus the raw check outputs.
+struct EvalRow {
+  std::string Name;
+  std::string Kind;
+  unsigned Files = 0;       ///< Corpus files excluding lib/ headers.
+  unsigned Lines = 0;       ///< Non-blank lines excluding lib/ headers.
+  unsigned Annotations = 0; ///< Distinct as-written qualifier annotations.
+  unsigned Casts = 0;       ///< Qualifier casts in function bodies.
+  unsigned PrintfCalls = 0; ///< Calls to untainted-format functions.
+  unsigned Derefs = 0;        ///< Checker: dereference sites.
+  unsigned AssignChecks = 0;  ///< Checker: assignment checks.
+  unsigned RuntimeChecks = 0; ///< Checker: residual run-time checks.
+  unsigned Errors = 0;        ///< Checker: qualifier errors.
+  int ExitCode = 2;
+  /// The check's rendered diagnostics, one per line (file-attributed).
+  std::vector<std::string> Diagnostics;
+  /// Wall-clock seconds of the checkFiles call. Excluded from canonical
+  /// renderings so they stay byte-stable.
+  double Seconds = 0.0;
+  /// False when the front end failed outright (parse/link errors).
+  bool CheckOk = false;
+};
+
+/// Checks \p Spec through Session::checkFiles and counts the table
+/// columns from freshly compiled ASTs. \p Base carries jobs and any
+/// process-shared state (the daemon's pool/cache); qualifier sources,
+/// include dirs, and the shipped file map are taken from \p Spec.
+EvalRow evalProgram(const ProgramSpec &Spec, const SessionOptions &Base);
+
+/// Canonical multi-program document (schema stq-eval-tables-v1): the
+/// Table 1 and Table 2 sections in input order followed by per-program
+/// diagnostics. Timing-free and byte-stable.
+std::string renderTables(const std::vector<EvalRow> &Rows);
+
+/// Canonical JSON document (schema stq-eval-tables-v1). \p Timings adds
+/// per-program "seconds" members and is never used for golden diffs.
+std::string renderJson(const std::vector<EvalRow> &Rows, bool Timings);
+
+/// The stq-eval-row-v1 key/value serialization the stqd `eval` command
+/// returns; parseRow inverts it. Client-side rendering of parsed rows is
+/// what makes `stq-eval --server` byte-identical to one-shot.
+std::string renderRow(const EvalRow &Row);
+bool parseRow(const std::string &Text, EvalRow &Out, std::string &Error);
+
+/// Line-by-line golden comparison: empty when equal, otherwise a
+/// readable diff ("-" golden, "+" actual) suitable for CI logs.
+std::string diffGolden(const std::string &Golden, const std::string &Actual);
+
+} // namespace stq::eval
+
+#endif // STQ_EVAL_PAPEREVAL_H

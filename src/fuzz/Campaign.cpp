@@ -905,6 +905,137 @@ void frontendScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
   }
 }
 
+/// A `recheck` over a header+unit tree, shaped exactly like a client
+/// talking to stqd: the units ship as `inputs`, the headers as the
+/// in-memory `files` map.
+server::Invocation recheckTreeInvocation(const workloads::MultiTuProgram &P,
+                                         unsigned Jobs) {
+  server::Invocation Inv;
+  Inv.Command = "recheck";
+  for (const workloads::MultiTuProgram::File &U : P.Units)
+    Inv.Inputs.push_back({U.Name, U.Text});
+  for (const workloads::MultiTuProgram::File &H : P.Headers)
+    Inv.Files[H.Name] = H.Text;
+  Inv.HasFiles = true;
+  Inv.Session.Jobs = Jobs;
+  return Inv;
+}
+
+/// Applies one seeded edit to header \p Text: insert a blank line, insert
+/// a harmless #define, or append a fresh prototype. All three keep the
+/// tree front-end-clean while shifting line maps and every includer's
+/// preprocessed signature.
+std::string editHeaderText(const std::string &Text, Rng &R, unsigned Step,
+                           std::string &Desc) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char Ch : Text) {
+    if (Ch == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(Ch);
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  std::string Tag = std::to_string(Step);
+  switch (R.pick(3)) {
+  case 0: {
+    size_t At = R.pick(Lines.size() + 1);
+    Lines.insert(Lines.begin() + At, "");
+    Desc = "insert blank line at " + std::to_string(At + 1);
+    break;
+  }
+  case 1: {
+    size_t At = R.pick(Lines.size() + 1);
+    Lines.insert(Lines.begin() + At, "#define STQ_FUZZ_PAD_" + Tag + " " + Tag);
+    Desc = "insert #define at " + std::to_string(At + 1);
+    break;
+  }
+  default:
+    Lines.push_back("int stq_fuzz_probe_" + Tag + "(int x);");
+    Desc = "append prototype stq_fuzz_probe_" + Tag;
+    break;
+  }
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// The header-edit oracle: a §6 corpus program (or a small synthetic
+/// farm) is rechecked through one persistent incremental engine while its
+/// shared headers are edited between runs — what a long-lived stqd sees
+/// from an editor session. After every header touch the warm recheck must
+/// stay byte-identical to a cold recheck of the same tree.
+void headerEditScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
+  workloads::MultiTuProgram Prog;
+  std::string Name;
+  std::string QualFile;
+  if (R.pick(3) == 0) {
+    unsigned Units = 2 + static_cast<unsigned>(R.pick(5));
+    unsigned Fns = 1 + static_cast<unsigned>(R.pick(3));
+    unsigned Seed = 1 + static_cast<unsigned>(R.pick(63));
+    Prog = workloads::makeMultiTuFarm(Units, Fns, Seed);
+    Name = "farm-" + std::to_string(Seed);
+  } else {
+    std::vector<workloads::CorpusProgram> All = workloads::makeAllCorpora();
+    workloads::CorpusProgram &P = All[R.pick(All.size())];
+    Prog = std::move(P.Prog);
+    QualFile = P.QualFile;
+    Name = P.Name;
+  }
+  if (Prog.Headers.empty())
+    return;
+  C.Stats.add("fuzz.header_edit.programs", 1);
+
+  server::Invocation Inv = recheckTreeInvocation(Prog, C.Opts.Jobs);
+  if (QualFile.empty()) {
+    Inv.Session.Builtins = {"pos", "neg"};
+  } else {
+    Inv.Session.QualSources = {QualFile};
+    Inv.Session.IncludeDirs = {"include", "lib"};
+  }
+
+  checker::incremental::Engine Engine;
+  server::SharedContext Warm;
+  Warm.Incremental = &Engine;
+
+  // Prime the engine on the pristine tree, then edit and re-verify.
+  std::string LastEdit = "pristine tree";
+  std::string LastHeader;
+  unsigned Steps = 2 + static_cast<unsigned>(R.pick(3));
+  for (unsigned Step = 0; Step <= Steps; ++Step) {
+    server::ExecResult WarmR = server::executeInvocation(Inv, Warm);
+    server::ExecResult ColdR = server::executeInvocation(Inv);
+    if (!sameExec(WarmR, ColdR)) {
+      FuzzFailure F;
+      F.Oracle = "header-edit";
+      F.Kind = "warm-cold-recheck-mismatch";
+      F.RunSeed = RunSeed;
+      F.Input = LastHeader.empty() ? std::string() : Inv.Files[LastHeader];
+      F.Detail = Name + " after step " + std::to_string(Step) + " (" +
+                 LastEdit + "): " +
+                 describeExecDiff(WarmR, ColdR, "warm-recheck",
+                                  "cold-recheck");
+      reportFailure(C, std::move(F));
+      return;
+    }
+    if (Step == Steps)
+      break;
+    const workloads::MultiTuProgram::File &H =
+        Prog.Headers[R.pick(Prog.Headers.size())];
+    std::string Desc;
+    Inv.Files[H.Name] = editHeaderText(Inv.Files[H.Name], R, Step, Desc);
+    LastEdit = H.Name + ": " + Desc;
+    LastHeader = H.Name;
+    C.Stats.add("fuzz.header_edit.edits", 1);
+  }
+}
+
 void robustnessScenario(Rng &R, uint64_t RunSeed, OracleContext &C) {
   C.Stats.add("fuzz.robustness.inputs", 1);
   switch (R.pick(4)) {
@@ -1006,8 +1137,10 @@ CampaignResult stq::fuzz::runCampaign(const CampaignOptions &Opts,
       inferenceScenario(R, RunSeed, C);
     else if (Only == "vm" || (Only.empty() && W < 97))
       vmScenario(R, RunSeed, C);
-    else if (Only == "frontend" || (Only.empty() && W < 99))
+    else if (Only == "frontend" || (Only.empty() && W < 98))
       frontendScenario(R, RunSeed, C);
+    else if (Only == "header-edit" || (Only.empty() && W < 99))
+      headerEditScenario(R, RunSeed, C);
     else
       robustnessScenario(R, RunSeed, C);
     ++Result.RunsExecuted;

@@ -93,7 +93,7 @@ struct CampaignOptions {
 /// context to reproduce it.
 struct FuzzFailure {
   /// "soundness", "engine-differential", "metamorphic", "edit-replay",
-  /// "inference", "vm", "frontend", or "robustness".
+  /// "inference", "vm", "frontend", "header-edit", or "robustness".
   std::string Oracle;
   /// The per-run seed that produced the input.
   uint64_t RunSeed = 0;

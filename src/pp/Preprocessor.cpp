@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -16,6 +17,12 @@ using namespace stq::pp;
 FileResolver::~FileResolver() = default;
 
 bool DiskResolver::read(const std::string &Path, std::string &Text) {
+  // A directory opens "successfully" as an empty ifstream on POSIX; treat
+  // it as not-a-header so quoted-include search falls through to the next
+  // candidate (the -I dirs) instead of splicing in zero bytes.
+  std::error_code EC;
+  if (!std::filesystem::is_regular_file(Path, EC))
+    return false;
   std::ifstream In(Path, std::ios::binary);
   if (!In)
     return false;

@@ -2,6 +2,7 @@
 
 #include "server/Exec.h"
 
+#include "eval/PaperEval.h"
 #include "support/Json.h"
 #include "support/Trace.h"
 
@@ -117,6 +118,38 @@ int execRecheckFiles(Session &S, const Invocation &Inv, std::ostream &Out,
       << ", run-time checks " << OutC.Result.RuntimeCheckCount << ")\n";
   emitMetrics(S, Inv, Out);
   return OutC.Result.ok() ? 0 : 1;
+}
+
+/// The stqd `eval` command: checks one shipped corpus program and returns
+/// its table row in the stq-eval-row-v1 wire format. No rendering happens
+/// here — the stq-eval client parses the row and renders tables/JSON
+/// itself, so daemon-backed runs are byte-identical to one-shot runs.
+int execEval(const Invocation &Inv, const SessionOptions &SOpts,
+             std::ostream &Out, std::ostream &Err) {
+  if (Inv.Inputs.empty() || !Inv.HasFiles) {
+    Err << "stqc: eval requires shipped units and a shipped file closure\n";
+    return 2;
+  }
+  eval::ProgramSpec Spec;
+  Spec.Name = Inv.EvalName;
+  Spec.Kind = Inv.EvalKind;
+  Spec.Files = Inv.Files;
+  for (const frontend::InputFile &In : Inv.Inputs) {
+    Spec.Units.push_back(In.Name);
+    Spec.Files[In.Name] = In.Text;
+  }
+  if (!SOpts.IncludeDirs.empty())
+    Spec.IncludeDirs = SOpts.IncludeDirs;
+  std::string Quals;
+  for (const std::string &Src : SOpts.QualSources) {
+    Quals += Src;
+    if (!Src.empty() && Src.back() != '\n')
+      Quals += '\n';
+  }
+  Spec.QualFileText = Quals;
+  eval::EvalRow Row = eval::evalProgram(Spec, SOpts);
+  Out << eval::renderRow(Row);
+  return Row.ExitCode;
 }
 
 int execRun(Session &S, const Invocation &Inv, std::ostream &Out,
@@ -262,7 +295,7 @@ bool needsSource(const std::string &Command) {
 } // namespace
 
 bool stq::server::knownCommand(const std::string &Command) {
-  return Command == "prove" || needsSource(Command);
+  return Command == "prove" || Command == "eval" || needsSource(Command);
 }
 
 ExecResult stq::server::executeInvocation(const Invocation &Inv,
@@ -295,9 +328,10 @@ ExecResult stq::server::executeInvocation(const Invocation &Inv,
     return R;
   }
   if (MultiInput) {
-    if (Inv.Command != "check" && Inv.Command != "recheck") {
-      Err << "stqc: multiple input files are only supported by check and "
-             "recheck\n";
+    if (Inv.Command != "check" && Inv.Command != "recheck" &&
+        Inv.Command != "eval") {
+      Err << "stqc: multiple input files are only supported by check, "
+             "recheck, and eval\n";
       R.Err = Err.str();
       return R;
     }
@@ -305,6 +339,16 @@ ExecResult stq::server::executeInvocation(const Invocation &Inv,
     // the server never touches client paths.
     if (Inv.HasFiles)
       SOpts.ShippedFiles = &Inv.Files;
+  }
+
+  // eval owns its Session (evalProgram builds it from the spec plus the
+  // shared state carried in SOpts), so it dispatches before the generic
+  // per-request Session below.
+  if (Inv.Command == "eval") {
+    R.ExitCode = execEval(Inv, SOpts, Out, Err);
+    R.Out = Out.str();
+    R.Err = Err.str();
+    return R;
   }
 
   // The tracer is process-global, so traced invocations serialize: two

@@ -32,8 +32,15 @@ namespace stq::server {
 /// configures a Session. Built from argv by stqc and from a decoded
 /// stq-rpc-v1 request by stqd.
 struct Invocation {
-  /// "prove", "check", "recheck", "run", or "infer".
+  /// "prove", "check", "recheck", "run", "infer", or "eval".
   std::string Command;
+  /// eval: the corpus program's name and table kind ("table1"/"table2"),
+  /// echoed into the stq-eval-row-v1 payload the command returns. The
+  /// stq-eval client does all table/JSON rendering itself from parsed
+  /// rows, which is what keeps `--server` output byte-identical to
+  /// one-shot.
+  std::string EvalName;
+  std::string EvalKind;
   /// Program source text for check/recheck/run/infer. Input files are read
   /// by the *client* (the daemon never touches caller paths).
   std::string Source;

@@ -102,6 +102,10 @@ std::string stq::server::rpc::encodeRequest(const Request &R) {
     Opts.set("infer_format", json::Value::str("json"));
   if (R.Inv.Trace)
     Opts.set("trace", json::Value::boolean(true));
+  if (!R.Inv.EvalName.empty())
+    Opts.set("eval_name", json::Value::str(R.Inv.EvalName));
+  if (!R.Inv.EvalKind.empty())
+    Opts.set("eval_kind", json::Value::str(R.Inv.EvalKind));
   if (!Opts.members().empty())
     Doc.set("options", std::move(Opts));
   return Doc.write();
@@ -284,6 +288,13 @@ bool stq::server::rpc::parseRequest(const std::string &Line, Request &Out,
       }
     } else if (Key == "trace") {
       Out.Inv.Trace = Val.asBool();
+    } else if (Key == "eval_name" || Key == "eval_kind") {
+      if (!Val.isString()) {
+        Error = "'" + Key + "' must be a string";
+        return false;
+      }
+      (Key == "eval_name" ? Out.Inv.EvalName : Out.Inv.EvalKind) =
+          Val.asString();
     } else {
       Error = "unknown option '" + Key + "'";
       return false;

@@ -51,8 +51,8 @@ int usage(std::ostream &OS) {
         "mixed,\n"
         "                      qualgen, prover, edit-replay, inference, "
         "vm,\n"
-        "                      frontend, or robustness (--oracle is an "
-        "alias)\n"
+        "                      frontend, header-edit, or robustness "
+        "(--oracle is an alias)\n"
         "  --jobs N            parallel job count for the metamorphic "
         "oracle (default 4)\n"
         "  --fuel N            interpreter step budget per execution\n"
@@ -125,7 +125,7 @@ int main(int argc, char **argv) {
       static const char *Known[] = {"soundness",   "mixed",    "qualgen",
                                     "prover",      "edit-replay",
                                     "inference",   "vm",       "frontend",
-                                    "robustness"};
+                                    "header-edit", "robustness"};
       bool Ok = false;
       for (const char *Name : Known)
         Ok = Ok || Opts.OnlyScenario == Name;

@@ -1,0 +1,40 @@
+// bftpd.h — session state and the reply/logging interfaces
+// whose format parameters §6.1's fixpoint annotates untainted.
+#ifndef BFTPD_H
+#define BFTPD_H
+
+#include "dirent.h"
+
+struct session { int sock; int logged_in; char* user; };
+
+int sendstrf(int s, char* untainted format, ...);
+int bftpd_log(int level, char* untainted fmt, ...);
+void command_user(struct session* s, char* arg);
+void command_pass(struct session* s, char* arg);
+void command_cwd(struct session* s, char* arg);
+void command_list(struct session* s, char* arg);
+void command_retr(struct session* s, char* arg);
+void command_stor(struct session* s, char* arg);
+void command_dele(struct session* s, char* arg);
+void command_mkd(struct session* s, char* arg);
+void command_rmd(struct session* s, char* arg);
+void command_pwd(struct session* s, char* arg);
+void command_syst(struct session* s, char* arg);
+void command_type(struct session* s, char* arg);
+void command_port(struct session* s, char* arg);
+void command_pasv(struct session* s, char* arg);
+void command_quit(struct session* s, char* arg);
+void command_noop(struct session* s, char* arg);
+void command_abor(struct session* s, char* arg);
+void command_rest(struct session* s, char* arg);
+void command_rnfr(struct session* s, char* arg);
+void command_rnto(struct session* s, char* arg);
+void command_site(struct session* s, char* arg);
+void command_mdtm(struct session* s, char* arg);
+void command_size(struct session* s, char* arg);
+void command_appe(struct session* s, char* arg);
+void command_stat(struct session* s, char* arg);
+void command_help(struct session* s, char* arg);
+void command_list_entry(struct session* s, struct dirent* entry);
+
+#endif

@@ -1,0 +1,7 @@
+// dirent.h — directory entries; d_name is attacker-controlled.
+#ifndef STQ_DIRENT_H
+#define STQ_DIRENT_H
+
+struct dirent { char* d_name; int d_type; };
+
+#endif

@@ -1,0 +1,8 @@
+// list.c — directory listing: entry->d_name flows into the
+// format parameter (the real, previously reported exploit).
+#include "bftpd.h"
+
+void command_list_entry(struct session* s, struct dirent* entry) {
+  sendstrf(s->sock, entry->d_name);
+}
+

@@ -1,0 +1,13 @@
+// main.c — server driver.
+#include "stdio.h"
+#include "bftpd.h"
+
+int main() {
+  struct session* s = (struct session*) malloc(sizeof(struct session));
+  s->sock = 4;
+  s->logged_in = 1;
+  printf("bftpd starting\n");
+  command_user(s, "anonymous");
+  command_quit(s, NULL);
+  return 0;
+}

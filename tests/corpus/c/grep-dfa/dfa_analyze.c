@@ -1,0 +1,893 @@
+// dfa_analyze.c — analyzer passes: heavy dereferencing of the
+// DFA's always-valid tables and the caller's scratch buffer
+// (Table 1's dereference column).
+#include "dfa.h"
+
+int dfa_analyze_0(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->success[1];
+  acc = acc * 2 - d->success[0];
+  acc = acc + d->newlines[2];
+  acc = acc * 2 - d->newlines[0];
+  acc = acc + d->charclasses[3];
+  acc = acc * 2 - d->charclasses[0];
+  acc = acc + d->states[4];
+  acc = acc * 2 - d->states[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->nstates;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->ntokens;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->depth;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->tindex;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->nleaves;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->nregexps;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->searchflag;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->trcount;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->nstates;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->ntokens;
+  acc = acc + d->nstates * 2;
+  acc = acc + d->success[2];
+  return acc;
+}
+
+int dfa_analyze_1(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->newlines[1];
+  acc = acc * 2 - d->newlines[0];
+  acc = acc + d->charclasses[2];
+  acc = acc * 2 - d->charclasses[0];
+  acc = acc + d->states[3];
+  acc = acc * 2 - d->states[0];
+  acc = acc + d->follows[4];
+  acc = acc * 2 - d->follows[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->ntokens;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->depth;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->tindex;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->nleaves;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->nregexps;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->searchflag;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->trcount;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->nstates;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->ntokens;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->depth;
+  acc = acc + d->ntokens * 2;
+  acc = acc + d->newlines[2];
+  return acc;
+}
+
+int dfa_analyze_2(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->charclasses[1];
+  acc = acc * 2 - d->charclasses[0];
+  acc = acc + d->states[2];
+  acc = acc * 2 - d->states[0];
+  acc = acc + d->follows[3];
+  acc = acc * 2 - d->follows[0];
+  acc = acc + d->positions[4];
+  acc = acc * 2 - d->positions[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->depth;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->tindex;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->nleaves;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->nregexps;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->searchflag;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->trcount;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->nstates;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->ntokens;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->depth;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->tindex;
+  acc = acc + d->depth * 2;
+  acc = acc + d->charclasses[2];
+  return acc;
+}
+
+int dfa_analyze_3(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->states[1];
+  acc = acc * 2 - d->states[0];
+  acc = acc + d->follows[2];
+  acc = acc * 2 - d->follows[0];
+  acc = acc + d->positions[3];
+  acc = acc * 2 - d->positions[0];
+  acc = acc + d->success[4];
+  acc = acc * 2 - d->success[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->tindex;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->nleaves;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->nregexps;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->searchflag;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->trcount;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->nstates;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->ntokens;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->depth;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->tindex;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->nleaves;
+  acc = acc + d->tindex * 2;
+  acc = acc + d->states[2];
+  return acc;
+}
+
+int dfa_analyze_4(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->follows[1];
+  acc = acc * 2 - d->follows[0];
+  acc = acc + d->positions[2];
+  acc = acc * 2 - d->positions[0];
+  acc = acc + d->success[3];
+  acc = acc * 2 - d->success[0];
+  acc = acc + d->newlines[4];
+  acc = acc * 2 - d->newlines[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->nleaves;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->nregexps;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->searchflag;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->trcount;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->nstates;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->ntokens;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->depth;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->tindex;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->nleaves;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->nregexps;
+  acc = acc + d->nleaves * 2;
+  acc = acc + d->follows[2];
+  return acc;
+}
+
+int dfa_analyze_5(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->positions[1];
+  acc = acc * 2 - d->positions[0];
+  acc = acc + d->success[2];
+  acc = acc * 2 - d->success[0];
+  acc = acc + d->newlines[3];
+  acc = acc * 2 - d->newlines[0];
+  acc = acc + d->charclasses[4];
+  acc = acc * 2 - d->charclasses[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->nregexps;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->searchflag;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->trcount;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->nstates;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->ntokens;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->depth;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->tindex;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->nleaves;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->nregexps;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->searchflag;
+  acc = acc + d->nregexps * 2;
+  acc = acc + d->positions[2];
+  return acc;
+}
+
+int dfa_analyze_6(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->success[1];
+  acc = acc * 2 - d->success[0];
+  acc = acc + d->newlines[2];
+  acc = acc * 2 - d->newlines[0];
+  acc = acc + d->charclasses[3];
+  acc = acc * 2 - d->charclasses[0];
+  acc = acc + d->states[4];
+  acc = acc * 2 - d->states[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->searchflag;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->trcount;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->nstates;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->ntokens;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->depth;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->tindex;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->nleaves;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->nregexps;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->searchflag;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->trcount;
+  acc = acc + d->searchflag * 2;
+  acc = acc + d->success[2];
+  return acc;
+}
+
+int dfa_analyze_7(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->newlines[1];
+  acc = acc * 2 - d->newlines[0];
+  acc = acc + d->charclasses[2];
+  acc = acc * 2 - d->charclasses[0];
+  acc = acc + d->states[3];
+  acc = acc * 2 - d->states[0];
+  acc = acc + d->follows[4];
+  acc = acc * 2 - d->follows[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->trcount;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->nstates;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->ntokens;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->depth;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->tindex;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->nleaves;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->nregexps;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->searchflag;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->trcount;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->nstates;
+  acc = acc + d->trcount * 2;
+  acc = acc + d->newlines[2];
+  return acc;
+}
+
+int dfa_analyze_8(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->charclasses[1];
+  acc = acc * 2 - d->charclasses[0];
+  acc = acc + d->states[2];
+  acc = acc * 2 - d->states[0];
+  acc = acc + d->follows[3];
+  acc = acc * 2 - d->follows[0];
+  acc = acc + d->positions[4];
+  acc = acc * 2 - d->positions[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->nstates;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->ntokens;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->depth;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->tindex;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->nleaves;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->nregexps;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->searchflag;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->trcount;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->nstates;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->ntokens;
+  acc = acc + d->nstates * 2;
+  acc = acc + d->charclasses[2];
+  return acc;
+}
+
+int dfa_analyze_9(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->states[1];
+  acc = acc * 2 - d->states[0];
+  acc = acc + d->follows[2];
+  acc = acc * 2 - d->follows[0];
+  acc = acc + d->positions[3];
+  acc = acc * 2 - d->positions[0];
+  acc = acc + d->success[4];
+  acc = acc * 2 - d->success[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->ntokens;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->depth;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->tindex;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->nleaves;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->nregexps;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->searchflag;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->trcount;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->nstates;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->ntokens;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->depth;
+  acc = acc + d->ntokens * 2;
+  acc = acc + d->states[2];
+  return acc;
+}
+
+int dfa_analyze_10(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->depth;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->follows[1];
+  acc = acc * 2 - d->follows[0];
+  acc = acc + d->positions[2];
+  acc = acc * 2 - d->positions[0];
+  acc = acc + d->success[3];
+  acc = acc * 2 - d->success[0];
+  acc = acc + d->newlines[4];
+  acc = acc * 2 - d->newlines[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->depth;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->tindex;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->nleaves;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->nregexps;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->searchflag;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->trcount;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->nstates;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->ntokens;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->depth;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->tindex;
+  acc = acc + d->depth * 2;
+  acc = acc + d->follows[2];
+  return acc;
+}
+
+int dfa_analyze_11(struct dfa* nonnull d, int* nonnull buf, int n) {
+  int acc = 0;
+  int limit = n;
+  if (limit > DFA_TABLEN) limit = DFA_TABLEN;
+  acc = acc + d->tindex;
+  acc = acc + d->nleaves;
+  acc = acc + d->nregexps;
+  acc = acc + d->searchflag;
+  acc = acc + d->trcount;
+  acc = acc + d->nstates;
+  acc = acc + d->ntokens;
+  acc = acc + d->depth;
+  acc = acc + d->positions[1];
+  acc = acc * 2 - d->positions[0];
+  acc = acc + d->success[2];
+  acc = acc * 2 - d->success[0];
+  acc = acc + d->newlines[3];
+  acc = acc * 2 - d->newlines[0];
+  acc = acc + d->charclasses[4];
+  acc = acc * 2 - d->charclasses[0];
+  for (int i = 0; i < limit; i = i + 1) {
+    buf[i] = acc + i;
+    acc = acc + buf[i] % 7;
+  }
+  int tmp0 = acc * 3 + 1;
+  int tmp1 = tmp0 - n;
+  int tmp2 = tmp1 * tmp1;
+  if (tmp2 > acc) { acc = tmp2 - acc; } else { acc = acc - tmp2; }
+  while (acc > 100000) { acc = acc / 2; }
+  int st0 = (acc + 1) % 251;
+  if (st0 > 125) { st0 = 250 - st0; }
+  acc = acc + st0 * 1;
+  acc = acc + d->tindex;
+  int st1 = (acc + 4) % 251;
+  if (st1 > 125) { st1 = 250 - st1; }
+  acc = acc + st1 * 2;
+  acc = acc + d->nleaves;
+  int st2 = (acc + 7) % 251;
+  if (st2 > 125) { st2 = 250 - st2; }
+  acc = acc + st2 * 3;
+  acc = acc + d->nregexps;
+  int st3 = (acc + 10) % 251;
+  if (st3 > 125) { st3 = 250 - st3; }
+  acc = acc + st3 * 4;
+  acc = acc + d->searchflag;
+  int st4 = (acc + 13) % 251;
+  if (st4 > 125) { st4 = 250 - st4; }
+  acc = acc + st4 * 5;
+  acc = acc + d->trcount;
+  int st5 = (acc + 16) % 251;
+  if (st5 > 125) { st5 = 250 - st5; }
+  acc = acc + st5 * 6;
+  acc = acc + d->nstates;
+  int st6 = (acc + 19) % 251;
+  if (st6 > 125) { st6 = 250 - st6; }
+  acc = acc + st6 * 7;
+  acc = acc + d->ntokens;
+  int st7 = (acc + 22) % 251;
+  if (st7 > 125) { st7 = 250 - st7; }
+  acc = acc + st7 * 8;
+  acc = acc + d->depth;
+  int st8 = (acc + 25) % 251;
+  if (st8 > 125) { st8 = 250 - st8; }
+  acc = acc + st8 * 9;
+  acc = acc + d->tindex;
+  int st9 = (acc + 28) % 251;
+  if (st9 > 125) { st9 = 250 - st9; }
+  acc = acc + st9 * 10;
+  acc = acc + d->nleaves;
+  acc = acc + d->tindex * 2;
+  acc = acc + d->positions[2];
+  return acc;
+}
+

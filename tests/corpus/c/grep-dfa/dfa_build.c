@@ -1,0 +1,49 @@
+// dfa_build.c — table construction and reset: malloc results
+// enter nonnull fields through casts; the lazy tables are
+// materialized through per-site casts and reset to NULL.
+#include "dfa.h"
+
+void dfa_build(struct dfa* nonnull d, int n) {
+  d->success = (int* nonnull) malloc(sizeof(int) * n);
+  d->newlines = (int* nonnull) malloc(sizeof(int) * n);
+  d->charclasses = (int* nonnull) malloc(sizeof(int) * n);
+  d->states = (int* nonnull) malloc(sizeof(int) * n);
+  d->follows = (int* nonnull) malloc(sizeof(int) * n);
+  d->positions = (int* nonnull) malloc(sizeof(int) * n);
+  d->trans = NULL;
+  d->realtrans = NULL;
+  d->fails = NULL;
+  d->musts = NULL;
+  d->nstates = n;
+  d->ntokens = DFA_NSTATES(n);
+  for (int i = 0; i < n; i = i + 1) {
+    d->success[i] = i;
+    d->newlines[i] = i;
+    d->charclasses[i] = i;
+    d->states[i] = i;
+    d->follows[i] = i;
+    d->positions[i] = i;
+  }
+}
+
+void dfa_materialize(struct dfa* nonnull d, int n) {
+  d->trans = (int*) malloc(sizeof(int) * n);
+  d->realtrans = (int*) malloc(sizeof(int) * n);
+  d->fails = (int*) malloc(sizeof(int) * n);
+  d->musts = (int*) malloc(sizeof(int) * n);
+  for (int i = 0; i < n; i = i + 1) {
+    ((int* nonnull)(d->trans))[i] = i % 3;
+    ((int* nonnull)(d->realtrans))[i] = i % 3;
+    ((int* nonnull)(d->fails))[i] = i % 3;
+    ((int* nonnull)(d->musts))[i] = i % 3;
+  }
+}
+
+void dfa_reset(struct dfa* nonnull d) {
+  d->trans = NULL;
+  d->realtrans = NULL;
+  d->fails = NULL;
+  d->musts = NULL;
+  d->trcount = 0;
+}
+

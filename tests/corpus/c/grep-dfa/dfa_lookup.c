@@ -1,0 +1,1030 @@
+// dfa_lookup.c — lazily-built tables read behind NULL guards;
+// each guarded read goes through a nonnull-cast alias, the
+// paper's main source of casts under flow-insensitive checking.
+#include "dfa.h"
+
+int dfa_lookup_0(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nstates;
+  t = d->trans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->realtrans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->tindex;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nstates % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->depth % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->tindex % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nregexps % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_1(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->ntokens;
+  t = d->realtrans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->fails;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nleaves;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->depth % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->tindex % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->searchflag % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_2(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->depth;
+  t = d->fails;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->musts;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nregexps;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->depth % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->tindex % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->trcount % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_3(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->tindex;
+  t = d->musts;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->trans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->searchflag;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->tindex % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->trcount % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nstates % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_4(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nleaves;
+  t = d->trans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->realtrans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->trcount;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->trcount % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nstates % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->ntokens % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_5(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nregexps;
+  t = d->realtrans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->fails;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nstates;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->trcount % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nstates % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->depth % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_6(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->searchflag;
+  t = d->fails;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->musts;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->ntokens;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->trcount % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nstates % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->depth % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->tindex % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_7(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->trcount;
+  t = d->musts;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->trans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->depth;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->trcount % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nstates % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->depth % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->tindex % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nleaves % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_8(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nstates;
+  t = d->trans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->realtrans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->tindex;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nstates % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->depth % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->tindex % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nregexps % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_9(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->ntokens;
+  t = d->realtrans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->fails;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nleaves;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->depth % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->tindex % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->searchflag % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_10(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->depth;
+  t = d->fails;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->musts;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nregexps;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->depth % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->tindex % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->trcount % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_11(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->tindex;
+  t = d->musts;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->trans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->searchflag;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->tindex % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->trcount % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nstates % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_12(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nleaves;
+  t = d->trans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->realtrans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->trcount;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->trcount % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nstates % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->ntokens % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_13(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nregexps;
+  t = d->realtrans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->fails;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nstates;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->trcount % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nstates % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->depth % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_14(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->searchflag;
+  t = d->fails;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->musts;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->ntokens;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->trcount % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nstates % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->depth % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->tindex % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_15(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->trcount;
+  t = d->musts;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->trans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->depth;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->trcount % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nstates % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->depth % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->tindex % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nleaves % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_16(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nstates;
+  t = d->trans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->realtrans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->tindex;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nstates % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->depth % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->tindex % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nregexps % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_17(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->ntokens;
+  t = d->realtrans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->fails;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nleaves;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->depth % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->tindex % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->searchflag % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_18(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->depth;
+  t = d->fails;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->musts;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nregexps;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->depth % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->tindex % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->trcount % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_19(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->tindex;
+  t = d->musts;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->trans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->searchflag;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->tindex % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->trcount % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nstates % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_20(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nleaves;
+  t = d->trans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->realtrans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->trcount;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->trcount % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nstates % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->ntokens % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_21(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nregexps;
+  t = d->realtrans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->fails;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->nstates;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nregexps % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->trcount % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->nstates % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->depth % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_22(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->searchflag;
+  t = d->fails;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->musts;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->ntokens;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->searchflag % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->trcount % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->nstates % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->depth % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->tindex % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_23(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->trcount;
+  t = d->musts;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->trans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->depth;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->trcount % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->nstates % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->depth % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->tindex % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nleaves % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+
+int dfa_lookup_24(struct dfa* nonnull d, int works) {
+  int* t;
+  int* u;
+  int acc = d->nstates;
+  t = d->trans;
+  if (t != NULL) {
+    int* nonnull tt = (int* nonnull)(t);
+    acc = acc + tt[works];
+    acc = acc + tt[works + 1];
+    acc = acc - tt[0];
+  }
+  u = d->realtrans;
+  if (u != NULL) {
+    int* nonnull uu = (int* nonnull)(u);
+    acc = acc + uu[works % 8];
+    acc = acc + uu[1] * 2;
+  }
+  acc = acc + d->tindex;
+  int h0 = acc * 2 % 8191;
+  if (h0 % 2 == 0) { acc = acc + h0; } else { acc = acc - h0 / 3; }
+  acc = acc + d->nstates % 31;
+  int h1 = acc * 3 % 8191;
+  if (h1 % 2 == 0) { acc = acc + h1; } else { acc = acc - h1 / 3; }
+  acc = acc + d->ntokens % 31;
+  int h2 = acc * 4 % 8191;
+  if (h2 % 2 == 0) { acc = acc + h2; } else { acc = acc - h2 / 3; }
+  acc = acc + d->depth % 31;
+  int h3 = acc * 5 % 8191;
+  if (h3 % 2 == 0) { acc = acc + h3; } else { acc = acc - h3 / 3; }
+  acc = acc + d->tindex % 31;
+  int h4 = acc * 6 % 8191;
+  if (h4 % 2 == 0) { acc = acc + h4; } else { acc = acc - h4 / 3; }
+  acc = acc + d->nleaves % 31;
+  int h5 = acc * 7 % 8191;
+  if (h5 % 2 == 0) { acc = acc + h5; } else { acc = acc - h5 / 3; }
+  acc = acc + d->nregexps % 31;
+  int scaled = acc * 5 % 9973;
+  if (scaled < 0) scaled = -scaled;
+  return scaled;
+}
+

@@ -1,0 +1,74 @@
+// dfa.h — the DFA object and module interfaces of the grep 2.5
+// dfa.c analogue, in the post-fixpoint annotated form Table 1
+// reports: the always-valid tables and entry points carry
+// nonnull; the lazily-built tables stay plain.
+#ifndef DFA_H
+#define DFA_H
+
+#define DFA_TABLEN 64
+#define DFA_NSTATES(n) ((n) * 2)
+
+struct dfa {
+  int nstates;
+  int ntokens;
+  int depth;
+  int tindex;
+  int nleaves;
+  int nregexps;
+  int searchflag;
+  int trcount;
+  int* nonnull success;
+  int* nonnull newlines;
+  int* nonnull charclasses;
+  int* nonnull states;
+  int* nonnull follows;
+  int* nonnull positions;
+  int* trans;
+  int* realtrans;
+  int* fails;
+  int* musts;
+  char* mustmatch;
+};
+
+int dfa_analyze_0(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_1(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_2(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_3(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_4(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_5(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_6(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_7(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_8(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_9(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_10(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_analyze_11(struct dfa* nonnull d, int* nonnull buf, int n);
+int dfa_lookup_0(struct dfa* nonnull d, int works);
+int dfa_lookup_1(struct dfa* nonnull d, int works);
+int dfa_lookup_2(struct dfa* nonnull d, int works);
+int dfa_lookup_3(struct dfa* nonnull d, int works);
+int dfa_lookup_4(struct dfa* nonnull d, int works);
+int dfa_lookup_5(struct dfa* nonnull d, int works);
+int dfa_lookup_6(struct dfa* nonnull d, int works);
+int dfa_lookup_7(struct dfa* nonnull d, int works);
+int dfa_lookup_8(struct dfa* nonnull d, int works);
+int dfa_lookup_9(struct dfa* nonnull d, int works);
+int dfa_lookup_10(struct dfa* nonnull d, int works);
+int dfa_lookup_11(struct dfa* nonnull d, int works);
+int dfa_lookup_12(struct dfa* nonnull d, int works);
+int dfa_lookup_13(struct dfa* nonnull d, int works);
+int dfa_lookup_14(struct dfa* nonnull d, int works);
+int dfa_lookup_15(struct dfa* nonnull d, int works);
+int dfa_lookup_16(struct dfa* nonnull d, int works);
+int dfa_lookup_17(struct dfa* nonnull d, int works);
+int dfa_lookup_18(struct dfa* nonnull d, int works);
+int dfa_lookup_19(struct dfa* nonnull d, int works);
+int dfa_lookup_20(struct dfa* nonnull d, int works);
+int dfa_lookup_21(struct dfa* nonnull d, int works);
+int dfa_lookup_22(struct dfa* nonnull d, int works);
+int dfa_lookup_23(struct dfa* nonnull d, int works);
+int dfa_lookup_24(struct dfa* nonnull d, int works);
+void dfa_build(struct dfa* nonnull d, int n);
+void dfa_materialize(struct dfa* nonnull d, int n);
+void dfa_reset(struct dfa* nonnull d);
+
+#endif

@@ -1,0 +1,10 @@
+// identd.h — the three protocol stages; every format string in
+// the program is a literal, so nothing needs annotation.
+#ifndef IDENTD_H
+#define IDENTD_H
+
+int parse_request(int port_a, int port_b);
+int lookup_connection(int port_a, int port_b);
+int format_reply(int port_a, int port_b);
+
+#endif

@@ -1,0 +1,8 @@
+// stdio.h — the alternate library header the paper's harness
+// installs: printf demands an untainted format string.
+#ifndef STQ_STDIO_H
+#define STQ_STDIO_H
+
+int printf(char* untainted fmt, ...);
+
+#endif

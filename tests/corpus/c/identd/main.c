@@ -1,0 +1,17 @@
+// main.c — serves three requests and shuts down.
+#include "stdio.h"
+#include "identd.h"
+
+int main() {
+  int t = 0;
+  t = t + parse_request(113, 1023);
+  t = t + lookup_connection(22, 4055);
+  t = t + format_reply(80, 51234);
+  printf("identd: %d , %d : USERID : UNIX : nobody\n", 113, 1023);
+  printf("done\n");
+  printf("requests served: %d\n", 3);
+  printf("shutting down\n");
+  printf("bye\n");
+  printf("exit code %d\n", t % 2);
+  return t % 2;
+}

@@ -1,0 +1,132 @@
+// request.c — request parsing and connection lookup.
+#include "stdio.h"
+#include "identd.h"
+
+int parse_request(int port_a, int port_b) {
+  printf("parse_request: %d , %d\n", port_a, port_b);
+  if (port_a <= 0 || port_b <= 0) {
+    printf("%d , %d : ERROR : INVALID-PORT\n", port_a, port_b);
+    return -1;
+  }
+  if (port_a > 65535) {
+    printf("range error %d\n", port_a);
+    return -1;
+  }
+  printf("parse_request ok\n");
+  int token = port_a * 31 + port_b + 0;
+  int k0 = token % 2 + 0;
+  if (k0 > 10) { token = token + k0 % 7; }
+  int k1 = token % 3 + 1;
+  if (k1 > 10) { token = token + k1 % 7; }
+  int k2 = token % 4 + 2;
+  if (k2 > 10) { token = token + k2 % 7; }
+  int k3 = token % 5 + 3;
+  if (k3 > 10) { token = token + k3 % 7; }
+  int k4 = token % 6 + 4;
+  if (k4 > 10) { token = token + k4 % 7; }
+  int k5 = token % 7 + 5;
+  if (k5 > 10) { token = token + k5 % 7; }
+  int k6 = token % 8 + 6;
+  if (k6 > 10) { token = token + k6 % 7; }
+  int k7 = token % 9 + 7;
+  if (k7 > 10) { token = token + k7 % 7; }
+  int k8 = token % 10 + 8;
+  if (k8 > 10) { token = token + k8 % 7; }
+  int k9 = token % 11 + 9;
+  if (k9 > 10) { token = token + k9 % 7; }
+  int k10 = token % 12 + 10;
+  if (k10 > 10) { token = token + k10 % 7; }
+  int k11 = token % 13 + 11;
+  if (k11 > 10) { token = token + k11 % 7; }
+  int k12 = token % 14 + 12;
+  if (k12 > 10) { token = token + k12 % 7; }
+  int k13 = token % 15 + 13;
+  if (k13 > 10) { token = token + k13 % 7; }
+  int k14 = token % 16 + 14;
+  if (k14 > 10) { token = token + k14 % 7; }
+  int k15 = token % 17 + 15;
+  if (k15 > 10) { token = token + k15 % 7; }
+  int k16 = token % 18 + 16;
+  if (k16 > 10) { token = token + k16 % 7; }
+  int k17 = token % 19 + 17;
+  if (k17 > 10) { token = token + k17 % 7; }
+  int k18 = token % 20 + 18;
+  if (k18 > 10) { token = token + k18 % 7; }
+  int k19 = token % 21 + 19;
+  if (k19 > 10) { token = token + k19 % 7; }
+  int k20 = token % 22 + 20;
+  if (k20 > 10) { token = token + k20 % 7; }
+  int k21 = token % 23 + 21;
+  if (k21 > 10) { token = token + k21 % 7; }
+  int k22 = token % 24 + 22;
+  if (k22 > 10) { token = token + k22 % 7; }
+  int k23 = token % 25 + 23;
+  if (k23 > 10) { token = token + k23 % 7; }
+  printf("token %d\n", token);
+  return token;
+}
+
+int lookup_connection(int port_a, int port_b) {
+  printf("lookup_connection: %d , %d\n", port_a, port_b);
+  if (port_a <= 0 || port_b <= 0) {
+    printf("%d , %d : ERROR : INVALID-PORT\n", port_a, port_b);
+    return -1;
+  }
+  if (port_a > 65535) {
+    printf("range error %d\n", port_a);
+    return -1;
+  }
+  printf("lookup_connection ok\n");
+  int token = port_a * 31 + port_b + 1;
+  int k0 = token % 2 + 0;
+  if (k0 > 10) { token = token + k0 % 7; }
+  int k1 = token % 3 + 1;
+  if (k1 > 10) { token = token + k1 % 7; }
+  int k2 = token % 4 + 2;
+  if (k2 > 10) { token = token + k2 % 7; }
+  int k3 = token % 5 + 3;
+  if (k3 > 10) { token = token + k3 % 7; }
+  int k4 = token % 6 + 4;
+  if (k4 > 10) { token = token + k4 % 7; }
+  int k5 = token % 7 + 5;
+  if (k5 > 10) { token = token + k5 % 7; }
+  int k6 = token % 8 + 6;
+  if (k6 > 10) { token = token + k6 % 7; }
+  int k7 = token % 9 + 7;
+  if (k7 > 10) { token = token + k7 % 7; }
+  int k8 = token % 10 + 8;
+  if (k8 > 10) { token = token + k8 % 7; }
+  int k9 = token % 11 + 9;
+  if (k9 > 10) { token = token + k9 % 7; }
+  int k10 = token % 12 + 10;
+  if (k10 > 10) { token = token + k10 % 7; }
+  int k11 = token % 13 + 11;
+  if (k11 > 10) { token = token + k11 % 7; }
+  int k12 = token % 14 + 12;
+  if (k12 > 10) { token = token + k12 % 7; }
+  int k13 = token % 15 + 13;
+  if (k13 > 10) { token = token + k13 % 7; }
+  int k14 = token % 16 + 14;
+  if (k14 > 10) { token = token + k14 % 7; }
+  int k15 = token % 17 + 15;
+  if (k15 > 10) { token = token + k15 % 7; }
+  int k16 = token % 18 + 16;
+  if (k16 > 10) { token = token + k16 % 7; }
+  int k17 = token % 19 + 17;
+  if (k17 > 10) { token = token + k17 % 7; }
+  int k18 = token % 20 + 18;
+  if (k18 > 10) { token = token + k18 % 7; }
+  int k19 = token % 21 + 19;
+  if (k19 > 10) { token = token + k19 % 7; }
+  int k20 = token % 22 + 20;
+  if (k20 > 10) { token = token + k20 % 7; }
+  int k21 = token % 23 + 21;
+  if (k21 > 10) { token = token + k21 % 7; }
+  int k22 = token % 24 + 22;
+  if (k22 > 10) { token = token + k22 % 7; }
+  int k23 = token % 25 + 23;
+  if (k23 > 10) { token = token + k23 % 7; }
+  printf("token %d\n", token);
+  return token;
+}
+

@@ -1,0 +1,424 @@
+// getty.c — the five getty steps; all formats are literals.
+#include "stdio.h"
+#include "mingetty.h"
+
+int parse_args(int fd) {
+  log_msg("parse_args begin");
+  if (fd < 0) {
+    printf("%s: bad fd %d\n", "parse_args", fd);
+    return -1;
+  }
+  printf("step %d\n", 0);
+  log_msg("parse_args end");
+  int code = fd * 2 % 17;
+  int m0 = code + 0 % 13;
+  if (m0 % 3 == 0) { code = code + m0 % 5; }
+  int m1 = code + 7 % 13;
+  if (m1 % 3 == 0) { code = code + m1 % 5; }
+  int m2 = code + 14 % 13;
+  if (m2 % 3 == 0) { code = code + m2 % 5; }
+  int m3 = code + 21 % 13;
+  if (m3 % 3 == 0) { code = code + m3 % 5; }
+  int m4 = code + 28 % 13;
+  if (m4 % 3 == 0) { code = code + m4 % 5; }
+  int m5 = code + 35 % 13;
+  if (m5 % 3 == 0) { code = code + m5 % 5; }
+  int m6 = code + 42 % 13;
+  if (m6 % 3 == 0) { code = code + m6 % 5; }
+  int m7 = code + 49 % 13;
+  if (m7 % 3 == 0) { code = code + m7 % 5; }
+  int m8 = code + 56 % 13;
+  if (m8 % 3 == 0) { code = code + m8 % 5; }
+  int m9 = code + 63 % 13;
+  if (m9 % 3 == 0) { code = code + m9 % 5; }
+  int m10 = code + 70 % 13;
+  if (m10 % 3 == 0) { code = code + m10 % 5; }
+  int m11 = code + 77 % 13;
+  if (m11 % 3 == 0) { code = code + m11 % 5; }
+  int m12 = code + 84 % 13;
+  if (m12 % 3 == 0) { code = code + m12 % 5; }
+  int m13 = code + 91 % 13;
+  if (m13 % 3 == 0) { code = code + m13 % 5; }
+  int m14 = code + 98 % 13;
+  if (m14 % 3 == 0) { code = code + m14 % 5; }
+  int m15 = code + 105 % 13;
+  if (m15 % 3 == 0) { code = code + m15 % 5; }
+  int m16 = code + 112 % 13;
+  if (m16 % 3 == 0) { code = code + m16 % 5; }
+  int m17 = code + 119 % 13;
+  if (m17 % 3 == 0) { code = code + m17 % 5; }
+  int m18 = code + 126 % 13;
+  if (m18 % 3 == 0) { code = code + m18 % 5; }
+  int m19 = code + 133 % 13;
+  if (m19 % 3 == 0) { code = code + m19 % 5; }
+  int m20 = code + 140 % 13;
+  if (m20 % 3 == 0) { code = code + m20 % 5; }
+  int m21 = code + 147 % 13;
+  if (m21 % 3 == 0) { code = code + m21 % 5; }
+  int m22 = code + 154 % 13;
+  if (m22 % 3 == 0) { code = code + m22 % 5; }
+  int m23 = code + 161 % 13;
+  if (m23 % 3 == 0) { code = code + m23 % 5; }
+  int m24 = code + 168 % 13;
+  if (m24 % 3 == 0) { code = code + m24 % 5; }
+  int m25 = code + 175 % 13;
+  if (m25 % 3 == 0) { code = code + m25 % 5; }
+  int m26 = code + 182 % 13;
+  if (m26 % 3 == 0) { code = code + m26 % 5; }
+  int m27 = code + 189 % 13;
+  if (m27 % 3 == 0) { code = code + m27 % 5; }
+  int m28 = code + 196 % 13;
+  if (m28 % 3 == 0) { code = code + m28 % 5; }
+  int m29 = code + 203 % 13;
+  if (m29 % 3 == 0) { code = code + m29 % 5; }
+  int m30 = code + 210 % 13;
+  if (m30 % 3 == 0) { code = code + m30 % 5; }
+  int m31 = code + 217 % 13;
+  if (m31 % 3 == 0) { code = code + m31 % 5; }
+  int m32 = code + 224 % 13;
+  if (m32 % 3 == 0) { code = code + m32 % 5; }
+  int m33 = code + 231 % 13;
+  if (m33 % 3 == 0) { code = code + m33 % 5; }
+  int m34 = code + 238 % 13;
+  if (m34 % 3 == 0) { code = code + m34 % 5; }
+  int m35 = code + 245 % 13;
+  if (m35 % 3 == 0) { code = code + m35 % 5; }
+  return code;
+}
+
+int open_tty(int fd) {
+  log_msg("open_tty begin");
+  if (fd < 0) {
+    printf("%s: bad fd %d\n", "open_tty", fd);
+    return -1;
+  }
+  printf("step %d\n", 1);
+  log_msg("open_tty end");
+  int code = fd * 3 % 17;
+  int m0 = code + 1 % 13;
+  if (m0 % 3 == 0) { code = code + m0 % 5; }
+  int m1 = code + 8 % 13;
+  if (m1 % 3 == 0) { code = code + m1 % 5; }
+  int m2 = code + 15 % 13;
+  if (m2 % 3 == 0) { code = code + m2 % 5; }
+  int m3 = code + 22 % 13;
+  if (m3 % 3 == 0) { code = code + m3 % 5; }
+  int m4 = code + 29 % 13;
+  if (m4 % 3 == 0) { code = code + m4 % 5; }
+  int m5 = code + 36 % 13;
+  if (m5 % 3 == 0) { code = code + m5 % 5; }
+  int m6 = code + 43 % 13;
+  if (m6 % 3 == 0) { code = code + m6 % 5; }
+  int m7 = code + 50 % 13;
+  if (m7 % 3 == 0) { code = code + m7 % 5; }
+  int m8 = code + 57 % 13;
+  if (m8 % 3 == 0) { code = code + m8 % 5; }
+  int m9 = code + 64 % 13;
+  if (m9 % 3 == 0) { code = code + m9 % 5; }
+  int m10 = code + 71 % 13;
+  if (m10 % 3 == 0) { code = code + m10 % 5; }
+  int m11 = code + 78 % 13;
+  if (m11 % 3 == 0) { code = code + m11 % 5; }
+  int m12 = code + 85 % 13;
+  if (m12 % 3 == 0) { code = code + m12 % 5; }
+  int m13 = code + 92 % 13;
+  if (m13 % 3 == 0) { code = code + m13 % 5; }
+  int m14 = code + 99 % 13;
+  if (m14 % 3 == 0) { code = code + m14 % 5; }
+  int m15 = code + 106 % 13;
+  if (m15 % 3 == 0) { code = code + m15 % 5; }
+  int m16 = code + 113 % 13;
+  if (m16 % 3 == 0) { code = code + m16 % 5; }
+  int m17 = code + 120 % 13;
+  if (m17 % 3 == 0) { code = code + m17 % 5; }
+  int m18 = code + 127 % 13;
+  if (m18 % 3 == 0) { code = code + m18 % 5; }
+  int m19 = code + 134 % 13;
+  if (m19 % 3 == 0) { code = code + m19 % 5; }
+  int m20 = code + 141 % 13;
+  if (m20 % 3 == 0) { code = code + m20 % 5; }
+  int m21 = code + 148 % 13;
+  if (m21 % 3 == 0) { code = code + m21 % 5; }
+  int m22 = code + 155 % 13;
+  if (m22 % 3 == 0) { code = code + m22 % 5; }
+  int m23 = code + 162 % 13;
+  if (m23 % 3 == 0) { code = code + m23 % 5; }
+  int m24 = code + 169 % 13;
+  if (m24 % 3 == 0) { code = code + m24 % 5; }
+  int m25 = code + 176 % 13;
+  if (m25 % 3 == 0) { code = code + m25 % 5; }
+  int m26 = code + 183 % 13;
+  if (m26 % 3 == 0) { code = code + m26 % 5; }
+  int m27 = code + 190 % 13;
+  if (m27 % 3 == 0) { code = code + m27 % 5; }
+  int m28 = code + 197 % 13;
+  if (m28 % 3 == 0) { code = code + m28 % 5; }
+  int m29 = code + 204 % 13;
+  if (m29 % 3 == 0) { code = code + m29 % 5; }
+  int m30 = code + 211 % 13;
+  if (m30 % 3 == 0) { code = code + m30 % 5; }
+  int m31 = code + 218 % 13;
+  if (m31 % 3 == 0) { code = code + m31 % 5; }
+  int m32 = code + 225 % 13;
+  if (m32 % 3 == 0) { code = code + m32 % 5; }
+  int m33 = code + 232 % 13;
+  if (m33 % 3 == 0) { code = code + m33 % 5; }
+  int m34 = code + 239 % 13;
+  if (m34 % 3 == 0) { code = code + m34 % 5; }
+  int m35 = code + 246 % 13;
+  if (m35 % 3 == 0) { code = code + m35 % 5; }
+  return code;
+}
+
+int output_issue(int fd) {
+  log_msg("output_issue begin");
+  if (fd < 0) {
+    printf("%s: bad fd %d\n", "output_issue", fd);
+    return -1;
+  }
+  printf("step %d\n", 2);
+  log_msg("output_issue end");
+  int code = fd * 4 % 17;
+  int m0 = code + 2 % 13;
+  if (m0 % 3 == 0) { code = code + m0 % 5; }
+  int m1 = code + 9 % 13;
+  if (m1 % 3 == 0) { code = code + m1 % 5; }
+  int m2 = code + 16 % 13;
+  if (m2 % 3 == 0) { code = code + m2 % 5; }
+  int m3 = code + 23 % 13;
+  if (m3 % 3 == 0) { code = code + m3 % 5; }
+  int m4 = code + 30 % 13;
+  if (m4 % 3 == 0) { code = code + m4 % 5; }
+  int m5 = code + 37 % 13;
+  if (m5 % 3 == 0) { code = code + m5 % 5; }
+  int m6 = code + 44 % 13;
+  if (m6 % 3 == 0) { code = code + m6 % 5; }
+  int m7 = code + 51 % 13;
+  if (m7 % 3 == 0) { code = code + m7 % 5; }
+  int m8 = code + 58 % 13;
+  if (m8 % 3 == 0) { code = code + m8 % 5; }
+  int m9 = code + 65 % 13;
+  if (m9 % 3 == 0) { code = code + m9 % 5; }
+  int m10 = code + 72 % 13;
+  if (m10 % 3 == 0) { code = code + m10 % 5; }
+  int m11 = code + 79 % 13;
+  if (m11 % 3 == 0) { code = code + m11 % 5; }
+  int m12 = code + 86 % 13;
+  if (m12 % 3 == 0) { code = code + m12 % 5; }
+  int m13 = code + 93 % 13;
+  if (m13 % 3 == 0) { code = code + m13 % 5; }
+  int m14 = code + 100 % 13;
+  if (m14 % 3 == 0) { code = code + m14 % 5; }
+  int m15 = code + 107 % 13;
+  if (m15 % 3 == 0) { code = code + m15 % 5; }
+  int m16 = code + 114 % 13;
+  if (m16 % 3 == 0) { code = code + m16 % 5; }
+  int m17 = code + 121 % 13;
+  if (m17 % 3 == 0) { code = code + m17 % 5; }
+  int m18 = code + 128 % 13;
+  if (m18 % 3 == 0) { code = code + m18 % 5; }
+  int m19 = code + 135 % 13;
+  if (m19 % 3 == 0) { code = code + m19 % 5; }
+  int m20 = code + 142 % 13;
+  if (m20 % 3 == 0) { code = code + m20 % 5; }
+  int m21 = code + 149 % 13;
+  if (m21 % 3 == 0) { code = code + m21 % 5; }
+  int m22 = code + 156 % 13;
+  if (m22 % 3 == 0) { code = code + m22 % 5; }
+  int m23 = code + 163 % 13;
+  if (m23 % 3 == 0) { code = code + m23 % 5; }
+  int m24 = code + 170 % 13;
+  if (m24 % 3 == 0) { code = code + m24 % 5; }
+  int m25 = code + 177 % 13;
+  if (m25 % 3 == 0) { code = code + m25 % 5; }
+  int m26 = code + 184 % 13;
+  if (m26 % 3 == 0) { code = code + m26 % 5; }
+  int m27 = code + 191 % 13;
+  if (m27 % 3 == 0) { code = code + m27 % 5; }
+  int m28 = code + 198 % 13;
+  if (m28 % 3 == 0) { code = code + m28 % 5; }
+  int m29 = code + 205 % 13;
+  if (m29 % 3 == 0) { code = code + m29 % 5; }
+  int m30 = code + 212 % 13;
+  if (m30 % 3 == 0) { code = code + m30 % 5; }
+  int m31 = code + 219 % 13;
+  if (m31 % 3 == 0) { code = code + m31 % 5; }
+  int m32 = code + 226 % 13;
+  if (m32 % 3 == 0) { code = code + m32 % 5; }
+  int m33 = code + 233 % 13;
+  if (m33 % 3 == 0) { code = code + m33 % 5; }
+  int m34 = code + 240 % 13;
+  if (m34 % 3 == 0) { code = code + m34 % 5; }
+  int m35 = code + 247 % 13;
+  if (m35 % 3 == 0) { code = code + m35 % 5; }
+  return code;
+}
+
+int read_login(int fd) {
+  log_msg("read_login begin");
+  if (fd < 0) {
+    printf("%s: bad fd %d\n", "read_login", fd);
+    return -1;
+  }
+  printf("step %d\n", 3);
+  log_msg("read_login end");
+  int code = fd * 5 % 17;
+  int m0 = code + 3 % 13;
+  if (m0 % 3 == 0) { code = code + m0 % 5; }
+  int m1 = code + 10 % 13;
+  if (m1 % 3 == 0) { code = code + m1 % 5; }
+  int m2 = code + 17 % 13;
+  if (m2 % 3 == 0) { code = code + m2 % 5; }
+  int m3 = code + 24 % 13;
+  if (m3 % 3 == 0) { code = code + m3 % 5; }
+  int m4 = code + 31 % 13;
+  if (m4 % 3 == 0) { code = code + m4 % 5; }
+  int m5 = code + 38 % 13;
+  if (m5 % 3 == 0) { code = code + m5 % 5; }
+  int m6 = code + 45 % 13;
+  if (m6 % 3 == 0) { code = code + m6 % 5; }
+  int m7 = code + 52 % 13;
+  if (m7 % 3 == 0) { code = code + m7 % 5; }
+  int m8 = code + 59 % 13;
+  if (m8 % 3 == 0) { code = code + m8 % 5; }
+  int m9 = code + 66 % 13;
+  if (m9 % 3 == 0) { code = code + m9 % 5; }
+  int m10 = code + 73 % 13;
+  if (m10 % 3 == 0) { code = code + m10 % 5; }
+  int m11 = code + 80 % 13;
+  if (m11 % 3 == 0) { code = code + m11 % 5; }
+  int m12 = code + 87 % 13;
+  if (m12 % 3 == 0) { code = code + m12 % 5; }
+  int m13 = code + 94 % 13;
+  if (m13 % 3 == 0) { code = code + m13 % 5; }
+  int m14 = code + 101 % 13;
+  if (m14 % 3 == 0) { code = code + m14 % 5; }
+  int m15 = code + 108 % 13;
+  if (m15 % 3 == 0) { code = code + m15 % 5; }
+  int m16 = code + 115 % 13;
+  if (m16 % 3 == 0) { code = code + m16 % 5; }
+  int m17 = code + 122 % 13;
+  if (m17 % 3 == 0) { code = code + m17 % 5; }
+  int m18 = code + 129 % 13;
+  if (m18 % 3 == 0) { code = code + m18 % 5; }
+  int m19 = code + 136 % 13;
+  if (m19 % 3 == 0) { code = code + m19 % 5; }
+  int m20 = code + 143 % 13;
+  if (m20 % 3 == 0) { code = code + m20 % 5; }
+  int m21 = code + 150 % 13;
+  if (m21 % 3 == 0) { code = code + m21 % 5; }
+  int m22 = code + 157 % 13;
+  if (m22 % 3 == 0) { code = code + m22 % 5; }
+  int m23 = code + 164 % 13;
+  if (m23 % 3 == 0) { code = code + m23 % 5; }
+  int m24 = code + 171 % 13;
+  if (m24 % 3 == 0) { code = code + m24 % 5; }
+  int m25 = code + 178 % 13;
+  if (m25 % 3 == 0) { code = code + m25 % 5; }
+  int m26 = code + 185 % 13;
+  if (m26 % 3 == 0) { code = code + m26 % 5; }
+  int m27 = code + 192 % 13;
+  if (m27 % 3 == 0) { code = code + m27 % 5; }
+  int m28 = code + 199 % 13;
+  if (m28 % 3 == 0) { code = code + m28 % 5; }
+  int m29 = code + 206 % 13;
+  if (m29 % 3 == 0) { code = code + m29 % 5; }
+  int m30 = code + 213 % 13;
+  if (m30 % 3 == 0) { code = code + m30 % 5; }
+  int m31 = code + 220 % 13;
+  if (m31 % 3 == 0) { code = code + m31 % 5; }
+  int m32 = code + 227 % 13;
+  if (m32 % 3 == 0) { code = code + m32 % 5; }
+  int m33 = code + 234 % 13;
+  if (m33 % 3 == 0) { code = code + m33 % 5; }
+  int m34 = code + 241 % 13;
+  if (m34 % 3 == 0) { code = code + m34 % 5; }
+  int m35 = code + 248 % 13;
+  if (m35 % 3 == 0) { code = code + m35 % 5; }
+  return code;
+}
+
+int spawn_login(int fd) {
+  log_msg("spawn_login begin");
+  if (fd < 0) {
+    printf("%s: bad fd %d\n", "spawn_login", fd);
+    return -1;
+  }
+  printf("step %d\n", 4);
+  log_msg("spawn_login end");
+  int code = fd * 6 % 17;
+  int m0 = code + 4 % 13;
+  if (m0 % 3 == 0) { code = code + m0 % 5; }
+  int m1 = code + 11 % 13;
+  if (m1 % 3 == 0) { code = code + m1 % 5; }
+  int m2 = code + 18 % 13;
+  if (m2 % 3 == 0) { code = code + m2 % 5; }
+  int m3 = code + 25 % 13;
+  if (m3 % 3 == 0) { code = code + m3 % 5; }
+  int m4 = code + 32 % 13;
+  if (m4 % 3 == 0) { code = code + m4 % 5; }
+  int m5 = code + 39 % 13;
+  if (m5 % 3 == 0) { code = code + m5 % 5; }
+  int m6 = code + 46 % 13;
+  if (m6 % 3 == 0) { code = code + m6 % 5; }
+  int m7 = code + 53 % 13;
+  if (m7 % 3 == 0) { code = code + m7 % 5; }
+  int m8 = code + 60 % 13;
+  if (m8 % 3 == 0) { code = code + m8 % 5; }
+  int m9 = code + 67 % 13;
+  if (m9 % 3 == 0) { code = code + m9 % 5; }
+  int m10 = code + 74 % 13;
+  if (m10 % 3 == 0) { code = code + m10 % 5; }
+  int m11 = code + 81 % 13;
+  if (m11 % 3 == 0) { code = code + m11 % 5; }
+  int m12 = code + 88 % 13;
+  if (m12 % 3 == 0) { code = code + m12 % 5; }
+  int m13 = code + 95 % 13;
+  if (m13 % 3 == 0) { code = code + m13 % 5; }
+  int m14 = code + 102 % 13;
+  if (m14 % 3 == 0) { code = code + m14 % 5; }
+  int m15 = code + 109 % 13;
+  if (m15 % 3 == 0) { code = code + m15 % 5; }
+  int m16 = code + 116 % 13;
+  if (m16 % 3 == 0) { code = code + m16 % 5; }
+  int m17 = code + 123 % 13;
+  if (m17 % 3 == 0) { code = code + m17 % 5; }
+  int m18 = code + 130 % 13;
+  if (m18 % 3 == 0) { code = code + m18 % 5; }
+  int m19 = code + 137 % 13;
+  if (m19 % 3 == 0) { code = code + m19 % 5; }
+  int m20 = code + 144 % 13;
+  if (m20 % 3 == 0) { code = code + m20 % 5; }
+  int m21 = code + 151 % 13;
+  if (m21 % 3 == 0) { code = code + m21 % 5; }
+  int m22 = code + 158 % 13;
+  if (m22 % 3 == 0) { code = code + m22 % 5; }
+  int m23 = code + 165 % 13;
+  if (m23 % 3 == 0) { code = code + m23 % 5; }
+  int m24 = code + 172 % 13;
+  if (m24 % 3 == 0) { code = code + m24 % 5; }
+  int m25 = code + 179 % 13;
+  if (m25 % 3 == 0) { code = code + m25 % 5; }
+  int m26 = code + 186 % 13;
+  if (m26 % 3 == 0) { code = code + m26 % 5; }
+  int m27 = code + 193 % 13;
+  if (m27 % 3 == 0) { code = code + m27 % 5; }
+  int m28 = code + 200 % 13;
+  if (m28 % 3 == 0) { code = code + m28 % 5; }
+  int m29 = code + 207 % 13;
+  if (m29 % 3 == 0) { code = code + m29 % 5; }
+  int m30 = code + 214 % 13;
+  if (m30 % 3 == 0) { code = code + m30 % 5; }
+  int m31 = code + 221 % 13;
+  if (m31 % 3 == 0) { code = code + m31 % 5; }
+  int m32 = code + 228 % 13;
+  if (m32 % 3 == 0) { code = code + m32 % 5; }
+  int m33 = code + 235 % 13;
+  if (m33 % 3 == 0) { code = code + m33 % 5; }
+  int m34 = code + 242 % 13;
+  if (m34 % 3 == 0) { code = code + m34 % 5; }
+  int m35 = code + 249 % 13;
+  if (m35 % 3 == 0) { code = code + m35 % 5; }
+  return code;
+}
+

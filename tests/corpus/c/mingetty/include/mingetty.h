@@ -1,0 +1,13 @@
+// mingetty.h — step interfaces; the logging wrapper's format
+// parameter is the program's single annotation.
+#ifndef MINGETTY_H
+#define MINGETTY_H
+
+int log_msg(char* untainted fmt, ...);
+int parse_args(int fd);
+int open_tty(int fd);
+int output_issue(int fd);
+int read_login(int fd);
+int spawn_login(int fd);
+
+#endif

@@ -1,0 +1,16 @@
+// main.c — runs the steps in order.
+#include "stdio.h"
+#include "mingetty.h"
+
+int main() {
+  int fd = 1;
+  int rc = 0;
+  rc = rc + parse_args(fd);
+  rc = rc + open_tty(fd);
+  rc = rc + output_issue(fd);
+  rc = rc + read_login(fd);
+  rc = rc + spawn_login(fd);
+  printf("mingetty done rc=%d\n", rc);
+  printf("tty ready\n");
+  return rc % 2;
+}

@@ -148,6 +148,50 @@ TEST(PpIncludes, QuotedIncludeTriesIncluderDirFirst) {
   EXPECT_NE(Result.Text.find("int which = 1;"), std::string::npos);
 }
 
+TEST(PpIncludes, QuotedIncludeFallsBackToSearchPath) {
+  // Lookup order for `#include "x.h"`: the including file's directory
+  // first, then each -I dir in command-line order. Here the includer's
+  // directory (sub/) has no nested.h, so resolution must fall through to
+  // the -I dirs — and must take them in order (first/ before second/).
+  pp::FileMap Files = {{"first/nested.h", "int which = 1;\n"},
+                       {"second/nested.h", "int which = 2;\n"},
+                       {"sub/main3.c", "#include \"nested.h\"\n"}};
+  pp::PpOptions Options;
+  Options.IncludeDirs = {"first", "second"};
+  pp::MemoryResolver Resolver(Files);
+  DiagnosticEngine Diags;
+  pp::PpResult Result = pp::preprocess("sub/main3.c", Files["sub/main3.c"],
+                                       Resolver, Options, Diags);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_NE(Result.Text.find("int which = 1;"), std::string::npos);
+  EXPECT_EQ(Result.Text.find("int which = 2;"), std::string::npos);
+}
+
+TEST(PpIncludes, DirectoryDoesNotSatisfyQuotedInclude) {
+  // POSIX lets ifstream "open" a directory (it just reads zero bytes). A
+  // subdirectory named like the header must not shadow the real one: the
+  // includer-dir candidate fails and the -I fallback finds include/util.h.
+  stq::testing::TempDir Tmp;
+  ASSERT_TRUE(Tmp.valid());
+  namespace fs = std::filesystem;
+  fs::create_directories(Tmp.path("include"));
+  fs::create_directories(Tmp.path("util.h")); // decoy directory
+  {
+    std::ofstream H(Tmp.path("include/util.h"));
+    H << "#define FROM_INCLUDE 1\nint util_marker = FROM_INCLUDE;\n";
+  }
+  std::string Main = "#include \"util.h\"\nint v = util_marker;\n";
+  pp::PpOptions Options;
+  Options.IncludeDirs = {Tmp.path("include")};
+  pp::DiskResolver Resolver;
+  DiagnosticEngine Diags;
+  pp::PpResult Result =
+      pp::preprocess(Tmp.path("main.c"), Main, Resolver, Options, Diags);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_NE(Result.Text.find("int util_marker = 1 ;"), std::string::npos);
+}
+
 TEST(PpIncludes, MissingHeaderDiagnosedAndRecovered) {
   PpRun R = run("#include \"nope.h\"\nint after = 1;\n", {});
   EXPECT_FALSE(R.Result.Ok);
